@@ -1,0 +1,61 @@
+// Section II: the feasibility study. Prints (a) the Fig. 1 style
+// propagation decay (see also bench_fig1_propagation), and (b) the
+// closed-form received spectrum Y(w) of Eq. 6 for several simulated
+// people, showing that the identity parameters {m, c1, c2, k1, k2}
+// produce person-distinct, direction-asymmetric spectra — the paper's
+// argument that MandiblePrint exists.
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/table.h"
+#include "vibration/feasibility.h"
+
+using namespace mandipass;
+
+int main() {
+  bench::print_banner("Section II: theoretical feasibility of MandiblePrint",
+                      "Y(w) of Eq. 6 is person-specific and direction-asymmetric");
+
+  vibration::PopulationGenerator pop(bench::kUserPopulationSeed);
+  const auto people = pop.sample_population(4);
+
+  std::cout << "\nper-person plant and theoretical received spectrum:\n";
+  Table table({"person", "m [kg]", "c1", "c2", "k1+k2 [N/m]", "natural f [Hz]",
+               "theory resonance [Hz]", "direction asymmetry"});
+  for (const auto& p : people) {
+    table.add_row({std::to_string(p.id), fmt(p.mass_kg, 3), fmt(p.c1, 1), fmt(p.c2, 1),
+                   fmt(p.k1 + p.k2, 0), fmt(p.natural_freq_hz(), 1),
+                   fmt(vibration::theoretical_resonance_hz(p), 1),
+                   fmt(vibration::direction_asymmetry(p), 3)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\n|Y_P(w)| and |Y_N(w)| of person 0 (Eq. 4 / Eq. 5), normalised to the "
+               "peak:\n";
+  const auto spectrum = vibration::received_spectrum(people[0], 10.0, 250.0, 13);
+  double peak = 0.0;
+  for (const auto& s : spectrum) {
+    peak = std::max({peak, s.magnitude_positive, s.magnitude_negative});
+  }
+  Table spec({"f [Hz]", "|Y_P|", "|Y_N|"});
+  for (const auto& s : spectrum) {
+    spec.add_row({fmt(s.freq_hz, 0), fmt(s.magnitude_positive / peak, 3),
+                  fmt(s.magnitude_negative / peak, 3)});
+  }
+  spec.print(std::cout);
+
+  // Shape checks: all four people have distinct resonances; everyone has
+  // nonzero direction asymmetry (c1 != c2 almost surely).
+  bool distinct = true;
+  for (std::size_t a = 0; a < people.size(); ++a) {
+    for (std::size_t b = a + 1; b < people.size(); ++b) {
+      if (std::abs(vibration::theoretical_resonance_hz(people[a]) -
+                   vibration::theoretical_resonance_hz(people[b])) < 1.0) {
+        distinct = false;
+      }
+    }
+  }
+  std::cout << "\nShape check (person-distinct spectra with direction asymmetry): "
+            << (distinct ? "PASS" : "FAIL") << "\n";
+  return distinct ? 0 : 1;
+}

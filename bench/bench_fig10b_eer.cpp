@@ -1,0 +1,104 @@
+// Fig. 10(b) + Section VII-A: the headline verification result.
+//
+// Protocol: the extractor is trained on a disjoint hired population (the
+// paper trains on 33 volunteers and evaluates the held-out one; training
+// on a fully disjoint cohort is the same leave-user-out discipline at
+// scale). All-pairs cosine distances over the 34 evaluation users give
+// the FAR/FRR curve. Paper numbers: same-user mean distance 0.4884,
+// different-user 0.7032, EER 1.28% at threshold 0.5485; MPU-6050 EER
+// 1.29% vs MPU-9250 1.28%.
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/stats.h"
+#include "common/table.h"
+
+using namespace mandipass;
+
+namespace {
+
+struct EvalResult {
+  double genuine_mean;
+  double impostor_mean;
+  auth::EerResult eer;
+};
+
+EvalResult evaluate(core::BiometricExtractor& extractor, const core::CollectionConfig& cc,
+                    std::uint64_t seed) {
+  const auto cohort = bench::paper_cohort();
+  const auto eval = bench::collect_and_embed(extractor, cohort, cc, seed);
+  const auto dist = bench::pairwise_distances(eval);
+  EvalResult r;
+  r.genuine_mean = mean(dist.genuine);
+  r.impostor_mean = mean(dist.impostor);
+  r.eer = auth::compute_eer(dist.genuine, dist.impostor);
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_banner("Fig. 10(b): FAR/FRR curve and EER",
+                      "EER 1.28% @ threshold 0.5485; same-user dist 0.4884, "
+                      "different-user 0.7032; MPU-6050 EER 1.29%");
+
+  const bench::Scale scale = bench::active_scale();
+  auto extractor = bench::get_or_train_extractor(
+      "headline", bench::default_extractor_config(scale.quick ? 64 : 256),
+      scale.hired_people, scale.train_arrays, scale.epochs);
+
+  core::CollectionConfig cc;
+  cc.arrays_per_person = scale.user_arrays;
+
+  // --- MPU-9250 (default) ---
+  const auto cohort = bench::paper_cohort();
+  const auto eval = bench::collect_and_embed(*extractor, cohort, cc, bench::kSessionSeed + 1);
+  const auto dist = bench::pairwise_distances(eval);
+  const double genuine_mean = mean(dist.genuine);
+  const double impostor_mean = mean(dist.impostor);
+  const auto eer = auth::compute_eer(dist.genuine, dist.impostor);
+
+  std::cout << "\nmean cosine distance (paper / measured):\n";
+  Table means({"pair type", "paper", "measured"});
+  means.add_row({"same user", "0.4884", fmt(genuine_mean)});
+  means.add_row({"different users", "0.7032", fmt(impostor_mean)});
+  means.print(std::cout);
+
+  std::cout << "\nFAR/FRR vs threshold (the Fig. 10(b) curve):\n";
+  const double lo = std::max(0.0, eer.threshold - 0.15);
+  const double hi = eer.threshold + 0.15;
+  Table curve({"threshold", "FAR", "FRR"});
+  for (const auto& p : auth::roc_curve(dist.genuine, dist.impostor, lo, hi, 13)) {
+    curve.add_row({fmt(p.threshold), fmt_percent(p.far), fmt_percent(p.frr)});
+  }
+  curve.print(std::cout);
+
+  std::cout << "\nEER: paper 1.28% @ 0.5485   measured " << fmt_percent(eer.eer) << " @ "
+            << fmt(eer.threshold) << "\n";
+
+  // --- Device scalability: MPU-6050 ---
+  core::CollectionConfig cc6050 = cc;
+  cc6050.session.sensor = imu::mpu6050_spec();
+  const auto eval6050 =
+      bench::collect_and_embed(*extractor, cohort, cc6050, bench::kSessionSeed + 2);
+  const auto dist6050 = bench::pairwise_distances(eval6050);
+  const auto eer6050 = auth::compute_eer(dist6050.genuine, dist6050.impostor);
+
+  std::cout << "\ndevice scalability:\n";
+  Table devices({"IMU", "paper EER", "measured EER"});
+  devices.add_row({"MPU-9250", "1.28%", fmt_percent(eer.eer)});
+  devices.add_row({"MPU-6050", "1.29%", fmt_percent(eer6050.eer)});
+  devices.print(std::cout);
+
+  // Shape targets, not absolute ones: a clean FAR/FRR crossover with the
+  // impostor distribution well above the genuine one, and near-identical
+  // EER across the two sensor models. The absolute EER of the synthetic
+  // substrate sits above the paper's 1.28% (see EXPERIMENTS.md for the
+  // analysis of the gap).
+  const bool pass = impostor_mean > genuine_mean + 0.1 && eer.eer < 0.16 &&
+                    std::abs(eer6050.eer - eer.eer) < 0.05;
+  std::cout << "\nShape check (clear genuine/impostor separation, low EER, device-"
+               "insensitive): "
+            << (pass ? "PASS" : "FAIL") << "\n";
+  return pass ? 0 : 1;
+}

@@ -1,0 +1,47 @@
+// Fig. 11(a): the effect of the number of involved axes, selected in the
+// canonical order ax, ay, az, gx, gy, gz. The paper's EER series is
+// 14.46%, 5.29%, 2.05% (accelerometer only), 1.32%, 1.29%, 1.28% —
+// monotonically improving as axes are added.
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/table.h"
+
+using namespace mandipass;
+
+int main() {
+  bench::print_banner("Fig. 11(a): effect of the number of involved axes",
+                      "EER falls 14.46% -> 1.28% as axes are added; accel-only = 2.05%");
+
+  const bench::Scale scale = bench::active_scale();
+  const double paper[6] = {0.1446, 0.0529, 0.0205, 0.0132, 0.0129, 0.0128};
+
+  Table table({"axes", "paper EER", "measured EER"});
+  std::vector<double> measured;
+  for (std::size_t axes = 1; axes <= 6; ++axes) {
+    auto extractor = bench::get_or_train_extractor(
+        "axes" + std::to_string(axes),
+        bench::default_extractor_config(scale.quick ? 32 : 128, axes), scale.sweep_hired,
+        scale.sweep_train_arrays, scale.sweep_epochs);
+
+    core::CollectionConfig cc;
+    cc.arrays_per_person = scale.sweep_user_arrays;
+    const auto eval = bench::collect_and_embed(*extractor, bench::paper_cohort(), cc,
+                                               bench::kSessionSeed + 10 + axes);
+    const auto dist = bench::pairwise_distances(eval);
+    const auto eer = auth::compute_eer(dist.genuine, dist.impostor);
+    measured.push_back(eer.eer);
+    table.add_row({std::to_string(axes), fmt_percent(paper[axes - 1]), fmt_percent(eer.eer)});
+  }
+  std::cout << "\n";
+  table.print(std::cout);
+
+  // Shape: clear improvement from 1 axis to 6 (the paper's ratio is ~11x;
+  // on the synthetic substrate we require a solid absolute drop), with
+  // 6 axes at or near the sweep's best.
+  const double best = *std::min_element(measured.begin(), measured.end());
+  const bool pass = measured[0] > measured[5] + 0.05 && measured[5] <= best + 0.02;
+  std::cout << "\nShape check (more axes -> clearly lower EER): " << (pass ? "PASS" : "FAIL")
+            << "\n";
+  return pass ? 0 : 1;
+}

@@ -1,0 +1,48 @@
+// Fig. 11(c): the effect of the MandiblePrint length (the embedding
+// dimension), swept over the commonly used biometric lengths 32, 64, 128,
+// 256, 512. The paper's EER decreases with length and is below 1.5% at
+// 512.
+#include <algorithm>
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/table.h"
+
+using namespace mandipass;
+
+int main() {
+  bench::print_banner("Fig. 11(c): effect of the MandiblePrint length",
+                      "EER decreases with embedding length; < 1.5% at 512");
+
+  const bench::Scale scale = bench::active_scale();
+  const std::vector<std::size_t> lengths =
+      scale.quick ? std::vector<std::size_t>{32, 64, 128} :
+                    std::vector<std::size_t>{32, 64, 128, 256, 512};
+
+  Table table({"MandiblePrint length", "measured EER"});
+  std::vector<double> measured;
+  for (const std::size_t dim : lengths) {
+    auto extractor = bench::get_or_train_extractor(
+        "veclen" + std::to_string(dim), bench::default_extractor_config(dim),
+        scale.sweep_hired, scale.sweep_train_arrays, scale.sweep_epochs);
+
+    core::CollectionConfig cc;
+    cc.arrays_per_person = scale.sweep_user_arrays;
+    const auto eval = bench::collect_and_embed(*extractor, bench::paper_cohort(), cc,
+                                               bench::kSessionSeed + 30 + dim);
+    const auto dist = bench::pairwise_distances(eval);
+    const auto eer = auth::compute_eer(dist.genuine, dist.impostor);
+    measured.push_back(eer.eer);
+    table.add_row({std::to_string(dim), fmt_percent(eer.eer)});
+  }
+  std::cout << "\n";
+  table.print(std::cout);
+  std::cout << "(paper series: monotone decrease, < 1.5% at 512)\n";
+
+  // Shape: the longest print is at least as good as the shortest, with
+  // tolerance for run-to-run noise in the middle of the sweep.
+  const bool pass = measured.back() <= measured.front() + 0.01;
+  std::cout << "\nShape check (longer MandiblePrint -> no worse EER): "
+            << (pass ? "PASS" : "FAIL") << "\n";
+  return pass ? 0 : 1;
+}

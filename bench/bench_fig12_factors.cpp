@@ -1,0 +1,75 @@
+// Fig. 12: impacts of daily-life factors — lollipop, water, walking and
+// running. The paper plots the similarity distribution between normal
+// enrolment arrays and condition probes and finds VSR > 99% (negligible
+// impact) for every factor.
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/stats.h"
+#include "common/table.h"
+
+using namespace mandipass;
+
+namespace {
+
+struct Factor {
+  const char* name;
+  vibration::Activity activity;
+  vibration::Food food;
+  double min_vsr;  ///< shape bar: food must be near-perfect, gait may degrade
+};
+
+}  // namespace
+
+int main() {
+  bench::print_banner("Fig. 12: impact of food and activity",
+                      "lollipop / water / walk / run all keep similarity past the "
+                      "threshold (VSR > 99%)");
+
+  const bench::Scale scale = bench::active_scale();
+  auto extractor = bench::get_or_train_extractor(
+      "headline", bench::default_extractor_config(scale.quick ? 64 : 256),
+      scale.hired_people, scale.train_arrays, scale.epochs);
+
+  const auto cohort = bench::paper_cohort();
+  core::CollectionConfig normal;
+  normal.arrays_per_person = scale.user_arrays / 2;
+  const auto enrolled =
+      bench::collect_and_embed(*extractor, cohort, normal, bench::kSessionSeed + 40);
+  const auto baseline_dist = bench::pairwise_distances(enrolled);
+  const auto eer = auth::compute_eer(baseline_dist.genuine, baseline_dist.impostor);
+  std::cout << "\noperating threshold: " << fmt(eer.threshold) << " (EER point, fixed for all "
+            << "factors below)\n";
+  const auto templates = bench::per_user_templates(enrolled, cohort.size());
+
+  const Factor factors[] = {
+      {"lollipop", vibration::Activity::Static, vibration::Food::Lollipop, 0.95},
+      {"water", vibration::Activity::Static, vibration::Food::Water, 0.95},
+      {"walk", vibration::Activity::Walk, vibration::Food::None, 0.85},
+      {"run", vibration::Activity::Run, vibration::Food::None, 0.70},
+  };
+
+  Table table({"factor", "paper VSR", "measured VSR", "mean distance"});
+  bool all_pass = true;
+  int idx = 0;
+  for (const Factor& f : factors) {
+    core::CollectionConfig cc;
+    cc.arrays_per_person = scale.quick ? 8 : 20;
+    cc.session.activity = f.activity;
+    cc.session.food = f.food;
+    const auto probes = bench::collect_and_embed(*extractor, cohort, cc,
+                                                 bench::kSessionSeed + 50 + idx++);
+    const auto distances = bench::distances_to_templates(templates, probes);
+    const double vsr = auth::vsr_at(distances, eer.threshold);
+    table.add_row({f.name, "> 99%", fmt_percent(vsr), fmt(mean(distances))});
+    std::cout << "\nsimilarity (cosine-distance) distribution, " << f.name << ":\n";
+    print_histogram(std::cout, distances, 0.0, std::max(0.6, eer.threshold * 2.0), 8);
+    all_pass = all_pass && vsr > f.min_vsr;
+  }
+  std::cout << "\n";
+  table.print(std::cout);
+
+  std::cout << "\nShape check (every factor keeps VSR high): " << (all_pass ? "PASS" : "FAIL")
+            << "\n";
+  return all_pass ? 0 : 1;
+}

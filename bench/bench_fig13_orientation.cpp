@@ -1,0 +1,74 @@
+// Fig. 13: the effect of earbud orientation. Four groups of signal
+// arrays are collected at 90-degree yaw increments; the paper finds the
+// similarity between any two groups still beats the threshold.
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "imu/orientation.h"
+
+using namespace mandipass;
+
+int main() {
+  bench::print_banner("Fig. 13: robustness to IMU orientation",
+                      "any two 90-degree-rotated groups still verify (similarity past "
+                      "threshold)");
+
+  const bench::Scale scale = bench::active_scale();
+  auto extractor = bench::get_or_train_extractor(
+      "headline", bench::default_extractor_config(scale.quick ? 64 : 256),
+      scale.hired_people, scale.train_arrays, scale.epochs);
+
+  const auto cohort = bench::paper_cohort();
+
+  // Baseline threshold from the unrotated evaluation.
+  core::CollectionConfig normal;
+  normal.arrays_per_person = scale.user_arrays / 2;
+  const auto base = bench::collect_and_embed(*extractor, cohort, normal,
+                                             bench::kSessionSeed + 60);
+  const auto base_dist = bench::pairwise_distances(base);
+  const auto eer = auth::compute_eer(base_dist.genuine, base_dist.impostor);
+  std::cout << "\noperating threshold: " << fmt(eer.threshold) << "\n";
+
+  // Four orientation groups.
+  const double yaws[4] = {0.0, 90.0, 180.0, 270.0};
+  std::vector<bench::EvalSet> groups;
+  for (int g = 0; g < 4; ++g) {
+    core::CollectionConfig cc;
+    cc.arrays_per_person = scale.quick ? 6 : 15;
+    cc.session.mounting = imu::Rotation::about_z_deg(yaws[g]);
+    groups.push_back(bench::collect_and_embed(*extractor, cohort, cc,
+                                              bench::kSessionSeed + 61 + g));
+  }
+
+  // Cross-group genuine distances (same user, different orientation).
+  Table table({"groups", "mean same-user distance", "VSR at threshold"});
+  double min_vsr = 1.0;
+  double sum_vsr = 0.0;
+  int pairs = 0;
+  for (int a = 0; a < 4; ++a) {
+    for (int b = a + 1; b < 4; ++b) {
+      const auto ta = bench::per_user_templates(groups[a], cohort.size());
+      const auto distances = bench::distances_to_templates(ta, groups[b]);
+      const double vsr = auth::vsr_at(distances, eer.threshold);
+      min_vsr = std::min(min_vsr, vsr);
+      sum_vsr += vsr;
+      ++pairs;
+      table.add_row({std::to_string(static_cast<int>(yaws[a])) + " vs " +
+                         std::to_string(static_cast<int>(yaws[b])) + " deg",
+                     fmt(mean(distances)), fmt_percent(vsr)});
+    }
+  }
+  std::cout << "\n";
+  table.print(std::cout);
+  std::cout << "(paper: every pair of orientation groups stays above threshold. On our "
+               "substrate,\n 180-degree pairs are near-perfect — min-max normalisation "
+               "absorbs sign flips — while\n quarter turns, which permute the x/y axes, "
+               "degrade but stay usable.)\n";
+
+  const bool all_pass = min_vsr > 0.60 && sum_vsr / pairs > 0.80;
+  std::cout << "\nShape check (every orientation pair stays usable): "
+            << (all_pass ? "PASS" : "FAIL") << "\n";
+  return all_pass ? 0 : 1;
+}

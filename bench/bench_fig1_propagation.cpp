@@ -1,0 +1,63 @@
+// Fig. 1 (b-d): the vibration propagates throat -> mandible -> ear with a
+// strength decay. The paper reports az standard deviations of 3805 (throat),
+// 1050 (mandible) and 761 (ear) for one volunteer.
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "vibration/session.h"
+
+using namespace mandipass;
+
+namespace {
+
+double voiced_axis_std(const imu::RawRecording& rec, imu::Axis axis,
+                       const vibration::SessionConfig& cfg) {
+  const auto start = static_cast<std::size_t>((cfg.silence_s + 0.05) * cfg.sample_rate_hz);
+  const auto end =
+      static_cast<std::size_t>((cfg.silence_s + cfg.voice_s - 0.05) * cfg.sample_rate_hz);
+  const auto& ch = rec.axis(axis);
+  std::vector<double> seg(ch.begin() + static_cast<std::ptrdiff_t>(start),
+                          ch.begin() + static_cast<std::ptrdiff_t>(end));
+  return stddev(seg);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_banner("Fig. 1: vibration propagation path",
+                      "std(az): throat 3805 > mandible 1050 > ear 761 (strength decay)");
+
+  Rng rng(bench::kSessionSeed);
+  const auto cohort = bench::paper_cohort();
+  vibration::SessionRecorder recorder(cohort.front(), rng);
+
+  const double paper[3] = {3805.0, 1050.0, 761.0};
+  const char* names[3] = {"throat", "mandible", "ear"};
+  const vibration::AttachLocation locations[3] = {vibration::AttachLocation::Throat,
+                                                  vibration::AttachLocation::Mandible,
+                                                  vibration::AttachLocation::Ear};
+
+  Table table({"location", "paper std(az)", "measured std(az)", "decay vs throat"});
+  double measured[3] = {0.0, 0.0, 0.0};
+  const int sessions = 10;
+  for (int loc = 0; loc < 3; ++loc) {
+    vibration::SessionConfig cfg;
+    cfg.location = locations[loc];
+    for (int i = 0; i < sessions; ++i) {
+      measured[loc] += voiced_axis_std(recorder.record(cfg), imu::Axis::Az, cfg);
+    }
+    measured[loc] /= sessions;
+  }
+  for (int loc = 0; loc < 3; ++loc) {
+    table.add_row({names[loc], fmt(paper[loc], 0), fmt(measured[loc], 0),
+                   fmt(measured[loc] / measured[0], 3)});
+  }
+  table.print(std::cout);
+
+  const bool ordered = measured[0] > measured[1] && measured[1] > measured[2];
+  std::cout << "\nShape check (throat > mandible > ear): " << (ordered ? "PASS" : "FAIL")
+            << "\n";
+  return ordered ? 0 : 1;
+}

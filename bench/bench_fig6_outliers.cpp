@@ -1,0 +1,63 @@
+// Fig. 6: MAD-based outlier processing. (a) the MAD detector marks the
+// hardware-glitch outliers in a segment; (b) the two-step neighbour-mean
+// replacement removes them.
+#include <algorithm>
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "dsp/outlier.h"
+#include "vibration/session.h"
+
+using namespace mandipass;
+
+int main() {
+  bench::print_banner("Fig. 6: MAD outlier detection and mean replacement",
+                      "all injected outliers found; replacement restores the segment");
+
+  Rng rng(bench::kSessionSeed);
+  const auto cohort = bench::paper_cohort();
+  // Use a glitch-heavy sensor so the segment visibly contains outliers.
+  vibration::SessionConfig cfg;
+  cfg.sensor.glitch_probability = 0.05;
+  vibration::SessionRecorder recorder(cohort.front(), rng);
+  const auto rec = recorder.record(cfg);
+
+  // Take the voiced part of az as the demo segment.
+  std::vector<double> segment(rec.axes[2].begin() + 115, rec.axes[2].begin() + 175);
+
+  const auto mask = dsp::detect_outliers_mad(segment);
+  const auto cleaned = dsp::replace_outliers_with_neighbor_mean(segment, mask);
+
+  std::size_t flagged = 0;
+  Table table({"index", "raw value", "cleaned value"});
+  for (std::size_t i = 0; i < segment.size(); ++i) {
+    if (mask[i]) {
+      ++flagged;
+      table.add_row({std::to_string(i), fmt(segment[i], 0), fmt(cleaned[i], 0)});
+    }
+  }
+  std::cout << "\nsegment length " << segment.size() << ", outliers flagged: " << flagged
+            << "\n\nflagged samples (before -> after replacement):\n";
+  table.print(std::cout);
+
+  const double std_before = stddev(segment);
+  const double std_after = stddev(cleaned);
+  std::cout << "\nsegment std before: " << fmt(std_before, 1)
+            << "   after: " << fmt(std_after, 1) << "\n";
+
+  // Shape check: replacement shrinks the extreme deviations.
+  double max_dev_before = 0.0;
+  double max_dev_after = 0.0;
+  const double med = median(segment);
+  for (std::size_t i = 0; i < segment.size(); ++i) {
+    max_dev_before = std::max(max_dev_before, std::abs(segment[i] - med));
+    max_dev_after = std::max(max_dev_after, std::abs(cleaned[i] - med));
+  }
+  const bool pass = flagged > 0 && max_dev_after < max_dev_before;
+  std::cout << "max |dev from median| before: " << fmt(max_dev_before, 0)
+            << "   after: " << fmt(max_dev_after, 0) << "\n"
+            << "\nShape check (outliers found and tamed): " << (pass ? "PASS" : "FAIL") << "\n";
+  return pass ? 0 : 1;
+}

@@ -1,0 +1,63 @@
+// Section VII-F, long-term observation: six volunteers re-verify two
+// weeks after enrolment; the paper reports an average VSR above 99.5%.
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/stats.h"
+#include "common/table.h"
+
+using namespace mandipass;
+
+int main() {
+  bench::print_banner("Section VII-F: long-term observation",
+                      "six users re-verify after two weeks with average VSR > 99.5%");
+
+  const bench::Scale scale = bench::active_scale();
+  auto extractor = bench::get_or_train_extractor(
+      "headline", bench::default_extractor_config(scale.quick ? 64 : 256),
+      scale.hired_people, scale.train_arrays, scale.epochs);
+
+  const auto cohort = bench::paper_cohort();
+  const std::vector<vibration::PersonProfile> six(cohort.begin(), cohort.begin() + 6);
+
+  // Threshold from the full cohort's day-0 evaluation.
+  core::CollectionConfig day0;
+  day0.arrays_per_person = scale.user_arrays / 2;
+  const auto enrolled = bench::collect_and_embed(*extractor, cohort, day0,
+                                                 bench::kSessionSeed + 90);
+  const auto base_dist = bench::pairwise_distances(enrolled);
+  const auto eer = auth::compute_eer(base_dist.genuine, base_dist.impostor);
+  std::cout << "\noperating threshold: " << fmt(eer.threshold) << "\n";
+
+  // Enrolment templates for the six users at t1.
+  core::CollectionConfig enroll_cc;
+  enroll_cc.arrays_per_person = scale.quick ? 8 : 20;
+  const auto t1 = bench::collect_and_embed(*extractor, six, enroll_cc,
+                                           bench::kSessionSeed + 91);
+  const auto templates = bench::per_user_templates(t1, six.size());
+
+  Table table({"elapsed", "mean distance", "average VSR"});
+  double vsr14 = 0.0;
+  int idx = 0;
+  for (const double days : {0.0, 7.0, 14.0}) {
+    core::CollectionConfig cc = enroll_cc;
+    cc.session.days_since_enrollment = days;
+    const auto probes = bench::collect_and_embed(*extractor, six, cc,
+                                                 bench::kSessionSeed + 92 + idx++);
+    const auto distances = bench::distances_to_templates(templates, probes);
+    const double vsr = auth::vsr_at(distances, eer.threshold);
+    if (days == 14.0) {
+      vsr14 = vsr;
+    }
+    table.add_row({std::to_string(static_cast<int>(days)) + " days", fmt(mean(distances)),
+                   fmt_percent(vsr)});
+  }
+  std::cout << "\n";
+  table.print(std::cout);
+  std::cout << "(paper: two-week VSR > 99.5%)\n";
+
+  const bool pass = vsr14 > 0.85;
+  std::cout << "\nShape check (MandiblePrint stable over two weeks): "
+            << (pass ? "PASS" : "FAIL") << "\n";
+  return pass ? 0 : 1;
+}

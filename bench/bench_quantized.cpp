@@ -1,0 +1,82 @@
+// Deployment extension (beyond the paper): int8 weight-only quantisation
+// of the biometric extractor. The paper budgets ~5 MB for the model on
+// the earbud (Section VII-E); folding BatchNorm and quantising weights
+// to int8 cuts that ~4x. This bench measures the storage saving, the
+// embedding drift, and the end effect on the EER.
+#include <chrono>
+#include <iostream>
+
+#include "auth/cosine.h"
+#include "bench_common.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "core/quantized_extractor.h"
+
+using namespace mandipass;
+
+int main() {
+  bench::print_banner("Extension: int8 on-device model",
+                      "(beyond the paper) 4x smaller extractor with near-identical EER");
+
+  const bench::Scale scale = bench::active_scale();
+  auto extractor = bench::get_or_train_extractor(
+      "headline", bench::default_extractor_config(scale.quick ? 64 : 256),
+      scale.hired_people, scale.train_arrays, scale.epochs);
+  const core::QuantizedExtractor quantized(*extractor);
+
+  std::cout << "\nstorage:\n";
+  Table storage({"model", "bytes", "relative"});
+  const double fbytes = static_cast<double>(extractor->storage_bytes());
+  storage.add_row({"float32 extractor", std::to_string(extractor->storage_bytes()), "1.00x"});
+  storage.add_row({"int8 extractor", std::to_string(quantized.storage_bytes()),
+                   fmt(quantized.storage_bytes() / fbytes, 2) + "x"});
+  storage.print(std::cout);
+
+  // Embedding drift + EER on the standard cohort.
+  const auto cohort = bench::paper_cohort();
+  core::CollectionConfig cc;
+  cc.arrays_per_person = scale.quick ? 10 : 25;
+  const auto eval = bench::collect_and_embed(*extractor, cohort, cc, bench::kSessionSeed + 140);
+
+  std::vector<std::vector<float>> q_embeddings;
+  double sim_sum = 0.0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < eval.data.size(); ++i) {
+    q_embeddings.push_back(quantized.extract(eval.data.arrays[i]));
+    sim_sum += auth::cosine_similarity(eval.embeddings[i], q_embeddings.back());
+  }
+  const double q_extract_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+          .count() /
+      static_cast<double>(eval.data.size());
+
+  auto eer_of = [&](const std::vector<std::vector<float>>& emb) {
+    std::vector<double> genuine;
+    std::vector<double> impostor;
+    for (std::size_t i = 0; i < emb.size(); ++i) {
+      for (std::size_t j = i + 1; j < emb.size(); ++j) {
+        const double d = auth::cosine_distance(emb[i], emb[j]);
+        (eval.data.labels[i] == eval.data.labels[j] ? genuine : impostor).push_back(d);
+      }
+    }
+    return auth::compute_eer(genuine, impostor);
+  };
+  const auto float_eer = eer_of(eval.embeddings);
+  const auto int8_eer = eer_of(q_embeddings);
+
+  std::cout << "\nfidelity:\n";
+  Table fid({"metric", "value"});
+  fid.add_row({"mean cosine(float, int8) embedding similarity",
+               fmt(sim_sum / static_cast<double>(eval.data.size()), 5)});
+  fid.add_row({"EER float32", fmt_percent(float_eer.eer)});
+  fid.add_row({"EER int8", fmt_percent(int8_eer.eer)});
+  fid.add_row({"int8 extraction latency / probe", fmt(q_extract_ms, 2) + " ms"});
+  fid.print(std::cout);
+
+  const bool pass = sim_sum / static_cast<double>(eval.data.size()) > 0.995 &&
+                    std::abs(int8_eer.eer - float_eer.eer) < 0.02 &&
+                    quantized.storage_bytes() * 3 < extractor->storage_bytes();
+  std::cout << "\nShape check (4x smaller, same accuracy): " << (pass ? "PASS" : "FAIL")
+            << "\n";
+  return pass ? 0 : 1;
+}

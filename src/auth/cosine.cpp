@@ -1,0 +1,30 @@
+#include "auth/cosine.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace mandipass::auth {
+
+double cosine_similarity(std::span<const float> a, std::span<const float> b) {
+  MANDIPASS_EXPECTS(a.size() == b.size());
+  MANDIPASS_EXPECTS(!a.empty());
+  double dot = 0.0;
+  double na = 0.0;
+  double nb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    dot += static_cast<double>(a[i]) * b[i];
+    na += static_cast<double>(a[i]) * a[i];
+    nb += static_cast<double>(b[i]) * b[i];
+  }
+  if (na == 0.0 || nb == 0.0) {
+    return 0.0;
+  }
+  return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+double cosine_distance(std::span<const float> a, std::span<const float> b) {
+  return 1.0 - cosine_similarity(a, b);
+}
+
+}  // namespace mandipass::auth

@@ -1,0 +1,22 @@
+// Cosine similarity / distance between biometric vectors.
+//
+// NOTE on the paper's convention: its Section III states a request is
+// REJECTED when "the similarity is larger than a threshold", and its
+// measured numbers (same-user mean 0.4884 < different-user mean 0.7032,
+// operating threshold 0.5485) confirm the quantity is the cosine
+// *distance* (1 - cos), where smaller means more similar. Eqs. 9-10 are
+// written with the opposite sign; we follow the numbers (see DESIGN.md).
+#pragma once
+
+#include <span>
+
+namespace mandipass::auth {
+
+/// cos(a, b) in [-1, 1]. Returns 0 when either vector is all-zero.
+/// Precondition: a.size() == b.size() && !a.empty().
+double cosine_similarity(std::span<const float> a, std::span<const float> b);
+
+/// Cosine distance 1 - cos(a, b), in [0, 2]. Smaller = more similar.
+double cosine_distance(std::span<const float> a, std::span<const float> b);
+
+}  // namespace mandipass::auth

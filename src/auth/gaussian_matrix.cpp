@@ -1,0 +1,38 @@
+#include "auth/gaussian_matrix.h"
+
+#include <cmath>
+#include <span>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace mandipass::auth {
+
+GaussianMatrix::GaussianMatrix(std::uint64_t seed, std::size_t dim) : seed_(seed), dim_(dim) {
+  MANDIPASS_EXPECTS(dim > 0);
+  Rng rng(seed);
+  g_.resize(dim * dim);
+  const double sigma = 1.0 / std::sqrt(static_cast<double>(dim));
+  for (auto& v : g_) {
+    v = static_cast<float>(rng.normal(0.0, sigma));
+  }
+}
+
+std::vector<float> GaussianMatrix::transform(std::span<const float> x) const {
+  MANDIPASS_EXPECTS(x.size() == dim_);
+  std::vector<float> out(dim_, 0.0f);
+  // x' = x * G  (x as a row vector): out[j] = sum_i x[i] * G[i][j].
+  for (std::size_t i = 0; i < dim_; ++i) {
+    const float xi = x[i];
+    if (xi == 0.0f) {
+      continue;
+    }
+    const float* row = g_.data() + i * dim_;
+    for (std::size_t j = 0; j < dim_; ++j) {
+      out[j] += xi * row[j];
+    }
+  }
+  return out;
+}
+
+}  // namespace mandipass::auth

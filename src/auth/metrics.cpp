@@ -1,0 +1,96 @@
+#include "auth/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace mandipass::auth {
+
+double frr_at(std::span<const double> genuine_distances, double threshold) {
+  MANDIPASS_EXPECTS(!genuine_distances.empty());
+  std::size_t rejected = 0;
+  for (double d : genuine_distances) {
+    if (d > threshold) {
+      ++rejected;
+    }
+  }
+  return static_cast<double>(rejected) / static_cast<double>(genuine_distances.size());
+}
+
+double far_at(std::span<const double> impostor_distances, double threshold) {
+  MANDIPASS_EXPECTS(!impostor_distances.empty());
+  std::size_t accepted = 0;
+  for (double d : impostor_distances) {
+    if (d <= threshold) {
+      ++accepted;
+    }
+  }
+  return static_cast<double>(accepted) / static_cast<double>(impostor_distances.size());
+}
+
+double vsr_at(std::span<const double> genuine_distances, double threshold) {
+  return 1.0 - frr_at(genuine_distances, threshold);
+}
+
+EerResult compute_eer(std::span<const double> genuine_distances,
+                      std::span<const double> impostor_distances) {
+  MANDIPASS_EXPECTS(!genuine_distances.empty());
+  MANDIPASS_EXPECTS(!impostor_distances.empty());
+
+  // Candidate thresholds: every observed distance (the step points of the
+  // two empirical CDFs) — exact, no grid resolution artefacts.
+  std::vector<double> candidates(genuine_distances.begin(), genuine_distances.end());
+  candidates.insert(candidates.end(), impostor_distances.begin(), impostor_distances.end());
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()), candidates.end());
+
+  // FRR is non-increasing in t, FAR non-decreasing; find the sign change
+  // of (FAR - FRR).
+  double prev_t = candidates.front();
+  double prev_diff = far_at(impostor_distances, prev_t) - frr_at(genuine_distances, prev_t);
+  EerResult best;
+  best.threshold = prev_t;
+  best.eer = 0.5 * (far_at(impostor_distances, prev_t) + frr_at(genuine_distances, prev_t));
+  if (prev_diff >= 0.0) {
+    return best;  // FAR already above FRR at the smallest threshold
+  }
+  for (std::size_t i = 1; i < candidates.size(); ++i) {
+    const double t = candidates[i];
+    const double far = far_at(impostor_distances, t);
+    const double frr = frr_at(genuine_distances, t);
+    const double diff = far - frr;
+    if (diff >= 0.0) {
+      // Crossed between prev_t and t; interpolate the threshold and take
+      // the mean of the two rates at the crossing as the EER estimate.
+      const double w = (0.0 - prev_diff) / (diff - prev_diff + 1e-300);
+      best.threshold = prev_t + w * (t - prev_t);
+      best.eer = 0.5 * (far_at(impostor_distances, best.threshold) +
+                        frr_at(genuine_distances, best.threshold));
+      return best;
+    }
+    prev_t = t;
+    prev_diff = diff;
+  }
+  // Never crossed: separable data; EER ~ 0 at the largest genuine distance.
+  best.threshold = candidates.back();
+  best.eer = 0.5 * (far_at(impostor_distances, best.threshold) +
+                    frr_at(genuine_distances, best.threshold));
+  return best;
+}
+
+std::vector<RocPoint> roc_curve(std::span<const double> genuine_distances,
+                                std::span<const double> impostor_distances, double lo, double hi,
+                                std::size_t points) {
+  MANDIPASS_EXPECTS(points >= 2);
+  MANDIPASS_EXPECTS(hi > lo);
+  std::vector<RocPoint> curve;
+  curve.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double t = lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(points - 1);
+    curve.push_back({t, far_at(impostor_distances, t), frr_at(genuine_distances, t)});
+  }
+  return curve;
+}
+
+}  // namespace mandipass::auth

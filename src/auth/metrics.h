@@ -1,0 +1,54 @@
+// Authentication metrics (Section VII): FRR, FAR, EER, VSR.
+//
+// All metrics operate on two empirical distance samples:
+//   genuine:  cosine distances between MandiblePrints of the SAME user
+//   impostor: cosine distances between MandiblePrints of DIFFERENT users
+// A request is accepted iff distance <= threshold, so
+//   FRR(t) = P[genuine  > t]   (legitimate user falsely rejected)
+//   FAR(t) = P[impostor <= t]  (illegitimate user falsely accepted)
+//   VSR    = 1 - FRR (Eq. 11)
+//   EER    = FAR(t*) = FRR(t*) at the crossing threshold t*.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace mandipass::auth {
+
+/// FRR at a threshold. Precondition: !genuine.empty().
+double frr_at(std::span<const double> genuine_distances, double threshold);
+
+/// FAR at a threshold. Precondition: !impostor.empty().
+double far_at(std::span<const double> impostor_distances, double threshold);
+
+/// Verification success rate: 1 - FRR.
+double vsr_at(std::span<const double> genuine_distances, double threshold);
+
+/// Result of the EER search.
+struct EerResult {
+  double eer = 0.0;        ///< equal error rate
+  double threshold = 0.0;  ///< operating threshold where FAR == FRR
+};
+
+/// Finds the EER by sweeping the threshold over the pooled distance
+/// support and linearly interpolating the FAR/FRR crossing.
+EerResult compute_eer(std::span<const double> genuine_distances,
+                      std::span<const double> impostor_distances);
+
+/// One row of the Fig. 10(b) curve.
+struct RocPoint {
+  double threshold = 0.0;
+  double far = 0.0;
+  double frr = 0.0;
+};
+
+/// Uniform threshold sweep over [lo, hi] with `points` samples.
+std::vector<RocPoint> roc_curve(std::span<const double> genuine_distances,
+                                std::span<const double> impostor_distances, double lo, double hi,
+                                std::size_t points);
+
+/// The paper's published operating point, kept for reference output.
+inline constexpr double kPaperThreshold = 0.5485;
+inline constexpr double kPaperEer = 0.0128;
+
+}  // namespace mandipass::auth

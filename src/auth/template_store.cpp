@@ -1,0 +1,93 @@
+#include "auth/template_store.h"
+
+#include <istream>
+#include <ostream>
+
+#include "common/error.h"
+#include "nn/serialize.h"
+
+namespace mandipass::auth {
+
+namespace {
+constexpr const char* kStoreTag = "MANDIPASS-STORE-V1";
+}  // namespace
+
+void TemplateStore::enroll(const std::string& user, StoredTemplate tmpl) {
+  MANDIPASS_EXPECTS(!user.empty());
+  MANDIPASS_EXPECTS(!tmpl.data.empty());
+  store_[user] = std::move(tmpl);
+}
+
+std::optional<StoredTemplate> TemplateStore::lookup(const std::string& user) const {
+  const auto it = store_.find(user);
+  if (it == store_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+bool TemplateStore::revoke(const std::string& user) {
+  return store_.erase(user) > 0;
+}
+
+std::optional<StoredTemplate> TemplateStore::steal(const std::string& user) const {
+  return lookup(user);
+}
+
+void TemplateStore::save(std::ostream& os) const {
+  nn::write_tag(os, kStoreTag);
+  nn::write_u64(os, store_.size());
+  for (const auto& [user, tmpl] : store_) {
+    nn::write_tag(os, user);
+    nn::write_u64(os, tmpl.matrix_seed);
+    nn::write_u64(os, tmpl.key_version);
+    nn::write_u64(os, tmpl.data.size());
+    os.write(reinterpret_cast<const char*>(tmpl.data.data()),
+             static_cast<std::streamsize>(tmpl.data.size() * sizeof(float)));
+  }
+  if (!os) {
+    throw SerializationError("failed writing template store");
+  }
+}
+
+void TemplateStore::load(std::istream& is) {
+  nn::expect_tag(is, kStoreTag);
+  const std::uint64_t count = nn::read_u64(is);
+  if (count > (1ULL << 20)) {
+    throw SerializationError("implausible template count");
+  }
+  std::unordered_map<std::string, StoredTemplate> fresh;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint64_t name_len = nn::read_u64(is);
+    if (name_len == 0 || name_len > 4096) {
+      throw SerializationError("implausible user-name length");
+    }
+    std::string user(name_len, '\0');
+    is.read(user.data(), static_cast<std::streamsize>(name_len));
+    StoredTemplate tmpl;
+    tmpl.matrix_seed = nn::read_u64(is);
+    tmpl.key_version = static_cast<std::uint32_t>(nn::read_u64(is));
+    const std::uint64_t dim = nn::read_u64(is);
+    if (dim == 0 || dim > (1ULL << 24)) {
+      throw SerializationError("implausible template dimension");
+    }
+    tmpl.data.resize(dim);
+    is.read(reinterpret_cast<char*>(tmpl.data.data()),
+            static_cast<std::streamsize>(dim * sizeof(float)));
+    if (!is) {
+      throw SerializationError("truncated template store");
+    }
+    fresh[user] = std::move(tmpl);
+  }
+  store_ = std::move(fresh);
+}
+
+std::size_t TemplateStore::storage_bytes() const {
+  std::size_t bytes = 0;
+  for (const auto& [user, tmpl] : store_) {
+    bytes += tmpl.data.size() * sizeof(float) + sizeof(StoredTemplate);
+  }
+  return bytes;
+}
+
+}  // namespace mandipass::auth

@@ -1,0 +1,59 @@
+// Secure-enclave stand-in: a sealed in-memory template store.
+//
+// The real system keeps the cancelable MandiblePrint template in the
+// earphone's secure enclave. We model the enclave's *interface* — sealed
+// storage addressed by user id, with the template only released to the
+// verifier — plus an explicit `steal()` API that the replay-attack bench
+// uses to model enclave compromise (Section VI's replay attacker "steals
+// the MandiblePrint template stored in the secure enclave").
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace mandipass::auth {
+
+/// A stored cancelable template plus its key-management metadata.
+struct StoredTemplate {
+  std::vector<float> data;          ///< Gaussian-transformed MandiblePrint
+  std::uint64_t matrix_seed = 0;    ///< which Gaussian matrix produced it
+  std::uint32_t key_version = 0;    ///< bumped on every re-key
+};
+
+class TemplateStore {
+ public:
+  /// Seals a template for `user`. Overwrites any previous one.
+  void enroll(const std::string& user, StoredTemplate tmpl);
+
+  /// Fetches the sealed template (verification path).
+  std::optional<StoredTemplate> lookup(const std::string& user) const;
+
+  /// Deletes a user's template; returns false if absent.
+  bool revoke(const std::string& user);
+
+  /// Attack-model API: what a compromised enclave leaks. Identical data
+  /// to lookup(), but kept as a separate, loudly named entry point so the
+  /// security benches read honestly.
+  std::optional<StoredTemplate> steal(const std::string& user) const;
+
+  std::size_t size() const { return store_.size(); }
+
+  /// Total bytes consumed by sealed templates (Section VII-E accounting).
+  std::size_t storage_bytes() const;
+
+  /// Persistence: binary dump/restore of every sealed template (what the
+  /// enclave's sealed blob would hold across reboots). Throws
+  /// SerializationError on malformed input; load() replaces the current
+  /// contents only on success.
+  void save(std::ostream& os) const;
+  void load(std::istream& is);
+
+ private:
+  std::unordered_map<std::string, StoredTemplate> store_;
+};
+
+}  // namespace mandipass::auth

@@ -1,0 +1,35 @@
+#include "auth/verifier.h"
+
+#include "auth/cosine.h"
+#include "common/error.h"
+
+namespace mandipass::auth {
+
+Verifier::Verifier(double threshold) : threshold_(threshold) {
+  MANDIPASS_EXPECTS(threshold >= 0.0 && threshold <= 2.0);
+}
+
+void Verifier::set_threshold(double t) {
+  MANDIPASS_EXPECTS(t >= 0.0 && t <= 2.0);
+  threshold_ = t;
+}
+
+Decision Verifier::verify(std::span<const float> probe, std::span<const float> reference) const {
+  Decision d;
+  d.distance = cosine_distance(probe, reference);
+  d.accepted = d.distance <= threshold_;
+  return d;
+}
+
+std::optional<Decision> Verifier::verify_user(const TemplateStore& store, const std::string& user,
+                                              std::span<const float> raw_probe) const {
+  const auto stored = store.lookup(user);
+  if (!stored.has_value()) {
+    return std::nullopt;
+  }
+  const GaussianMatrix g(stored->matrix_seed, raw_probe.size());
+  const auto transformed = g.transform(raw_probe);
+  return verify(transformed, stored->data);
+}
+
+}  // namespace mandipass::auth

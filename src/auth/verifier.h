@@ -1,0 +1,42 @@
+// Threshold decision + verification workflow glue (Section III's
+// "similarity calculation" module).
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+
+#include "auth/gaussian_matrix.h"
+#include "auth/metrics.h"
+#include "auth/template_store.h"
+
+namespace mandipass::auth {
+
+/// Outcome of one verification request.
+struct Decision {
+  bool accepted = false;
+  double distance = 0.0;  ///< cosine distance probe vs template
+};
+
+/// Stateless policy: accept iff cosine distance <= threshold.
+class Verifier {
+ public:
+  explicit Verifier(double threshold = kPaperThreshold);
+
+  /// Compares two already-transformed (cancelable) vectors.
+  Decision verify(std::span<const float> probe, std::span<const float> reference) const;
+
+  /// Full store-backed flow: transform `raw_probe` with the user's current
+  /// Gaussian matrix and compare against the sealed template. Returns
+  /// nullopt when the user is not enrolled.
+  std::optional<Decision> verify_user(const TemplateStore& store, const std::string& user,
+                                      std::span<const float> raw_probe) const;
+
+  double threshold() const { return threshold_; }
+  void set_threshold(double t);
+
+ private:
+  double threshold_;
+};
+
+}  // namespace mandipass::auth

@@ -1,0 +1,52 @@
+#include "baselines/acoustic.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace mandipass::baselines {
+
+AcousticProfile sample_acoustic_profile(std::uint32_t id, Rng& rng) {
+  AcousticProfile p;
+  p.id = id;
+  p.band_gain.resize(kAcousticBands);
+  // Smooth person-specific response: log-gains follow a random walk across
+  // bands so neighbouring bands correlate (a resonant cavity, not white).
+  double log_gain = rng.normal(0.0, 0.3);
+  for (auto& g : p.band_gain) {
+    log_gain += rng.normal(0.0, 0.25);
+    g = std::exp(log_gain);
+  }
+  return p;
+}
+
+std::vector<double> measure_band_energies(const AcousticProfile& person,
+                                          const AcousticMeasurementConfig& config, Rng& rng) {
+  MANDIPASS_EXPECTS(person.band_gain.size() == kAcousticBands);
+  MANDIPASS_EXPECTS(config.ambient_noise_power >= 0.0);
+  std::vector<double> features(kAcousticBands);
+  for (std::size_t k = 0; k < kAcousticBands; ++k) {
+    const double gain = person.band_gain[k] * (1.0 + config.session_jitter * rng.normal());
+    const double signal_power = gain * gain;
+    // Ambient noise is broadband but not flat; each band draws its own
+    // exponentially distributed power around the configured level.
+    const double ambient = config.ambient_noise_power > 0.0
+                               ? config.ambient_noise_power * -std::log(1.0 - rng.uniform())
+                               : 0.0;
+    features[k] = std::log(signal_power + ambient + config.sensor_noise_power);
+  }
+  return features;
+}
+
+double feature_distance(const std::vector<double>& a, const std::vector<double>& b) {
+  MANDIPASS_EXPECTS(a.size() == b.size());
+  MANDIPASS_EXPECTS(!a.empty());
+  double d2 = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    d2 += d * d;
+  }
+  return std::sqrt(d2);
+}
+
+}  // namespace mandipass::baselines

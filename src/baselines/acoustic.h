@@ -1,0 +1,56 @@
+// Shared acoustic-channel model for the Table I comparator systems.
+//
+// SkullConduct (CHI'16) identifies users from the skull's frequency
+// response to a white-noise probe played through bone conduction;
+// EarEcho (IMWUT'19) from the ear canal's echo of an audio probe. Both
+// are closed implementations on bespoke hardware, so we model the part
+// that matters for Table I's four columns: a person-specific band-gain
+// frequency response measured through a microphone that also picks up
+// ambient acoustic noise (their documented weakness), with raw
+// (non-cancelable) feature templates (their replay weakness).
+//
+// The probe is modelled directly in the band-energy domain: the measured
+// log band energy is  log(|probe_k|^2 * gain_k^2 + noise), with session
+// jitter on the gains (device re-seating) and additive ambient noise that
+// scales with the environment's sound level.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+
+namespace mandipass::baselines {
+
+/// Number of frequency bands in the acoustic features.
+inline constexpr std::size_t kAcousticBands = 16;
+
+/// Person-specific acoustic transfer profile (identity for the baselines).
+struct AcousticProfile {
+  std::uint32_t id = 0;
+  /// Per-band amplitude gains of the skull / canal path.
+  std::vector<double> band_gain;  // size kAcousticBands
+};
+
+/// Samples a person's acoustic profile.
+AcousticProfile sample_acoustic_profile(std::uint32_t id, Rng& rng);
+
+struct AcousticMeasurementConfig {
+  /// Relative sigma of the per-session gain jitter (device re-seating).
+  double session_jitter = 0.05;
+  /// Ambient acoustic noise power relative to the probe band power at
+  /// 0 dB gain; 0 = quiet room. The IAN column stresses this.
+  double ambient_noise_power = 0.0;
+  /// Electronic noise floor.
+  double sensor_noise_power = 1e-4;
+};
+
+/// One measurement: log band energies of the probe convolved with the
+/// person's response plus ambient/sensor noise.
+std::vector<double> measure_band_energies(const AcousticProfile& person,
+                                          const AcousticMeasurementConfig& config, Rng& rng);
+
+/// Euclidean distance between two band-energy feature vectors, the
+/// baselines' matching score (smaller = more similar).
+double feature_distance(const std::vector<double>& a, const std::vector<double>& b);
+
+}  // namespace mandipass::baselines

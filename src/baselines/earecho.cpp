@@ -1,0 +1,68 @@
+#include "baselines/earecho.h"
+
+#include "common/error.h"
+
+namespace mandipass::baselines {
+
+EarEchoLike::EarEchoLike(double threshold, Rng& rng) : threshold_(threshold), rng_(rng.fork()) {
+  MANDIPASS_EXPECTS(threshold > 0.0);
+}
+
+std::vector<double> EarEchoLike::averaged_measurement(const AcousticProfile& person,
+                                                      const AcousticMeasurementConfig& config,
+                                                      int rounds) {
+  std::vector<double> acc(kAcousticBands, 0.0);
+  for (int r = 0; r < rounds; ++r) {
+    const auto m = measure_band_energies(person, config, rng_);
+    for (std::size_t k = 0; k < acc.size(); ++k) {
+      acc[k] += m[k];
+    }
+  }
+  for (auto& v : acc) {
+    v /= rounds;
+  }
+  return acc;
+}
+
+double EarEchoLike::enroll(const std::string& user, const AcousticProfile& person,
+                           const AcousticMeasurementConfig& config) {
+  MANDIPASS_EXPECTS(!user.empty());
+  templates_[user] = averaged_measurement(person, config, kEnrollRounds);
+  return kEnrollRounds * kProbeSeconds;
+}
+
+std::optional<EarEchoDecision> EarEchoLike::verify(const std::string& user,
+                                                   const AcousticProfile& person,
+                                                   const AcousticMeasurementConfig& config) {
+  const auto it = templates_.find(user);
+  if (it == templates_.end()) {
+    return std::nullopt;
+  }
+  const auto probe = averaged_measurement(person, config, kVerifyRounds);
+  EarEchoDecision d;
+  d.distance = feature_distance(probe, it->second);
+  d.accepted = d.distance <= threshold_;
+  return d;
+}
+
+std::optional<EarEchoDecision> EarEchoLike::verify_replayed(const std::string& user,
+                                                            const std::vector<double>& stolen) {
+  const auto it = templates_.find(user);
+  if (it == templates_.end()) {
+    return std::nullopt;
+  }
+  EarEchoDecision d;
+  d.distance = feature_distance(stolen, it->second);
+  d.accepted = d.distance <= threshold_;
+  return d;
+}
+
+std::optional<std::vector<double>> EarEchoLike::steal(const std::string& user) const {
+  const auto it = templates_.find(user);
+  if (it == templates_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+}  // namespace mandipass::baselines

@@ -1,0 +1,58 @@
+// EarEcho-like baseline (Gao et al., IMWUT 2019).
+//
+// Identifies users from the ear canal's echo of an audio probe. The
+// original needs several repeated probe/echo rounds averaged into one
+// template, which puts its registration time above one second (Table I's
+// RTC column); verification averages a smaller number of rounds. Like
+// SkullConduct it stores a raw template (replayable) and measures through
+// a microphone (susceptible to acoustic noise).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "baselines/acoustic.h"
+
+namespace mandipass::baselines {
+
+struct EarEchoDecision {
+  bool accepted = false;
+  double distance = 0.0;
+};
+
+class EarEchoLike {
+ public:
+  EarEchoLike(double threshold, Rng& rng);
+
+  /// Multi-round registration (kEnrollRounds probes averaged). Returns
+  /// the registration time in seconds.
+  double enroll(const std::string& user, const AcousticProfile& person,
+                const AcousticMeasurementConfig& config);
+
+  /// Verification with kVerifyRounds averaged probes.
+  std::optional<EarEchoDecision> verify(const std::string& user, const AcousticProfile& person,
+                                        const AcousticMeasurementConfig& config);
+
+  /// Replay of a verbatim stolen template.
+  std::optional<EarEchoDecision> verify_replayed(const std::string& user,
+                                                 const std::vector<double>& stolen);
+
+  std::optional<std::vector<double>> steal(const std::string& user) const;
+
+  static constexpr int kEnrollRounds = 8;
+  static constexpr int kVerifyRounds = 2;
+  static constexpr double kProbeSeconds = 0.4;
+
+  double threshold() const { return threshold_; }
+
+ private:
+  double threshold_;
+  Rng rng_;
+  std::unordered_map<std::string, std::vector<double>> templates_;
+
+  std::vector<double> averaged_measurement(const AcousticProfile& person,
+                                           const AcousticMeasurementConfig& config, int rounds);
+};
+
+}  // namespace mandipass::baselines

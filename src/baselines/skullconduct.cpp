@@ -1,0 +1,53 @@
+#include "baselines/skullconduct.h"
+
+#include "common/error.h"
+
+namespace mandipass::baselines {
+
+SkullConductLike::SkullConductLike(double threshold, Rng& rng)
+    : threshold_(threshold), rng_(rng.fork()) {
+  MANDIPASS_EXPECTS(threshold > 0.0);
+}
+
+double SkullConductLike::enroll(const std::string& user, const AcousticProfile& person,
+                                const AcousticMeasurementConfig& config) {
+  MANDIPASS_EXPECTS(!user.empty());
+  templates_[user] = measure_band_energies(person, config, rng_);
+  return kProbeSeconds;
+}
+
+std::optional<SkullConductDecision> SkullConductLike::verify(
+    const std::string& user, const AcousticProfile& person,
+    const AcousticMeasurementConfig& config) {
+  const auto it = templates_.find(user);
+  if (it == templates_.end()) {
+    return std::nullopt;
+  }
+  const auto probe = measure_band_energies(person, config, rng_);
+  SkullConductDecision d;
+  d.distance = feature_distance(probe, it->second);
+  d.accepted = d.distance <= threshold_;
+  return d;
+}
+
+std::optional<SkullConductDecision> SkullConductLike::verify_replayed(
+    const std::string& user, const std::vector<double>& stolen) {
+  const auto it = templates_.find(user);
+  if (it == templates_.end()) {
+    return std::nullopt;
+  }
+  SkullConductDecision d;
+  d.distance = feature_distance(stolen, it->second);
+  d.accepted = d.distance <= threshold_;
+  return d;
+}
+
+std::optional<std::vector<double>> SkullConductLike::steal(const std::string& user) const {
+  const auto it = templates_.find(user);
+  if (it == templates_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+}  // namespace mandipass::baselines

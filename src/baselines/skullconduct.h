@@ -1,0 +1,58 @@
+// SkullConduct-like baseline (Schneegass et al., CHI 2016).
+//
+// Plays one short white-noise probe through the skull and matches the
+// received frequency response against the enrolled template with a
+// nearest-template rule. Registration needs a single probe (< 1 s — the
+// paper's Table I grants SkullConduct RTC <= 1 s); the template is the
+// raw feature vector (no cancelable transform), and the microphone picks
+// up ambient sound (no immunity against acoustic noise).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "baselines/acoustic.h"
+
+namespace mandipass::baselines {
+
+struct SkullConductDecision {
+  bool accepted = false;
+  double distance = 0.0;
+};
+
+class SkullConductLike {
+ public:
+  /// `threshold` is the maximum feature distance accepted as genuine.
+  SkullConductLike(double threshold, Rng& rng);
+
+  /// One-probe registration. Returns the registration time in seconds
+  /// (the probe duration — what Table I's RTC column reports).
+  double enroll(const std::string& user, const AcousticProfile& person,
+                const AcousticMeasurementConfig& config);
+
+  /// One-probe verification.
+  std::optional<SkullConductDecision> verify(const std::string& user,
+                                             const AcousticProfile& person,
+                                             const AcousticMeasurementConfig& config);
+
+  /// Replay: present a verbatim stolen template. Raw templates make this
+  /// succeed — the Table I RARA column.
+  std::optional<SkullConductDecision> verify_replayed(const std::string& user,
+                                                      const std::vector<double>& stolen);
+
+  /// The stored raw template (what an attacker steals).
+  std::optional<std::vector<double>> steal(const std::string& user) const;
+
+  /// Probe duration per measurement.
+  static constexpr double kProbeSeconds = 0.5;
+
+  double threshold() const { return threshold_; }
+
+ private:
+  double threshold_;
+  Rng rng_;
+  std::unordered_map<std::string, std::vector<double>> templates_;
+};
+
+}  // namespace mandipass::baselines

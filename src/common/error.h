@@ -1,0 +1,63 @@
+// Error types shared across the MandiPass library.
+//
+// The library follows the C++ Core Guidelines error-handling advice:
+// programming errors (violated preconditions) are reported with
+// MANDIPASS_EXPECTS which throws mandipass::PreconditionError, while
+// recoverable runtime failures (e.g. a session too short to contain a
+// vibration onset) throw domain-specific exceptions derived from
+// mandipass::Error.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace mandipass {
+
+/// Root of the MandiPass exception hierarchy.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a documented precondition of a public API is violated.
+class PreconditionError : public Error {
+ public:
+  explicit PreconditionError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when an input signal cannot be processed (too short, no onset,
+/// all-constant segment, ...). Callers are expected to handle this by
+/// asking the user to retry the "EMM" voicing.
+class SignalError : public Error {
+ public:
+  explicit SignalError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown on shape mismatches in the tensor / NN layers.
+class ShapeError : public Error {
+ public:
+  explicit ShapeError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown by (de)serialisation when a stream is malformed.
+class SerializationError : public Error {
+ public:
+  explicit SerializationError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void precondition_failure(const char* cond, const char* file, int line) {
+  throw PreconditionError(std::string("precondition failed: ") + cond + " at " + file + ":" +
+                          std::to_string(line));
+}
+}  // namespace detail
+
+}  // namespace mandipass
+
+/// Precondition check for public APIs. Always on (cheap checks only).
+#define MANDIPASS_EXPECTS(cond)                                             \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::mandipass::detail::precondition_failure(#cond, __FILE__, __LINE__); \
+    }                                                                       \
+  } while (false)

@@ -1,0 +1,104 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace mandipass {
+
+double mean(std::span<const double> xs) {
+  MANDIPASS_EXPECTS(!xs.empty());
+  double acc = 0.0;
+  for (double x : xs) {
+    acc += x;
+  }
+  return acc / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) {
+  MANDIPASS_EXPECTS(!xs.empty());
+  const double m = mean(xs);
+  double acc = 0.0;
+  for (double x : xs) {
+    const double d = x - m;
+    acc += d * d;
+  }
+  return acc / static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) {
+  return std::sqrt(variance(xs));
+}
+
+double median(std::span<const double> xs) {
+  return quantile(xs, 0.5);
+}
+
+double quantile(std::span<const double> xs, double q) {
+  MANDIPASS_EXPECTS(!xs.empty());
+  MANDIPASS_EXPECTS(q >= 0.0 && q <= 1.0);
+  std::vector<double> tmp(xs.begin(), xs.end());
+  std::sort(tmp.begin(), tmp.end());
+  const double pos = q * static_cast<double>(tmp.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, tmp.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return tmp[lo] * (1.0 - frac) + tmp[hi] * frac;
+}
+
+double mad(std::span<const double> xs) {
+  const double med = median(xs);
+  std::vector<double> dev(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    dev[i] = std::abs(xs[i] - med);
+  }
+  return median(dev);
+}
+
+double min_value(std::span<const double> xs) {
+  MANDIPASS_EXPECTS(!xs.empty());
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max_value(std::span<const double> xs) {
+  MANDIPASS_EXPECTS(!xs.empty());
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double pearson(std::span<const double> xs, std::span<const double> ys) {
+  MANDIPASS_EXPECTS(xs.size() == ys.size());
+  MANDIPASS_EXPECTS(!xs.empty());
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double sxy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0 || syy == 0.0) {
+    return 0.0;
+  }
+  return sxy / std::sqrt(sxx * syy);
+}
+
+std::vector<double> windowed_stddev(std::span<const double> xs, std::size_t window,
+                                    std::size_t stride) {
+  MANDIPASS_EXPECTS(window > 0);
+  MANDIPASS_EXPECTS(stride > 0);
+  std::vector<double> out;
+  if (xs.size() < window) {
+    return out;
+  }
+  for (std::size_t start = 0; start + window <= xs.size(); start += stride) {
+    out.push_back(stddev(xs.subspan(start, window)));
+  }
+  return out;
+}
+
+}  // namespace mandipass

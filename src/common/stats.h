@@ -1,0 +1,48 @@
+// Basic descriptive statistics over contiguous ranges of doubles.
+//
+// These are the primitives behind the paper's onset detector (windowed
+// standard deviation, Section IV), the MAD outlier detector, and the
+// 36-dimensional statistical-feature sample of Section V-A.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace mandipass {
+
+/// Arithmetic mean. Precondition: !xs.empty().
+double mean(std::span<const double> xs);
+
+/// Population variance (divide by N). Precondition: !xs.empty().
+double variance(std::span<const double> xs);
+
+/// Population standard deviation. Precondition: !xs.empty().
+double stddev(std::span<const double> xs);
+
+/// Median (copies and nth_element's). Precondition: !xs.empty().
+double median(std::span<const double> xs);
+
+/// Quantile in [0,1] with linear interpolation between order statistics.
+/// Precondition: !xs.empty() && 0 <= q <= 1.
+double quantile(std::span<const double> xs, double q);
+
+/// Median absolute deviation: median(|x - median(x)|).
+double mad(std::span<const double> xs);
+
+/// Minimum / maximum. Precondition: !xs.empty().
+double min_value(std::span<const double> xs);
+double max_value(std::span<const double> xs);
+
+/// Pearson correlation of two equal-length ranges; returns 0 when either
+/// side is constant. Precondition: xs.size() == ys.size() && !xs.empty().
+double pearson(std::span<const double> xs, std::span<const double> ys);
+
+/// Standard deviations of consecutive non-overlapping windows of size
+/// `window` with stride `stride`; the tail shorter than `window` is
+/// dropped. This is exactly the paper's onset statistic (window = stride
+/// = 10 samples).
+std::vector<double> windowed_stddev(std::span<const double> xs, std::size_t window,
+                                    std::size_t stride);
+
+}  // namespace mandipass

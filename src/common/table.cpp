@@ -1,0 +1,91 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+#include "common/error.h"
+
+namespace mandipass {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  MANDIPASS_EXPECTS(!headers_.empty());
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  MANDIPASS_EXPECTS(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << row[c];
+      if (c + 1 < row.size()) {
+        os << std::string(widths[c] - row[c].size() + 2, ' ');
+      }
+    }
+    os << '\n';
+  };
+  print_row(headers_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+  }
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) {
+    print_row(row);
+  }
+}
+
+std::string fmt(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+  return buf;
+}
+
+std::string fmt_percent(double fraction, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", digits, fraction * 100.0);
+  return buf;
+}
+
+void print_histogram(std::ostream& os, const std::vector<double>& values, double lo, double hi,
+                     int bins) {
+  MANDIPASS_EXPECTS(bins > 0);
+  MANDIPASS_EXPECTS(hi > lo);
+  std::vector<std::size_t> counts(static_cast<std::size_t>(bins), 0);
+  std::size_t total = 0;
+  for (double v : values) {
+    if (std::isnan(v)) {
+      continue;
+    }
+    const double clamped = std::clamp(v, lo, std::nextafter(hi, lo));
+    auto bin = static_cast<std::size_t>((clamped - lo) / (hi - lo) * bins);
+    bin = std::min(bin, counts.size() - 1);
+    ++counts[bin];
+    ++total;
+  }
+  const double width = (hi - lo) / bins;
+  for (std::size_t b = 0; b < counts.size(); ++b) {
+    const double l = lo + width * static_cast<double>(b);
+    const double r = l + width;
+    const double pct = total == 0 ? 0.0 : static_cast<double>(counts[b]) / total;
+    os << "  [" << fmt(l, 2) << ", " << fmt(r, 2) << ")  " << fmt_percent(pct, 1) << "  ";
+    const int bar = static_cast<int>(std::lround(pct * 50));
+    for (int i = 0; i < bar; ++i) {
+      os << '#';
+    }
+    os << '\n';
+  }
+}
+
+}  // namespace mandipass

@@ -1,0 +1,42 @@
+// Minimal fixed-width table / histogram printers used by the benchmark
+// harnesses so every experiment prints the same rows and series the paper
+// reports in a readable, diff-able form.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mandipass {
+
+/// Accumulates rows of strings and renders them with aligned columns.
+class Table {
+ public:
+  /// Creates a table with the given column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends one row. Precondition: cells.size() == number of headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders to `os` with a header rule and 2-space column gaps.
+  void print(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` digits after the decimal point.
+std::string fmt(double value, int digits = 4);
+
+/// Formats a fraction as a percentage string, e.g. 0.0128 -> "1.28%".
+std::string fmt_percent(double fraction, int digits = 2);
+
+/// Prints an ASCII histogram of `values` over [lo, hi] with `bins` bins;
+/// mirrors the donut charts of Fig. 12-14 as "interval -> percentage" rows.
+void print_histogram(std::ostream& os, const std::vector<double>& values, double lo, double hi,
+                     int bins);
+
+}  // namespace mandipass

@@ -1,0 +1,26 @@
+#include "core/calibration.h"
+
+#include "auth/cosine.h"
+#include "common/error.h"
+#include "core/trainer.h"
+
+namespace mandipass::core {
+
+auth::EerResult calibrate_threshold(BiometricExtractor& extractor,
+                                    std::span<const vibration::PersonProfile> cohort,
+                                    const CollectionConfig& collection, Rng& rng) {
+  MANDIPASS_EXPECTS(cohort.size() >= 2);
+  const auto data = collect_gradient_set(cohort, collection, rng);
+  const auto embeddings = embed_all(extractor, data);
+  std::vector<double> genuine;
+  std::vector<double> impostor;
+  for (std::size_t i = 0; i < embeddings.size(); ++i) {
+    for (std::size_t j = i + 1; j < embeddings.size(); ++j) {
+      const double d = auth::cosine_distance(embeddings[i], embeddings[j]);
+      (data.labels[i] == data.labels[j] ? genuine : impostor).push_back(d);
+    }
+  }
+  return auth::compute_eer(genuine, impostor);
+}
+
+}  // namespace mandipass::core

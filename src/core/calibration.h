@@ -1,0 +1,26 @@
+// Operating-threshold calibration.
+//
+// The decision threshold is a deployment parameter: the paper fixes
+// theta = 0.5485 at its measured EER point. A device integrator derives
+// it the same way — collect sessions from a calibration cohort (NOT the
+// end users), compute all-pairs genuine/impostor cosine distances of
+// their MandiblePrints, and take the EER crossing.
+#pragma once
+
+#include <span>
+
+#include "auth/metrics.h"
+#include "core/dataset_builder.h"
+#include "core/extractor.h"
+
+namespace mandipass::core {
+
+/// Collects `collection.arrays_per_person` sessions per calibration
+/// person, embeds them with `extractor`, and returns the EER operating
+/// point of the all-pairs distance distributions.
+/// Precondition: at least two people.
+auth::EerResult calibrate_threshold(BiometricExtractor& extractor,
+                                    std::span<const vibration::PersonProfile> cohort,
+                                    const CollectionConfig& collection, Rng& rng);
+
+}  // namespace mandipass::core

@@ -1,0 +1,62 @@
+#include "core/dataset_builder.h"
+
+#include <string>
+
+#include "common/error.h"
+
+namespace mandipass::core {
+
+LabeledSignalSet collect_signal_set(std::span<const vibration::PersonProfile> people,
+                                    const CollectionConfig& config, Rng& rng) {
+  MANDIPASS_EXPECTS(!people.empty());
+  MANDIPASS_EXPECTS(config.arrays_per_person > 0);
+  const Preprocessor prep(config.prep);
+  LabeledSignalSet out;
+  out.arrays.reserve(people.size() * config.arrays_per_person);
+  out.labels.reserve(people.size() * config.arrays_per_person);
+
+  for (std::size_t pi = 0; pi < people.size(); ++pi) {
+    vibration::SessionRecorder recorder(people[pi], rng);
+    std::size_t collected = 0;
+    std::size_t attempts = 0;
+    const std::size_t max_attempts = config.arrays_per_person * config.max_attempt_factor;
+    while (collected < config.arrays_per_person) {
+      if (++attempts > max_attempts) {
+        throw SignalError("could not collect enough usable sessions for person " +
+                          std::to_string(people[pi].id) + " (" + std::to_string(collected) +
+                          "/" + std::to_string(config.arrays_per_person) + ")");
+      }
+      vibration::SessionConfig session = config.session;
+      if (config.tone_augment_max > config.tone_augment_min) {
+        session.tone_multiplier *=
+            rng.uniform(config.tone_augment_min, config.tone_augment_max);
+      }
+      const imu::RawRecording rec = recorder.record(session);
+      try {
+        out.arrays.push_back(prep.process(rec));
+      } catch (const SignalError&) {
+        continue;  // no onset this attempt; the user would simply retry
+      }
+      out.labels.push_back(static_cast<std::uint32_t>(pi));
+      ++collected;
+    }
+  }
+  return out;
+}
+
+LabeledGradientSet to_gradient_set(const LabeledSignalSet& signals) {
+  LabeledGradientSet out;
+  out.arrays.reserve(signals.size());
+  out.labels = signals.labels;
+  for (const auto& s : signals.arrays) {
+    out.arrays.push_back(build_gradient_array(s));
+  }
+  return out;
+}
+
+LabeledGradientSet collect_gradient_set(std::span<const vibration::PersonProfile> people,
+                                        const CollectionConfig& config, Rng& rng) {
+  return to_gradient_set(collect_signal_set(people, config, rng));
+}
+
+}  // namespace mandipass::core

@@ -1,0 +1,56 @@
+// Dataset collection: simulate people voicing "EMM" and run the Section IV
+// preprocessing, producing labelled signal / gradient arrays. This is the
+// stand-in for the paper's data-collection campaign (23 408 signal arrays
+// from 34 volunteers).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/preprocessor.h"
+#include "core/trainer.h"
+#include "vibration/population.h"
+#include "vibration/session.h"
+
+namespace mandipass::core {
+
+/// Labelled signal arrays (pre-gradient form; the SFS experiment of
+/// Fig. 7 consumes these directly).
+struct LabeledSignalSet {
+  std::vector<SignalArray> arrays;
+  std::vector<std::uint32_t> labels;
+
+  std::size_t size() const { return arrays.size(); }
+};
+
+struct CollectionConfig {
+  std::size_t arrays_per_person = 100;
+  vibration::SessionConfig session;
+  PreprocessorConfig prep;
+  /// A session occasionally yields no usable onset (exactly as in the
+  /// field); we retry up to this multiple of the requested count before
+  /// giving up with SignalError.
+  std::size_t max_attempt_factor = 10;
+  /// Tone augmentation: when max > min, each session multiplies
+  /// session.tone_multiplier by a uniform draw from [min, max]. The VSP
+  /// asks hired people to vary their tone so the extractor learns
+  /// tone-invariant (plant-dominated) features — this is what defeats the
+  /// impersonation attack, whose mimic copies exactly the habit.
+  double tone_augment_min = 1.0;
+  double tone_augment_max = 1.0;
+};
+
+/// Collects `arrays_per_person` preprocessed signal arrays per person.
+/// Labels are indices into `people` (NOT PersonProfile::id), so the
+/// result is directly trainable.
+LabeledSignalSet collect_signal_set(std::span<const vibration::PersonProfile> people,
+                                    const CollectionConfig& config, Rng& rng);
+
+/// Converts signal arrays to gradient arrays (labels preserved).
+LabeledGradientSet to_gradient_set(const LabeledSignalSet& signals);
+
+/// One-call convenience: collect + convert.
+LabeledGradientSet collect_gradient_set(std::span<const vibration::PersonProfile> people,
+                                        const CollectionConfig& config, Rng& rng);
+
+}  // namespace mandipass::core

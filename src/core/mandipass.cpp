@@ -1,0 +1,82 @@
+#include "core/mandipass.h"
+
+#include "auth/gaussian_matrix.h"
+#include "common/error.h"
+
+namespace mandipass::core {
+
+MandiPass::MandiPass(std::shared_ptr<BiometricExtractor> extractor, MandiPassConfig config)
+    : extractor_(std::move(extractor)),
+      config_(config),
+      prep_(config.prep),
+      verifier_(config.threshold),
+      key_rng_(config.key_seed) {
+  MANDIPASS_EXPECTS(extractor_ != nullptr);
+}
+
+std::vector<float> MandiPass::extract_print(const imu::RawRecording& recording) {
+  const SignalArray array = prep_.process(recording);
+  return extractor_->extract(build_gradient_array(array));
+}
+
+void MandiPass::enroll(const std::string& user, std::span<const imu::RawRecording> recordings) {
+  MANDIPASS_EXPECTS(!recordings.empty());
+  std::vector<float> mean_print;
+  std::size_t usable = 0;
+  for (const auto& rec : recordings) {
+    std::vector<float> print;
+    try {
+      print = extract_print(rec);
+    } catch (const SignalError&) {
+      continue;
+    }
+    if (mean_print.empty()) {
+      mean_print.assign(print.size(), 0.0f);
+    }
+    for (std::size_t i = 0; i < print.size(); ++i) {
+      mean_print[i] += print[i];
+    }
+    ++usable;
+  }
+  if (usable == 0) {
+    throw SignalError("no usable vibration in any enrolment recording");
+  }
+  for (auto& v : mean_print) {
+    v /= static_cast<float>(usable);
+  }
+  seal_template(user, mean_print);
+}
+
+void MandiPass::enroll(const std::string& user, const imu::RawRecording& recording) {
+  seal_template(user, extract_print(recording));
+}
+
+void MandiPass::seal_template(const std::string& user, const std::vector<float>& print) {
+  const std::uint64_t seed = key_rng_();
+  const auth::GaussianMatrix g(seed, print.size());
+  auth::StoredTemplate tmpl;
+  tmpl.data = g.transform(print);
+  tmpl.matrix_seed = seed;
+  tmpl.key_version = 0;
+  const auto previous = store_.lookup(user);
+  if (previous.has_value()) {
+    tmpl.key_version = previous->key_version + 1;
+  }
+  store_.enroll(user, std::move(tmpl));
+}
+
+std::optional<auth::Decision> MandiPass::verify(const std::string& user,
+                                                const imu::RawRecording& recording) {
+  if (!store_.lookup(user).has_value()) {
+    return std::nullopt;
+  }
+  const std::vector<float> print = extract_print(recording);
+  return verifier_.verify_user(store_, user, print);
+}
+
+void MandiPass::rekey(const std::string& user, const imu::RawRecording& recording) {
+  MANDIPASS_EXPECTS(store_.lookup(user).has_value());
+  enroll(user, recording);  // enroll() bumps key_version and draws a new seed
+}
+
+}  // namespace mandipass::core

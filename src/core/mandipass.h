@@ -1,0 +1,79 @@
+// The MandiPass facade: the public API a device integrator uses.
+//
+//   MandiPass system(extractor, threshold);
+//   system.enroll("alice", raw_recording);                 // registration
+//   auto decision = system.verify("alice", raw_recording); // verification
+//   system.rekey("alice", raw_recording);                  // cancel & renew
+//
+// Internally: Section IV preprocessing -> gradient array -> two-branch CNN
+// MandiblePrint -> Gaussian cancelable transform -> sealed template store
+// (enroll) or cosine-distance threshold decision (verify).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "auth/template_store.h"
+#include "auth/verifier.h"
+#include "core/dataset_builder.h"
+#include "core/extractor.h"
+#include "core/preprocessor.h"
+
+namespace mandipass::core {
+
+struct MandiPassConfig {
+  PreprocessorConfig prep;
+  double threshold = auth::kPaperThreshold;
+  /// Seed stream for per-user Gaussian matrices.
+  std::uint64_t key_seed = 0xC0FFEE;
+};
+
+class MandiPass {
+ public:
+  /// The extractor must already be trained (by the verification service
+  /// provider); MandiPass never trains on end-user data.
+  MandiPass(std::shared_ptr<BiometricExtractor> extractor, MandiPassConfig config = {});
+
+  /// Registers a user from one raw recording. Throws SignalError when the
+  /// recording contains no usable vibration. Re-enrolling overwrites.
+  void enroll(const std::string& user, const imu::RawRecording& recording);
+
+  /// Registers a user from several recordings (the template is the mean
+  /// MandiblePrint, which has less session noise than any single probe).
+  /// Recordings without a usable vibration are skipped; throws
+  /// SignalError when none are usable.
+  void enroll(const std::string& user, std::span<const imu::RawRecording> recordings);
+
+  /// Verifies a request. Returns nullopt for unknown users; throws
+  /// SignalError when the recording contains no usable vibration.
+  std::optional<auth::Decision> verify(const std::string& user,
+                                       const imu::RawRecording& recording);
+
+  /// Cancels the user's compromised template and re-enrolls with a fresh
+  /// Gaussian matrix (the Section VI replay-attack response).
+  void rekey(const std::string& user, const imu::RawRecording& recording);
+
+  /// Removes a user entirely.
+  bool revoke(const std::string& user) { return store_.revoke(user); }
+
+  /// Raw MandiblePrint of a recording (before the cancelable transform) —
+  /// used by benches and tests.
+  std::vector<float> extract_print(const imu::RawRecording& recording);
+
+  auth::TemplateStore& store() { return store_; }
+  const auth::Verifier& verifier() const { return verifier_; }
+  void set_threshold(double t) { verifier_.set_threshold(t); }
+
+ private:
+  /// Transforms a raw print with a fresh Gaussian matrix and seals it.
+  void seal_template(const std::string& user, const std::vector<float>& print);
+
+  std::shared_ptr<BiometricExtractor> extractor_;
+  MandiPassConfig config_;
+  Preprocessor prep_;
+  auth::Verifier verifier_;
+  auth::TemplateStore store_;
+  Rng key_rng_;
+};
+
+}  // namespace mandipass::core

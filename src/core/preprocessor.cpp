@@ -1,0 +1,112 @@
+#include "core/preprocessor.h"
+
+#include <array>
+#include <cmath>
+#include <string>
+
+#include "common/error.h"
+#include "common/stats.h"
+#include "dsp/filter.h"
+#include "dsp/normalize.h"
+
+namespace mandipass::core {
+
+Preprocessor::Preprocessor(PreprocessorConfig config) : config_(config) {
+  MANDIPASS_EXPECTS(config_.segment_length >= 4);
+  MANDIPASS_EXPECTS(config_.highpass_hz > 0.0);
+}
+
+std::optional<std::size_t> Preprocessor::detect_onset(const imu::RawRecording& recording) const {
+  // Pick the accelerometer axis with the largest windowed std-dev peak —
+  // the axis the jaw vibration couples into most strongly this session.
+  double best_peak = -1.0;
+  std::size_t best_axis = 0;
+  for (std::size_t a = 0; a < 3; ++a) {
+    const auto stds =
+        windowed_stddev(recording.axes[a], config_.onset.window, config_.onset.stride);
+    for (double s : stds) {
+      if (s > best_peak) {
+        best_peak = s;
+        best_axis = a;
+      }
+    }
+  }
+  return dsp::detect_onset(recording.axes[best_axis], config_.onset);
+}
+
+std::size_t Preprocessor::refine_onset(const imu::RawRecording& recording,
+                                       std::size_t coarse_start) const {
+  // Strongest accel axis over the search span, judged by deviation from
+  // its local median (the raw counts carry a gravity DC offset).
+  const std::size_t radius = config_.peak_align_radius;
+  const std::size_t begin = coarse_start;
+  const std::size_t end = std::min(begin + 2 * radius + 1, recording.sample_count());
+  if (end <= begin + 1) {
+    return coarse_start;
+  }
+  double best_score = -1.0;
+  std::size_t best_axis = 0;
+  std::array<double, 3> medians{};
+  for (std::size_t a = 0; a < 3; ++a) {
+    std::span<const double> span(recording.axes[a].data() + begin, end - begin);
+    medians[a] = median(span);
+    double dev = 0.0;
+    for (double v : span) {
+      dev += std::abs(v - medians[a]);
+    }
+    if (dev > best_score) {
+      best_score = dev;
+      best_axis = a;
+    }
+  }
+  // Dominant peak of the search window: a waveform landmark that pins the
+  // segment to a fixed phase of the vibration.
+  const auto& axis = recording.axes[best_axis];
+  std::size_t peak = begin;
+  double peak_value = -1.0;
+  for (std::size_t i = begin; i < end; ++i) {
+    const double v = std::abs(axis[i] - medians[best_axis]);
+    if (v > peak_value) {
+      peak_value = v;
+      peak = i;
+    }
+  }
+  return peak;
+}
+
+SignalArray Preprocessor::process(const imu::RawRecording& recording) const {
+  MANDIPASS_EXPECTS(recording.sample_rate_hz > 0.0);
+  if (recording.sample_count() < config_.segment_length) {
+    throw SignalError("recording shorter than one segment");
+  }
+  const auto onset = detect_onset(recording);
+  if (!onset.has_value()) {
+    throw SignalError("no vibration onset detected — ask the user to voice 'EMM' again");
+  }
+  std::size_t start = *onset;
+  if (config_.peak_align_radius > 0) {
+    start = refine_onset(recording, start);
+  }
+  if (start + config_.segment_length > recording.sample_count()) {
+    throw SignalError("vibration onset too close to the end of the recording (" +
+                      std::to_string(start) + " + " +
+                      std::to_string(config_.segment_length) + " > " +
+                      std::to_string(recording.sample_count()) + ")");
+  }
+
+  SignalArray out;
+  for (std::size_t a = 0; a < imu::kAxisCount; ++a) {
+    // 1. segmentation
+    std::span<const double> segment(recording.axes[a].data() + start, config_.segment_length);
+    // 2. MAD outlier detect + two-sided neighbour-mean replacement
+    std::vector<double> cleaned = dsp::mad_clean(segment, config_.mad);
+    // 3. high-pass Butterworth (body-motion LFC removal)
+    auto hp = dsp::SosFilter::butterworth_highpass4(config_.highpass_hz, recording.sample_rate_hz);
+    cleaned = hp.filter(cleaned);
+    // 4. min-max normalisation
+    out.axes[a] = dsp::minmax_normalize(cleaned);
+  }
+  return out;
+}
+
+}  // namespace mandipass::core

@@ -1,0 +1,59 @@
+// Section IV signal preprocessing:
+//
+//   1. vibration detection & segmentation (windowed std-dev onset, n = 60
+//      samples per axis after the start timestamp)
+//   2. MAD-based outlier processing (detect + two-sided mean replacement)
+//   3. high-pass filtering (4th-order Butterworth, fc = 20 Hz) to remove
+//      the < 10 Hz body-movement components
+//   4. min-max normalisation and multi-axis concatenation into the (6, n)
+//      signal array
+//
+// Onset detection runs on the accelerometer (the paper's choice); since
+// which axis carries the most vibration depends on how the earbud sits,
+// we detect on the accel axis with the largest windowed std-dev peak.
+#pragma once
+
+#include "core/signal_array.h"
+#include "dsp/onset.h"
+#include "dsp/outlier.h"
+#include "imu/types.h"
+
+namespace mandipass::core {
+
+struct PreprocessorConfig {
+  std::size_t segment_length = kDefaultSegmentLength;  ///< n
+  dsp::OnsetConfig onset;
+  dsp::MadConfig mad;
+  double highpass_hz = 20.0;
+  /// Optional fine alignment: after the coarse windowed-std onset, snap
+  /// the segment start to the dominant peak of the strongest accel axis
+  /// within this many samples (0 disables). Raises raw within-person
+  /// signal correlation, but empirically *hurts* the learned extractor —
+  /// alignment diversity acts as training augmentation — so it is off by
+  /// default; the ablation bench quantifies the trade-off.
+  std::size_t peak_align_radius = 0;
+};
+
+class Preprocessor {
+ public:
+  explicit Preprocessor(PreprocessorConfig config = {});
+
+  /// Runs the full Section IV pipeline. Throws SignalError when no onset
+  /// is found or fewer than n samples remain after it.
+  SignalArray process(const imu::RawRecording& recording) const;
+
+  /// Exposed for tests / the Fig. 5 bench: index of the onset sample, or
+  /// nullopt. Uses the strongest accelerometer axis.
+  std::optional<std::size_t> detect_onset(const imu::RawRecording& recording) const;
+
+  const PreprocessorConfig& config() const { return config_; }
+
+ private:
+  PreprocessorConfig config_;
+
+  /// Snaps the coarse onset to the first dominant waveform peak (see
+  /// PreprocessorConfig::peak_align_radius).
+  std::size_t refine_onset(const imu::RawRecording& recording, std::size_t coarse_start) const;
+};
+
+}  // namespace mandipass::core

@@ -1,0 +1,160 @@
+#include "core/quantized_extractor.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "nn/batchnorm.h"
+#include "nn/conv2d.h"
+#include "nn/linear.h"
+
+namespace mandipass::core {
+namespace {
+
+constexpr double kBnEps = 1e-5;  // BatchNorm2d's default epsilon
+
+/// Conv geometry shared by every layer of the paper's branches.
+constexpr std::size_t kKernel = 3;
+constexpr std::size_t kStrideH = 1;
+constexpr std::size_t kStrideW = 2;
+constexpr std::size_t kPad = 1;
+
+}  // namespace
+
+QuantizedExtractor::Branch QuantizedExtractor::fold_and_quantize_branch(
+    nn::Sequential& branch) {
+  Branch out;
+  // Layout per make_branch(): [Conv2d, BatchNorm2d, ReLU] x3, Flatten.
+  for (std::size_t i = 0; i + 2 < branch.layer_count(); i += 3) {
+    auto* conv = dynamic_cast<nn::Conv2d*>(&branch.layer(i));
+    auto* bn = dynamic_cast<nn::BatchNorm2d*>(&branch.layer(i + 1));
+    if (conv == nullptr || bn == nullptr) {
+      throw ShapeError("unexpected branch structure during quantisation");
+    }
+    const auto& cfg = conv->config();
+    const nn::Tensor& w = conv->params()[0]->value;   // (oc, ic, kh, kw)
+    const nn::Tensor& b = conv->params()[1]->value;   // (oc)
+    const nn::Tensor& gamma = bn->params()[0]->value;
+    const nn::Tensor& beta = bn->params()[1]->value;
+    const nn::Tensor& mean = bn->running_mean();
+    const nn::Tensor& var = bn->running_var();
+
+    const std::size_t taps = cfg.in_channels * cfg.kernel_h * cfg.kernel_w;
+    nn::Tensor folded({cfg.out_channels, taps});
+    ConvLayer layer;
+    layer.in_channels = cfg.in_channels;
+    layer.out_channels = cfg.out_channels;
+    layer.bias.resize(cfg.out_channels);
+    for (std::size_t oc = 0; oc < cfg.out_channels; ++oc) {
+      const double scale =
+          static_cast<double>(gamma[oc]) / std::sqrt(static_cast<double>(var[oc]) + kBnEps);
+      for (std::size_t t = 0; t < taps; ++t) {
+        folded.at2(oc, t) = static_cast<float>(w[oc * taps + t] * scale);
+      }
+      layer.bias[oc] =
+          static_cast<float>((b[oc] - mean[oc]) * scale + beta[oc]);
+    }
+    layer.weights = nn::quantize_rows(folded);
+    out.convs.push_back(std::move(layer));
+  }
+  return out;
+}
+
+QuantizedExtractor::QuantizedExtractor(BiometricExtractor& source)
+    : config_(source.config()) {
+  positive_ = fold_and_quantize_branch(source.branch_positive());
+  negative_ = fold_and_quantize_branch(source.branch_negative());
+  auto* fc = dynamic_cast<nn::Linear*>(&source.trunk().layer(0));
+  if (fc == nullptr) {
+    throw ShapeError("unexpected trunk structure during quantisation");
+  }
+  fc_weights_ = nn::quantize_rows(fc->params()[0]->value);
+  const nn::Tensor& b = fc->params()[1]->value;
+  fc_bias_.assign(b.data(), b.data() + b.size());
+}
+
+std::vector<float> QuantizedExtractor::run_branch(const Branch& branch,
+                                                  const std::vector<float>& plane,
+                                                  std::size_t h, std::size_t w) const {
+  std::vector<float> in = plane;  // (ic, h, w) flattened, ic starts at 1
+  std::size_t in_c = 1;
+  std::size_t cur_h = h;
+  std::size_t cur_w = w;
+  for (const ConvLayer& layer : branch.convs) {
+    MANDIPASS_EXPECTS(layer.in_channels == in_c);
+    const std::size_t out_h = (cur_h + 2 * kPad - kKernel) / kStrideH + 1;
+    const std::size_t out_w = (cur_w + 2 * kPad - kKernel) / kStrideW + 1;
+    std::vector<float> out(layer.out_channels * out_h * out_w, 0.0f);
+    std::vector<float> patch(in_c * kKernel * kKernel);
+    std::vector<float> y(layer.out_channels);
+    for (std::size_t oh = 0; oh < out_h; ++oh) {
+      for (std::size_t ow = 0; ow < out_w; ++ow) {
+        // Gather the patch (zero padding outside the plane).
+        std::size_t cell = 0;
+        for (std::size_t ic = 0; ic < in_c; ++ic) {
+          for (std::size_t kh = 0; kh < kKernel; ++kh) {
+            for (std::size_t kw = 0; kw < kKernel; ++kw, ++cell) {
+              const std::ptrdiff_t ih = static_cast<std::ptrdiff_t>(oh * kStrideH + kh) -
+                                        static_cast<std::ptrdiff_t>(kPad);
+              const std::ptrdiff_t iw = static_cast<std::ptrdiff_t>(ow * kStrideW + kw) -
+                                        static_cast<std::ptrdiff_t>(kPad);
+              patch[cell] = (ih < 0 || ih >= static_cast<std::ptrdiff_t>(cur_h) || iw < 0 ||
+                             iw >= static_cast<std::ptrdiff_t>(cur_w))
+                                ? 0.0f
+                                : in[(ic * cur_h + ih) * cur_w + iw];
+            }
+          }
+        }
+        nn::quantized_matvec(layer.weights, patch.data(), layer.bias.data(), y.data());
+        for (std::size_t oc = 0; oc < layer.out_channels; ++oc) {
+          // Folded BN + ReLU.
+          out[(oc * out_h + oh) * out_w + ow] = std::max(0.0f, y[oc]);
+        }
+      }
+    }
+    in = std::move(out);
+    in_c = layer.out_channels;
+    cur_h = out_h;
+    cur_w = out_w;
+  }
+  return in;  // already flattened in (c, h, w) order, matching nn::Flatten
+}
+
+std::vector<float> QuantizedExtractor::extract(const GradientArray& array) const {
+  MANDIPASS_EXPECTS(array.half_length() == config_.half_length);
+  const std::size_t h = config_.axes;
+  const std::size_t w = config_.half_length;
+  std::vector<float> pos_plane(h * w);
+  std::vector<float> neg_plane(h * w);
+  for (std::size_t a = 0; a < h; ++a) {
+    for (std::size_t i = 0; i < w; ++i) {
+      pos_plane[a * w + i] = static_cast<float>(array.positive[a][i]);
+      neg_plane[a * w + i] = static_cast<float>(array.negative[a][i]);
+    }
+  }
+  const auto fp = run_branch(positive_, pos_plane, h, w);
+  const auto fn = run_branch(negative_, neg_plane, h, w);
+  std::vector<float> concat;
+  concat.reserve(fp.size() + fn.size());
+  concat.insert(concat.end(), fp.begin(), fp.end());
+  concat.insert(concat.end(), fn.begin(), fn.end());
+  MANDIPASS_EXPECTS(concat.size() == fc_weights_.cols);
+
+  std::vector<float> embedding(config_.embedding_dim);
+  nn::quantized_matvec(fc_weights_, concat.data(), fc_bias_.data(), embedding.data());
+  for (auto& v : embedding) {
+    v = 1.0f / (1.0f + std::exp(-v));
+  }
+  return embedding;
+}
+
+std::size_t QuantizedExtractor::storage_bytes() const {
+  std::size_t bytes = fc_weights_.storage_bytes() + fc_bias_.size() * sizeof(float);
+  for (const Branch* branch : {&positive_, &negative_}) {
+    for (const ConvLayer& layer : branch->convs) {
+      bytes += layer.weights.storage_bytes() + layer.bias.size() * sizeof(float);
+    }
+  }
+  return bytes;
+}
+
+}  // namespace mandipass::core

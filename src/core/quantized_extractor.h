@@ -1,0 +1,59 @@
+// Int8 deployment build of the biometric extractor.
+//
+// Converts a trained BiometricExtractor into a weight-only int8 model
+// with BatchNorm folded into the convolutions — the standard recipe for
+// MCU-class targets like the earbud the paper deploys on. Cuts the
+// Section VII-E model storage ~4x while the produced MandiblePrints stay
+// within float rounding of the original (the quantization bench
+// measures the exact embedding drift and its EER impact).
+#pragma once
+
+#include <vector>
+
+#include "core/extractor.h"
+#include "nn/quantize.h"
+
+namespace mandipass::core {
+
+class QuantizedExtractor {
+ public:
+  /// Snapshot-quantises a trained extractor. BatchNorm running statistics
+  /// are folded into the conv weights first, so the float reference for
+  /// accuracy comparisons is `source` in evaluation mode.
+  explicit QuantizedExtractor(BiometricExtractor& source);
+
+  /// Embeds one gradient array — same contract as
+  /// BiometricExtractor::extract.
+  std::vector<float> extract(const GradientArray& array) const;
+
+  /// Total int8 model footprint in bytes (weights + scales + biases).
+  std::size_t storage_bytes() const;
+
+  const ExtractorConfig& config() const { return config_; }
+
+ private:
+  /// One folded conv layer: int8 weights over (out_c, in_c*3*3) taps.
+  struct ConvLayer {
+    nn::QuantizedMatrix weights;
+    std::vector<float> bias;
+    std::size_t in_channels = 0;
+    std::size_t out_channels = 0;
+  };
+  struct Branch {
+    std::vector<ConvLayer> convs;
+  };
+
+  static Branch fold_and_quantize_branch(nn::Sequential& branch);
+  /// Runs one branch on a (channels=1, H=axes, W=half) plane; returns the
+  /// flattened feature vector.
+  std::vector<float> run_branch(const Branch& branch, const std::vector<float>& plane,
+                                std::size_t h, std::size_t w) const;
+
+  ExtractorConfig config_;
+  Branch positive_;
+  Branch negative_;
+  nn::QuantizedMatrix fc_weights_;
+  std::vector<float> fc_bias_;
+};
+
+}  // namespace mandipass::core

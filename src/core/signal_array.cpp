@@ -1,0 +1,42 @@
+#include "core/signal_array.h"
+
+#include "common/error.h"
+#include "dsp/gradient.h"
+
+namespace mandipass::core {
+
+GradientArray build_gradient_array(const SignalArray& array, std::size_t half) {
+  const std::size_t n = array.segment_length();
+  MANDIPASS_EXPECTS(n >= 2);
+  if (half == 0) {
+    half = n / 2;
+  }
+  GradientArray out;
+  for (std::size_t a = 0; a < imu::kAxisCount; ++a) {
+    MANDIPASS_EXPECTS(array.axes[a].size() == n);
+    auto split = dsp::direction_gradients(array.axes[a], half);
+    out.positive[a] = std::move(split.positive);
+    out.negative[a] = std::move(split.negative);
+  }
+  return out;
+}
+
+BranchTensors pack_branches(const std::vector<GradientArray>& batch, std::size_t axes) {
+  MANDIPASS_EXPECTS(!batch.empty());
+  MANDIPASS_EXPECTS(axes >= 1 && axes <= imu::kAxisCount);
+  const std::size_t n = batch.size();
+  const std::size_t half = batch.front().half_length();
+  BranchTensors t{nn::Tensor({n, 1, axes, half}), nn::Tensor({n, 1, axes, half})};
+  for (std::size_t b = 0; b < n; ++b) {
+    MANDIPASS_EXPECTS(batch[b].half_length() == half);
+    for (std::size_t a = 0; a < axes; ++a) {
+      for (std::size_t w = 0; w < half; ++w) {
+        t.positive.at4(b, 0, a, w) = static_cast<float>(batch[b].positive[a][w]);
+        t.negative.at4(b, 0, a, w) = static_cast<float>(batch[b].negative[a][w]);
+      }
+    }
+  }
+  return t;
+}
+
+}  // namespace mandipass::core

@@ -1,0 +1,144 @@
+#include "core/trainer.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "nn/adam.h"
+#include "nn/loss.h"
+
+namespace mandipass::core {
+
+std::size_t LabeledGradientSet::class_count() const {
+  std::uint32_t mx = 0;
+  for (std::uint32_t label : labels) {
+    mx = std::max(mx, label);
+  }
+  return labels.empty() ? 0 : mx + 1;
+}
+
+GradientSplit split_gradient_set(const LabeledGradientSet& data, double train_fraction,
+                                 Rng& rng) {
+  MANDIPASS_EXPECTS(train_fraction > 0.0 && train_fraction < 1.0);
+  MANDIPASS_EXPECTS(data.arrays.size() == data.labels.size());
+  const auto perm = rng.permutation(data.arrays.size());
+  const auto n_train =
+      static_cast<std::size_t>(static_cast<double>(data.arrays.size()) * train_fraction);
+  GradientSplit s;
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    LabeledGradientSet& dst = i < n_train ? s.train : s.test;
+    dst.arrays.push_back(data.arrays[perm[i]]);
+    dst.labels.push_back(data.labels[perm[i]]);
+  }
+  return s;
+}
+
+ExtractorTrainer::ExtractorTrainer(BiometricExtractor& extractor, TrainConfig config)
+    : extractor_(extractor), config_(config) {
+  MANDIPASS_EXPECTS(config_.epochs > 0);
+  MANDIPASS_EXPECTS(config_.batch_size > 0);
+  MANDIPASS_EXPECTS(config_.lr > 0.0);
+}
+
+double ExtractorTrainer::train(const LabeledGradientSet& data) {
+  MANDIPASS_EXPECTS(data.size() >= 2);
+  const std::size_t classes = data.class_count();
+  MANDIPASS_EXPECTS(classes >= 2);
+  if (!extractor_.has_head()) {
+    extractor_.attach_head(classes);
+  }
+
+  Rng rng(config_.seed);
+  nn::Adam opt(extractor_.params(),
+               {.lr = config_.lr, .weight_decay = config_.weight_decay});
+  nn::SoftmaxCrossEntropy loss;
+  const std::size_t axes = extractor_.config().axes;
+
+  double final_acc = 0.0;
+  for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    const auto perm = rng.permutation(data.size());
+    double loss_sum = 0.0;
+    double acc_sum = 0.0;
+    std::size_t batches = 0;
+    for (std::size_t start = 0; start < perm.size(); start += config_.batch_size) {
+      const std::size_t bs = std::min(config_.batch_size, perm.size() - start);
+      if (bs < 2) {
+        break;  // BatchNorm needs at least two samples
+      }
+      std::vector<GradientArray> batch;
+      std::vector<std::uint32_t> labels;
+      batch.reserve(bs);
+      labels.reserve(bs);
+      for (std::size_t i = 0; i < bs; ++i) {
+        batch.push_back(data.arrays[perm[start + i]]);
+        labels.push_back(data.labels[perm[start + i]]);
+      }
+      BranchTensors input = pack_branches(batch, axes);
+      if (config_.input_noise > 0.0) {
+        for (std::size_t i = 0; i < input.positive.size(); ++i) {
+          input.positive[i] += static_cast<float>(rng.normal(0.0, config_.input_noise));
+          input.negative[i] += static_cast<float>(rng.normal(0.0, config_.input_noise));
+        }
+      }
+      opt.zero_grad();
+      const nn::Tensor logits = extractor_.forward_logits(input, /*train=*/true);
+      loss_sum += loss.forward(logits, labels);
+      acc_sum += loss.accuracy();
+      extractor_.backward(loss.backward());
+      opt.step();
+      ++batches;
+    }
+    final_acc = batches > 0 ? acc_sum / static_cast<double>(batches) : 0.0;
+    if (config_.on_epoch) {
+      config_.on_epoch(epoch, batches > 0 ? loss_sum / static_cast<double>(batches) : 0.0,
+                       final_acc);
+    }
+    opt.set_lr(opt.lr() * config_.lr_decay);
+  }
+  return final_acc;
+}
+
+double ExtractorTrainer::evaluate_accuracy(const LabeledGradientSet& data) {
+  MANDIPASS_EXPECTS(extractor_.has_head());
+  MANDIPASS_EXPECTS(!data.arrays.empty());
+  const std::size_t axes = extractor_.config().axes;
+  std::size_t correct = 0;
+  constexpr std::size_t kChunk = 128;
+  nn::SoftmaxCrossEntropy loss;
+  for (std::size_t start = 0; start < data.size(); start += kChunk) {
+    const std::size_t bs = std::min(kChunk, data.size() - start);
+    std::vector<GradientArray> batch(data.arrays.begin() + start,
+                                     data.arrays.begin() + start + bs);
+    std::vector<std::uint32_t> labels(data.labels.begin() + start,
+                                      data.labels.begin() + start + bs);
+    const BranchTensors input = pack_branches(batch, axes);
+    const nn::Tensor logits = extractor_.forward_logits(input, /*train=*/false);
+    loss.forward(logits, labels);
+    correct += static_cast<std::size_t>(loss.accuracy() * static_cast<double>(bs) + 0.5);
+  }
+  return static_cast<double>(correct) / static_cast<double>(data.size());
+}
+
+std::vector<std::vector<float>> embed_all(BiometricExtractor& extractor,
+                                          const LabeledGradientSet& data) {
+  std::vector<std::vector<float>> out;
+  out.reserve(data.size());
+  const std::size_t axes = extractor.config().axes;
+  constexpr std::size_t kChunk = 128;
+  for (std::size_t start = 0; start < data.size(); start += kChunk) {
+    const std::size_t bs = std::min(kChunk, data.size() - start);
+    std::vector<GradientArray> batch(data.arrays.begin() + start,
+                                     data.arrays.begin() + start + bs);
+    const BranchTensors input = pack_branches(batch, axes);
+    const nn::Tensor e = extractor.embed(input, /*train=*/false);
+    for (std::size_t b = 0; b < bs; ++b) {
+      std::vector<float> row(e.dim(1));
+      for (std::size_t j = 0; j < row.size(); ++j) {
+        row[j] = e.at2(b, j);
+      }
+      out.push_back(std::move(row));
+    }
+  }
+  return out;
+}
+
+}  // namespace mandipass::core

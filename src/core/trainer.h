@@ -1,0 +1,68 @@
+// Training harness for the biometric extractor (Section V-C).
+//
+// The verification service provider trains the extractor once on hired
+// people's labelled gradient arrays with softmax cross-entropy + Adam;
+// end users never contribute training data. After training, the head is
+// discarded and the Sigmoid output serves as the MandiblePrint.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/extractor.h"
+
+namespace mandipass::core {
+
+/// Labelled gradient arrays: the trainer's dataset format.
+struct LabeledGradientSet {
+  std::vector<GradientArray> arrays;
+  std::vector<std::uint32_t> labels;
+
+  std::size_t size() const { return arrays.size(); }
+  std::size_t class_count() const;
+};
+
+/// Shuffled train/test split (per the paper's 80/20 protocol).
+struct GradientSplit {
+  LabeledGradientSet train;
+  LabeledGradientSet test;
+};
+GradientSplit split_gradient_set(const LabeledGradientSet& data, double train_fraction, Rng& rng);
+
+struct TrainConfig {
+  std::size_t epochs = 12;
+  std::size_t batch_size = 64;
+  double lr = 2e-3;
+  double lr_decay = 0.85;  ///< multiplicative per-epoch decay
+  double weight_decay = 0.0;
+  /// Sigma of Gaussian noise added to training inputs (augmentation; the
+  /// gradient arrays are roughly unit-range after normalisation).
+  double input_noise = 0.0;
+  std::uint64_t seed = 99;
+  /// Optional per-epoch progress callback (epoch, mean loss, accuracy).
+  std::function<void(std::size_t, double, double)> on_epoch;
+};
+
+class ExtractorTrainer {
+ public:
+  ExtractorTrainer(BiometricExtractor& extractor, TrainConfig config = {});
+
+  /// Attaches a head sized to the dataset's classes (if missing) and
+  /// trains. Returns the final epoch's mean training accuracy.
+  double train(const LabeledGradientSet& data);
+
+  /// Classification accuracy in evaluation mode (running BN statistics).
+  double evaluate_accuracy(const LabeledGradientSet& data);
+
+ private:
+  BiometricExtractor& extractor_;
+  TrainConfig config_;
+};
+
+/// Embeds every array of `data` (evaluation mode); row i is the
+/// MandiblePrint of arrays[i].
+std::vector<std::vector<float>> embed_all(BiometricExtractor& extractor,
+                                          const LabeledGradientSet& data);
+
+}  // namespace mandipass::core

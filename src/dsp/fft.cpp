@@ -1,0 +1,111 @@
+#include "dsp/fft.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.h"
+
+namespace mandipass::dsp {
+namespace {
+
+bool is_pow2(std::size_t n) {
+  return n != 0 && (n & (n - 1)) == 0;
+}
+
+}  // namespace
+
+std::size_t next_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) {
+    p <<= 1;
+  }
+  return p;
+}
+
+void fft_inplace(std::vector<std::complex<double>>& xs) {
+  const std::size_t n = xs.size();
+  MANDIPASS_EXPECTS(is_pow2(n));
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) {
+      j ^= bit;
+    }
+    j ^= bit;
+    if (i < j) {
+      std::swap(xs[i], xs[j]);
+    }
+  }
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double ang = -2.0 * std::numbers::pi / static_cast<double>(len);
+    const std::complex<double> wlen(std::cos(ang), std::sin(ang));
+    for (std::size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const std::complex<double> u = xs[i + k];
+        const std::complex<double> v = xs[i + k + len / 2] * w;
+        xs[i + k] = u + v;
+        xs[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+void ifft_inplace(std::vector<std::complex<double>>& xs) {
+  for (auto& x : xs) {
+    x = std::conj(x);
+  }
+  fft_inplace(xs);
+  const double inv = 1.0 / static_cast<double>(xs.size());
+  for (auto& x : xs) {
+    x = std::conj(x) * inv;
+  }
+}
+
+std::vector<std::complex<double>> fft_real(std::span<const double> xs) {
+  MANDIPASS_EXPECTS(!xs.empty());
+  std::vector<std::complex<double>> buf(next_pow2(xs.size()));
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    buf[i] = xs[i];
+  }
+  fft_inplace(buf);
+  return buf;
+}
+
+std::vector<double> magnitude_spectrum(std::span<const double> xs) {
+  const auto spec = fft_real(xs);
+  std::vector<double> mag(spec.size() / 2 + 1);
+  for (std::size_t k = 0; k < mag.size(); ++k) {
+    mag[k] = std::abs(spec[k]);
+  }
+  return mag;
+}
+
+std::vector<double> power_spectrum(std::span<const double> xs) {
+  const auto spec = fft_real(xs);
+  std::vector<double> pow(spec.size() / 2 + 1);
+  const double inv_n = 1.0 / static_cast<double>(spec.size());
+  for (std::size_t k = 0; k < pow.size(); ++k) {
+    pow[k] = std::norm(spec[k]) * inv_n;
+  }
+  return pow;
+}
+
+double bin_frequency(std::size_t k, std::size_t padded_n, double fs) {
+  MANDIPASS_EXPECTS(padded_n > 0);
+  return static_cast<double>(k) * fs / static_cast<double>(padded_n);
+}
+
+std::size_t dominant_bin(std::span<const double> one_sided_magnitude) {
+  MANDIPASS_EXPECTS(one_sided_magnitude.size() >= 2);
+  std::size_t best = 1;
+  for (std::size_t k = 2; k < one_sided_magnitude.size(); ++k) {
+    if (one_sided_magnitude[k] > one_sided_magnitude[best]) {
+      best = k;
+    }
+  }
+  return best;
+}
+
+}  // namespace mandipass::dsp

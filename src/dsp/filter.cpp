@@ -1,0 +1,119 @@
+#include "dsp/filter.h"
+
+#include <cmath>
+#include <complex>
+#include <numbers>
+
+#include "common/error.h"
+
+namespace mandipass::dsp {
+namespace {
+
+// Butterworth Q values for a 4th-order filter split into two SOS.
+constexpr double kButter4Q1 = 0.54119610014619698;
+constexpr double kButter4Q2 = 1.30656296487637652;
+
+}  // namespace
+
+BiquadCoeffs design_highpass_biquad(double fc, double fs, double q) {
+  MANDIPASS_EXPECTS(fc > 0.0 && fc < fs / 2.0);
+  MANDIPASS_EXPECTS(q > 0.0);
+  const double w0 = 2.0 * std::numbers::pi * fc / fs;
+  const double cw = std::cos(w0);
+  const double sw = std::sin(w0);
+  const double alpha = sw / (2.0 * q);
+  const double a0 = 1.0 + alpha;
+  BiquadCoeffs c;
+  c.b0 = (1.0 + cw) / 2.0 / a0;
+  c.b1 = -(1.0 + cw) / a0;
+  c.b2 = (1.0 + cw) / 2.0 / a0;
+  c.a1 = (-2.0 * cw) / a0;
+  c.a2 = (1.0 - alpha) / a0;
+  return c;
+}
+
+BiquadCoeffs design_lowpass_biquad(double fc, double fs, double q) {
+  MANDIPASS_EXPECTS(fc > 0.0 && fc < fs / 2.0);
+  MANDIPASS_EXPECTS(q > 0.0);
+  const double w0 = 2.0 * std::numbers::pi * fc / fs;
+  const double cw = std::cos(w0);
+  const double sw = std::sin(w0);
+  const double alpha = sw / (2.0 * q);
+  const double a0 = 1.0 + alpha;
+  BiquadCoeffs c;
+  c.b0 = (1.0 - cw) / 2.0 / a0;
+  c.b1 = (1.0 - cw) / a0;
+  c.b2 = (1.0 - cw) / 2.0 / a0;
+  c.a1 = (-2.0 * cw) / a0;
+  c.a2 = (1.0 - alpha) / a0;
+  return c;
+}
+
+double Biquad::process(double x) {
+  const double y = c_.b0 * x + c_.b1 * x1_ + c_.b2 * x2_ - c_.a1 * y1_ - c_.a2 * y2_;
+  x2_ = x1_;
+  x1_ = x;
+  y2_ = y1_;
+  y1_ = y;
+  return y;
+}
+
+void Biquad::reset() {
+  x1_ = x2_ = y1_ = y2_ = 0.0;
+}
+
+SosFilter::SosFilter(std::vector<BiquadCoeffs> sections) {
+  MANDIPASS_EXPECTS(!sections.empty());
+  sections_.reserve(sections.size());
+  for (const auto& c : sections) {
+    sections_.emplace_back(c);
+  }
+}
+
+SosFilter SosFilter::butterworth_highpass4(double fc, double fs) {
+  return SosFilter({design_highpass_biquad(fc, fs, kButter4Q1),
+                    design_highpass_biquad(fc, fs, kButter4Q2)});
+}
+
+SosFilter SosFilter::butterworth_lowpass4(double fc, double fs) {
+  return SosFilter({design_lowpass_biquad(fc, fs, kButter4Q1),
+                    design_lowpass_biquad(fc, fs, kButter4Q2)});
+}
+
+double SosFilter::process(double x) {
+  double y = x;
+  for (auto& s : sections_) {
+    y = s.process(y);
+  }
+  return y;
+}
+
+void SosFilter::reset() {
+  for (auto& s : sections_) {
+    s.reset();
+  }
+}
+
+std::vector<double> SosFilter::filter(std::span<const double> xs) {
+  reset();
+  std::vector<double> out(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    out[i] = process(xs[i]);
+  }
+  return out;
+}
+
+double SosFilter::magnitude_at(double f, double fs) const {
+  const std::complex<double> z =
+      std::exp(std::complex<double>(0.0, -2.0 * std::numbers::pi * f / fs));
+  std::complex<double> h = 1.0;
+  for (const auto& s : sections_) {
+    const auto& c = s.coeffs();
+    const std::complex<double> num = c.b0 + c.b1 * z + c.b2 * z * z;
+    const std::complex<double> den = 1.0 + c.a1 * z + c.a2 * z * z;
+    h *= num / den;
+  }
+  return std::abs(h);
+}
+
+}  // namespace mandipass::dsp

@@ -1,0 +1,64 @@
+#include "dsp/gradient.h"
+
+#include "common/error.h"
+
+namespace mandipass::dsp {
+
+std::vector<double> gradients(std::span<const double> xs) {
+  MANDIPASS_EXPECTS(xs.size() >= 2);
+  std::vector<double> g(xs.size() - 1);
+  for (std::size_t i = 0; i + 1 < xs.size(); ++i) {
+    g[i] = xs[i + 1] - xs[i];
+  }
+  return g;
+}
+
+DirectionSplit split_by_sign(std::span<const double> grads) {
+  DirectionSplit split;
+  for (double g : grads) {
+    if (g >= 0.0) {
+      split.positive.push_back(g);
+    } else {
+      split.negative.push_back(g);
+    }
+  }
+  return split;
+}
+
+std::vector<double> resample_linear(std::span<const double> xs, std::size_t target) {
+  MANDIPASS_EXPECTS(target > 0);
+  std::vector<double> out(target, 0.0);
+  if (xs.empty()) {
+    return out;
+  }
+  if (xs.size() == 1) {
+    for (auto& v : out) {
+      v = xs[0];
+    }
+    return out;
+  }
+  if (target == 1) {
+    out[0] = xs[0];
+    return out;
+  }
+  const double scale = static_cast<double>(xs.size() - 1) / static_cast<double>(target - 1);
+  for (std::size_t i = 0; i < target; ++i) {
+    const double pos = static_cast<double>(i) * scale;
+    const std::size_t lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    out[i] = xs[lo] * (1.0 - frac) + xs[hi] * frac;
+  }
+  return out;
+}
+
+DirectionSplit direction_gradients(std::span<const double> segment, std::size_t half) {
+  MANDIPASS_EXPECTS(half > 0);
+  const auto g = gradients(segment);
+  auto split = split_by_sign(g);
+  split.positive = resample_linear(split.positive, half);
+  split.negative = resample_linear(split.negative, half);
+  return split;
+}
+
+}  // namespace mandipass::dsp

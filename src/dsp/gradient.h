@@ -1,0 +1,38 @@
+// Gradient computation and direction separation (Section V-B, Eq. 8).
+//
+// The MandiblePrint generation module separates positive- and negative-
+// direction vibration by computing per-axis gradients, splitting them by
+// sign, and linearly interpolating each side to exactly n/2 values so the
+// two CNN branches receive dimension-consistent inputs.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace mandipass::dsp {
+
+/// Forward-difference gradients with unit (normalised) time step:
+/// g_i = v_{i+1} - v_i, i in [0, n-2]. Precondition: xs.size() >= 2.
+std::vector<double> gradients(std::span<const double> xs);
+
+/// Result of splitting a gradient sequence by sign.
+struct DirectionSplit {
+  std::vector<double> positive;  ///< gradients >= 0, original order
+  std::vector<double> negative;  ///< gradients < 0, original order
+};
+
+/// Splits gradients by sign. Gradients >= 0 go to the positive direction
+/// (matching the paper: "larger than or equal to zero belong to the
+/// positive direction").
+DirectionSplit split_by_sign(std::span<const double> grads);
+
+/// Linear interpolation of `xs` onto `target` equally spaced points over
+/// the same index range. xs.empty() yields all zeros, a single sample is
+/// broadcast. Precondition: target > 0.
+std::vector<double> resample_linear(std::span<const double> xs, std::size_t target);
+
+/// Full Section V-B front half for one axis: gradients -> sign split ->
+/// both sides resampled to `half` values. Returns {positive, negative}.
+DirectionSplit direction_gradients(std::span<const double> segment, std::size_t half);
+
+}  // namespace mandipass::dsp

@@ -1,0 +1,40 @@
+#include "dsp/normalize.h"
+
+#include "common/stats.h"
+
+namespace mandipass::dsp {
+
+std::vector<double> minmax_normalize(std::span<const double> xs) {
+  std::vector<double> out(xs.size(), 0.0);
+  if (xs.empty()) {
+    return out;
+  }
+  const double lo = min_value(xs);
+  const double hi = max_value(xs);
+  if (hi == lo) {
+    return out;
+  }
+  const double inv = 1.0 / (hi - lo);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    out[i] = (xs[i] - lo) * inv;
+  }
+  return out;
+}
+
+std::vector<double> zscore_normalize(std::span<const double> xs) {
+  std::vector<double> out(xs.size(), 0.0);
+  if (xs.empty()) {
+    return out;
+  }
+  const double m = mean(xs);
+  const double s = stddev(xs);
+  if (s == 0.0) {
+    return out;
+  }
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    out[i] = (xs[i] - m) / s;
+  }
+  return out;
+}
+
+}  // namespace mandipass::dsp

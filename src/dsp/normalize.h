@@ -1,0 +1,18 @@
+// Min-max normalisation (Section IV, Eq. 7) and related scalers.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace mandipass::dsp {
+
+/// Maps a segment to [0, 1] via (x - min) / (max - min). A constant
+/// segment maps to all zeros (the paper does not define this case; zeros
+/// keep downstream gradients finite).
+std::vector<double> minmax_normalize(std::span<const double> xs);
+
+/// Z-score standardisation, used by the classic-classifier baselines.
+/// A constant segment maps to all zeros.
+std::vector<double> zscore_normalize(std::span<const double> xs);
+
+}  // namespace mandipass::dsp

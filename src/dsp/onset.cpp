@@ -1,0 +1,47 @@
+#include "dsp/onset.h"
+
+#include "common/error.h"
+#include "common/stats.h"
+
+namespace mandipass::dsp {
+
+std::optional<std::size_t> detect_onset(std::span<const double> xs, const OnsetConfig& config) {
+  MANDIPASS_EXPECTS(config.window > 0 && config.stride > 0);
+  MANDIPASS_EXPECTS(config.start_threshold >= config.sustain_threshold);
+  const auto stds = windowed_stddev(xs, config.window, config.stride);
+  for (std::size_t w = 0; w < stds.size(); ++w) {
+    if (stds[w] <= config.start_threshold) {
+      continue;
+    }
+    bool sustained = true;
+    const std::size_t last = std::min(w + config.sustain_windows, stds.size() - 1);
+    for (std::size_t v = w + 1; v <= last; ++v) {
+      if (stds[v] < config.sustain_threshold) {
+        sustained = false;
+        break;
+      }
+    }
+    if (sustained) {
+      return w * config.stride;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::span<const double>> segment_after_onset(std::span<const double> reference,
+                                                           std::span<const double> xs,
+                                                           std::size_t n,
+                                                           const OnsetConfig& config) {
+  MANDIPASS_EXPECTS(reference.size() == xs.size());
+  MANDIPASS_EXPECTS(n > 0);
+  const auto start = detect_onset(reference, config);
+  if (!start.has_value()) {
+    return std::nullopt;
+  }
+  if (*start + n > xs.size()) {
+    return std::nullopt;
+  }
+  return xs.subspan(*start, n);
+}
+
+}  // namespace mandipass::dsp

@@ -1,0 +1,41 @@
+// Vibration onset detection and segmentation (Section IV).
+//
+// "We first divide captured accelerometer signal values into windows and
+// then calculate the standard deviation of each window. Each window has
+// ten continuous signal values and the slide stride is also ten signal
+// values. If the standard deviation of a window is larger than 250 and
+// the standard deviations of the subsequent windows are not lower than
+// 100, the vibration is regarded to start at this window."
+//
+// The absolute thresholds (250 / 100) are in raw MPU LSB units; our
+// sensor model emits the same integer scale so the constants transfer.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+
+namespace mandipass::dsp {
+
+struct OnsetConfig {
+  std::size_t window = 10;        ///< samples per window
+  std::size_t stride = 10;        ///< window slide, equal to window in the paper
+  double start_threshold = 250.0; ///< std-dev that marks a candidate start
+  double sustain_threshold = 100.0; ///< subsequent windows must stay above this
+  std::size_t sustain_windows = 3;  ///< how many subsequent windows to check
+};
+
+/// Returns the index (into `xs`) of the first sample of the window where
+/// the vibration starts, or nullopt when no onset is present.
+std::optional<std::size_t> detect_onset(std::span<const double> xs, const OnsetConfig& config = {});
+
+/// Convenience: detects the onset on `reference` (the paper uses an
+/// accelerometer axis) and returns the n-sample segment of `xs` starting
+/// there, or nullopt when the onset is missing or fewer than `n` samples
+/// remain after it.
+std::optional<std::span<const double>> segment_after_onset(std::span<const double> reference,
+                                                           std::span<const double> xs,
+                                                           std::size_t n,
+                                                           const OnsetConfig& config = {});
+
+}  // namespace mandipass::dsp

@@ -1,0 +1,37 @@
+#include "dsp/resample.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "dsp/filter.h"
+
+namespace mandipass::dsp {
+
+std::vector<double> decimate(std::span<const double> xs, double fs_in, double fs_out) {
+  MANDIPASS_EXPECTS(fs_out > 0.0 && fs_out <= fs_in);
+  if (xs.empty()) {
+    return {};
+  }
+  std::vector<double> filtered;
+  if (fs_out == fs_in) {
+    filtered.assign(xs.begin(), xs.end());
+  } else {
+    auto aa = SosFilter::butterworth_lowpass4(0.45 * fs_out, fs_in);
+    filtered = aa.filter(xs);
+  }
+  const auto out_count =
+      static_cast<std::size_t>(std::floor(static_cast<double>(xs.size()) * fs_out / fs_in));
+  std::vector<double> out;
+  out.reserve(out_count);
+  const double step = fs_in / fs_out;
+  for (std::size_t i = 0; i < out_count; ++i) {
+    const auto src = static_cast<std::size_t>(std::llround(static_cast<double>(i) * step));
+    if (src >= filtered.size()) {
+      break;
+    }
+    out.push_back(filtered[src]);
+  }
+  return out;
+}
+
+}  // namespace mandipass::dsp

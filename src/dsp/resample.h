@@ -1,0 +1,18 @@
+// Rate conversion: the vibration simulator integrates its ODE at a high
+// internal rate (8 kHz) and must hand the IMU model samples at the sensor
+// rate (e.g. 350 Hz). Decimation runs an anti-alias low-pass before
+// picking every k-th sample.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace mandipass::dsp {
+
+/// Decimates `xs` sampled at `fs_in` down to `fs_out` using a 4th-order
+/// Butterworth anti-alias low-pass at 0.45 * fs_out followed by
+/// nearest-sample picking. fs_out need not divide fs_in.
+/// Precondition: 0 < fs_out <= fs_in.
+std::vector<double> decimate(std::span<const double> xs, double fs_in, double fs_out);
+
+}  // namespace mandipass::dsp

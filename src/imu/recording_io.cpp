@@ -1,0 +1,102 @@
+#include "imu/recording_io.h"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace mandipass::imu {
+namespace {
+
+constexpr const char* kMagic = "# mandipass-recording v1";
+
+double parse_double(std::string_view cell, const char* what) {
+  double value = 0.0;
+  const auto [ptr, ec] = std::from_chars(cell.data(), cell.data() + cell.size(), value);
+  if (ec != std::errc{} || ptr != cell.data() + cell.size()) {
+    throw SerializationError(std::string("malformed ") + what + ": '" + std::string(cell) +
+                             "'");
+  }
+  return value;
+}
+
+}  // namespace
+
+void write_recording_csv(std::ostream& os, const RawRecording& recording) {
+  MANDIPASS_EXPECTS(recording.sample_rate_hz > 0.0);
+  os << kMagic << "\n";
+  os << "# sample_rate_hz=" << recording.sample_rate_hz << "\n";
+  os << "ax,ay,az,gx,gy,gz\n";
+  const std::size_t n = recording.sample_count();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t a = 0; a < kAxisCount; ++a) {
+      MANDIPASS_EXPECTS(recording.axes[a].size() == n);
+      os << recording.axes[a][i];
+      os << (a + 1 < kAxisCount ? ',' : '\n');
+    }
+  }
+  if (!os) {
+    throw SerializationError("failed writing recording CSV");
+  }
+}
+
+RawRecording read_recording_csv(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line) || line != kMagic) {
+    throw SerializationError("missing recording magic header");
+  }
+  if (!std::getline(is, line) || line.rfind("# sample_rate_hz=", 0) != 0) {
+    throw SerializationError("missing sample_rate_hz header");
+  }
+  RawRecording rec;
+  rec.sample_rate_hz = parse_double(std::string_view(line).substr(17), "sample rate");
+  if (rec.sample_rate_hz <= 0.0) {
+    throw SerializationError("non-positive sample rate");
+  }
+  if (!std::getline(is, line) || line != "ax,ay,az,gx,gy,gz") {
+    throw SerializationError("missing axis column header");
+  }
+  std::size_t row = 0;
+  while (std::getline(is, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    std::size_t start = 0;
+    std::size_t axis = 0;
+    for (; axis < kAxisCount; ++axis) {
+      const std::size_t comma = line.find(',', start);
+      const bool last = axis + 1 == kAxisCount;
+      if (last != (comma == std::string::npos)) {
+        throw SerializationError("row " + std::to_string(row) + " has wrong column count");
+      }
+      const std::string_view cell =
+          std::string_view(line).substr(start, last ? std::string::npos : comma - start);
+      rec.axes[axis].push_back(parse_double(cell, "sample"));
+      start = comma + 1;
+    }
+    ++row;
+  }
+  if (row == 0) {
+    throw SerializationError("recording has no samples");
+  }
+  return rec;
+}
+
+void save_recording(const std::string& path, const RawRecording& recording) {
+  std::ofstream os(path);
+  if (!os) {
+    throw SerializationError("cannot open '" + path + "' for writing");
+  }
+  write_recording_csv(os, recording);
+}
+
+RawRecording load_recording(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) {
+    throw SerializationError("cannot open '" + path + "' for reading");
+  }
+  return read_recording_csv(is);
+}
+
+}  // namespace mandipass::imu

@@ -1,0 +1,35 @@
+// CSV (de)serialisation of raw IMU recordings.
+//
+// Format: a comment header carrying the sample rate, one column per axis
+// in the canonical order, one row per sample:
+//
+//   # mandipass-recording v1
+//   # sample_rate_hz=350
+//   ax,ay,az,gx,gy,gz
+//   -123,45,16204,3,-12,40
+//   ...
+//
+// This is the interchange format of the CLI tool (tools/mandipass_cli)
+// and the natural capture format for a real device bridge.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "imu/types.h"
+
+namespace mandipass::imu {
+
+/// Writes `recording` as CSV. Throws SerializationError on stream errors.
+void write_recording_csv(std::ostream& os, const RawRecording& recording);
+
+/// Parses a CSV recording; validates the magic header, the sample rate,
+/// the column count, and numeric cells. Throws SerializationError on any
+/// malformed input.
+RawRecording read_recording_csv(std::istream& is);
+
+/// File-path conveniences.
+void save_recording(const std::string& path, const RawRecording& recording);
+RawRecording load_recording(const std::string& path);
+
+}  // namespace mandipass::imu

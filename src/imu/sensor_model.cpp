@@ -1,0 +1,84 @@
+#include "imu/sensor_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace mandipass::imu {
+
+SensorSpec mpu9250_spec() {
+  SensorSpec s;
+  s.name = "MPU-9250";
+  s.accel_lsb_per_g = 16384.0;
+  s.gyro_lsb_per_dps = 131.0;
+  s.accel_noise_lsb = 35.0;
+  s.gyro_noise_lsb = 6.0;
+  s.glitch_probability = 0.004;
+  s.glitch_magnitude_lsb = 4000.0;
+  return s;
+}
+
+SensorSpec mpu6050_spec() {
+  SensorSpec s;
+  s.name = "MPU-6050";
+  s.accel_lsb_per_g = 16384.0;
+  s.gyro_lsb_per_dps = 131.0;
+  // The 6050's accel noise density (~400 ug/sqrt(Hz)) is a third higher
+  // than the 9250's (~300), and its glitch rate is a bit worse.
+  s.accel_noise_lsb = 47.0;
+  s.gyro_noise_lsb = 8.0;
+  s.glitch_probability = 0.006;
+  s.glitch_magnitude_lsb = 4500.0;
+  return s;
+}
+
+SensorModel::SensorModel(SensorSpec spec, Rng& rng) : spec_(std::move(spec)), rng_(rng.fork()) {
+  MANDIPASS_EXPECTS(spec_.accel_lsb_per_g > 0.0);
+  MANDIPASS_EXPECTS(spec_.gyro_lsb_per_dps > 0.0);
+}
+
+std::array<double, kAxisCount> SensorModel::sample(const MotionSample& motion) const {
+  const MotionSample rotated = orientation_.apply(motion);
+  std::array<double, kAxisCount> out{};
+  for (std::size_t i = 0; i < 3; ++i) {
+    double v = rotated.accel_g[i] * spec_.accel_lsb_per_g;
+    v += rng_.normal(0.0, spec_.accel_noise_lsb);
+    if (rng_.bernoulli(spec_.glitch_probability)) {
+      v += (rng_.bernoulli(0.5) ? 1.0 : -1.0) * spec_.glitch_magnitude_lsb *
+           (0.5 + rng_.uniform());
+    }
+    v = std::clamp(v, -spec_.full_scale_lsb, spec_.full_scale_lsb);
+    out[i] = std::round(v);
+  }
+  for (std::size_t i = 0; i < 3; ++i) {
+    double v = rotated.gyro_dps[i] * spec_.gyro_lsb_per_dps;
+    v += rng_.normal(0.0, spec_.gyro_noise_lsb);
+    if (rng_.bernoulli(spec_.glitch_probability)) {
+      v += (rng_.bernoulli(0.5) ? 1.0 : -1.0) * spec_.glitch_magnitude_lsb *
+           (0.5 + rng_.uniform()) * 0.25;
+    }
+    v = std::clamp(v, -spec_.full_scale_lsb, spec_.full_scale_lsb);
+    out[3 + i] = std::round(v);
+  }
+  return out;
+}
+
+RawRecording SensorModel::record(const std::vector<MotionSample>& trace,
+                                 double sample_rate_hz) const {
+  MANDIPASS_EXPECTS(sample_rate_hz > 0.0);
+  RawRecording rec;
+  rec.sample_rate_hz = sample_rate_hz;
+  for (auto& ax : rec.axes) {
+    ax.reserve(trace.size());
+  }
+  for (const auto& m : trace) {
+    const auto frame = sample(m);
+    for (std::size_t a = 0; a < kAxisCount; ++a) {
+      rec.axes[a].push_back(frame[a]);
+    }
+  }
+  return rec;
+}
+
+}  // namespace mandipass::imu

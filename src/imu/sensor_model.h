@@ -1,0 +1,64 @@
+// MEMS IMU front-end model.
+//
+// Converts ground-truth motion (g / deg-per-second) into the raw LSB
+// counts an MPU-9250 or MPU-6050 would report, including:
+//   * sensitivity scaling (LSB per g / LSB per dps)
+//   * additive white noise (sensor noise floor, per-sample sigma in LSB)
+//   * quantisation to integer counts and full-scale saturation
+//   * a sparse glitch process producing the hardware-imperfection
+//     outliers that Section IV's MAD stage exists to remove
+//
+// The paper's onset thresholds (std > 250 / >= 100) are in these LSB
+// units, so keeping the scale faithful makes its constants transfer.
+#pragma once
+
+#include <string>
+
+#include "common/rng.h"
+#include "imu/orientation.h"
+#include "imu/types.h"
+
+namespace mandipass::imu {
+
+/// Static description of one IMU part.
+struct SensorSpec {
+  std::string name;
+  double accel_lsb_per_g = 16384.0;    ///< +-2 g full scale
+  double gyro_lsb_per_dps = 131.0;     ///< +-250 dps full scale
+  double accel_noise_lsb = 35.0;       ///< white-noise sigma on accel axes
+  double gyro_noise_lsb = 6.0;         ///< white-noise sigma on gyro axes
+  double glitch_probability = 0.004;   ///< per-sample chance of an outlier spike
+  double glitch_magnitude_lsb = 4000;  ///< spike scale (sign random)
+  double full_scale_lsb = 32767.0;     ///< int16 saturation
+};
+
+/// MPU-9250: the paper's default sensor.
+SensorSpec mpu9250_spec();
+
+/// MPU-6050: slightly noisier, cheaper predecessor; the paper reports
+/// EER 1.29% vs 1.28% on it.
+SensorSpec mpu6050_spec();
+
+/// Stateful sampler turning motion samples into raw counts.
+class SensorModel {
+ public:
+  /// `rng` is forked so the model owns an independent stream.
+  SensorModel(SensorSpec spec, Rng& rng);
+
+  /// Samples one frame; applies mounting `orientation` first.
+  /// Returns six LSB values in canonical axis order.
+  std::array<double, kAxisCount> sample(const MotionSample& motion) const;
+
+  /// Converts a whole ground-truth trace into a RawRecording.
+  RawRecording record(const std::vector<MotionSample>& trace, double sample_rate_hz) const;
+
+  void set_orientation(const Rotation& r) { orientation_ = r; }
+  const SensorSpec& spec() const { return spec_; }
+
+ private:
+  SensorSpec spec_;
+  mutable Rng rng_;
+  Rotation orientation_;
+};
+
+}  // namespace mandipass::imu

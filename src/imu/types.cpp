@@ -1,0 +1,26 @@
+#include "imu/types.h"
+
+#include "common/error.h"
+
+namespace mandipass::imu {
+
+std::string_view axis_name(Axis axis) {
+  switch (axis) {
+    case Axis::Ax:
+      return "ax";
+    case Axis::Ay:
+      return "ay";
+    case Axis::Az:
+      return "az";
+    case Axis::Gx:
+      return "gx";
+    case Axis::Gy:
+      return "gy";
+    case Axis::Gz:
+      return "gz";
+  }
+  MANDIPASS_EXPECTS(false && "invalid axis");
+  return {};
+}
+
+}  // namespace mandipass::imu

@@ -1,0 +1,45 @@
+// Core IMU data types.
+//
+// A typical IMU exposes a 3-axis accelerometer (ax, ay, az) and a 3-axis
+// gyroscope (gx, gy, gz). MandiPass consumes all six axes as time series;
+// the paper's axis order "ax, ay, az, gx, gy, gz" (Section VII-B) is
+// encoded in the Axis enum and must not be permuted — the Fig. 11(a)
+// ablation selects axis prefixes in exactly this order.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+namespace mandipass::imu {
+
+/// The six IMU axes in the paper's canonical order.
+enum class Axis : std::size_t { Ax = 0, Ay = 1, Az = 2, Gx = 3, Gy = 4, Gz = 5 };
+
+inline constexpr std::size_t kAxisCount = 6;
+
+/// Human-readable axis name ("ax".."gz").
+std::string_view axis_name(Axis axis);
+
+/// One instant of ground-truth motion at the sensor: specific force in g
+/// and angular rate in degrees/second, both in the sensor body frame.
+struct MotionSample {
+  std::array<double, 3> accel_g{};   ///< specific force [g]
+  std::array<double, 3> gyro_dps{};  ///< angular rate [deg/s]
+};
+
+/// A raw recording as produced by the sensor front-end: six channels of
+/// quantised LSB counts at a fixed sample rate. Stored as double for
+/// convenience, but every value is integral after quantisation.
+struct RawRecording {
+  double sample_rate_hz = 0.0;
+  std::array<std::vector<double>, kAxisCount> axes{};
+
+  std::size_t sample_count() const { return axes[0].size(); }
+
+  const std::vector<double>& axis(Axis a) const { return axes[static_cast<std::size_t>(a)]; }
+  std::vector<double>& axis(Axis a) { return axes[static_cast<std::size_t>(a)]; }
+};
+
+}  // namespace mandipass::imu

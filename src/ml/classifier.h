@@ -1,0 +1,33 @@
+// Common interface of the classic classifiers used as baselines in
+// Fig. 7(b) and Fig. 10(a): SVM, k-NN, decision tree, naive Bayes and a
+// small neural network.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "ml/dataset.h"
+
+namespace mandipass::ml {
+
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+  Classifier() = default;
+  Classifier(const Classifier&) = delete;
+  Classifier& operator=(const Classifier&) = delete;
+
+  /// Trains on the whole dataset.
+  virtual void fit(const Dataset& train) = 0;
+
+  /// Predicts the class of one feature vector.
+  virtual std::uint32_t predict(std::span<const double> x) const = 0;
+
+  /// Display name ("SVM", "KNN", ...).
+  virtual std::string name() const = 0;
+
+  /// Fraction of correctly classified rows.
+  double accuracy(const Dataset& test) const;
+};
+
+}  // namespace mandipass::ml

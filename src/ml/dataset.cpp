@@ -1,0 +1,92 @@
+#include "ml/dataset.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "ml/classifier.h"
+
+namespace mandipass::ml {
+
+std::size_t Dataset::class_count() const {
+  std::uint32_t mx = 0;
+  for (std::uint32_t label : y) {
+    mx = std::max(mx, label);
+  }
+  return y.empty() ? 0 : mx + 1;
+}
+
+void Dataset::add(std::vector<double> features, std::uint32_t label) {
+  MANDIPASS_EXPECTS(x.empty() || features.size() == x.front().size());
+  x.push_back(std::move(features));
+  y.push_back(label);
+}
+
+Split train_test_split(const Dataset& data, double train_fraction, Rng& rng) {
+  MANDIPASS_EXPECTS(train_fraction > 0.0 && train_fraction < 1.0);
+  MANDIPASS_EXPECTS(data.x.size() == data.y.size());
+  const auto perm = rng.permutation(data.size());
+  const auto n_train = static_cast<std::size_t>(static_cast<double>(data.size()) * train_fraction);
+  Split split;
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    Dataset& dst = i < n_train ? split.train : split.test;
+    dst.add(data.x[perm[i]], data.y[perm[i]]);
+  }
+  return split;
+}
+
+void StandardScaler::fit(const Dataset& data) {
+  MANDIPASS_EXPECTS(!data.x.empty());
+  const std::size_t d = data.feature_count();
+  mean_.assign(d, 0.0);
+  inv_std_.assign(d, 1.0);
+  for (const auto& row : data.x) {
+    for (std::size_t j = 0; j < d; ++j) {
+      mean_[j] += row[j];
+    }
+  }
+  for (auto& m : mean_) {
+    m /= static_cast<double>(data.size());
+  }
+  std::vector<double> var(d, 0.0);
+  for (const auto& row : data.x) {
+    for (std::size_t j = 0; j < d; ++j) {
+      const double dd = row[j] - mean_[j];
+      var[j] += dd * dd;
+    }
+  }
+  for (std::size_t j = 0; j < d; ++j) {
+    var[j] /= static_cast<double>(data.size());
+    inv_std_[j] = var[j] > 0.0 ? 1.0 / std::sqrt(var[j]) : 1.0;
+  }
+}
+
+std::vector<double> StandardScaler::transform(std::span<const double> x) const {
+  MANDIPASS_EXPECTS(x.size() == mean_.size());
+  std::vector<double> out(x.size());
+  for (std::size_t j = 0; j < x.size(); ++j) {
+    out[j] = (x[j] - mean_[j]) * inv_std_[j];
+  }
+  return out;
+}
+
+Dataset StandardScaler::transform(const Dataset& data) const {
+  Dataset out;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    out.add(transform(data.x[i]), data.y[i]);
+  }
+  return out;
+}
+
+double Classifier::accuracy(const Dataset& test) const {
+  MANDIPASS_EXPECTS(!test.x.empty());
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    if (predict(test.x[i]) == test.y[i]) {
+      ++correct;
+    }
+  }
+  return static_cast<double>(correct) / static_cast<double>(test.size());
+}
+
+}  // namespace mandipass::ml

@@ -1,0 +1,45 @@
+// Labelled feature-vector dataset with split / scaling utilities.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace mandipass::ml {
+
+/// Row-major labelled dataset. All rows share one dimensionality.
+struct Dataset {
+  std::vector<std::vector<double>> x;
+  std::vector<std::uint32_t> y;
+
+  std::size_t size() const { return x.size(); }
+  std::size_t feature_count() const { return x.empty() ? 0 : x.front().size(); }
+  std::size_t class_count() const;
+
+  void add(std::vector<double> features, std::uint32_t label);
+};
+
+/// Shuffled train/test split; `train_fraction` of rows (rounded down) go
+/// to the training set. Deterministic given `rng`.
+struct Split {
+  Dataset train;
+  Dataset test;
+};
+Split train_test_split(const Dataset& data, double train_fraction, Rng& rng);
+
+/// Per-feature affine scaler fitted on the training set (z-score). Fitting
+/// on train and applying to both halves avoids information leakage.
+class StandardScaler {
+ public:
+  void fit(const Dataset& data);
+  std::vector<double> transform(std::span<const double> x) const;
+  Dataset transform(const Dataset& data) const;
+
+ private:
+  std::vector<double> mean_;
+  std::vector<double> inv_std_;
+};
+
+}  // namespace mandipass::ml

@@ -1,0 +1,185 @@
+#include "ml/decision_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/error.h"
+
+namespace mandipass::ml {
+
+struct DecisionTreeClassifier::Node {
+  bool leaf = true;
+  std::uint32_t label = 0;
+  std::size_t feature = 0;
+  double threshold = 0.0;
+  std::unique_ptr<Node> left;   ///< x[feature] <= threshold
+  std::unique_ptr<Node> right;  ///< x[feature] > threshold
+};
+
+namespace {
+
+double gini_from_counts(const std::map<std::uint32_t, std::size_t>& counts, std::size_t total) {
+  if (total == 0) {
+    return 0.0;
+  }
+  double sum_sq = 0.0;
+  for (const auto& [label, c] : counts) {
+    const double p = static_cast<double>(c) / static_cast<double>(total);
+    sum_sq += p * p;
+  }
+  return 1.0 - sum_sq;
+}
+
+std::uint32_t majority(const Dataset& data, const std::vector<std::size_t>& indices) {
+  std::map<std::uint32_t, std::size_t> counts;
+  for (std::size_t i : indices) {
+    ++counts[data.y[i]];
+  }
+  std::uint32_t best = 0;
+  std::size_t best_count = 0;
+  for (const auto& [label, c] : counts) {
+    if (c > best_count) {
+      best = label;
+      best_count = c;
+    }
+  }
+  return best;
+}
+
+bool is_pure(const Dataset& data, const std::vector<std::size_t>& indices) {
+  for (std::size_t i = 1; i < indices.size(); ++i) {
+    if (data.y[indices[i]] != data.y[indices[0]]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+DecisionTreeClassifier::DecisionTreeClassifier(DecisionTreeConfig config) : config_(config) {
+  MANDIPASS_EXPECTS(config.max_depth > 0);
+  MANDIPASS_EXPECTS(config.min_samples_leaf > 0);
+}
+
+DecisionTreeClassifier::~DecisionTreeClassifier() = default;
+
+void DecisionTreeClassifier::fit(const Dataset& train) {
+  MANDIPASS_EXPECTS(!train.x.empty());
+  std::vector<std::size_t> indices(train.size());
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    indices[i] = i;
+  }
+  root_ = build(train, indices, 0);
+}
+
+std::unique_ptr<DecisionTreeClassifier::Node> DecisionTreeClassifier::build(
+    const Dataset& data, std::vector<std::size_t>& indices, std::size_t depth) {
+  auto node = std::make_unique<Node>();
+  node->label = majority(data, indices);
+  if (depth >= config_.max_depth || indices.size() < config_.min_samples_split ||
+      is_pure(data, indices)) {
+    return node;
+  }
+
+  const std::size_t d = data.feature_count();
+  double best_gain = 1e-12;
+  std::size_t best_feature = 0;
+  double best_threshold = 0.0;
+
+  std::map<std::uint32_t, std::size_t> total_counts;
+  for (std::size_t i : indices) {
+    ++total_counts[data.y[i]];
+  }
+  const double parent_gini = gini_from_counts(total_counts, indices.size());
+
+  std::vector<std::pair<double, std::uint32_t>> column(indices.size());
+  for (std::size_t f = 0; f < d; ++f) {
+    for (std::size_t i = 0; i < indices.size(); ++i) {
+      column[i] = {data.x[indices[i]][f], data.y[indices[i]]};
+    }
+    std::sort(column.begin(), column.end());
+    std::map<std::uint32_t, std::size_t> left_counts;
+    std::map<std::uint32_t, std::size_t> right_counts = total_counts;
+    for (std::size_t i = 0; i + 1 < column.size(); ++i) {
+      ++left_counts[column[i].second];
+      auto it = right_counts.find(column[i].second);
+      if (--(it->second) == 0) {
+        right_counts.erase(it);
+      }
+      if (column[i].first == column[i + 1].first) {
+        continue;  // cannot split between identical values
+      }
+      const std::size_t nl = i + 1;
+      const std::size_t nr = column.size() - nl;
+      if (nl < config_.min_samples_leaf || nr < config_.min_samples_leaf) {
+        continue;
+      }
+      const double gini =
+          (static_cast<double>(nl) * gini_from_counts(left_counts, nl) +
+           static_cast<double>(nr) * gini_from_counts(right_counts, nr)) /
+          static_cast<double>(column.size());
+      const double gain = parent_gini - gini;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = f;
+        best_threshold = 0.5 * (column[i].first + column[i + 1].first);
+      }
+    }
+  }
+  if (best_gain <= 1e-12) {
+    return node;
+  }
+
+  std::vector<std::size_t> left_idx;
+  std::vector<std::size_t> right_idx;
+  for (std::size_t i : indices) {
+    (data.x[i][best_feature] <= best_threshold ? left_idx : right_idx).push_back(i);
+  }
+  if (left_idx.empty() || right_idx.empty()) {
+    return node;
+  }
+  node->leaf = false;
+  node->feature = best_feature;
+  node->threshold = best_threshold;
+  node->left = build(data, left_idx, depth + 1);
+  node->right = build(data, right_idx, depth + 1);
+  return node;
+}
+
+std::uint32_t DecisionTreeClassifier::predict(std::span<const double> x) const {
+  MANDIPASS_EXPECTS(root_ != nullptr);
+  const Node* n = root_.get();
+  while (!n->leaf) {
+    n = x[n->feature] <= n->threshold ? n->left.get() : n->right.get();
+  }
+  return n->label;
+}
+
+std::size_t DecisionTreeClassifier::node_count() const {
+  // Simple recursive walk; declared here to keep Node private.
+  struct Walker {
+    static std::size_t count(const Node* n) {
+      if (n == nullptr) {
+        return 0;
+      }
+      return 1 + count(n->left.get()) + count(n->right.get());
+    }
+  };
+  return Walker::count(root_.get());
+}
+
+std::size_t DecisionTreeClassifier::depth() const {
+  struct Walker {
+    static std::size_t depth(const Node* n) {
+      if (n == nullptr || n->leaf) {
+        return 0;
+      }
+      return 1 + std::max(depth(n->left.get()), depth(n->right.get()));
+    }
+  };
+  return Walker::depth(root_.get());
+}
+
+}  // namespace mandipass::ml

@@ -1,0 +1,37 @@
+// CART decision tree with Gini impurity.
+#pragma once
+
+#include <memory>
+
+#include "ml/classifier.h"
+
+namespace mandipass::ml {
+
+struct DecisionTreeConfig {
+  std::size_t max_depth = 12;
+  std::size_t min_samples_split = 4;
+  std::size_t min_samples_leaf = 2;
+};
+
+class DecisionTreeClassifier final : public Classifier {
+ public:
+  explicit DecisionTreeClassifier(DecisionTreeConfig config = {});
+  ~DecisionTreeClassifier() override;
+
+  void fit(const Dataset& train) override;
+  std::uint32_t predict(std::span<const double> x) const override;
+  std::string name() const override { return "DT"; }
+
+  std::size_t node_count() const;
+  std::size_t depth() const;
+
+ private:
+  struct Node;
+  DecisionTreeConfig config_;
+  std::unique_ptr<Node> root_;
+
+  std::unique_ptr<Node> build(const Dataset& data, std::vector<std::size_t>& indices,
+                              std::size_t depth);
+};
+
+}  // namespace mandipass::ml

@@ -1,0 +1,26 @@
+#include "ml/features.h"
+
+#include "common/error.h"
+#include "common/stats.h"
+
+namespace mandipass::ml {
+
+std::vector<double> axis_statistics(std::span<const double> segment) {
+  MANDIPASS_EXPECTS(!segment.empty());
+  return {
+      mean(segment),          median(segment),         variance(segment),
+      stddev(segment),        quantile(segment, 0.75), quantile(segment, 0.25),
+  };
+}
+
+std::vector<double> sfs_features(std::span<const std::vector<double>> axes) {
+  std::vector<double> out;
+  out.reserve(axes.size() * kStatsPerAxis);
+  for (const auto& axis : axes) {
+    const auto stats = axis_statistics(axis);
+    out.insert(out.end(), stats.begin(), stats.end());
+  }
+  return out;
+}
+
+}  // namespace mandipass::ml

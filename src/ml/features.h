@@ -1,0 +1,28 @@
+// Statistical feature samples (SFS), Section V-A.
+//
+// "we calculate six common statistical features (mean, median, variance,
+// standard deviation, upper quartile, and low quartile) for each axis. In
+// this way, we obtain 6 x 6 = 36 statistical features for each signal
+// array." The paper shows these are NOT person-separable (best classic
+// classifier < 65%), which motivates the deep biometric extractor —
+// bench_fig7_statistical reproduces that negative result.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace mandipass::ml {
+
+/// Number of statistics per axis.
+inline constexpr std::size_t kStatsPerAxis = 6;
+
+/// Computes the 6 statistics of one axis segment in the paper's order:
+/// mean, median, variance, standard deviation, upper quartile (75%),
+/// lower quartile (25%). Precondition: !segment.empty().
+std::vector<double> axis_statistics(std::span<const double> segment);
+
+/// Concatenates the per-axis statistics of a multi-axis signal array into
+/// one SFS vector of size axes.size() * 6.
+std::vector<double> sfs_features(std::span<const std::vector<double>> axes);
+
+}  // namespace mandipass::ml

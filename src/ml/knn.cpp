@@ -1,0 +1,49 @@
+#include "ml/knn.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/error.h"
+
+namespace mandipass::ml {
+
+KnnClassifier::KnnClassifier(std::size_t k) : k_(k) {
+  MANDIPASS_EXPECTS(k > 0);
+}
+
+void KnnClassifier::fit(const Dataset& train) {
+  MANDIPASS_EXPECTS(!train.x.empty());
+  train_ = train;
+}
+
+std::uint32_t KnnClassifier::predict(std::span<const double> x) const {
+  MANDIPASS_EXPECTS(!train_.x.empty());
+  std::vector<std::pair<double, std::uint32_t>> dist;
+  dist.reserve(train_.size());
+  for (std::size_t i = 0; i < train_.size(); ++i) {
+    const auto& row = train_.x[i];
+    double d2 = 0.0;
+    for (std::size_t j = 0; j < x.size(); ++j) {
+      const double d = row[j] - x[j];
+      d2 += d * d;
+    }
+    dist.emplace_back(d2, train_.y[i]);
+  }
+  const std::size_t k = std::min(k_, dist.size());
+  std::partial_sort(dist.begin(), dist.begin() + static_cast<std::ptrdiff_t>(k), dist.end());
+  std::map<std::uint32_t, std::size_t> votes;
+  for (std::size_t i = 0; i < k; ++i) {
+    ++votes[dist[i].second];
+  }
+  std::uint32_t best = dist[0].second;  // nearest neighbour breaks ties
+  std::size_t best_votes = votes[best];
+  for (const auto& [label, count] : votes) {
+    if (count > best_votes) {
+      best = label;
+      best_votes = count;
+    }
+  }
+  return best;
+}
+
+}  // namespace mandipass::ml

@@ -1,0 +1,22 @@
+// k-nearest-neighbours classifier (Euclidean metric, majority vote with
+// nearest-neighbour tie break).
+#pragma once
+
+#include "ml/classifier.h"
+
+namespace mandipass::ml {
+
+class KnnClassifier final : public Classifier {
+ public:
+  explicit KnnClassifier(std::size_t k = 5);
+
+  void fit(const Dataset& train) override;
+  std::uint32_t predict(std::span<const double> x) const override;
+  std::string name() const override { return "KNN"; }
+
+ private:
+  std::size_t k_;
+  Dataset train_;
+};
+
+}  // namespace mandipass::ml

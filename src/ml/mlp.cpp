@@ -1,0 +1,70 @@
+#include "ml/mlp.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "nn/adam.h"
+#include "nn/layers.h"
+#include "nn/linear.h"
+#include "nn/loss.h"
+
+namespace mandipass::ml {
+
+MlpClassifier::MlpClassifier(MlpConfig config) : config_(config) {
+  MANDIPASS_EXPECTS(config.hidden > 0 && config.epochs > 0 && config.batch_size > 0);
+}
+
+void MlpClassifier::fit(const Dataset& train) {
+  MANDIPASS_EXPECTS(!train.x.empty());
+  features_ = train.feature_count();
+  classes_ = train.class_count();
+  Rng rng(config_.seed);
+
+  net_ = std::make_unique<nn::Sequential>();
+  net_->add(std::make_unique<nn::Linear>(features_, config_.hidden, rng));
+  net_->add(std::make_unique<nn::ReLU>());
+  net_->add(std::make_unique<nn::Linear>(config_.hidden, classes_, rng));
+
+  nn::Adam opt(net_->params(), {.lr = config_.lr});
+  nn::SoftmaxCrossEntropy loss;
+
+  for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    const auto perm = rng.permutation(train.size());
+    for (std::size_t start = 0; start < perm.size(); start += config_.batch_size) {
+      const std::size_t bs = std::min(config_.batch_size, perm.size() - start);
+      nn::Tensor batch({bs, features_});
+      std::vector<std::uint32_t> labels(bs);
+      for (std::size_t i = 0; i < bs; ++i) {
+        const std::size_t src = perm[start + i];
+        labels[i] = train.y[src];
+        for (std::size_t j = 0; j < features_; ++j) {
+          batch.at2(i, j) = static_cast<float>(train.x[src][j]);
+        }
+      }
+      opt.zero_grad();
+      const nn::Tensor logits = net_->forward(batch, /*train=*/true);
+      loss.forward(logits, labels);
+      net_->backward(loss.backward());
+      opt.step();
+    }
+  }
+}
+
+std::uint32_t MlpClassifier::predict(std::span<const double> x) const {
+  MANDIPASS_EXPECTS(net_ != nullptr);
+  MANDIPASS_EXPECTS(x.size() == features_);
+  nn::Tensor input({1, features_});
+  for (std::size_t j = 0; j < features_; ++j) {
+    input.at2(0, j) = static_cast<float>(x[j]);
+  }
+  const nn::Tensor logits = net_->forward(input, /*train=*/false);
+  std::uint32_t best = 0;
+  for (std::size_t k = 1; k < classes_; ++k) {
+    if (logits.at2(0, k) > logits.at2(0, best)) {
+      best = static_cast<std::uint32_t>(k);
+    }
+  }
+  return best;
+}
+
+}  // namespace mandipass::ml

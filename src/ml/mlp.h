@@ -1,0 +1,35 @@
+// Small fully connected neural network ("NN" in Fig. 7(b) / Fig. 10(a)),
+// built on the nn framework: Linear -> ReLU -> Linear, softmax CE, Adam.
+#pragma once
+
+#include <memory>
+
+#include "ml/classifier.h"
+#include "nn/sequential.h"
+
+namespace mandipass::ml {
+
+struct MlpConfig {
+  std::size_t hidden = 64;
+  std::size_t epochs = 30;
+  std::size_t batch_size = 32;
+  double lr = 1e-3;
+  std::uint64_t seed = 23;
+};
+
+class MlpClassifier final : public Classifier {
+ public:
+  explicit MlpClassifier(MlpConfig config = {});
+
+  void fit(const Dataset& train) override;
+  std::uint32_t predict(std::span<const double> x) const override;
+  std::string name() const override { return "NN"; }
+
+ private:
+  MlpConfig config_;
+  std::unique_ptr<nn::Sequential> net_;
+  std::size_t features_ = 0;
+  std::size_t classes_ = 0;
+};
+
+}  // namespace mandipass::ml

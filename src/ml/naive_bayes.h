@@ -1,0 +1,26 @@
+// Gaussian naive Bayes: per-class independent normal likelihood per
+// feature, maximum a posteriori decision.
+#pragma once
+
+#include "ml/classifier.h"
+
+namespace mandipass::ml {
+
+class NaiveBayesClassifier final : public Classifier {
+ public:
+  /// `var_smoothing` is added to every variance (as a fraction of the
+  /// largest feature variance), mirroring scikit-learn's stabiliser.
+  explicit NaiveBayesClassifier(double var_smoothing = 1e-9);
+
+  void fit(const Dataset& train) override;
+  std::uint32_t predict(std::span<const double> x) const override;
+  std::string name() const override { return "NB"; }
+
+ private:
+  double var_smoothing_;
+  std::vector<double> log_prior_;
+  std::vector<std::vector<double>> mean_;  ///< [class][feature]
+  std::vector<std::vector<double>> var_;   ///< [class][feature]
+};
+
+}  // namespace mandipass::ml

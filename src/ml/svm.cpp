@@ -1,0 +1,76 @@
+#include "ml/svm.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+
+namespace mandipass::ml {
+
+SvmClassifier::SvmClassifier(SvmConfig config) : config_(config) {
+  MANDIPASS_EXPECTS(config.lambda > 0.0);
+  MANDIPASS_EXPECTS(config.epochs > 0);
+}
+
+void SvmClassifier::fit(const Dataset& train) {
+  MANDIPASS_EXPECTS(!train.x.empty());
+  const std::size_t classes = train.class_count();
+  const std::size_t d = train.feature_count();
+  w_.assign(classes, std::vector<double>(d, 0.0));
+  b_.assign(classes, 0.0);
+
+  Rng rng(config_.seed);
+  std::size_t t = 1;
+  for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    const auto perm = rng.permutation(train.size());
+    for (std::size_t idx : perm) {
+      const auto& x = train.x[idx];
+      const double eta = 1.0 / (config_.lambda * static_cast<double>(t));
+      ++t;
+      for (std::size_t c = 0; c < classes; ++c) {
+        const double y = train.y[idx] == c ? 1.0 : -1.0;
+        double margin = b_[c];
+        for (std::size_t j = 0; j < d; ++j) {
+          margin += w_[c][j] * x[j];
+        }
+        margin *= y;
+        // Pegasos update: shrink, then push on margin violation.
+        const double shrink = 1.0 - eta * config_.lambda;
+        for (std::size_t j = 0; j < d; ++j) {
+          w_[c][j] *= shrink;
+        }
+        if (margin < 1.0) {
+          for (std::size_t j = 0; j < d; ++j) {
+            w_[c][j] += eta * y * x[j];
+          }
+          b_[c] += eta * y;
+        }
+      }
+    }
+  }
+}
+
+double SvmClassifier::decision(std::span<const double> x, std::size_t c) const {
+  MANDIPASS_EXPECTS(c < w_.size());
+  double v = b_[c];
+  for (std::size_t j = 0; j < x.size(); ++j) {
+    v += w_[c][j] * x[j];
+  }
+  return v;
+}
+
+std::uint32_t SvmClassifier::predict(std::span<const double> x) const {
+  MANDIPASS_EXPECTS(!w_.empty());
+  double best = -std::numeric_limits<double>::infinity();
+  std::uint32_t label = 0;
+  for (std::size_t c = 0; c < w_.size(); ++c) {
+    const double v = decision(x, c);
+    if (v > best) {
+      best = v;
+      label = static_cast<std::uint32_t>(c);
+    }
+  }
+  return label;
+}
+
+}  // namespace mandipass::ml

@@ -1,0 +1,33 @@
+// Linear support vector machine, one-vs-rest, trained by SGD on the
+// L2-regularised hinge loss (Pegasos-style step schedule).
+#pragma once
+
+#include "common/rng.h"
+#include "ml/classifier.h"
+
+namespace mandipass::ml {
+
+struct SvmConfig {
+  double lambda = 1e-4;  ///< L2 regularisation strength
+  std::size_t epochs = 40;
+  std::uint64_t seed = 17;
+};
+
+class SvmClassifier final : public Classifier {
+ public:
+  explicit SvmClassifier(SvmConfig config = {});
+
+  void fit(const Dataset& train) override;
+  std::uint32_t predict(std::span<const double> x) const override;
+  std::string name() const override { return "SVM"; }
+
+  /// Raw decision value of class c for x (w_c . x + b_c).
+  double decision(std::span<const double> x, std::size_t c) const;
+
+ private:
+  SvmConfig config_;
+  std::vector<std::vector<double>> w_;  ///< [class][feature]
+  std::vector<double> b_;
+};
+
+}  // namespace mandipass::ml

@@ -1,0 +1,42 @@
+// Adam optimiser (Kingma & Ba), the paper's Section V-C choice.
+#pragma once
+
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace mandipass::nn {
+
+struct AdamConfig {
+  double lr = 1e-3;
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double eps = 1e-8;
+  double weight_decay = 0.0;  ///< decoupled (AdamW-style) when > 0
+};
+
+class Adam {
+ public:
+  /// Registers the parameters to optimise; their addresses must stay valid
+  /// for the optimiser's lifetime.
+  Adam(std::vector<Param*> params, AdamConfig config = {});
+
+  /// Zeroes every registered gradient (call before each batch backward).
+  void zero_grad();
+
+  /// Applies one Adam update from the accumulated gradients.
+  void step();
+
+  void set_lr(double lr) { config_.lr = lr; }
+  double lr() const { return config_.lr; }
+  std::size_t step_count() const { return t_; }
+
+ private:
+  std::vector<Param*> params_;
+  AdamConfig config_;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+  std::size_t t_ = 0;
+};
+
+}  // namespace mandipass::nn

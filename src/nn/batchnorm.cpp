@@ -1,0 +1,151 @@
+#include "nn/batchnorm.h"
+
+#include <cmath>
+
+#include "nn/serialize.h"
+
+namespace mandipass::nn {
+
+BatchNorm2d::BatchNorm2d(std::size_t channels, double momentum, double eps)
+    : channels_(channels),
+      momentum_(momentum),
+      eps_(eps),
+      gamma_({channels}),
+      beta_({channels}),
+      running_mean_({channels}),
+      running_var_({channels}) {
+  MANDIPASS_EXPECTS(channels > 0);
+  MANDIPASS_EXPECTS(momentum > 0.0 && momentum <= 1.0);
+  gamma_.value.fill(1.0f);
+  running_var_.fill(1.0f);
+}
+
+Tensor BatchNorm2d::forward(const Tensor& input, bool train) {
+  if (input.rank() != 4 || input.dim(1) != channels_) {
+    throw ShapeError("BatchNorm2d::forward expects (N, C, H, W)");
+  }
+  const std::size_t n = input.dim(0);
+  const std::size_t h = input.dim(2);
+  const std::size_t w = input.dim(3);
+  const std::size_t plane = n * h * w;
+
+  Tensor out(input.shape());
+  if (train) {
+    x_hat_ = Tensor(input.shape());
+    batch_inv_std_.assign(channels_, 0.0f);
+    for (std::size_t c = 0; c < channels_; ++c) {
+      double sum = 0.0;
+      for (std::size_t b = 0; b < n; ++b) {
+        for (std::size_t i = 0; i < h; ++i) {
+          for (std::size_t j = 0; j < w; ++j) {
+            sum += input.at4(b, c, i, j);
+          }
+        }
+      }
+      const double mu = sum / static_cast<double>(plane);
+      double var = 0.0;
+      for (std::size_t b = 0; b < n; ++b) {
+        for (std::size_t i = 0; i < h; ++i) {
+          for (std::size_t j = 0; j < w; ++j) {
+            const double d = input.at4(b, c, i, j) - mu;
+            var += d * d;
+          }
+        }
+      }
+      var /= static_cast<double>(plane);
+      const double inv_std = 1.0 / std::sqrt(var + eps_);
+      batch_inv_std_[c] = static_cast<float>(inv_std);
+      running_mean_[c] = static_cast<float>((1.0 - momentum_) * running_mean_[c] + momentum_ * mu);
+      running_var_[c] = static_cast<float>((1.0 - momentum_) * running_var_[c] + momentum_ * var);
+      const float g = gamma_.value[c];
+      const float be = beta_.value[c];
+      for (std::size_t b = 0; b < n; ++b) {
+        for (std::size_t i = 0; i < h; ++i) {
+          for (std::size_t j = 0; j < w; ++j) {
+            const float xh = static_cast<float>((input.at4(b, c, i, j) - mu) * inv_std);
+            x_hat_.at4(b, c, i, j) = xh;
+            out.at4(b, c, i, j) = g * xh + be;
+          }
+        }
+      }
+    }
+  } else {
+    for (std::size_t c = 0; c < channels_; ++c) {
+      const float mu = running_mean_[c];
+      const float inv_std = static_cast<float>(1.0 / std::sqrt(running_var_[c] + eps_));
+      const float g = gamma_.value[c];
+      const float be = beta_.value[c];
+      for (std::size_t b = 0; b < n; ++b) {
+        for (std::size_t i = 0; i < h; ++i) {
+          for (std::size_t j = 0; j < w; ++j) {
+            out.at4(b, c, i, j) = g * (input.at4(b, c, i, j) - mu) * inv_std + be;
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor BatchNorm2d::backward(const Tensor& grad_output) {
+  MANDIPASS_EXPECTS(!x_hat_.empty());
+  Tensor::check_same_shape(grad_output, x_hat_, "BatchNorm2d::backward");
+  const std::size_t n = grad_output.dim(0);
+  const std::size_t h = grad_output.dim(2);
+  const std::size_t w = grad_output.dim(3);
+  const double plane = static_cast<double>(n * h * w);
+
+  Tensor grad_in(grad_output.shape());
+  for (std::size_t c = 0; c < channels_; ++c) {
+    double sum_dy = 0.0;
+    double sum_dy_xhat = 0.0;
+    for (std::size_t b = 0; b < n; ++b) {
+      for (std::size_t i = 0; i < h; ++i) {
+        for (std::size_t j = 0; j < w; ++j) {
+          const double dy = grad_output.at4(b, c, i, j);
+          sum_dy += dy;
+          sum_dy_xhat += dy * x_hat_.at4(b, c, i, j);
+        }
+      }
+    }
+    gamma_.grad[c] += static_cast<float>(sum_dy_xhat);
+    beta_.grad[c] += static_cast<float>(sum_dy);
+    const double g = gamma_.value[c];
+    const double inv_std = batch_inv_std_[c];
+    for (std::size_t b = 0; b < n; ++b) {
+      for (std::size_t i = 0; i < h; ++i) {
+        for (std::size_t j = 0; j < w; ++j) {
+          const double dy = grad_output.at4(b, c, i, j);
+          const double xh = x_hat_.at4(b, c, i, j);
+          grad_in.at4(b, c, i, j) = static_cast<float>(
+              g * inv_std * (dy - sum_dy / plane - xh * sum_dy_xhat / plane));
+        }
+      }
+    }
+  }
+  return grad_in;
+}
+
+void BatchNorm2d::save_state(std::ostream& os) const {
+  write_tensor(os, gamma_.value);
+  write_tensor(os, beta_.value);
+  write_tensor(os, running_mean_);
+  write_tensor(os, running_var_);
+}
+
+void BatchNorm2d::load_state(std::istream& is) {
+  Tensor g = read_tensor(is);
+  Tensor b = read_tensor(is);
+  Tensor rm = read_tensor(is);
+  Tensor rv = read_tensor(is);
+  if (g.shape() != gamma_.value.shape() || b.shape() != beta_.value.shape() ||
+      rm.shape() != running_mean_.shape() || rv.shape() != running_var_.shape()) {
+    throw SerializationError("BatchNorm2d state shape mismatch");
+  }
+  gamma_.value = std::move(g);
+  beta_.value = std::move(b);
+  running_mean_ = std::move(rm);
+  running_var_ = std::move(rv);
+}
+
+}  // namespace mandipass::nn

@@ -1,0 +1,41 @@
+// BatchNorm2d: per-channel batch normalisation over (N, H, W).
+//
+// The paper follows every convolution with a BN + ReLU pair "to prevent
+// data distribution from offset" (Section V-B). Training mode uses batch
+// statistics and maintains exponential running averages; evaluation mode
+// (on-earbud inference) uses the running statistics.
+#pragma once
+
+#include "nn/layer.h"
+
+namespace mandipass::nn {
+
+class BatchNorm2d final : public Layer {
+ public:
+  explicit BatchNorm2d(std::size_t channels, double momentum = 0.1, double eps = 1e-5);
+
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Param*> params() override { return {&gamma_, &beta_}; }
+  std::string name() const override { return "BatchNorm2d"; }
+  void save_state(std::ostream& os) const override;
+  void load_state(std::istream& is) override;
+
+  const Tensor& running_mean() const { return running_mean_; }
+  const Tensor& running_var() const { return running_var_; }
+
+ private:
+  std::size_t channels_;
+  double momentum_;
+  double eps_;
+  Param gamma_;
+  Param beta_;
+  Tensor running_mean_;
+  Tensor running_var_;
+
+  // Backward caches (training batches only).
+  Tensor x_hat_;
+  std::vector<float> batch_inv_std_;
+};
+
+}  // namespace mandipass::nn

@@ -1,0 +1,57 @@
+// Layer interface of the from-scratch NN framework.
+//
+// Layers own their parameters (value + gradient pairs) and cache whatever
+// forward-pass state their backward pass needs. The contract is the usual
+// reverse-mode one: backward() receives dL/d(output) for the *most recent*
+// forward() batch and returns dL/d(input), accumulating dL/d(param) into
+// each Param::grad.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace mandipass::nn {
+
+/// One trainable parameter tensor and its gradient accumulator.
+struct Param {
+  Tensor value;
+  Tensor grad;
+
+  explicit Param(Shape shape) : value(shape), grad(shape) {}
+  Param() = default;
+
+  void zero_grad() { grad.fill(0.0f); }
+};
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  Layer() = default;
+  Layer(const Layer&) = delete;
+  Layer& operator=(const Layer&) = delete;
+
+  /// Computes the layer output. `train` toggles training-time behaviour
+  /// (batch statistics in BatchNorm).
+  virtual Tensor forward(const Tensor& input, bool train) = 0;
+
+  /// Propagates gradients; must be called after forward() on the same batch.
+  virtual Tensor backward(const Tensor& grad_output) = 0;
+
+  /// Trainable parameters (empty for activations).
+  virtual std::vector<Param*> params() { return {}; }
+
+  /// Diagnostic / serialisation tag, e.g. "Conv2d".
+  virtual std::string name() const = 0;
+
+  /// Writes / reads the layer's learned state (parameters and running
+  /// statistics). Architecture hyperparameters are NOT serialised; the
+  /// caller reconstructs the architecture and then loads state into it.
+  virtual void save_state(std::ostream& os) const;
+  virtual void load_state(std::istream& is);
+};
+
+}  // namespace mandipass::nn

@@ -1,0 +1,71 @@
+#include "nn/layers.h"
+
+#include <cmath>
+#include <istream>
+#include <ostream>
+
+namespace mandipass::nn {
+
+// --- Layer base default (no state) ---
+void Layer::save_state(std::ostream& /*os*/) const {}
+void Layer::load_state(std::istream& /*is*/) {}
+
+// --- ReLU ---
+Tensor ReLU::forward(const Tensor& input, bool /*train*/) {
+  mask_ = Tensor(input.shape());
+  Tensor out(input.shape());
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    const bool pos = input[i] > 0.0f;
+    mask_[i] = pos ? 1.0f : 0.0f;
+    out[i] = pos ? input[i] : 0.0f;
+  }
+  return out;
+}
+
+Tensor ReLU::backward(const Tensor& grad_output) {
+  MANDIPASS_EXPECTS(!mask_.empty());
+  Tensor::check_same_shape(grad_output, mask_, "ReLU::backward");
+  Tensor grad_in(grad_output.shape());
+  for (std::size_t i = 0; i < grad_output.size(); ++i) {
+    grad_in[i] = grad_output[i] * mask_[i];
+  }
+  return grad_in;
+}
+
+// --- Sigmoid ---
+Tensor Sigmoid::forward(const Tensor& input, bool /*train*/) {
+  output_ = Tensor(input.shape());
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    output_[i] = 1.0f / (1.0f + std::exp(-input[i]));
+  }
+  return output_;
+}
+
+Tensor Sigmoid::backward(const Tensor& grad_output) {
+  MANDIPASS_EXPECTS(!output_.empty());
+  Tensor::check_same_shape(grad_output, output_, "Sigmoid::backward");
+  Tensor grad_in(grad_output.shape());
+  for (std::size_t i = 0; i < grad_output.size(); ++i) {
+    grad_in[i] = grad_output[i] * output_[i] * (1.0f - output_[i]);
+  }
+  return grad_in;
+}
+
+// --- Flatten ---
+Tensor Flatten::forward(const Tensor& input, bool /*train*/) {
+  input_shape_ = input.shape();
+  Tensor out = input;
+  if (input.rank() > 2) {
+    out.reshape({input.dim(0), input.size() / input.dim(0)});
+  }
+  return out;
+}
+
+Tensor Flatten::backward(const Tensor& grad_output) {
+  MANDIPASS_EXPECTS(!input_shape_.empty());
+  Tensor grad_in = grad_output;
+  grad_in.reshape(input_shape_);
+  return grad_in;
+}
+
+}  // namespace mandipass::nn

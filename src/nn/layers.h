@@ -1,0 +1,42 @@
+// Parameter-free layers: ReLU, Sigmoid, Flatten.
+#pragma once
+
+#include "nn/layer.h"
+
+namespace mandipass::nn {
+
+/// Rectified linear unit, elementwise max(0, x).
+class ReLU final : public Layer {
+ public:
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "ReLU"; }
+
+ private:
+  Tensor mask_;  ///< 1 where input > 0
+};
+
+/// Logistic sigmoid, elementwise 1 / (1 + e^{-x}). The paper applies it to
+/// the 512-dim feature vector to produce the MandiblePrint.
+class Sigmoid final : public Layer {
+ public:
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "Sigmoid"; }
+
+ private:
+  Tensor output_;
+};
+
+/// Flattens (N, C, H, W) -> (N, C*H*W). Rank-2 input passes through.
+class Flatten final : public Layer {
+ public:
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "Flatten"; }
+
+ private:
+  Shape input_shape_;
+};
+
+}  // namespace mandipass::nn

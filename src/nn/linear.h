@@ -1,0 +1,30 @@
+// Fully connected layer: y = x W^T + b, x of shape (N, in), W (out, in).
+#pragma once
+
+#include "nn/layer.h"
+
+namespace mandipass::nn {
+
+class Linear final : public Layer {
+ public:
+  Linear(std::size_t in_features, std::size_t out_features, Rng& rng);
+
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Param*> params() override { return {&weight_, &bias_}; }
+  std::string name() const override { return "Linear"; }
+  void save_state(std::ostream& os) const override;
+  void load_state(std::istream& is) override;
+
+  std::size_t in_features() const { return in_; }
+  std::size_t out_features() const { return out_; }
+
+ private:
+  std::size_t in_;
+  std::size_t out_;
+  Param weight_;  ///< (out, in)
+  Param bias_;    ///< (out)
+  Tensor input_;
+};
+
+}  // namespace mandipass::nn

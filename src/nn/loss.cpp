@@ -1,0 +1,72 @@
+#include "nn/loss.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace mandipass::nn {
+
+double SoftmaxCrossEntropy::forward(const Tensor& logits,
+                                    const std::vector<std::uint32_t>& labels) {
+  if (logits.rank() != 2) {
+    throw ShapeError("SoftmaxCrossEntropy expects (N, C) logits");
+  }
+  const std::size_t n = logits.dim(0);
+  const std::size_t c = logits.dim(1);
+  MANDIPASS_EXPECTS(labels.size() == n);
+  probs_ = Tensor({n, c});
+  labels_ = labels;
+  double loss = 0.0;
+  for (std::size_t b = 0; b < n; ++b) {
+    MANDIPASS_EXPECTS(labels[b] < c);
+    const float* row = logits.data() + b * c;
+    const float mx = *std::max_element(row, row + c);
+    double denom = 0.0;
+    for (std::size_t k = 0; k < c; ++k) {
+      denom += std::exp(static_cast<double>(row[k] - mx));
+    }
+    const double log_denom = std::log(denom);
+    for (std::size_t k = 0; k < c; ++k) {
+      probs_.at2(b, k) =
+          static_cast<float>(std::exp(static_cast<double>(row[k] - mx) - log_denom));
+    }
+    loss -= static_cast<double>(row[labels[b]] - mx) - log_denom;
+  }
+  return loss / static_cast<double>(n);
+}
+
+Tensor SoftmaxCrossEntropy::backward() const {
+  MANDIPASS_EXPECTS(!probs_.empty());
+  const std::size_t n = probs_.dim(0);
+  const std::size_t c = probs_.dim(1);
+  Tensor grad({n, c});
+  const float inv_n = 1.0f / static_cast<float>(n);
+  for (std::size_t b = 0; b < n; ++b) {
+    for (std::size_t k = 0; k < c; ++k) {
+      grad.at2(b, k) = (probs_.at2(b, k) - (labels_[b] == k ? 1.0f : 0.0f)) * inv_n;
+    }
+  }
+  return grad;
+}
+
+double SoftmaxCrossEntropy::accuracy() const {
+  MANDIPASS_EXPECTS(!probs_.empty());
+  const std::size_t n = probs_.dim(0);
+  const std::size_t c = probs_.dim(1);
+  std::size_t correct = 0;
+  for (std::size_t b = 0; b < n; ++b) {
+    std::size_t best = 0;
+    for (std::size_t k = 1; k < c; ++k) {
+      if (probs_.at2(b, k) > probs_.at2(b, best)) {
+        best = k;
+      }
+    }
+    if (best == labels_[b]) {
+      ++correct;
+    }
+  }
+  return static_cast<double>(correct) / static_cast<double>(n);
+}
+
+}  // namespace mandipass::nn

@@ -1,0 +1,33 @@
+// Softmax cross-entropy loss (Section V-C: "The cross entropy and Adam
+// optimizer can be utilized to calculate loss and update the parameters").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace mandipass::nn {
+
+/// Combined softmax + cross-entropy. Numerically stable (max-shifted).
+class SoftmaxCrossEntropy {
+ public:
+  /// `logits` (N, C), `labels` N class indices in [0, C).
+  /// Returns mean loss over the batch and caches softmax for backward().
+  double forward(const Tensor& logits, const std::vector<std::uint32_t>& labels);
+
+  /// Gradient of the mean loss wrt the logits, shape (N, C).
+  Tensor backward() const;
+
+  /// Softmax probabilities of the last forward batch (N, C).
+  const Tensor& probabilities() const { return probs_; }
+
+  /// Batch accuracy of the last forward call.
+  double accuracy() const;
+
+ private:
+  Tensor probs_;
+  std::vector<std::uint32_t> labels_;
+};
+
+}  // namespace mandipass::nn

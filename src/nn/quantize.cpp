@@ -1,0 +1,68 @@
+#include "nn/quantize.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace mandipass::nn {
+
+QuantizedMatrix quantize_rows(const Tensor& matrix) {
+  MANDIPASS_EXPECTS(matrix.rank() == 2);
+  QuantizedMatrix q;
+  q.rows = matrix.dim(0);
+  q.cols = matrix.dim(1);
+  q.values.resize(q.rows * q.cols);
+  q.scales.resize(q.rows);
+  for (std::size_t r = 0; r < q.rows; ++r) {
+    const float* row = matrix.data() + r * q.cols;
+    float max_abs = 0.0f;
+    for (std::size_t c = 0; c < q.cols; ++c) {
+      max_abs = std::max(max_abs, std::abs(row[c]));
+    }
+    const float scale = max_abs > 0.0f ? max_abs / 127.0f : 0.0f;
+    q.scales[r] = scale;
+    const float inv = scale > 0.0f ? 1.0f / scale : 0.0f;
+    for (std::size_t c = 0; c < q.cols; ++c) {
+      const float v = std::round(row[c] * inv);
+      q.values[r * q.cols + c] = static_cast<std::int8_t>(std::clamp(v, -127.0f, 127.0f));
+    }
+  }
+  return q;
+}
+
+Tensor dequantize(const QuantizedMatrix& q) {
+  Tensor out({q.rows, q.cols});
+  for (std::size_t r = 0; r < q.rows; ++r) {
+    const float scale = q.scales[r];
+    for (std::size_t c = 0; c < q.cols; ++c) {
+      out.at2(r, c) = static_cast<float>(q.values[r * q.cols + c]) * scale;
+    }
+  }
+  return out;
+}
+
+void quantized_matvec(const QuantizedMatrix& q, const float* x, const float* bias, float* y) {
+  MANDIPASS_EXPECTS(x != nullptr && bias != nullptr && y != nullptr);
+  for (std::size_t r = 0; r < q.rows; ++r) {
+    const std::int8_t* row = q.values.data() + r * q.cols;
+    float acc = 0.0f;
+    for (std::size_t c = 0; c < q.cols; ++c) {
+      acc += x[c] * static_cast<float>(row[c]);
+    }
+    y[r] = acc * q.scales[r] + bias[r];
+  }
+}
+
+double quantization_error(const Tensor& matrix, const QuantizedMatrix& q) {
+  MANDIPASS_EXPECTS(matrix.rank() == 2);
+  MANDIPASS_EXPECTS(matrix.dim(0) == q.rows && matrix.dim(1) == q.cols);
+  const Tensor back = dequantize(q);
+  double max_err = 0.0;
+  for (std::size_t i = 0; i < matrix.size(); ++i) {
+    max_err = std::max(max_err, std::abs(static_cast<double>(matrix[i]) - back[i]));
+  }
+  return max_err;
+}
+
+}  // namespace mandipass::nn

@@ -1,0 +1,111 @@
+#include "nn/serialize.h"
+
+#include <istream>
+#include <ostream>
+
+#include "common/error.h"
+
+namespace mandipass::nn {
+namespace {
+
+constexpr char kTensorTag[4] = {'T', 'N', 'S', 'R'};
+
+}  // namespace
+
+void write_u64(std::ostream& os, std::uint64_t v) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) {
+    buf[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  }
+  os.write(buf, 8);
+}
+
+std::uint64_t read_u64(std::istream& is) {
+  char buf[8];
+  is.read(buf, 8);
+  if (!is) {
+    throw SerializationError("truncated stream reading u64");
+  }
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(buf[i])) << (8 * i);
+  }
+  return v;
+}
+
+void write_f64(std::ostream& os, double v) {
+  static_assert(sizeof(double) == 8);
+  os.write(reinterpret_cast<const char*>(&v), 8);
+}
+
+double read_f64(std::istream& is) {
+  double v = 0.0;
+  is.read(reinterpret_cast<char*>(&v), 8);
+  if (!is) {
+    throw SerializationError("truncated stream reading f64");
+  }
+  return v;
+}
+
+void write_tag(std::ostream& os, const std::string& tag) {
+  write_u64(os, tag.size());
+  os.write(tag.data(), static_cast<std::streamsize>(tag.size()));
+}
+
+void expect_tag(std::istream& is, const std::string& tag) {
+  const std::uint64_t len = read_u64(is);
+  if (len != tag.size()) {
+    throw SerializationError("tag length mismatch, expected '" + tag + "'");
+  }
+  std::string got(len, '\0');
+  is.read(got.data(), static_cast<std::streamsize>(len));
+  if (!is || got != tag) {
+    throw SerializationError("tag mismatch, expected '" + tag + "' got '" + got + "'");
+  }
+}
+
+void write_tensor(std::ostream& os, const Tensor& t) {
+  os.write(kTensorTag, 4);
+  write_u64(os, t.rank());
+  for (std::size_t i = 0; i < t.rank(); ++i) {
+    write_u64(os, t.dim(i));
+  }
+  os.write(reinterpret_cast<const char*>(t.data()),
+           static_cast<std::streamsize>(t.size() * sizeof(float)));
+  if (!os) {
+    throw SerializationError("failed writing tensor");
+  }
+}
+
+Tensor read_tensor(std::istream& is) {
+  char tag[4];
+  is.read(tag, 4);
+  if (!is || tag[0] != 'T' || tag[1] != 'N' || tag[2] != 'S' || tag[3] != 'R') {
+    throw SerializationError("bad tensor tag");
+  }
+  const std::uint64_t rank = read_u64(is);
+  if (rank == 0 || rank > 4) {
+    throw SerializationError("bad tensor rank");
+  }
+  Shape shape(rank);
+  std::size_t total = 1;
+  for (auto& d : shape) {
+    d = read_u64(is);
+    if (d == 0 || d > (1ULL << 32)) {
+      throw SerializationError("bad tensor dimension");
+    }
+    total *= d;
+  }
+  if (total > (1ULL << 30)) {
+    throw SerializationError("tensor too large");
+  }
+  Tensor t(shape);
+  is.read(reinterpret_cast<char*>(t.data()),
+          static_cast<std::streamsize>(t.size() * sizeof(float)));
+  if (!is) {
+    throw SerializationError("truncated tensor data");
+  }
+  return t;
+}
+
+}  // namespace mandipass::nn

@@ -1,0 +1,62 @@
+#include "nn/tensor.h"
+
+#include <cmath>
+#include <string>
+
+namespace mandipass::nn {
+
+std::size_t shape_size(const Shape& shape) {
+  std::size_t n = 1;
+  for (std::size_t d : shape) {
+    n *= d;
+  }
+  return shape.empty() ? 0 : n;
+}
+
+Tensor::Tensor(Shape shape) : shape_(std::move(shape)) {
+  MANDIPASS_EXPECTS(!shape_.empty() && shape_.size() <= 4);
+  for (std::size_t d : shape_) {
+    MANDIPASS_EXPECTS(d > 0);
+  }
+  data_.assign(shape_size(shape_), 0.0f);
+}
+
+std::size_t Tensor::dim(std::size_t i) const {
+  MANDIPASS_EXPECTS(i < shape_.size());
+  return shape_[i];
+}
+
+void Tensor::fill(float v) {
+  for (auto& x : data_) {
+    x = v;
+  }
+}
+
+void Tensor::reshape(Shape new_shape) {
+  MANDIPASS_EXPECTS(shape_size(new_shape) == data_.size());
+  shape_ = std::move(new_shape);
+}
+
+void Tensor::init_he(Rng& rng, std::size_t fan_in) {
+  MANDIPASS_EXPECTS(fan_in > 0);
+  const double sigma = std::sqrt(2.0 / static_cast<double>(fan_in));
+  for (auto& x : data_) {
+    x = static_cast<float>(rng.normal(0.0, sigma));
+  }
+}
+
+void Tensor::init_xavier(Rng& rng, std::size_t fan_in, std::size_t fan_out) {
+  MANDIPASS_EXPECTS(fan_in + fan_out > 0);
+  const double limit = std::sqrt(6.0 / static_cast<double>(fan_in + fan_out));
+  for (auto& x : data_) {
+    x = static_cast<float>(rng.uniform(-limit, limit));
+  }
+}
+
+void Tensor::check_same_shape(const Tensor& a, const Tensor& b, const char* where) {
+  if (a.shape() != b.shape()) {
+    throw ShapeError(std::string("shape mismatch in ") + where);
+  }
+}
+
+}  // namespace mandipass::nn

@@ -1,0 +1,84 @@
+// A minimal dense float tensor for the from-scratch neural network.
+//
+// Row-major, up to 4 dimensions, with the NCHW convention for the
+// convolutional layers and (N, D) for the fully connected ones. The class
+// deliberately has value semantics (copyable, movable) and no views or
+// broadcasting — every layer works on whole batches with explicit loops,
+// which keeps the backward passes auditable.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace mandipass::nn {
+
+/// Shape of a tensor: 1 to 4 extents.
+using Shape = std::vector<std::size_t>;
+
+class Tensor {
+ public:
+  /// Empty tensor (rank 0, no elements).
+  Tensor() = default;
+
+  /// Zero-initialised tensor of the given shape.
+  explicit Tensor(Shape shape);
+
+  /// Total number of elements.
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+  const Shape& shape() const { return shape_; }
+  std::size_t rank() const { return shape_.size(); }
+  std::size_t dim(std::size_t i) const;
+
+  /// Raw contiguous storage.
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  /// Flat element access.
+  float& operator[](std::size_t i) { return data_[i]; }
+  float operator[](std::size_t i) const { return data_[i]; }
+
+  /// 2-D access (N, D).
+  float& at2(std::size_t n, std::size_t d) {
+    return data_[n * shape_[1] + d];
+  }
+  float at2(std::size_t n, std::size_t d) const {
+    return data_[n * shape_[1] + d];
+  }
+
+  /// 4-D access (N, C, H, W).
+  float& at4(std::size_t n, std::size_t c, std::size_t h, std::size_t w) {
+    return data_[((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w];
+  }
+  float at4(std::size_t n, std::size_t c, std::size_t h, std::size_t w) const {
+    return data_[((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w];
+  }
+
+  /// Sets every element to `v`.
+  void fill(float v);
+
+  /// Reinterprets the shape; the element count must match.
+  void reshape(Shape new_shape);
+
+  /// He-normal initialisation for layers followed by ReLU.
+  void init_he(Rng& rng, std::size_t fan_in);
+
+  /// Xavier/Glorot-uniform initialisation.
+  void init_xavier(Rng& rng, std::size_t fan_in, std::size_t fan_out);
+
+  /// Checks two tensors have identical shape.
+  static void check_same_shape(const Tensor& a, const Tensor& b, const char* where);
+
+ private:
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+/// Number of elements implied by a shape.
+std::size_t shape_size(const Shape& shape);
+
+}  // namespace mandipass::nn

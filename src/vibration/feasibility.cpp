@@ -1,0 +1,77 @@
+#include "vibration/feasibility.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.h"
+
+namespace mandipass::vibration {
+
+std::complex<double> received_spectrum_at(const PersonProfile& person, Direction direction,
+                                          double w) {
+  MANDIPASS_EXPECTS(w != 0.0);
+  const double alpha_d =
+      person.alpha_per_m * (person.dist_throat_mandible_m + person.dist_mandible_ear_m);
+  const double force =
+      direction == Direction::Positive ? person.force_pos_n : person.force_neg_n;
+  const double damping = direction == Direction::Positive ? person.c1 : person.c2;
+  // dt: the duration of this half-period of the vocal vibration.
+  const double period = 1.0 / person.f0_hz;
+  const double dt = direction == Direction::Positive ? person.duty_positive * period
+                                                     : (1.0 - person.duty_positive) * period;
+
+  const std::complex<double> i(0.0, 1.0);
+  const std::complex<double> numerator =
+      std::exp(-alpha_d) - std::exp(-i * w * dt - alpha_d);
+  const std::complex<double> denominator = -i * person.mass_kg * w * w * w / force -
+                                           damping * w * w / force +
+                                           i * (person.k1 + person.k2) * w / force;
+  return numerator / denominator;
+}
+
+std::vector<SpectrumPoint> received_spectrum(const PersonProfile& person, double f_min_hz,
+                                             double f_max_hz, std::size_t points) {
+  MANDIPASS_EXPECTS(f_min_hz > 0.0);
+  MANDIPASS_EXPECTS(f_max_hz > f_min_hz);
+  MANDIPASS_EXPECTS(points >= 2);
+  std::vector<SpectrumPoint> out;
+  out.reserve(points);
+  for (std::size_t k = 0; k < points; ++k) {
+    SpectrumPoint p;
+    p.freq_hz = f_min_hz + (f_max_hz - f_min_hz) * static_cast<double>(k) /
+                               static_cast<double>(points - 1);
+    const double w = 2.0 * std::numbers::pi * p.freq_hz;
+    p.magnitude_positive = std::abs(received_spectrum_at(person, Direction::Positive, w));
+    p.magnitude_negative = std::abs(received_spectrum_at(person, Direction::Negative, w));
+    out.push_back(p);
+  }
+  return out;
+}
+
+double theoretical_resonance_hz(const PersonProfile& person, double f_min_hz, double f_max_hz,
+                                std::size_t points) {
+  const auto spectrum = received_spectrum(person, f_min_hz, f_max_hz, points);
+  double best_freq = spectrum.front().freq_hz;
+  double best_mag = spectrum.front().magnitude_positive;
+  for (const auto& p : spectrum) {
+    if (p.magnitude_positive > best_mag) {
+      best_mag = p.magnitude_positive;
+      best_freq = p.freq_hz;
+    }
+  }
+  return best_freq;
+}
+
+double direction_asymmetry(const PersonProfile& person, double f_min_hz, double f_max_hz,
+                           std::size_t points) {
+  const auto spectrum = received_spectrum(person, f_min_hz, f_max_hz, points);
+  double diff = 0.0;
+  double total = 0.0;
+  for (const auto& p : spectrum) {
+    diff += std::abs(p.magnitude_positive - p.magnitude_negative);
+    total += p.magnitude_positive + p.magnitude_negative;
+  }
+  return total > 0.0 ? diff / total : 0.0;
+}
+
+}  // namespace mandipass::vibration

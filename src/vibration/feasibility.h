@@ -1,0 +1,62 @@
+// Section II's theoretical feasibility model, implemented symbolically.
+//
+// Starting from Newton's law for the two-phase plant (Eq. 1),
+//
+//   F_P(t) = m x''(t) + c1 x'(t) + (k1 + k2) x(t),
+//
+// the paper Fourier-transforms a constant-force half-period of duration
+// dt and obtains the received positive-direction spectrum at the ear
+// (Eq. 4):
+//
+//              e^{-alpha d} - e^{-i w dt - alpha d}
+//   Y_P(w) = ------------------------------------------------
+//            -i m w^3 / F_P(0) - c1 w^2 / F_P(0) + i (k1+k2) w / F_P(0)
+//
+// and the mirrored Y_N(w) with c2 and F_N(0) (Eq. 5); the full-period
+// spectrum Y(w) is their union (Eq. 6). The identity-bearing parameters
+// are m, c1, c2, k1, k2 — exactly what PersonProfile carries — so this
+// module lets tests verify that the *simulated* vibration agrees with
+// the *derived* spectrum: resonance location, attenuation scaling, and
+// the positive/negative asymmetry.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "vibration/profile.h"
+
+namespace mandipass::vibration {
+
+/// Which half-period of the vibration cycle (Fig. 2's two phases).
+enum class Direction { Positive, Negative };
+
+/// Evaluates Eq. 4 (Positive) or Eq. 5 (Negative) at angular frequency
+/// w [rad/s]. Precondition: w != 0.
+std::complex<double> received_spectrum_at(const PersonProfile& person, Direction direction,
+                                          double w);
+
+/// One row of the sampled spectrum.
+struct SpectrumPoint {
+  double freq_hz = 0.0;
+  double magnitude_positive = 0.0;  ///< |Y_P(w)|
+  double magnitude_negative = 0.0;  ///< |Y_N(w)|
+};
+
+/// Samples |Y_P| and |Y_N| on a uniform frequency grid (Eq. 6's union,
+/// reported per direction). Preconditions: f_min > 0, f_max > f_min,
+/// points >= 2.
+std::vector<SpectrumPoint> received_spectrum(const PersonProfile& person, double f_min_hz,
+                                             double f_max_hz, std::size_t points);
+
+/// Frequency [Hz] of the |Y_P| magnitude peak on the sampled grid — the
+/// theoretical resonance of the received vibration.
+double theoretical_resonance_hz(const PersonProfile& person, double f_min_hz = 5.0,
+                                double f_max_hz = 300.0, std::size_t points = 2048);
+
+/// Relative spectral asymmetry between the two directions, integrated
+/// over the grid: 0 for c1 == c2 && F_P(0) == F_N(0), grows with the
+/// paper's tissue asymmetry. In [0, 1).
+double direction_asymmetry(const PersonProfile& person, double f_min_hz = 5.0,
+                           double f_max_hz = 300.0, std::size_t points = 512);
+
+}  // namespace mandipass::vibration

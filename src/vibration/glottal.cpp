@@ -1,0 +1,94 @@
+#include "vibration/glottal.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/error.h"
+
+namespace mandipass::vibration {
+
+GlottalSource::GlottalSource(const PersonProfile& person, const GlottalModifiers& mods, Rng& rng)
+    : f0_(person.f0_hz * mods.tone_multiplier),
+      duty_(person.duty_positive),
+      force_pos_(person.force_pos_n * mods.amplitude_multiplier),
+      force_neg_(person.force_neg_n * mods.amplitude_multiplier),
+      mods_(mods),
+      rng_(rng.fork()) {
+  MANDIPASS_EXPECTS(f0_ > 0.0);
+  MANDIPASS_EXPECTS(duty_ > 0.0 && duty_ < 1.0);
+  // Session-level habit jitter: the mean habit is the person's, but no
+  // two hums reproduce it exactly.
+  duty_ = std::clamp(duty_ + mods_.duty_jitter * rng_.normal(), 0.2, 0.8);
+  force_neg_ *= 1.0 + mods_.force_ratio_jitter * rng_.normal();
+  force_neg_ = std::max(force_neg_, 0.05 * force_pos_);
+}
+
+std::vector<double> GlottalSource::generate(double duration_s, double fs) {
+  MANDIPASS_EXPECTS(duration_s > 0.0 && fs > 0.0);
+  const auto n = static_cast<std::size_t>(std::llround(duration_s * fs));
+  std::vector<double> force(n, 0.0);
+
+  const double attack_s = 0.006;  // abrupt glottal onset: the plant rings at its natural frequency, phase-locked to the detected onset
+  const double release_s = 0.05;
+  // A hum is never held at constant loudness: a slow swell/fade rides on
+  // the sustain. Its random depth and phase vary the coarse statistics of
+  // every captured window between sessions (Fig. 7's point) while leaving
+  // the local waveform shape — the actual biometric — intact.
+  const double am_depth = rng_.uniform(mods_.am_depth_min, mods_.am_depth_max);
+  const double am_freq = rng_.uniform(1.5, 4.0);
+  const double am_phase = rng_.uniform(0.0, 2.0 * std::numbers::pi);
+  auto envelope = [&](double t) {
+    double e = 1.0;
+    if (t < attack_s) {
+      e = t / attack_s;
+    } else if (t > duration_s - release_s) {
+      e = std::max(0.0, (duration_s - t) / release_s);
+    }
+    return e * (1.0 + am_depth * std::sin(2.0 * std::numbers::pi * am_freq * t + am_phase));
+  };
+
+  // Walk through the pulse train period by period so per-period jitter and
+  // the slow f0 wander accumulate naturally.
+  double t = rng_.uniform(0.0, 1.0 / f0_);  // random initial phase
+  double f0_now = f0_;
+  while (t < duration_s) {
+    f0_now = f0_ * (1.0 + mods_.f0_jitter * rng_.normal());
+    f0_now = std::max(f0_now, 20.0);
+    const double period = 1.0 / f0_now;
+    const double dt1 = duty_ * period;
+    const double dt2 = period - dt1;
+    const double amp_p = force_pos_ * (1.0 + mods_.amplitude_jitter * rng_.normal());
+    const double amp_n = force_neg_ * (1.0 + mods_.amplitude_jitter * rng_.normal());
+
+    // Glottal pulses are far sharper than sinusoids (the vocal folds snap
+    // shut); sin^3 narrows each pulse, spreading excitation energy across
+    // many harmonics of f0 — which is what lets the plant's transfer
+    // function be observed densely enough to be tone-invariant.
+    auto pulse = [](double tau) {
+      const double s = std::sin(std::numbers::pi * std::clamp(tau, 0.0, 1.0));
+      return s * s * s;
+    };
+    // Positive pulse over [t, t + dt1).
+    auto i0 = static_cast<std::size_t>(std::llround(t * fs));
+    auto i1 = static_cast<std::size_t>(std::llround((t + dt1) * fs));
+    for (std::size_t i = i0; i < std::min(i1, n); ++i) {
+      const double tau = (static_cast<double>(i) / fs - t) / dt1;
+      force[i] = amp_p * pulse(tau);
+    }
+    // Negative pulse over [t + dt1, t + period).
+    auto i2 = static_cast<std::size_t>(std::llround((t + period) * fs));
+    for (std::size_t i = std::min(i1, n); i < std::min(i2, n); ++i) {
+      const double tau = (static_cast<double>(i) / fs - t - dt1) / dt2;
+      force[i] = -amp_n * pulse(tau);
+    }
+    t += period;
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    force[i] *= envelope(static_cast<double>(i) / fs);
+  }
+  return force;
+}
+
+}  // namespace mandipass::vibration

@@ -1,0 +1,61 @@
+// Glottal excitation source.
+//
+// Voicing "EMM" drives the mandible with an alternating-direction force
+// train (Section II): a positive-direction push of amplitude F_P(0) for
+// dt1 seconds followed by a negative-direction pull of F_N(0) for dt2,
+// repeating at the vocal fundamental frequency f0. We shape each half-
+// period as a half-sine pulse and wrap the whole train in an attack /
+// sustain / release envelope so the vibration has a realistic onset for
+// the Section IV detector to find.
+//
+// Session-to-session nuisance (people never hum twice identically) enters
+// as per-period amplitude jitter and a slow f0 wander; the *means* stay
+// person-specific because speaking habits are stable after puberty.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "vibration/profile.h"
+
+namespace mandipass::vibration {
+
+/// Session-level modifiers of the excitation.
+struct GlottalModifiers {
+  double tone_multiplier = 1.0;      ///< >1 raises the voicing tone, <1 lowers it
+  double amplitude_multiplier = 1.0; ///< overall loudness of this session
+  double amplitude_jitter = 0.05;    ///< per-period relative sigma on F_P / F_N
+  double f0_jitter = 0.008;          ///< slow relative wander of f0
+  /// Session-level sigma on the duty cycle (people do not reproduce the
+  /// positive/negative phase split exactly between hums).
+  double duty_jitter = 0.03;
+  /// Session-level relative sigma on the F_N / F_P ratio.
+  double force_ratio_jitter = 0.08;
+  /// Depth range of the slow loudness swell riding on the sustain; the
+  /// session draws uniformly from [min, max].
+  double am_depth_min = 0.15;
+  double am_depth_max = 0.45;
+};
+
+/// Generates the force waveform F(t) for one voicing.
+class GlottalSource {
+ public:
+  GlottalSource(const PersonProfile& person, const GlottalModifiers& mods, Rng& rng);
+
+  /// Synthesises `duration_s` seconds of force at `fs` Hz. The envelope
+  /// ramps up over ~30 ms, sustains, and releases over ~50 ms.
+  std::vector<double> generate(double duration_s, double fs);
+
+  /// Effective fundamental frequency after the tone multiplier.
+  double effective_f0() const { return f0_; }
+
+ private:
+  double f0_;
+  double duty_;
+  double force_pos_;
+  double force_neg_;
+  GlottalModifiers mods_;
+  Rng rng_;
+};
+
+}  // namespace mandipass::vibration

@@ -1,0 +1,106 @@
+#include "vibration/nuisance.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/error.h"
+
+namespace mandipass::vibration {
+
+ActivityParams activity_params(Activity activity) {
+  switch (activity) {
+    case Activity::Static:
+      return {0.0, 0.0, 0.0};
+    case Activity::Walk:
+      return {1.9, 0.035, 8.0};
+    case Activity::Run:
+      return {3.2, 0.055, 14.0};
+  }
+  MANDIPASS_EXPECTS(false && "invalid activity");
+  return {};
+}
+
+MotionArtifact generate_motion_artifact(Activity activity, std::size_t n, double fs, Rng& rng) {
+  MANDIPASS_EXPECTS(fs > 0.0);
+  MotionArtifact art;
+  art.accel_g.assign(n, {});
+  art.gyro_dps.assign(n, {});
+  const ActivityParams p = activity_params(activity);
+  if (p.fundamental_hz <= 0.0 || n == 0) {
+    return art;
+  }
+
+  // Per-axis phase offsets and relative amplitudes: gait couples into the
+  // three axes differently (vertical bob dominates).
+  std::array<double, 3> accel_scale{};
+  std::array<double, 3> gyro_scale{};
+  std::array<double, 3> phase{};
+  for (std::size_t a = 0; a < 3; ++a) {
+    accel_scale[a] = rng.uniform(0.4, 1.0);
+    gyro_scale[a] = rng.uniform(0.4, 1.0);
+    phase[a] = rng.uniform(0.0, 2.0 * std::numbers::pi);
+  }
+
+  // Quasi-periodic gait: stride-by-stride frequency/amplitude jitter.
+  double t = 0.0;
+  double omega = 2.0 * std::numbers::pi * p.fundamental_hz;
+  double amp = 1.0;
+  double next_stride = 0.0;
+  // Slow baseline wander (random walk, heavily smoothed).
+  double wander = 0.0;
+  const double wander_sigma = 0.002;  // g per sqrt(sample), pre-smoothing
+  const double wander_pole = std::exp(-2.0 * std::numbers::pi * 0.5 / fs);  // ~0.5 Hz
+
+  const double dt = 1.0 / fs;
+  for (std::size_t i = 0; i < n; ++i, t += dt) {
+    if (t >= next_stride) {
+      omega = 2.0 * std::numbers::pi * p.fundamental_hz * (1.0 + 0.06 * rng.normal());
+      amp = std::max(0.2, 1.0 + 0.15 * rng.normal());
+      next_stride = t + 2.0 * std::numbers::pi / omega;
+    }
+    wander = wander_pole * wander + (1.0 - wander_pole) * rng.normal(0.0, wander_sigma * fs * dt);
+    // Fundamental + a weaker second harmonic (heel strike).
+    for (std::size_t a = 0; a < 3; ++a) {
+      const double base = std::sin(omega * t + phase[a]) + 0.35 * std::sin(2.0 * omega * t + 2.1 * phase[a]);
+      art.accel_g[i][a] = p.accel_amp_g * amp * accel_scale[a] * base + wander;
+      art.gyro_dps[i][a] = p.gyro_amp_dps * amp * gyro_scale[a] *
+                           std::sin(omega * t + phase[a] + 0.7);
+    }
+  }
+  return art;
+}
+
+std::array<double, 2> food_damping_multiplier(Food food, Rng& rng) {
+  switch (food) {
+    case Food::None:
+      return {1.0, 1.0};
+    case Food::Lollipop:
+      // A solid object braced against the cheek: mild, one-sided stiffening
+      // of the damping.
+      return {1.0 + rng.uniform(0.02, 0.06), 1.0 + rng.uniform(0.0, 0.03)};
+    case Food::Water:
+      // Liquid film: tiny symmetric increase.
+      return {1.0 + rng.uniform(0.01, 0.03), 1.0 + rng.uniform(0.01, 0.03)};
+  }
+  MANDIPASS_EXPECTS(false && "invalid food");
+  return {1.0, 1.0};
+}
+
+LongTermDrift sample_long_term_drift(double days, Rng& rng) {
+  MANDIPASS_EXPECTS(days >= 0.0);
+  LongTermDrift d;
+  // Random-walk scaling with sqrt(time); calibrated so two weeks moves f0
+  // by ~0.5% and the force habit by ~2% (voice habits are stable, Section II).
+  const double scale = std::sqrt(days / 14.0);
+  d.f0_multiplier = 1.0 + 0.005 * scale * rng.normal();
+  d.force_pos_multiplier = 1.0 + 0.02 * scale * rng.normal();
+  d.force_neg_multiplier = 1.0 + 0.02 * scale * rng.normal();
+  d.reseat_yaw_deg = 3.0 * scale * rng.normal();
+  d.f0_multiplier = std::clamp(d.f0_multiplier, 0.9, 1.1);
+  d.force_pos_multiplier = std::clamp(d.force_pos_multiplier, 0.7, 1.3);
+  d.force_neg_multiplier = std::clamp(d.force_neg_multiplier, 0.7, 1.3);
+  return d;
+}
+
+}  // namespace mandipass::vibration

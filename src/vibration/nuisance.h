@@ -1,0 +1,66 @@
+// Session-level nuisance processes: everything that changes between
+// authentication attempts without changing who the user is.
+//
+//   * Activity (walk / run): quasi-periodic low-frequency body motion
+//     (< 10 Hz per the paper's reference [17]) superimposed on the
+//     accelerometer, plus extra gyro sway. Section IV's 20 Hz high-pass
+//     exists to remove exactly this.
+//   * Food (lollipop / water): contents of the mouth slightly change the
+//     effective damping of the tissues around the mandible.
+//   * Long-term drift: over days, the voicing habit wanders a little and
+//     the earphone is re-seated (small mounting-orientation change); the
+//     plant itself is anatomy and does not drift.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "common/rng.h"
+#include "vibration/profile.h"
+
+namespace mandipass::vibration {
+
+enum class Activity { Static, Walk, Run };
+enum class Food { None, Lollipop, Water };
+
+/// Low-frequency body-motion acceleration in g on the three accel axes
+/// plus head sway on the gyro axes. Generated at the simulator rate.
+struct MotionArtifact {
+  std::vector<std::array<double, 3>> accel_g;   ///< per high-rate sample
+  std::vector<std::array<double, 3>> gyro_dps;  ///< per high-rate sample
+};
+
+/// Parameters of the activity artefact generator.
+struct ActivityParams {
+  double fundamental_hz = 0.0;  ///< gait frequency; 0 = no artefact
+  double accel_amp_g = 0.0;     ///< peak LFC acceleration
+  double gyro_amp_dps = 0.0;    ///< peak head sway rate
+};
+
+/// Canonical parameters per activity level. Amplitudes are those seen *at
+/// the ear*: head motion is strongly damped relative to the body's centre
+/// of mass, which keeps the gait component below the paper's onset
+/// thresholds (as it evidently was in their experiments).
+ActivityParams activity_params(Activity activity);
+
+/// Synthesises `n` high-rate samples of gait artefact at `fs` Hz. The gait
+/// is quasi-periodic: each stride's period and amplitude jitter by a few
+/// percent, and a slow random-walk baseline wander is added.
+MotionArtifact generate_motion_artifact(Activity activity, std::size_t n, double fs, Rng& rng);
+
+/// Multiplicative damping perturbation caused by mouth contents.
+/// Returns {c1_multiplier, c2_multiplier}.
+std::array<double, 2> food_damping_multiplier(Food food, Rng& rng);
+
+/// Long-term drift of the *habit* (not the plant) after `days` days:
+/// returns multipliers for {f0, force_pos, force_neg} and a re-seating
+/// yaw angle in degrees.
+struct LongTermDrift {
+  double f0_multiplier = 1.0;
+  double force_pos_multiplier = 1.0;
+  double force_neg_multiplier = 1.0;
+  double reseat_yaw_deg = 0.0;
+};
+LongTermDrift sample_long_term_drift(double days, Rng& rng);
+
+}  // namespace mandipass::vibration

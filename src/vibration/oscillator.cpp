@@ -1,0 +1,44 @@
+#include "vibration/oscillator.h"
+
+#include "common/error.h"
+
+namespace mandipass::vibration {
+
+MandibleOscillator::MandibleOscillator(const PersonProfile& person, double c1_override,
+                                       double c2_override)
+    : mass_(person.mass_kg),
+      stiffness_(person.k1 + person.k2),
+      c1_(c1_override > 0.0 ? c1_override : person.c1),
+      c2_(c2_override > 0.0 ? c2_override : person.c2) {
+  MANDIPASS_EXPECTS(mass_ > 0.0);
+  MANDIPASS_EXPECTS(stiffness_ > 0.0);
+  MANDIPASS_EXPECTS(c1_ > 0.0 && c2_ > 0.0);
+}
+
+OscillatorTrace MandibleOscillator::integrate(std::span<const double> force, double fs) const {
+  MANDIPASS_EXPECTS(fs > 0.0);
+  const double dt = 1.0 / fs;
+  OscillatorTrace trace;
+  trace.displacement.resize(force.size());
+  trace.velocity.resize(force.size());
+  trace.acceleration.resize(force.size());
+
+  double x = 0.0;
+  double v = 0.0;
+  for (std::size_t i = 0; i < force.size(); ++i) {
+    // Direction of the current phase decides which damper resists the
+    // motion; at rest we attribute it to the incoming force's sign.
+    const double direction = (v != 0.0) ? v : force[i];
+    const double c = (direction >= 0.0) ? c1_ : c2_;
+    const double a = (force[i] - c * v - stiffness_ * x) / mass_;
+    // Semi-implicit Euler: velocity first, then position with new velocity.
+    v += a * dt;
+    x += v * dt;
+    trace.acceleration[i] = a;
+    trace.velocity[i] = v;
+    trace.displacement[i] = x;
+  }
+  return trace;
+}
+
+}  // namespace mandipass::vibration

@@ -1,0 +1,55 @@
+// The paper's one-degree-of-freedom two-phase mandible oscillator
+// (Section II, Fig. 2 and Eq. 1):
+//
+//   m x''(t) + c(t) x'(t) + (k1 + k2) x(t) = F(t)
+//
+// where the damping coefficient switches with the vibration direction:
+// the positive-direction phase is resisted by damper c1 and the negative-
+// direction phase by damper c2 (the tissues on the two sides of the
+// mandible are not symmetrical, hence c1 != c2). Both springs act in both
+// phases, giving the combined stiffness (k1 + k2).
+//
+// Integration is semi-implicit (symplectic) Euler at the simulator's
+// internal rate, which is stable for the stiffness/mass ratios we use and
+// preserves the oscillation energy well enough over the ~1 s horizons of
+// an authentication session.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "vibration/profile.h"
+
+namespace mandipass::vibration {
+
+/// Displacement / velocity / acceleration traces of the mass.
+struct OscillatorTrace {
+  std::vector<double> displacement;
+  std::vector<double> velocity;
+  std::vector<double> acceleration;
+};
+
+/// Two-phase 1-DoF oscillator.
+class MandibleOscillator {
+ public:
+  /// `c1_override` / `c2_override` <= 0 means "use the profile's value";
+  /// the food nuisance perturbs damping through these.
+  MandibleOscillator(const PersonProfile& person, double c1_override = 0.0,
+                     double c2_override = 0.0);
+
+  /// Integrates the response to `force` sampled at `fs` Hz, starting from
+  /// rest. Returns full state traces aligned with the input.
+  OscillatorTrace integrate(std::span<const double> force, double fs) const;
+
+  double effective_c1() const { return c1_; }
+  double effective_c2() const { return c2_; }
+
+ private:
+  double mass_;
+  double stiffness_;
+  double c1_;
+  double c2_;
+};
+
+}  // namespace mandipass::vibration

@@ -1,0 +1,128 @@
+#include "vibration/population.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/error.h"
+
+namespace mandipass::vibration {
+namespace {
+
+/// Random direction-cosine triple, each component bounded away from zero
+/// so every axis carries some signal (an earbud sits askew in the concha;
+/// no axis is perfectly orthogonal to the jaw).
+std::array<double, 3> sample_direction(Rng& rng) {
+  std::array<double, 3> v{};
+  double norm2 = 0.0;
+  for (auto& c : v) {
+    const double mag = rng.uniform(0.25, 1.0);
+    c = rng.bernoulli(0.5) ? mag : -mag;
+    norm2 += c * c;
+  }
+  const double inv = 1.0 / std::sqrt(norm2);
+  for (auto& c : v) {
+    c *= inv;
+  }
+  return v;
+}
+
+}  // namespace
+
+PopulationGenerator::PopulationGenerator(std::uint64_t seed, PopulationConfig config)
+    : config_(config), rng_(seed) {
+  MANDIPASS_EXPECTS(config_.male_fraction >= 0.0 && config_.male_fraction <= 1.0);
+  MANDIPASS_EXPECTS(config_.natural_freq_min_hz < config_.natural_freq_max_hz);
+}
+
+PersonProfile PopulationGenerator::sample() {
+  const Gender g = rng_.bernoulli(config_.male_fraction) ? Gender::Male : Gender::Female;
+  return sample_with_gender(g);
+}
+
+PersonProfile PopulationGenerator::sample_with_gender(Gender gender) {
+  const PopulationConfig& c = config_;
+  PersonProfile p;
+  p.id = next_id_++;
+  p.gender = gender;
+
+  // Plant: sample mass and natural frequency, derive stiffness, then
+  // damping from the damping ratios — this keeps every draw physically
+  // consistent (positive-definite, underdamped).
+  const double mass_mean = gender == Gender::Male ? c.mass_male_mean : c.mass_female_mean;
+  p.mass_kg = mass_mean * std::exp(c.mass_rel_sigma * rng_.normal());
+  const double fn = rng_.uniform(c.natural_freq_min_hz, c.natural_freq_max_hz);
+  const double wn = 2.0 * std::numbers::pi * fn;
+  const double k_total = p.mass_kg * wn * wn;
+  const double split = rng_.uniform(c.spring_split_min, c.spring_split_max);
+  p.k1 = k_total * split;
+  p.k2 = k_total * (1.0 - split);
+  const double zeta_pos = rng_.uniform(c.zeta_pos_min, c.zeta_pos_max);
+  const double zeta_neg =
+      std::clamp(zeta_pos * rng_.uniform(c.zeta_ratio_min, c.zeta_ratio_max), 0.04, 0.5);
+  const double crit = 2.0 * std::sqrt(k_total * p.mass_kg);
+  p.c1 = zeta_pos * crit;
+  p.c2 = zeta_neg * crit;
+
+  // Propagation.
+  p.alpha_per_m = rng_.uniform(c.alpha_min, c.alpha_max);
+  p.dist_throat_mandible_m = rng_.uniform(c.dist_tm_min, c.dist_tm_max);
+  p.dist_mandible_ear_m = rng_.uniform(c.dist_me_min, c.dist_me_max);
+
+  // Voicing habit.
+  const double f0_mean = gender == Gender::Male ? c.f0_male_mean : c.f0_female_mean;
+  const double f0_sigma = gender == Gender::Male ? c.f0_male_sigma : c.f0_female_sigma;
+  p.f0_hz = std::clamp(rng_.normal(f0_mean, f0_sigma), c.f0_min, c.f0_max);
+  p.duty_positive = rng_.uniform(c.duty_min, c.duty_max);
+  p.force_pos_n = c.force_mean_n * std::exp(c.force_rel_sigma * rng_.normal());
+  p.force_neg_n = p.force_pos_n * rng_.uniform(c.force_neg_ratio_min, c.force_neg_ratio_max);
+
+  // Coupling.
+  p.accel_dir = sample_direction(rng_);
+  for (auto& leak : p.accel_vel_leak) {
+    const double mag = rng_.uniform(c.vel_leak_min, c.vel_leak_max);
+    leak = rng_.bernoulli(0.5) ? mag : -mag;
+  }
+  p.gyro_dir = sample_direction(rng_);
+  p.gyro_gain = rng_.uniform(c.gyro_gain_min, c.gyro_gain_max);
+  return p;
+}
+
+std::vector<PersonProfile> PopulationGenerator::sample_population(std::size_t n) {
+  std::vector<PersonProfile> people;
+  people.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    people.push_back(sample());
+  }
+  return people;
+}
+
+PersonProfile PopulationGenerator::mimic(const PersonProfile& attacker,
+                                         const PersonProfile& victim) {
+  // The attacker can hear and imitate the *observable* voicing manner:
+  // the pitch and the loudness. The internal articulation dynamics — the
+  // glottal duty cycle and the push/pull force asymmetry — are neither
+  // observable nor voluntarily controllable, and the mandible plant,
+  // propagation path and skull coupling are anatomy. Those all stay the
+  // attacker's own.
+  PersonProfile p = attacker;
+  p.f0_hz = victim.f0_hz;
+  const double attacker_loudness = 0.5 * (attacker.force_pos_n + attacker.force_neg_n);
+  const double victim_loudness = 0.5 * (victim.force_pos_n + victim.force_neg_n);
+  const double scale = victim_loudness / attacker_loudness;
+  p.force_pos_n *= scale;
+  p.force_neg_n *= scale;
+  return p;
+}
+
+PersonProfile PopulationGenerator::mimic_imperfect(const PersonProfile& attacker,
+                                                   const PersonProfile& victim, Rng& rng,
+                                                   double f0_error_sigma) {
+  PersonProfile p = mimic(attacker, victim);
+  // Pitch imitation by ear is imprecise — a few percent even for attentive
+  // imitators.
+  p.f0_hz *= 1.0 + f0_error_sigma * rng.normal();
+  return p;
+}
+
+}  // namespace mandipass::vibration

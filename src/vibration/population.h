@@ -1,0 +1,85 @@
+// Population sampling: the stand-in for the paper's 34 hired volunteers.
+//
+// Identity parameters are drawn once per person from physiologically
+// plausible ranges; the gender split and ranges are chosen so the
+// resulting classification / verification problem has the same structure
+// as the paper's (34 people, 28 male / 6 female, continuous parameter
+// space in which some pairs of people are close — that closeness is what
+// produces a nonzero EER).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "vibration/profile.h"
+
+namespace mandipass::vibration {
+
+/// Ranges for the per-person parameter draws. Defaults follow DESIGN.md
+/// Section 5; tests assert the derived quantities stay in range.
+struct PopulationConfig {
+  double male_fraction = 28.0 / 34.0;  ///< the paper's cohort split
+
+  // Plant.
+  double mass_male_mean = 0.22, mass_female_mean = 0.17, mass_rel_sigma = 0.12;
+  double natural_freq_min_hz = 35.0, natural_freq_max_hz = 150.0;
+  double zeta_pos_min = 0.035, zeta_pos_max = 0.22;
+  double zeta_ratio_min = 0.70, zeta_ratio_max = 1.60;  ///< zeta_neg / zeta_pos
+  double spring_split_min = 0.35, spring_split_max = 0.65;  ///< k1 / (k1+k2)
+
+  // Propagation.
+  double alpha_min = 7.0, alpha_max = 11.0;
+  double dist_tm_min = 0.080, dist_tm_max = 0.100;
+  double dist_me_min = 0.048, dist_me_max = 0.064;
+
+  // Voicing habit.
+  double f0_male_mean = 130.0, f0_male_sigma = 16.0;
+  double f0_female_mean = 195.0, f0_female_sigma = 18.0;
+  double f0_min = 100.0, f0_max = 230.0;
+  double duty_min = 0.40, duty_max = 0.60;
+  double force_mean_n = 0.55, force_rel_sigma = 0.20;
+  double force_neg_ratio_min = 0.80, force_neg_ratio_max = 1.20;
+
+  // Coupling.
+  double vel_leak_min = 0.05, vel_leak_max = 0.22;
+  double gyro_gain_min = 0.5, gyro_gain_max = 1.2;
+};
+
+/// Deterministic generator of simulated volunteers.
+class PopulationGenerator {
+ public:
+  explicit PopulationGenerator(std::uint64_t seed, PopulationConfig config = {});
+
+  /// Samples the next person; gender follows config.male_fraction.
+  PersonProfile sample();
+
+  /// Samples a person with a forced gender (Fig. 10(c) needs balanced
+  /// gender groups).
+  PersonProfile sample_with_gender(Gender gender);
+
+  /// Samples `n` people with ids 0..n-1.
+  std::vector<PersonProfile> sample_population(std::size_t n);
+
+  /// Builds the impersonation-attack profile (Section VI threat model):
+  /// the attacker observes the victim and copies the *observable* voicing
+  /// manner — pitch and loudness — but necessarily keeps their own
+  /// mandible plant, propagation path, skull coupling, and involuntary
+  /// articulation dynamics (duty cycle, force asymmetry).
+  static PersonProfile mimic(const PersonProfile& attacker, const PersonProfile& victim);
+
+  /// Like mimic(), but with a realistic pitch-imitation error (humans
+  /// cannot match an observed pitch exactly; default sigma 4%).
+  static PersonProfile mimic_imperfect(const PersonProfile& attacker,
+                                       const PersonProfile& victim, Rng& rng,
+                                       double f0_error_sigma = 0.04);
+
+  const PopulationConfig& config() const { return config_; }
+
+ private:
+  PopulationConfig config_;
+  Rng rng_;
+  std::uint32_t next_id_ = 0;
+};
+
+}  // namespace mandipass::vibration

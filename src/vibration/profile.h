@@ -1,0 +1,90 @@
+// Person profiles for the mandible-vibration simulator.
+//
+// Section II of the paper derives that the received vibration spectrum is
+// parameterised by the mandible plant {m, c1, c2, k1, k2} (the identity,
+// i.e. the MandiblePrint) plus the per-person-stable voicing habit
+// {F_P(0), F_N(0), dt1, dt2} and the propagation term e^{-alpha*d}. A
+// PersonProfile carries exactly these quantities, plus the skull-geometry
+// coupling that distributes the scalar jaw motion onto the six IMU axes.
+//
+// Identity parameters are sampled once per person and NEVER change across
+// sessions; everything session-dependent lives in SessionConfig /
+// NuisanceState instead.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+
+namespace mandipass::vibration {
+
+enum class Gender { Male, Female };
+
+/// The mandible plant and its excitation — one simulated volunteer.
+struct PersonProfile {
+  std::uint32_t id = 0;
+  Gender gender = Gender::Male;
+
+  // --- Plant (Section II's biometric: m, c1, c2, k1, k2) ---
+  double mass_kg = 0.2;      ///< effective vibrating mass of the mandible
+  double c1 = 2.0;           ///< positive-direction damping [N*s/m]
+  double c2 = 3.0;           ///< negative-direction damping [N*s/m]
+  double k1 = 2.0e4;         ///< spring 1 stiffness [N/m]
+  double k2 = 2.5e4;         ///< spring 2 stiffness [N/m]
+
+  // --- Propagation (e^{-alpha*d}) ---
+  double alpha_per_m = 12.0;            ///< tissue attenuation coefficient
+  double dist_throat_mandible_m = 0.09; ///< throat -> mandible path
+  double dist_mandible_ear_m = 0.055;   ///< mandible -> ear path
+
+  // --- Voicing habit (stable after puberty, Section II) ---
+  double f0_hz = 140.0;        ///< fundamental vocal frequency, 100-200 Hz
+  double duty_positive = 0.5;  ///< dt1 / (dt1 + dt2)
+  double force_pos_n = 1.0;    ///< F_P(0)
+  double force_neg_n = 1.0;    ///< F_N(0)
+
+  // --- Skull-geometry coupling onto sensor axes ---
+  /// Direction cosines of jaw acceleration in the (right-ear) sensor frame.
+  std::array<double, 3> accel_dir{0.55, 0.35, 0.76};
+  /// Per-axis leakage of jaw *velocity* into the accelerometer (near-field
+  /// tissue shear); gives the axes partially independent waveforms.
+  std::array<double, 3> accel_vel_leak{0.05, 0.08, 0.03};
+  /// Direction cosines of the induced head micro-rotation.
+  std::array<double, 3> gyro_dir{0.3, 0.9, 0.32};
+  /// Angular-rate gain [dps per unit jaw velocity].
+  double gyro_gain = 0.8;
+
+  /// Undamped natural angular frequency sqrt((k1 + k2) / m) [rad/s].
+  double natural_omega() const;
+  /// Natural frequency in Hz.
+  double natural_freq_hz() const;
+  /// Damping ratio of the positive-direction phase.
+  double zeta_positive() const;
+  /// Damping ratio of the negative-direction phase.
+  double zeta_negative() const;
+  /// Amplitude attenuation over the full throat -> ear path.
+  double path_attenuation() const;
+};
+
+inline double PersonProfile::natural_omega() const {
+  return std::sqrt((k1 + k2) / mass_kg);
+}
+
+inline double PersonProfile::natural_freq_hz() const {
+  return natural_omega() / (2.0 * std::numbers::pi);
+}
+
+inline double PersonProfile::zeta_positive() const {
+  return c1 / (2.0 * std::sqrt((k1 + k2) * mass_kg));
+}
+
+inline double PersonProfile::zeta_negative() const {
+  return c2 / (2.0 * std::sqrt((k1 + k2) * mass_kg));
+}
+
+inline double PersonProfile::path_attenuation() const {
+  return std::exp(-alpha_per_m * (dist_throat_mandible_m + dist_mandible_ear_m));
+}
+
+}  // namespace mandipass::vibration

@@ -1,0 +1,168 @@
+#include "vibration/session.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "dsp/filter.h"
+#include "vibration/glottal.h"
+#include "vibration/oscillator.h"
+
+namespace mandipass::vibration {
+namespace {
+
+constexpr double kGravityMs2 = 9.80665;
+/// Converts jaw velocity (m/s, model units) to head angular rate (deg/s).
+constexpr double kGyroDpsPerVelocity = 3000.0;
+/// Source-proxy gain for the throat attachment (Fig. 1): the throat IMU
+/// sees the excitation itself, roughly force / local tissue mass.
+constexpr double kThroatAccelPerForce = 8.0;  // m/s^2 per N
+/// MEMS accelerometer internal bandwidth before output sampling (the
+/// MPU-9250 supports up to ~1.13 kHz accel bandwidth).
+constexpr double kSensorBandwidthHz = 1000.0;
+
+/// Per-ear-side coupling adjustments: wearing the bud in the left ear
+/// mirrors the y axis of the sensor frame and lengthens the mandible->ear
+/// path slightly (the experiments enrolled on the right ear).
+struct SideAdjust {
+  double dir_y_sign = 1.0;
+  double path_extra_m = 0.0;
+  double gain = 1.0;
+};
+
+SideAdjust side_adjust(EarSide side) {
+  if (side == EarSide::Right) {
+    return {1.0, 0.0, 1.0};
+  }
+  return {-1.0, 0.004, 0.96};
+}
+
+}  // namespace
+
+SessionRecorder::SessionRecorder(PersonProfile person, Rng& rng)
+    : person_(person), rng_(rng.fork()) {}
+
+imu::RawRecording SessionRecorder::record(const SessionConfig& config) {
+  MANDIPASS_EXPECTS(config.sample_rate_hz > 0.0);
+  MANDIPASS_EXPECTS(config.internal_rate_hz >= 2.0 * config.sample_rate_hz);
+  const double fs = config.internal_rate_hz;
+  const double total_s = config.silence_s + config.voice_s + config.tail_s;
+  const auto n = static_cast<std::size_t>(std::llround(total_s * fs));
+
+  // --- Long-term habit drift and session-level excitation modifiers ---
+  const LongTermDrift drift = sample_long_term_drift(config.days_since_enrollment, rng_);
+  PersonProfile p = person_;
+  p.f0_hz *= drift.f0_multiplier;
+  p.force_pos_n *= drift.force_pos_multiplier;
+  p.force_neg_n *= drift.force_neg_multiplier;
+
+  GlottalModifiers mods;
+  // Nobody hums at one fixed pitch: session-to-session f0 varies by a few %
+  // around the personal mean. This keeps pitch from acting as a precise
+  // identity key — which is also what makes an attacker's pitch imitation
+  // largely useless (Section VII-G).
+  mods.tone_multiplier = config.tone_multiplier * std::exp(0.03 * rng_.normal());
+  // People hum at widely varying loudness from attempt to attempt; the
+  // resulting SNR spread is what makes coarse statistical features
+  // unreliable (Fig. 7) while the waveform *shape* stays person-specific.
+  mods.amplitude_multiplier = std::exp(0.2 * rng_.normal());
+
+  // --- Excitation: silence, voicing, tail ---
+  GlottalSource source(p, mods, rng_);
+  const auto voiced = source.generate(config.voice_s, fs);
+  std::vector<double> force(n, 0.0);
+  const auto offset = static_cast<std::size_t>(std::llround(config.silence_s * fs));
+  for (std::size_t i = 0; i < voiced.size() && offset + i < n; ++i) {
+    force[offset + i] = voiced[i];
+  }
+
+  // --- Plant response (food perturbs the damping) ---
+  const auto food_mult = food_damping_multiplier(config.food, rng_);
+  MandibleOscillator plant(p, p.c1 * food_mult[0], p.c2 * food_mult[1]);
+  const OscillatorTrace trace = plant.integrate(force, fs);
+
+  // --- Location-dependent attenuation ---
+  const SideAdjust side = side_adjust(config.ear_side);
+  double atten = 0.0;
+  switch (config.location) {
+    case AttachLocation::Throat:
+      atten = 1.0;  // handled below with the source proxy
+      break;
+    case AttachLocation::Mandible:
+      atten = std::exp(-p.alpha_per_m * p.dist_throat_mandible_m);
+      break;
+    case AttachLocation::Ear:
+      atten = std::exp(-p.alpha_per_m *
+                       (p.dist_throat_mandible_m + p.dist_mandible_ear_m + side.path_extra_m)) *
+              side.gain;
+      break;
+  }
+
+  // --- Gait artefact and per-session mounting constants ---
+  const MotionArtifact artifact = generate_motion_artifact(config.activity, n, fs, rng_);
+  // Gravity in the head frame: an earbud sits canted; a couple degrees of
+  // seating jitter per session plus the long-term reseat yaw.
+  const imu::Rotation seat =
+      imu::Rotation::from_euler_deg(drift.reseat_yaw_deg + rng_.normal(0.0, 2.0),
+                                    rng_.normal(0.0, 2.0), rng_.normal(0.0, 2.0));
+  const std::array<double, 3> gravity = seat.apply(std::array<double, 3>{0.08, -0.12, 0.985});
+  std::array<double, 3> gyro_bias{};
+  for (auto& b : gyro_bias) {
+    b = rng_.normal(0.0, 0.15);  // dps, per-session gyro zero-rate drift
+  }
+
+  // --- Couple the scalar jaw motion onto the six axes (head frame) ---
+  const double wn = p.natural_omega();
+  std::vector<imu::MotionSample> motion(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double a_scalar;  // m/s^2 at the attachment point
+    double v_scalar;  // m/s
+    if (config.location == AttachLocation::Throat) {
+      a_scalar = force[i] * kThroatAccelPerForce;
+      v_scalar = 0.0;
+    } else {
+      a_scalar = trace.acceleration[i] * atten;
+      v_scalar = trace.velocity[i] * atten;
+    }
+    for (std::size_t ax = 0; ax < 3; ++ax) {
+      const double dir_sign = (ax == 1) ? side.dir_y_sign : 1.0;
+      const double coupled =
+          a_scalar * p.accel_dir[ax] * dir_sign + v_scalar * p.accel_vel_leak[ax] * wn;
+      motion[i].accel_g[ax] = coupled / kGravityMs2 + gravity[ax] + artifact.accel_g[i][ax];
+      const double gdir_sign = (ax == 1) ? side.dir_y_sign : 1.0;
+      motion[i].gyro_dps[ax] = v_scalar * p.gyro_dir[ax] * gdir_sign * p.gyro_gain *
+                                   kGyroDpsPerVelocity +
+                               gyro_bias[ax] + artifact.gyro_dps[i][ax];
+    }
+  }
+
+  // --- Sensor bandwidth, then output-rate sample picking (aliasing kept) ---
+  for (std::size_t ch = 0; ch < 6; ++ch) {
+    auto lp = dsp::SosFilter::butterworth_lowpass4(kSensorBandwidthHz, fs);
+    for (std::size_t i = 0; i < n; ++i) {
+      double& v = ch < 3 ? motion[i].accel_g[ch] : motion[i].gyro_dps[ch - 3];
+      v = lp.process(v);
+    }
+  }
+  const double step = fs / config.sample_rate_hz;
+  std::vector<imu::MotionSample> sampled;
+  sampled.reserve(static_cast<std::size_t>(static_cast<double>(n) / step) + 1);
+  for (double pos = 0.0; pos < static_cast<double>(n); pos += step) {
+    sampled.push_back(motion[static_cast<std::size_t>(pos)]);
+  }
+
+  imu::SensorModel sensor(config.sensor, rng_);
+  sensor.set_orientation(config.mounting);
+  return sensor.record(sampled, config.sample_rate_hz);
+}
+
+std::vector<imu::RawRecording> SessionRecorder::record_many(const SessionConfig& config,
+                                                            std::size_t count) {
+  std::vector<imu::RawRecording> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back(record(config));
+  }
+  return out;
+}
+
+}  // namespace mandipass::vibration

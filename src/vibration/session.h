@@ -1,0 +1,67 @@
+// End-to-end synthesis of one authentication session's raw IMU recording.
+//
+// Pipeline (all at an 8 kHz internal rate until the final sampling step):
+//
+//   glottal force train  ->  two-phase 1-DoF oscillator  ->  e^{-alpha*d}
+//   path attenuation     ->  skull coupling onto 3 accel + 3 gyro axes
+//   (+ gravity, + gait artefact)  ->  sensor-bandwidth low-pass  ->
+//   sample picking at the IMU rate (aliasing preserved, as in a real MEMS
+//   front-end)  ->  SensorModel (noise, glitches, quantisation)
+//
+// The result is a RawRecording in LSB counts: silence, then the "EMM"
+// vibration, then a short tail — exactly what Section IV's preprocessing
+// expects to segment.
+#pragma once
+
+#include "common/rng.h"
+#include "imu/orientation.h"
+#include "imu/sensor_model.h"
+#include "imu/types.h"
+#include "vibration/nuisance.h"
+#include "vibration/profile.h"
+
+namespace mandipass::vibration {
+
+enum class EarSide { Right, Left };
+
+/// Where the IMU is attached; Ear is the product configuration, the other
+/// two exist for the Fig. 1 propagation experiment.
+enum class AttachLocation { Throat, Mandible, Ear };
+
+/// Everything that can differ between two sessions of the same person.
+struct SessionConfig {
+  imu::SensorSpec sensor = imu::mpu9250_spec();
+  double sample_rate_hz = 350.0;  ///< 60 samples / 350 Hz ~= the paper's 0.2 s collection
+  double silence_s = 0.30;
+  double voice_s = 0.45;
+  double tail_s = 0.10;
+  Activity activity = Activity::Static;
+  Food food = Food::None;
+  double tone_multiplier = 1.0;  ///< Fig. 14: ~1.15 high tone, ~0.87 low tone
+  EarSide ear_side = EarSide::Right;
+  imu::Rotation mounting;        ///< Fig. 13: user-applied earbud rotation
+  double days_since_enrollment = 0.0;  ///< Section VII-F long-term drift
+  AttachLocation location = AttachLocation::Ear;
+  double internal_rate_hz = 8000.0;
+};
+
+/// Deterministic per-person session synthesiser.
+class SessionRecorder {
+ public:
+  /// Forks `rng` so each recorder owns an independent stream.
+  SessionRecorder(PersonProfile person, Rng& rng);
+
+  /// Records one voicing session under `config`.
+  imu::RawRecording record(const SessionConfig& config);
+
+  /// Records `count` sessions (fresh nuisance draws each).
+  std::vector<imu::RawRecording> record_many(const SessionConfig& config, std::size_t count);
+
+  const PersonProfile& person() const { return person_; }
+
+ private:
+  PersonProfile person_;
+  Rng rng_;
+};
+
+}  // namespace mandipass::vibration

@@ -1,0 +1,74 @@
+#include "auth/cosine.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace mandipass::auth {
+namespace {
+
+TEST(Cosine, IdenticalVectorsSimilarityOne) {
+  const std::vector<float> a{1.0f, 2.0f, 3.0f};
+  EXPECT_NEAR(cosine_similarity(a, a), 1.0, 1e-12);
+  EXPECT_NEAR(cosine_distance(a, a), 0.0, 1e-12);
+}
+
+TEST(Cosine, OppositeVectorsDistanceTwo) {
+  const std::vector<float> a{1.0f, 0.0f};
+  const std::vector<float> b{-1.0f, 0.0f};
+  EXPECT_NEAR(cosine_distance(a, b), 2.0, 1e-12);
+}
+
+TEST(Cosine, OrthogonalVectorsDistanceOne) {
+  const std::vector<float> a{1.0f, 0.0f};
+  const std::vector<float> b{0.0f, 1.0f};
+  EXPECT_NEAR(cosine_distance(a, b), 1.0, 1e-12);
+}
+
+TEST(Cosine, ScaleInvariant) {
+  const std::vector<float> a{1.0f, 2.0f, -1.0f};
+  const std::vector<float> b{3.0f, 6.0f, -3.0f};
+  EXPECT_NEAR(cosine_similarity(a, b), 1.0, 1e-6);
+}
+
+TEST(Cosine, ZeroVectorGivesZeroSimilarity) {
+  const std::vector<float> a{0.0f, 0.0f};
+  const std::vector<float> b{1.0f, 1.0f};
+  EXPECT_DOUBLE_EQ(cosine_similarity(a, b), 0.0);
+}
+
+TEST(Cosine, KnownAngle) {
+  const std::vector<float> a{1.0f, 0.0f};
+  const std::vector<float> b{1.0f, 1.0f};
+  EXPECT_NEAR(cosine_similarity(a, b), 1.0 / std::sqrt(2.0), 1e-6);
+}
+
+TEST(Cosine, BoundsOnRandomVectors) {
+  Rng rng(1);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<float> a(32);
+    std::vector<float> b(32);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      a[i] = static_cast<float>(rng.normal());
+      b[i] = static_cast<float>(rng.normal());
+    }
+    const double d = cosine_distance(a, b);
+    EXPECT_GE(d, 0.0);
+    EXPECT_LE(d, 2.0);
+  }
+}
+
+TEST(Cosine, MismatchedSizesThrow) {
+  const std::vector<float> a{1.0f};
+  const std::vector<float> b{1.0f, 2.0f};
+  EXPECT_THROW(cosine_similarity(a, b), PreconditionError);
+  EXPECT_THROW(cosine_similarity(std::vector<float>{}, std::vector<float>{}),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace mandipass::auth

@@ -1,0 +1,111 @@
+#include "auth/gaussian_matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "auth/cosine.h"
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace mandipass::auth {
+namespace {
+
+std::vector<float> random_vec(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) {
+    x = static_cast<float>(rng.uniform(0.0, 1.0));  // sigmoid-range, like MandiblePrints
+  }
+  return v;
+}
+
+TEST(GaussianMatrix, DeterministicForSeed) {
+  const GaussianMatrix a(7, 64);
+  const GaussianMatrix b(7, 64);
+  const auto x = random_vec(64, 1);
+  const auto ya = a.transform(x);
+  const auto yb = b.transform(x);
+  for (std::size_t i = 0; i < ya.size(); ++i) {
+    EXPECT_FLOAT_EQ(ya[i], yb[i]);
+  }
+}
+
+TEST(GaussianMatrix, DifferentSeedsDiffer) {
+  const GaussianMatrix a(7, 64);
+  const GaussianMatrix b(8, 64);
+  const auto x = random_vec(64, 1);
+  EXPECT_GT(cosine_distance(a.transform(x), b.transform(x)), 0.3);
+}
+
+TEST(GaussianMatrix, SameMatrixPreservesSimilarStructure) {
+  // The core cancelable-template property: distances under the SAME matrix
+  // track the original distances (random projection ~ isometry on average).
+  const GaussianMatrix g(42, 128);
+  Rng rng(2);
+  for (int trial = 0; trial < 20; ++trial) {
+    auto x = random_vec(128, 100 + trial);
+    auto y = x;
+    // y = small perturbation of x (a genuine user's fresh probe).
+    for (auto& v : y) {
+      v += static_cast<float>(rng.normal(0.0, 0.02));
+    }
+    const double before = cosine_distance(x, y);
+    const double after = cosine_distance(g.transform(x), g.transform(y));
+    EXPECT_LT(std::abs(after - before), 0.12);
+  }
+}
+
+TEST(GaussianMatrix, DifferentMatricesDecorrelate) {
+  // The re-key property: the SAME print under two different matrices must
+  // look like strangers (this is what defeats replay).
+  Rng rng(3);
+  double mean_distance = 0.0;
+  const int trials = 30;
+  for (int t = 0; t < trials; ++t) {
+    const GaussianMatrix g1(1000 + t, 128);
+    const GaussianMatrix g2(2000 + t, 128);
+    const auto x = random_vec(128, 300 + t);
+    mean_distance += cosine_distance(g1.transform(x), g2.transform(x));
+  }
+  mean_distance /= trials;
+  // Random projections of positive vectors are near-orthogonal on average.
+  EXPECT_GT(mean_distance, 0.7);
+}
+
+TEST(GaussianMatrix, TransformIsLinear) {
+  const GaussianMatrix g(9, 32);
+  const auto x = random_vec(32, 4);
+  auto x2 = x;
+  for (auto& v : x2) {
+    v *= 2.0f;
+  }
+  const auto y = g.transform(x);
+  const auto y2 = g.transform(x2);
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    EXPECT_NEAR(y2[i], 2.0f * y[i], 1e-3f);
+  }
+}
+
+TEST(GaussianMatrix, OutputDimensionMatches) {
+  const GaussianMatrix g(5, 16);
+  EXPECT_EQ(g.transform(random_vec(16, 5)).size(), 16u);
+  EXPECT_EQ(g.dim(), 16u);
+  EXPECT_EQ(g.seed(), 5u);
+}
+
+TEST(GaussianMatrix, TemplateBytes) {
+  EXPECT_EQ(GaussianMatrix::template_bytes(512), 2048u);  // ~the paper's 1.8 KB claim
+}
+
+TEST(GaussianMatrix, WrongInputSizeThrows) {
+  const GaussianMatrix g(5, 16);
+  EXPECT_THROW(g.transform(random_vec(8, 1)), PreconditionError);
+}
+
+TEST(GaussianMatrix, ZeroDimThrows) {
+  EXPECT_THROW(GaussianMatrix(1, 0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace mandipass::auth

@@ -1,0 +1,114 @@
+#include "auth/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace mandipass::auth {
+namespace {
+
+TEST(Metrics, FrrCountsRejectionsAboveThreshold) {
+  const std::vector<double> genuine{0.1, 0.2, 0.3, 0.4};
+  EXPECT_DOUBLE_EQ(frr_at(genuine, 0.25), 0.5);
+  EXPECT_DOUBLE_EQ(frr_at(genuine, 0.05), 1.0);
+  EXPECT_DOUBLE_EQ(frr_at(genuine, 0.5), 0.0);
+}
+
+TEST(Metrics, FarCountsAcceptancesAtOrBelowThreshold) {
+  const std::vector<double> impostor{0.5, 0.6, 0.7, 0.8};
+  EXPECT_DOUBLE_EQ(far_at(impostor, 0.65), 0.5);
+  EXPECT_DOUBLE_EQ(far_at(impostor, 0.4), 0.0);
+  EXPECT_DOUBLE_EQ(far_at(impostor, 0.9), 1.0);
+}
+
+TEST(Metrics, VsrIsComplementOfFrr) {
+  const std::vector<double> genuine{0.1, 0.2, 0.3, 0.4};
+  EXPECT_DOUBLE_EQ(vsr_at(genuine, 0.25), 0.5);
+  EXPECT_DOUBLE_EQ(vsr_at(genuine, 0.25) + frr_at(genuine, 0.25), 1.0);
+}
+
+TEST(Metrics, EerPerfectSeparation) {
+  const std::vector<double> genuine{0.1, 0.15, 0.2};
+  const std::vector<double> impostor{0.8, 0.85, 0.9};
+  const auto r = compute_eer(genuine, impostor);
+  EXPECT_NEAR(r.eer, 0.0, 1e-9);
+  // The crossing lands anywhere in the empty gap between the samples.
+  EXPECT_GE(r.threshold, 0.2);
+  EXPECT_LT(r.threshold, 0.9);
+}
+
+TEST(Metrics, EerTotalOverlapIsHalf) {
+  // Identical distributions: FAR(t) + FRR(t) = 1 at every t, EER = 0.5.
+  const std::vector<double> same{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9};
+  const auto r = compute_eer(same, same);
+  EXPECT_NEAR(r.eer, 0.5, 0.07);
+}
+
+TEST(Metrics, EerPartialOverlapBetweenZeroAndHalf) {
+  Rng rng(1);
+  std::vector<double> genuine;
+  std::vector<double> impostor;
+  for (int i = 0; i < 5000; ++i) {
+    genuine.push_back(rng.normal(0.3, 0.1));
+    impostor.push_back(rng.normal(0.7, 0.1));
+  }
+  const auto r = compute_eer(genuine, impostor);
+  // Two unit-variance-scaled normals 4 sigma apart: EER = Phi(-2) ~ 2.3%.
+  EXPECT_NEAR(r.eer, 0.0228, 0.006);
+  EXPECT_NEAR(r.threshold, 0.5, 0.02);
+}
+
+TEST(Metrics, EerThresholdBalancesErrors) {
+  Rng rng(2);
+  std::vector<double> genuine;
+  std::vector<double> impostor;
+  for (int i = 0; i < 3000; ++i) {
+    genuine.push_back(rng.normal(0.25, 0.08));
+    impostor.push_back(rng.normal(0.6, 0.12));
+  }
+  const auto r = compute_eer(genuine, impostor);
+  EXPECT_NEAR(far_at(impostor, r.threshold), frr_at(genuine, r.threshold), 0.01);
+}
+
+TEST(Metrics, RocCurveShapeAndMonotonicity) {
+  Rng rng(3);
+  std::vector<double> genuine;
+  std::vector<double> impostor;
+  for (int i = 0; i < 1000; ++i) {
+    genuine.push_back(rng.normal(0.3, 0.1));
+    impostor.push_back(rng.normal(0.7, 0.1));
+  }
+  const auto curve = roc_curve(genuine, impostor, 0.0, 1.0, 50);
+  ASSERT_EQ(curve.size(), 50u);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].far, curve[i - 1].far);   // FAR non-decreasing in t
+    EXPECT_LE(curve[i].frr, curve[i - 1].frr);   // FRR non-increasing in t
+  }
+  EXPECT_DOUBLE_EQ(curve.front().far, 0.0);
+  EXPECT_DOUBLE_EQ(curve.back().frr, 0.0);
+}
+
+TEST(Metrics, EmptyInputsThrow) {
+  const std::vector<double> some{0.5};
+  EXPECT_THROW(frr_at({}, 0.5), PreconditionError);
+  EXPECT_THROW(far_at({}, 0.5), PreconditionError);
+  EXPECT_THROW(compute_eer({}, some), PreconditionError);
+  EXPECT_THROW(compute_eer(some, {}), PreconditionError);
+}
+
+TEST(Metrics, RocInvalidArgsThrow) {
+  const std::vector<double> some{0.5};
+  EXPECT_THROW(roc_curve(some, some, 0.0, 1.0, 1), PreconditionError);
+  EXPECT_THROW(roc_curve(some, some, 1.0, 0.0, 10), PreconditionError);
+}
+
+TEST(Metrics, PaperConstants) {
+  EXPECT_DOUBLE_EQ(kPaperThreshold, 0.5485);
+  EXPECT_DOUBLE_EQ(kPaperEer, 0.0128);
+}
+
+}  // namespace
+}  // namespace mandipass::auth

@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "auth/template_store.h"
+#include "common/error.h"
+
+namespace mandipass::auth {
+namespace {
+
+StoredTemplate make_template(float fill, std::uint64_t seed, std::uint32_t version = 0) {
+  StoredTemplate t;
+  t.data.assign(8, fill);
+  t.matrix_seed = seed;
+  t.key_version = version;
+  return t;
+}
+
+TEST(TemplateStoreIo, RoundTrip) {
+  TemplateStore store;
+  store.enroll("alice", make_template(1.5f, 7, 2));
+  store.enroll("bob", make_template(-0.5f, 9));
+  std::stringstream ss;
+  store.save(ss);
+  TemplateStore back;
+  back.load(ss);
+  EXPECT_EQ(back.size(), 2u);
+  const auto alice = back.lookup("alice");
+  ASSERT_TRUE(alice.has_value());
+  EXPECT_EQ(alice->matrix_seed, 7u);
+  EXPECT_EQ(alice->key_version, 2u);
+  EXPECT_EQ(alice->data, store.lookup("alice")->data);
+}
+
+TEST(TemplateStoreIo, EmptyStoreRoundTrip) {
+  TemplateStore store;
+  std::stringstream ss;
+  store.save(ss);
+  TemplateStore back;
+  back.enroll("stale", make_template(1.0f, 1));
+  back.load(ss);
+  EXPECT_EQ(back.size(), 0u);  // load replaces contents
+}
+
+TEST(TemplateStoreIo, GarbageThrows) {
+  TemplateStore store;
+  std::stringstream ss("garbage bytes here, definitely not a store");
+  EXPECT_THROW(store.load(ss), SerializationError);
+}
+
+TEST(TemplateStoreIo, TruncatedThrowsAndPreservesContents) {
+  TemplateStore source;
+  source.enroll("alice", make_template(2.0f, 3));
+  std::stringstream ss;
+  source.save(ss);
+  std::string blob = ss.str();
+  blob.resize(blob.size() - 10);
+  std::stringstream truncated(blob);
+  TemplateStore target;
+  target.enroll("keepme", make_template(4.0f, 4));
+  EXPECT_THROW(target.load(truncated), SerializationError);
+  EXPECT_TRUE(target.lookup("keepme").has_value());  // unchanged on failure
+}
+
+}  // namespace
+}  // namespace mandipass::auth

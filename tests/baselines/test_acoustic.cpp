@@ -1,0 +1,80 @@
+#include "baselines/acoustic.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace mandipass::baselines {
+namespace {
+
+TEST(Acoustic, ProfileHasPositiveGains) {
+  Rng rng(1);
+  const auto p = sample_acoustic_profile(3, rng);
+  EXPECT_EQ(p.id, 3u);
+  ASSERT_EQ(p.band_gain.size(), kAcousticBands);
+  for (double g : p.band_gain) {
+    EXPECT_GT(g, 0.0);
+  }
+}
+
+TEST(Acoustic, ProfilesDiffer) {
+  Rng rng(2);
+  const auto a = sample_acoustic_profile(0, rng);
+  const auto b = sample_acoustic_profile(1, rng);
+  EXPECT_NE(a.band_gain, b.band_gain);
+}
+
+TEST(Acoustic, MeasurementRepeatsCloselyInQuiet) {
+  Rng rng(3);
+  const auto p = sample_acoustic_profile(0, rng);
+  AcousticMeasurementConfig quiet;
+  const auto m1 = measure_band_energies(p, quiet, rng);
+  const auto m2 = measure_band_energies(p, quiet, rng);
+  EXPECT_LT(feature_distance(m1, m2), 1.0);
+}
+
+TEST(Acoustic, DifferentPeopleFartherThanSamePerson) {
+  Rng rng(4);
+  const auto a = sample_acoustic_profile(0, rng);
+  const auto b = sample_acoustic_profile(1, rng);
+  AcousticMeasurementConfig quiet;
+  double same = 0.0;
+  double diff = 0.0;
+  for (int i = 0; i < 50; ++i) {
+    same += feature_distance(measure_band_energies(a, quiet, rng),
+                             measure_band_energies(a, quiet, rng));
+    diff += feature_distance(measure_band_energies(a, quiet, rng),
+                             measure_band_energies(b, quiet, rng));
+  }
+  EXPECT_GT(diff, same * 2.0);
+}
+
+TEST(Acoustic, AmbientNoiseCorruptsMeasurement) {
+  // The IAN failure mode: ambient acoustic noise moves the features.
+  Rng rng(5);
+  const auto p = sample_acoustic_profile(0, rng);
+  AcousticMeasurementConfig quiet;
+  AcousticMeasurementConfig loud;
+  loud.ambient_noise_power = 10.0;
+  double quiet_dist = 0.0;
+  double loud_dist = 0.0;
+  for (int i = 0; i < 50; ++i) {
+    const auto ref = measure_band_energies(p, quiet, rng);
+    quiet_dist += feature_distance(ref, measure_band_energies(p, quiet, rng));
+    loud_dist += feature_distance(ref, measure_band_energies(p, loud, rng));
+  }
+  EXPECT_GT(loud_dist, quiet_dist * 2.0);
+}
+
+TEST(Acoustic, FeatureDistanceBasics) {
+  const std::vector<double> a{0.0, 0.0};
+  const std::vector<double> b{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(feature_distance(a, b), 5.0);
+  EXPECT_DOUBLE_EQ(feature_distance(a, a), 0.0);
+  EXPECT_THROW(feature_distance(a, std::vector<double>{1.0}), PreconditionError);
+}
+
+}  // namespace
+}  // namespace mandipass::baselines

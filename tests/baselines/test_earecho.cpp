@@ -1,0 +1,93 @@
+#include "baselines/earecho.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace mandipass::baselines {
+namespace {
+
+class EarEchoTest : public ::testing::Test {
+ protected:
+  EarEchoTest() : rng_(13) {}
+  Rng rng_;
+};
+
+TEST_F(EarEchoTest, RegistrationTakesOverOneSecond) {
+  // Table I: EarEcho's multi-round registration misses the RTC <= 1 s bar.
+  EarEchoLike sys(2.0, rng_);
+  const auto person = sample_acoustic_profile(0, rng_);
+  EXPECT_GT(sys.enroll("u", person, {}), 1.0);
+}
+
+TEST_F(EarEchoTest, AcceptsGenuineInQuiet) {
+  EarEchoLike sys(2.0, rng_);
+  const auto person = sample_acoustic_profile(0, rng_);
+  sys.enroll("u", person, {});
+  int accepted = 0;
+  for (int i = 0; i < 50; ++i) {
+    accepted += sys.verify("u", person, {})->accepted ? 1 : 0;
+  }
+  EXPECT_GT(accepted, 45);
+}
+
+TEST_F(EarEchoTest, RejectsImpostor) {
+  EarEchoLike sys(2.0, rng_);
+  const auto genuine = sample_acoustic_profile(0, rng_);
+  const auto impostor = sample_acoustic_profile(1, rng_);
+  sys.enroll("u", genuine, {});
+  int accepted = 0;
+  for (int i = 0; i < 50; ++i) {
+    accepted += sys.verify("u", impostor, {})->accepted ? 1 : 0;
+  }
+  EXPECT_LT(accepted, 10);
+}
+
+TEST_F(EarEchoTest, ReplaySucceeds) {
+  EarEchoLike sys(2.0, rng_);
+  const auto person = sample_acoustic_profile(0, rng_);
+  sys.enroll("u", person, {});
+  const auto stolen = sys.steal("u");
+  ASSERT_TRUE(stolen.has_value());
+  EXPECT_TRUE(sys.verify_replayed("u", *stolen)->accepted);
+}
+
+TEST_F(EarEchoTest, NoiseBreaksVerification) {
+  EarEchoLike sys(2.0, rng_);
+  const auto person = sample_acoustic_profile(0, rng_);
+  sys.enroll("u", person, {});
+  AcousticMeasurementConfig loud;
+  loud.ambient_noise_power = 20.0;
+  int accepted = 0;
+  for (int i = 0; i < 50; ++i) {
+    accepted += sys.verify("u", person, loud)->accepted ? 1 : 0;
+  }
+  EXPECT_LT(accepted, 25);
+}
+
+TEST_F(EarEchoTest, AveragingMakesVerifyTighterThanSingleProbe) {
+  // The multi-round averaging exists for a reason: the enrolled template
+  // has lower variance than a single probe.
+  EarEchoLike sys(2.0, rng_);
+  const auto person = sample_acoustic_profile(0, rng_);
+  sys.enroll("u", person, {});
+  double total = 0.0;
+  for (int i = 0; i < 50; ++i) {
+    total += sys.verify("u", person, {})->distance;
+  }
+  EXPECT_LT(total / 50.0, 1.0);
+}
+
+TEST_F(EarEchoTest, UnknownUser) {
+  EarEchoLike sys(2.0, rng_);
+  EXPECT_FALSE(sys.verify("ghost", sample_acoustic_profile(0, rng_), {}).has_value());
+  EXPECT_FALSE(sys.verify_replayed("ghost", std::vector<double>(kAcousticBands, 0.0))
+                   .has_value());
+}
+
+TEST_F(EarEchoTest, InvalidThresholdThrows) {
+  EXPECT_THROW(EarEchoLike(-1.0, rng_), PreconditionError);
+}
+
+}  // namespace
+}  // namespace mandipass::baselines

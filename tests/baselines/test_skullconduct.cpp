@@ -1,0 +1,88 @@
+#include "baselines/skullconduct.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace mandipass::baselines {
+namespace {
+
+class SkullConductTest : public ::testing::Test {
+ protected:
+  SkullConductTest() : rng_(7) {}
+  Rng rng_;
+};
+
+TEST_F(SkullConductTest, RegistrationUnderOneSecond) {
+  // Table I: SkullConduct RTC <= 1 s.
+  SkullConductLike sys(2.0, rng_);
+  const auto person = sample_acoustic_profile(0, rng_);
+  EXPECT_LE(sys.enroll("u", person, {}), 1.0);
+}
+
+TEST_F(SkullConductTest, AcceptsGenuineInQuiet) {
+  SkullConductLike sys(2.0, rng_);
+  const auto person = sample_acoustic_profile(0, rng_);
+  sys.enroll("u", person, {});
+  int accepted = 0;
+  for (int i = 0; i < 50; ++i) {
+    const auto d = sys.verify("u", person, {});
+    ASSERT_TRUE(d.has_value());
+    accepted += d->accepted ? 1 : 0;
+  }
+  EXPECT_GT(accepted, 45);
+}
+
+TEST_F(SkullConductTest, RejectsImpostor) {
+  SkullConductLike sys(2.0, rng_);
+  const auto genuine = sample_acoustic_profile(0, rng_);
+  const auto impostor = sample_acoustic_profile(1, rng_);
+  sys.enroll("u", genuine, {});
+  int accepted = 0;
+  for (int i = 0; i < 50; ++i) {
+    accepted += sys.verify("u", impostor, {})->accepted ? 1 : 0;
+  }
+  EXPECT_LT(accepted, 10);
+}
+
+TEST_F(SkullConductTest, ReplayOfStolenTemplateSucceeds) {
+  // Table I: SkullConduct has NO replay-attack resilience — the raw
+  // template replays perfectly (distance 0).
+  SkullConductLike sys(2.0, rng_);
+  const auto person = sample_acoustic_profile(0, rng_);
+  sys.enroll("u", person, {});
+  const auto stolen = sys.steal("u");
+  ASSERT_TRUE(stolen.has_value());
+  const auto d = sys.verify_replayed("u", *stolen);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_TRUE(d->accepted);
+  EXPECT_DOUBLE_EQ(d->distance, 0.0);
+}
+
+TEST_F(SkullConductTest, AcousticNoiseBreaksVerification) {
+  // Table I: no immunity against acoustic noise.
+  SkullConductLike sys(2.0, rng_);
+  const auto person = sample_acoustic_profile(0, rng_);
+  sys.enroll("u", person, {});
+  AcousticMeasurementConfig loud;
+  loud.ambient_noise_power = 20.0;
+  int accepted = 0;
+  for (int i = 0; i < 50; ++i) {
+    accepted += sys.verify("u", person, loud)->accepted ? 1 : 0;
+  }
+  EXPECT_LT(accepted, 25);  // FRR explodes in noise
+}
+
+TEST_F(SkullConductTest, UnknownUser) {
+  SkullConductLike sys(2.0, rng_);
+  const auto person = sample_acoustic_profile(0, rng_);
+  EXPECT_FALSE(sys.verify("ghost", person, {}).has_value());
+  EXPECT_FALSE(sys.steal("ghost").has_value());
+}
+
+TEST_F(SkullConductTest, InvalidThresholdThrows) {
+  EXPECT_THROW(SkullConductLike(0.0, rng_), PreconditionError);
+}
+
+}  // namespace
+}  // namespace mandipass::baselines

@@ -1,0 +1,141 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace mandipass {
+namespace {
+
+TEST(Stats, MeanSimple) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+}
+
+TEST(Stats, MeanSingle) {
+  const std::vector<double> xs{7.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 7.0);
+}
+
+TEST(Stats, VarianceConstantIsZero) {
+  const std::vector<double> xs{5.0, 5.0, 5.0};
+  EXPECT_DOUBLE_EQ(variance(xs), 0.0);
+}
+
+TEST(Stats, VarianceKnown) {
+  const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(variance(xs), 4.0);  // classic textbook example
+  EXPECT_DOUBLE_EQ(stddev(xs), 2.0);
+}
+
+TEST(Stats, MedianOdd) {
+  const std::vector<double> xs{3.0, 1.0, 2.0};
+  EXPECT_DOUBLE_EQ(median(xs), 2.0);
+}
+
+TEST(Stats, MedianEvenInterpolates) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(median(xs), 2.5);
+}
+
+TEST(Stats, QuantileEndpoints) {
+  const std::vector<double> xs{10.0, 20.0, 30.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 30.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 20.0);
+}
+
+TEST(Stats, QuantileInterpolation) {
+  const std::vector<double> xs{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.75), 7.5);
+}
+
+TEST(Stats, MadKnown) {
+  const std::vector<double> xs{1.0, 1.0, 2.0, 2.0, 4.0, 6.0, 9.0};
+  // median = 2, |x - 2| = {1,1,0,0,2,4,7}, median of that = 1.
+  EXPECT_DOUBLE_EQ(mad(xs), 1.0);
+}
+
+TEST(Stats, MinMax) {
+  const std::vector<double> xs{3.0, -1.0, 4.0, 1.0};
+  EXPECT_DOUBLE_EQ(min_value(xs), -1.0);
+  EXPECT_DOUBLE_EQ(max_value(xs), 4.0);
+}
+
+TEST(Stats, PearsonPerfectCorrelation) {
+  const std::vector<double> xs{1.0, 2.0, 3.0};
+  const std::vector<double> ys{2.0, 4.0, 6.0};
+  EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+}
+
+TEST(Stats, PearsonPerfectAnticorrelation) {
+  const std::vector<double> xs{1.0, 2.0, 3.0};
+  const std::vector<double> ys{6.0, 4.0, 2.0};
+  EXPECT_NEAR(pearson(xs, ys), -1.0, 1e-12);
+}
+
+TEST(Stats, PearsonConstantIsZero) {
+  const std::vector<double> xs{1.0, 2.0, 3.0};
+  const std::vector<double> ys{5.0, 5.0, 5.0};
+  EXPECT_DOUBLE_EQ(pearson(xs, ys), 0.0);
+}
+
+TEST(Stats, PearsonIndependentNearZero) {
+  Rng rng(3);
+  std::vector<double> xs(5000);
+  std::vector<double> ys(5000);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    xs[i] = rng.normal();
+    ys[i] = rng.normal();
+  }
+  EXPECT_NEAR(pearson(xs, ys), 0.0, 0.05);
+}
+
+TEST(Stats, WindowedStddevBasic) {
+  // 20 samples: first 10 constant (std 0), last 10 alternate +-1 (std 1).
+  std::vector<double> xs(20, 0.0);
+  for (std::size_t i = 10; i < 20; ++i) {
+    xs[i] = (i % 2 == 0) ? 1.0 : -1.0;
+  }
+  const auto stds = windowed_stddev(xs, 10, 10);
+  ASSERT_EQ(stds.size(), 2u);
+  EXPECT_DOUBLE_EQ(stds[0], 0.0);
+  EXPECT_DOUBLE_EQ(stds[1], 1.0);
+}
+
+TEST(Stats, WindowedStddevDropsShortTail) {
+  std::vector<double> xs(25, 0.0);
+  EXPECT_EQ(windowed_stddev(xs, 10, 10).size(), 2u);
+}
+
+TEST(Stats, WindowedStddevStrideSmallerThanWindow) {
+  std::vector<double> xs(30, 0.0);
+  EXPECT_EQ(windowed_stddev(xs, 10, 5).size(), 5u);
+}
+
+TEST(Stats, WindowedStddevInputShorterThanWindow) {
+  std::vector<double> xs(5, 1.0);
+  EXPECT_TRUE(windowed_stddev(xs, 10, 10).empty());
+}
+
+TEST(Stats, EmptyInputThrows) {
+  const std::vector<double> empty;
+  EXPECT_THROW(mean(empty), PreconditionError);
+  EXPECT_THROW(variance(empty), PreconditionError);
+  EXPECT_THROW(median(empty), PreconditionError);
+  EXPECT_THROW(min_value(empty), PreconditionError);
+}
+
+TEST(Stats, QuantileOutOfRangeThrows) {
+  const std::vector<double> xs{1.0};
+  EXPECT_THROW(quantile(xs, -0.1), PreconditionError);
+  EXPECT_THROW(quantile(xs, 1.1), PreconditionError);
+}
+
+}  // namespace
+}  // namespace mandipass

@@ -1,0 +1,77 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.h"
+
+namespace mandipass {
+namespace {
+
+TEST(Table, PrintsHeadersAndRows) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"beta", "22"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, ColumnsAligned) {
+  Table t({"a", "b"});
+  t.add_row({"long-cell-content", "x"});
+  std::ostringstream os;
+  t.print(os);
+  // Header row must be padded to the widest cell + separator.
+  const std::string first_line = os.str().substr(0, os.str().find('\n'));
+  EXPECT_GE(first_line.size(), std::string("long-cell-content").size());
+}
+
+TEST(Table, RowArityMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), PreconditionError);
+}
+
+TEST(Table, EmptyHeadersThrow) {
+  EXPECT_THROW(Table t({}), PreconditionError);
+}
+
+TEST(Fmt, FixedDigits) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(2.0, 0), "2");
+}
+
+TEST(Fmt, Percent) {
+  EXPECT_EQ(fmt_percent(0.0128, 2), "1.28%");
+  EXPECT_EQ(fmt_percent(1.0, 0), "100%");
+}
+
+TEST(Histogram, CountsFallInBins) {
+  std::ostringstream os;
+  print_histogram(os, {0.05, 0.15, 0.15, 0.95}, 0.0, 1.0, 10);
+  const std::string out = os.str();
+  // Second bin holds half the mass.
+  EXPECT_NE(out.find("50.0%"), std::string::npos);
+}
+
+TEST(Histogram, ClampsOutOfRangeValues) {
+  std::ostringstream os;
+  print_histogram(os, {-5.0, 5.0}, 0.0, 1.0, 2);
+  const std::string out = os.str();
+  // Both land somewhere (50% each), nothing lost.
+  EXPECT_NE(out.find("50.0%"), std::string::npos);
+}
+
+TEST(Histogram, InvalidArgsThrow) {
+  std::ostringstream os;
+  EXPECT_THROW(print_histogram(os, {}, 0.0, 1.0, 0), PreconditionError);
+  EXPECT_THROW(print_histogram(os, {}, 1.0, 1.0, 4), PreconditionError);
+}
+
+}  // namespace
+}  // namespace mandipass

@@ -1,0 +1,86 @@
+#include "core/dataset_builder.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace mandipass::core {
+namespace {
+
+TEST(DatasetBuilder, CollectsRequestedCounts) {
+  Rng rng(1);
+  vibration::PopulationGenerator pop(2024);
+  const auto people = pop.sample_population(3);
+  CollectionConfig cfg;
+  cfg.arrays_per_person = 5;
+  const auto set = collect_signal_set(people, cfg, rng);
+  EXPECT_EQ(set.size(), 15u);
+  // Labels are person indices with 5 arrays each.
+  std::array<int, 3> counts{};
+  for (std::uint32_t label : set.labels) {
+    ASSERT_LT(label, 3u);
+    ++counts[label];
+  }
+  for (int c : counts) {
+    EXPECT_EQ(c, 5);
+  }
+}
+
+TEST(DatasetBuilder, ArraysHaveConfiguredLength) {
+  Rng rng(2);
+  vibration::PopulationGenerator pop(2024);
+  const auto people = pop.sample_population(1);
+  CollectionConfig cfg;
+  cfg.arrays_per_person = 3;
+  cfg.prep.segment_length = 40;
+  const auto set = collect_signal_set(people, cfg, rng);
+  for (const auto& arr : set.arrays) {
+    EXPECT_EQ(arr.segment_length(), 40u);
+  }
+}
+
+TEST(DatasetBuilder, GradientConversionPreservesLabels) {
+  Rng rng(3);
+  vibration::PopulationGenerator pop(2024);
+  const auto people = pop.sample_population(2);
+  CollectionConfig cfg;
+  cfg.arrays_per_person = 4;
+  const auto signals = collect_signal_set(people, cfg, rng);
+  const auto grads = to_gradient_set(signals);
+  EXPECT_EQ(grads.size(), signals.size());
+  EXPECT_EQ(grads.labels, signals.labels);
+  EXPECT_EQ(grads.arrays[0].half_length(), 30u);
+}
+
+TEST(DatasetBuilder, OneCallConvenience) {
+  Rng rng(4);
+  vibration::PopulationGenerator pop(2024);
+  const auto people = pop.sample_population(2);
+  CollectionConfig cfg;
+  cfg.arrays_per_person = 3;
+  const auto set = collect_gradient_set(people, cfg, rng);
+  EXPECT_EQ(set.size(), 6u);
+  EXPECT_EQ(set.class_count(), 2u);
+}
+
+TEST(DatasetBuilder, ImpossibleSessionConfigThrows) {
+  Rng rng(5);
+  vibration::PopulationGenerator pop(2024);
+  const auto people = pop.sample_population(1);
+  CollectionConfig cfg;
+  cfg.arrays_per_person = 2;
+  cfg.max_attempt_factor = 2;
+  // Voicing window too short to ever fit a 60-sample segment after onset.
+  cfg.session.voice_s = 0.05;
+  cfg.session.tail_s = 0.0;
+  EXPECT_THROW(collect_signal_set(people, cfg, rng), SignalError);
+}
+
+TEST(DatasetBuilder, EmptyPopulationThrows) {
+  Rng rng(6);
+  CollectionConfig cfg;
+  EXPECT_THROW(collect_signal_set({}, cfg, rng), PreconditionError);
+}
+
+}  // namespace
+}  // namespace mandipass::core

@@ -1,0 +1,153 @@
+#include "core/extractor.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace mandipass::core {
+namespace {
+
+GradientArray random_gradient_array(std::uint64_t seed, std::size_t half = 30) {
+  Rng rng(seed);
+  GradientArray g;
+  for (std::size_t a = 0; a < imu::kAxisCount; ++a) {
+    g.positive[a].resize(half);
+    g.negative[a].resize(half);
+    for (std::size_t i = 0; i < half; ++i) {
+      g.positive[a][i] = rng.uniform(0.0, 0.5);
+      g.negative[a][i] = rng.uniform(-0.5, 0.0);
+    }
+  }
+  return g;
+}
+
+ExtractorConfig tiny_config() {
+  ExtractorConfig cfg;
+  cfg.embedding_dim = 16;
+  cfg.channels = {4, 6, 8};
+  return cfg;
+}
+
+TEST(Extractor, EmbeddingShape) {
+  BiometricExtractor ex(tiny_config());
+  std::vector<GradientArray> batch{random_gradient_array(1), random_gradient_array(2)};
+  const auto t = pack_branches(batch, 6);
+  const nn::Tensor e = ex.embed(t, false);
+  EXPECT_EQ(e.dim(0), 2u);
+  EXPECT_EQ(e.dim(1), 16u);
+}
+
+TEST(Extractor, EmbeddingInSigmoidRange) {
+  BiometricExtractor ex(tiny_config());
+  const auto print = ex.extract(random_gradient_array(3));
+  ASSERT_EQ(print.size(), 16u);
+  for (float v : print) {
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LE(v, 1.0f);
+  }
+}
+
+TEST(Extractor, DeterministicInference) {
+  BiometricExtractor ex(tiny_config());
+  const auto a = ex.extract(random_gradient_array(4));
+  const auto b = ex.extract(random_gradient_array(4));
+  EXPECT_EQ(a, b);
+}
+
+TEST(Extractor, DifferentInputsDifferentPrints) {
+  BiometricExtractor ex(tiny_config());
+  const auto a = ex.extract(random_gradient_array(5));
+  const auto b = ex.extract(random_gradient_array(6));
+  EXPECT_NE(a, b);
+}
+
+TEST(Extractor, SameSeedSameWeights) {
+  BiometricExtractor a(tiny_config());
+  BiometricExtractor b(tiny_config());
+  EXPECT_EQ(a.extract(random_gradient_array(7)), b.extract(random_gradient_array(7)));
+}
+
+TEST(Extractor, HeadRequiredForLogits) {
+  BiometricExtractor ex(tiny_config());
+  std::vector<GradientArray> batch{random_gradient_array(8)};
+  const auto t = pack_branches(batch, 6);
+  EXPECT_THROW(ex.forward_logits(t, false), PreconditionError);
+  ex.attach_head(5);
+  const nn::Tensor logits = ex.forward_logits(t, false);
+  EXPECT_EQ(logits.dim(1), 5u);
+  EXPECT_TRUE(ex.has_head());
+}
+
+TEST(Extractor, AxisSubsetConfig) {
+  ExtractorConfig cfg = tiny_config();
+  cfg.axes = 3;
+  BiometricExtractor ex(cfg);
+  std::vector<GradientArray> batch{random_gradient_array(9)};
+  const auto t = pack_branches(batch, 3);
+  const nn::Tensor e = ex.embed(t, false);
+  EXPECT_EQ(e.dim(1), 16u);
+  // Packing with the wrong axis count must be rejected.
+  const auto t6 = pack_branches(batch, 6);
+  EXPECT_THROW(ex.embed(t6, false), ShapeError);
+}
+
+TEST(Extractor, ParameterCountMatchesArchitecture) {
+  ExtractorConfig cfg = tiny_config();
+  BiometricExtractor ex(cfg);
+  // Two branches: conv(1->4) 4*1*9+4, bn 8, conv(4->6) 6*4*9+6, bn 12,
+  // conv(6->8) 8*6*9+8, bn 16; trunk: (2*8*6*4)->16 FC + 16.
+  const std::size_t conv_per_branch =
+      (4 * 1 * 9 + 4) + 2 * 4 + (6 * 4 * 9 + 6) + 2 * 6 + (8 * 6 * 9 + 8) + 2 * 8;
+  const std::size_t flat = 8 * 6 * 4;
+  const std::size_t trunk = 2 * flat * 16 + 16;
+  EXPECT_EQ(ex.parameter_count(), 2 * conv_per_branch + trunk);
+  EXPECT_EQ(ex.storage_bytes(), ex.parameter_count() * sizeof(float));
+}
+
+TEST(Extractor, PaperScaleStorageIsMegabytes) {
+  // With the paper's 512-dim MandiblePrint the model lands in the single-
+  // digit-MB range the paper reports (~5 MB).
+  ExtractorConfig cfg;
+  cfg.embedding_dim = 512;
+  BiometricExtractor ex(cfg);
+  EXPECT_GT(ex.storage_bytes(), 1u << 20);
+  EXPECT_LT(ex.storage_bytes(), 16u << 20);
+}
+
+TEST(Extractor, SaveLoadRoundTrip) {
+  BiometricExtractor a(tiny_config());
+  a.attach_head(4);
+  std::stringstream ss;
+  a.save(ss);
+  BiometricExtractor b(tiny_config());
+  b.load(ss);
+  EXPECT_TRUE(b.has_head());
+  EXPECT_EQ(a.extract(random_gradient_array(10)), b.extract(random_gradient_array(10)));
+}
+
+TEST(Extractor, LoadConfigMismatchThrows) {
+  BiometricExtractor a(tiny_config());
+  std::stringstream ss;
+  a.save(ss);
+  ExtractorConfig other = tiny_config();
+  other.embedding_dim = 32;
+  BiometricExtractor b(other);
+  EXPECT_THROW(b.load(ss), SerializationError);
+}
+
+TEST(Extractor, InvalidConfigThrows) {
+  ExtractorConfig bad = tiny_config();
+  bad.axes = 0;
+  EXPECT_THROW(BiometricExtractor{bad}, PreconditionError);
+  ExtractorConfig bad2 = tiny_config();
+  bad2.half_length = 2;
+  EXPECT_THROW(BiometricExtractor{bad2}, PreconditionError);
+  BiometricExtractor ok(tiny_config());
+  EXPECT_THROW(ok.attach_head(1), PreconditionError);
+}
+
+}  // namespace
+}  // namespace mandipass::core

@@ -1,0 +1,102 @@
+#include "core/signal_array.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace mandipass::core {
+namespace {
+
+SignalArray make_array(std::size_t n) {
+  SignalArray s;
+  for (std::size_t a = 0; a < imu::kAxisCount; ++a) {
+    s.axes[a].resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      s.axes[a][i] = std::sin(0.3 * static_cast<double>(i) + static_cast<double>(a));
+    }
+  }
+  return s;
+}
+
+TEST(GradientArray, DefaultHalfIsNOver2) {
+  const auto g = build_gradient_array(make_array(60));
+  EXPECT_EQ(g.half_length(), 30u);
+  for (std::size_t a = 0; a < imu::kAxisCount; ++a) {
+    EXPECT_EQ(g.positive[a].size(), 30u);
+    EXPECT_EQ(g.negative[a].size(), 30u);
+  }
+}
+
+TEST(GradientArray, ExplicitHalf) {
+  const auto g = build_gradient_array(make_array(60), 15);
+  EXPECT_EQ(g.half_length(), 15u);
+}
+
+TEST(GradientArray, PositiveSideNonNegativeNegativeSideNonPositive) {
+  const auto g = build_gradient_array(make_array(60));
+  for (std::size_t a = 0; a < imu::kAxisCount; ++a) {
+    for (double v : g.positive[a]) {
+      EXPECT_GE(v, 0.0);
+    }
+    for (double v : g.negative[a]) {
+      EXPECT_LE(v, 0.0);
+    }
+  }
+}
+
+TEST(GradientArray, TooShortSegmentThrows) {
+  SignalArray s;
+  for (auto& ax : s.axes) {
+    ax.resize(1);
+  }
+  EXPECT_THROW(build_gradient_array(s), PreconditionError);
+}
+
+TEST(PackBranches, Shapes) {
+  std::vector<GradientArray> batch{build_gradient_array(make_array(60)),
+                                   build_gradient_array(make_array(60))};
+  const auto t = pack_branches(batch, 6);
+  ASSERT_EQ(t.positive.rank(), 4u);
+  EXPECT_EQ(t.positive.dim(0), 2u);
+  EXPECT_EQ(t.positive.dim(1), 1u);
+  EXPECT_EQ(t.positive.dim(2), 6u);
+  EXPECT_EQ(t.positive.dim(3), 30u);
+  EXPECT_EQ(t.negative.shape(), t.positive.shape());
+}
+
+TEST(PackBranches, AxisPrefixSelection) {
+  // Fig. 11(a): involving k axes means the FIRST k in the canonical order.
+  std::vector<GradientArray> batch{build_gradient_array(make_array(60))};
+  const auto t3 = pack_branches(batch, 3);
+  EXPECT_EQ(t3.positive.dim(2), 3u);
+  // Axis 0 content matches the full pack's axis 0.
+  const auto t6 = pack_branches(batch, 6);
+  for (std::size_t w = 0; w < 30; ++w) {
+    EXPECT_FLOAT_EQ(t3.positive.at4(0, 0, 0, w), t6.positive.at4(0, 0, 0, w));
+  }
+}
+
+TEST(PackBranches, ValuesMatchSource) {
+  std::vector<GradientArray> batch{build_gradient_array(make_array(60))};
+  const auto t = pack_branches(batch, 6);
+  for (std::size_t a = 0; a < 6; ++a) {
+    for (std::size_t w = 0; w < 30; ++w) {
+      EXPECT_FLOAT_EQ(t.positive.at4(0, 0, a, w),
+                      static_cast<float>(batch[0].positive[a][w]));
+      EXPECT_FLOAT_EQ(t.negative.at4(0, 0, a, w),
+                      static_cast<float>(batch[0].negative[a][w]));
+    }
+  }
+}
+
+TEST(PackBranches, InvalidArgsThrow) {
+  std::vector<GradientArray> batch{build_gradient_array(make_array(60))};
+  EXPECT_THROW(pack_branches({}, 6), PreconditionError);
+  EXPECT_THROW(pack_branches(batch, 0), PreconditionError);
+  EXPECT_THROW(pack_branches(batch, 7), PreconditionError);
+}
+
+}  // namespace
+}  // namespace mandipass::core

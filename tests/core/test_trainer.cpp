@@ -1,0 +1,139 @@
+#include "core/trainer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace mandipass::core {
+namespace {
+
+/// Synthetic, cleanly separable gradient arrays: class k has its positive
+/// gradients biased by k-dependent structure plus noise.
+LabeledGradientSet synthetic_set(std::size_t classes, std::size_t per_class,
+                                 std::uint64_t seed) {
+  Rng rng(seed);
+  LabeledGradientSet data;
+  for (std::size_t c = 0; c < classes; ++c) {
+    for (std::size_t s = 0; s < per_class; ++s) {
+      GradientArray g;
+      for (std::size_t a = 0; a < imu::kAxisCount; ++a) {
+        g.positive[a].resize(30);
+        g.negative[a].resize(30);
+        for (std::size_t i = 0; i < 30; ++i) {
+          const double pattern =
+              0.4 * std::sin(0.2 * static_cast<double>(i * (c + 1)) + static_cast<double>(a));
+          g.positive[a][i] = 0.5 + pattern + rng.normal(0.0, 0.05);
+          g.negative[a][i] = -0.5 + 0.5 * pattern + rng.normal(0.0, 0.05);
+        }
+      }
+      data.arrays.push_back(std::move(g));
+      data.labels.push_back(static_cast<std::uint32_t>(c));
+    }
+  }
+  return data;
+}
+
+ExtractorConfig tiny_config() {
+  ExtractorConfig cfg;
+  cfg.embedding_dim = 16;
+  cfg.channels = {4, 6, 8};
+  return cfg;
+}
+
+TEST(Trainer, LearnsSeparableClasses) {
+  const auto data = synthetic_set(3, 40, 1);
+  Rng rng(2);
+  const auto split = split_gradient_set(data, 0.8, rng);
+  BiometricExtractor ex(tiny_config());
+  ExtractorTrainer trainer(ex, {.epochs = 8, .batch_size = 16, .lr = 3e-3});
+  const double train_acc = trainer.train(split.train);
+  EXPECT_GT(train_acc, 0.9);
+  EXPECT_GT(trainer.evaluate_accuracy(split.test), 0.9);
+}
+
+TEST(Trainer, EpochCallbackFires) {
+  const auto data = synthetic_set(2, 20, 3);
+  BiometricExtractor ex(tiny_config());
+  std::size_t calls = 0;
+  TrainConfig cfg;
+  cfg.epochs = 3;
+  cfg.on_epoch = [&calls](std::size_t, double, double) { ++calls; };
+  ExtractorTrainer trainer(ex, cfg);
+  trainer.train(data);
+  EXPECT_EQ(calls, 3u);
+}
+
+TEST(Trainer, ClassCount) {
+  const auto data = synthetic_set(4, 2, 4);
+  EXPECT_EQ(data.class_count(), 4u);
+  EXPECT_EQ(data.size(), 8u);
+}
+
+TEST(Trainer, SplitPreservesTotal) {
+  const auto data = synthetic_set(2, 25, 5);
+  Rng rng(6);
+  const auto split = split_gradient_set(data, 0.8, rng);
+  EXPECT_EQ(split.train.size(), 40u);
+  EXPECT_EQ(split.test.size(), 10u);
+}
+
+TEST(Trainer, EmbedAllRowsMatchInputs) {
+  const auto data = synthetic_set(2, 10, 7);
+  BiometricExtractor ex(tiny_config());
+  const auto embeddings = embed_all(ex, data);
+  ASSERT_EQ(embeddings.size(), data.size());
+  for (const auto& row : embeddings) {
+    EXPECT_EQ(row.size(), 16u);
+  }
+  // embed_all must agree with one-at-a-time extraction.
+  const auto single = ex.extract(data.arrays[3]);
+  for (std::size_t j = 0; j < single.size(); ++j) {
+    EXPECT_NEAR(embeddings[3][j], single[j], 1e-5);
+  }
+}
+
+TEST(Trainer, DeterministicTraining) {
+  const auto data = synthetic_set(2, 20, 8);
+  BiometricExtractor a(tiny_config());
+  BiometricExtractor b(tiny_config());
+  ExtractorTrainer ta(a, {.epochs = 2, .seed = 11});
+  ExtractorTrainer tb(b, {.epochs = 2, .seed = 11});
+  EXPECT_DOUBLE_EQ(ta.train(data), tb.train(data));
+  EXPECT_EQ(a.extract(data.arrays[0]), b.extract(data.arrays[0]));
+}
+
+TEST(Trainer, InputNoiseAugmentationStillLearns) {
+  const auto data = synthetic_set(2, 30, 9);
+  BiometricExtractor ex(tiny_config());
+  TrainConfig cfg;
+  cfg.epochs = 6;
+  cfg.input_noise = 0.05;
+  ExtractorTrainer trainer(ex, cfg);
+  EXPECT_GT(trainer.train(data), 0.85);
+}
+
+TEST(Trainer, SingleClassThrows) {
+  const auto data = synthetic_set(1, 10, 10);
+  BiometricExtractor ex(tiny_config());
+  ExtractorTrainer trainer(ex, {.epochs = 1});
+  EXPECT_THROW(trainer.train(data), PreconditionError);
+}
+
+TEST(Trainer, EvaluateWithoutHeadThrows) {
+  const auto data = synthetic_set(2, 4, 11);
+  BiometricExtractor ex(tiny_config());
+  ExtractorTrainer trainer(ex, {.epochs = 1});
+  EXPECT_THROW(trainer.evaluate_accuracy(data), PreconditionError);
+}
+
+TEST(Trainer, InvalidConfigThrows) {
+  BiometricExtractor ex(tiny_config());
+  EXPECT_THROW(ExtractorTrainer(ex, {.epochs = 0}), PreconditionError);
+  EXPECT_THROW(ExtractorTrainer(ex, {.epochs = 1, .batch_size = 0}), PreconditionError);
+}
+
+}  // namespace
+}  // namespace mandipass::core

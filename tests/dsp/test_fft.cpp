@@ -1,0 +1,115 @@
+#include "dsp/fft.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.h"
+
+namespace mandipass::dsp {
+namespace {
+
+TEST(Fft, NextPow2) {
+  EXPECT_EQ(next_pow2(0), 1u);
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(2), 2u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(64), 64u);
+  EXPECT_EQ(next_pow2(65), 128u);
+}
+
+TEST(Fft, ImpulseHasFlatSpectrum) {
+  std::vector<std::complex<double>> xs(8, 0.0);
+  xs[0] = 1.0;
+  fft_inplace(xs);
+  for (const auto& x : xs) {
+    EXPECT_NEAR(std::abs(x), 1.0, 1e-12);
+  }
+}
+
+TEST(Fft, DcBin) {
+  std::vector<std::complex<double>> xs(8, 1.0);
+  fft_inplace(xs);
+  EXPECT_NEAR(xs[0].real(), 8.0, 1e-12);
+  for (std::size_t k = 1; k < 8; ++k) {
+    EXPECT_NEAR(std::abs(xs[k]), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft, SineLandsInCorrectBin) {
+  const std::size_t n = 64;
+  std::vector<std::complex<double>> xs(n);
+  const std::size_t bin = 5;
+  for (std::size_t i = 0; i < n; ++i) {
+    xs[i] = std::sin(2.0 * std::numbers::pi * static_cast<double>(bin * i) / n);
+  }
+  fft_inplace(xs);
+  EXPECT_NEAR(std::abs(xs[bin]), n / 2.0, 1e-9);
+  EXPECT_NEAR(std::abs(xs[n - bin]), n / 2.0, 1e-9);
+  EXPECT_NEAR(std::abs(xs[bin + 1]), 0.0, 1e-9);
+}
+
+TEST(Fft, RoundTrip) {
+  std::vector<std::complex<double>> xs(32);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    xs[i] = {std::sin(0.3 * static_cast<double>(i)), std::cos(0.7 * static_cast<double>(i))};
+  }
+  auto copy = xs;
+  fft_inplace(copy);
+  ifft_inplace(copy);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    EXPECT_NEAR(copy[i].real(), xs[i].real(), 1e-10);
+    EXPECT_NEAR(copy[i].imag(), xs[i].imag(), 1e-10);
+  }
+}
+
+TEST(Fft, NonPowerOfTwoThrows) {
+  std::vector<std::complex<double>> xs(12, 0.0);
+  EXPECT_THROW(fft_inplace(xs), PreconditionError);
+}
+
+TEST(Fft, RealInputZeroPadded) {
+  const std::vector<double> xs{1.0, 2.0, 3.0};  // padded to 4
+  const auto spec = fft_real(xs);
+  EXPECT_EQ(spec.size(), 4u);
+  EXPECT_NEAR(spec[0].real(), 6.0, 1e-12);
+}
+
+TEST(Fft, MagnitudeSpectrumOneSided) {
+  std::vector<double> xs(16, 0.0);
+  const auto mag = magnitude_spectrum(xs);
+  EXPECT_EQ(mag.size(), 9u);  // N/2 + 1
+}
+
+TEST(Fft, PowerSpectrumParseval) {
+  // Parseval: sum |x|^2 == sum |X|^2 / N. Use the two-sided identity via
+  // the one-sided spectrum of a real signal.
+  std::vector<double> xs(32);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    xs[i] = std::cos(2.0 * std::numbers::pi * 3.0 * static_cast<double>(i) / 32.0);
+  }
+  double time_energy = 0.0;
+  for (double x : xs) {
+    time_energy += x * x;
+  }
+  const auto spec = fft_real(xs);
+  double freq_energy = 0.0;
+  for (const auto& s : spec) {
+    freq_energy += std::norm(s);
+  }
+  EXPECT_NEAR(time_energy, freq_energy / static_cast<double>(spec.size()), 1e-9);
+}
+
+TEST(Fft, BinFrequency) {
+  EXPECT_DOUBLE_EQ(bin_frequency(0, 64, 350.0), 0.0);
+  EXPECT_DOUBLE_EQ(bin_frequency(32, 64, 350.0), 175.0);
+}
+
+TEST(Fft, DominantBinFindsPeak) {
+  std::vector<double> mag{10.0, 1.0, 5.0, 9.0, 2.0};
+  EXPECT_EQ(dominant_bin(mag), 3u);  // DC (bin 0) excluded
+}
+
+}  // namespace
+}  // namespace mandipass::dsp

@@ -1,0 +1,114 @@
+#include "dsp/filter.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "common/error.h"
+#include "common/stats.h"
+
+namespace mandipass::dsp {
+namespace {
+
+std::vector<double> sine(double freq, double fs, std::size_t n) {
+  std::vector<double> xs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    xs[i] = std::sin(2.0 * std::numbers::pi * freq * static_cast<double>(i) / fs);
+  }
+  return xs;
+}
+
+double steady_state_rms(const std::vector<double>& xs) {
+  // Skip the first half (filter transient).
+  double acc = 0.0;
+  const std::size_t start = xs.size() / 2;
+  for (std::size_t i = start; i < xs.size(); ++i) {
+    acc += xs[i] * xs[i];
+  }
+  return std::sqrt(acc / static_cast<double>(xs.size() - start));
+}
+
+TEST(Butterworth, HighpassPassesHighFrequency) {
+  auto hp = SosFilter::butterworth_highpass4(20.0, 350.0);
+  const auto out = hp.filter(sine(100.0, 350.0, 2000));
+  EXPECT_NEAR(steady_state_rms(out), 1.0 / std::sqrt(2.0), 0.03);
+}
+
+TEST(Butterworth, HighpassRejectsLowFrequency) {
+  auto hp = SosFilter::butterworth_highpass4(20.0, 350.0);
+  const auto out = hp.filter(sine(2.0, 350.0, 4000));
+  // 4th order, one decade below cutoff: ~80 dB attenuation expected; allow
+  // a generous margin.
+  EXPECT_LT(steady_state_rms(out), 0.01);
+}
+
+TEST(Butterworth, HighpassCutoffIsMinus3dB) {
+  auto hp = SosFilter::butterworth_highpass4(20.0, 350.0);
+  EXPECT_NEAR(hp.magnitude_at(20.0, 350.0), 1.0 / std::sqrt(2.0), 0.02);
+}
+
+TEST(Butterworth, HighpassMonotoneStopband) {
+  auto hp = SosFilter::butterworth_highpass4(20.0, 350.0);
+  double prev = 0.0;
+  for (double f = 1.0; f <= 20.0; f += 1.0) {
+    const double mag = hp.magnitude_at(f, 350.0);
+    EXPECT_GE(mag, prev - 1e-9) << "not monotone at " << f;
+    prev = mag;
+  }
+}
+
+TEST(Butterworth, LowpassMirrorsHighpass) {
+  auto lp = SosFilter::butterworth_lowpass4(50.0, 1000.0);
+  EXPECT_NEAR(lp.magnitude_at(50.0, 1000.0), 1.0 / std::sqrt(2.0), 0.02);
+  EXPECT_GT(lp.magnitude_at(5.0, 1000.0), 0.99);
+  EXPECT_LT(lp.magnitude_at(400.0, 1000.0), 1e-3);
+}
+
+TEST(Butterworth, RemovesDcCompletely) {
+  auto hp = SosFilter::butterworth_highpass4(20.0, 350.0);
+  std::vector<double> dc(1000, 5.0);
+  const auto out = hp.filter(dc);
+  EXPECT_LT(std::abs(out.back()), 1e-6);
+}
+
+TEST(Biquad, ResetClearsState) {
+  auto c = design_highpass_biquad(20.0, 350.0, 0.707);
+  Biquad b(c);
+  b.process(1.0);
+  b.process(-1.0);
+  b.reset();
+  // After reset, the impulse response must match a fresh filter.
+  Biquad fresh(c);
+  for (int i = 0; i < 10; ++i) {
+    const double x = i == 0 ? 1.0 : 0.0;
+    EXPECT_DOUBLE_EQ(b.process(x), fresh.process(x));
+  }
+}
+
+TEST(SosFilter, FilterResetsBetweenSegments) {
+  auto hp = SosFilter::butterworth_highpass4(20.0, 350.0);
+  const auto first = hp.filter(sine(60.0, 350.0, 100));
+  const auto second = hp.filter(sine(60.0, 350.0, 100));
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_DOUBLE_EQ(first[i], second[i]);
+  }
+}
+
+TEST(FilterDesign, InvalidParametersThrow) {
+  EXPECT_THROW(design_highpass_biquad(0.0, 350.0, 0.7), PreconditionError);
+  EXPECT_THROW(design_highpass_biquad(200.0, 350.0, 0.7), PreconditionError);
+  EXPECT_THROW(design_highpass_biquad(20.0, 350.0, 0.0), PreconditionError);
+  EXPECT_THROW(design_lowpass_biquad(0.0, 350.0, 0.7), PreconditionError);
+  EXPECT_THROW(SosFilter({}), PreconditionError);
+}
+
+TEST(SosFilter, SectionCount) {
+  auto hp = SosFilter::butterworth_highpass4(20.0, 350.0);
+  EXPECT_EQ(hp.section_count(), 2u);  // 4th order = 2 biquads
+}
+
+}  // namespace
+}  // namespace mandipass::dsp

@@ -1,0 +1,120 @@
+#include "dsp/gradient.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace mandipass::dsp {
+namespace {
+
+TEST(Gradients, ForwardDifference) {
+  const std::vector<double> xs{1.0, 3.0, 2.0, 2.0};
+  const auto g = gradients(xs);
+  ASSERT_EQ(g.size(), 3u);
+  EXPECT_DOUBLE_EQ(g[0], 2.0);
+  EXPECT_DOUBLE_EQ(g[1], -1.0);
+  EXPECT_DOUBLE_EQ(g[2], 0.0);
+}
+
+TEST(Gradients, TooShortThrows) {
+  const std::vector<double> xs{1.0};
+  EXPECT_THROW(gradients(xs), PreconditionError);
+}
+
+TEST(SplitBySign, ZeroGoesPositive) {
+  // Paper: "gradients that are larger than or equal to zero belong to the
+  // positive direction".
+  const std::vector<double> g{1.0, 0.0, -2.0, 3.0};
+  const auto s = split_by_sign(g);
+  ASSERT_EQ(s.positive.size(), 3u);
+  ASSERT_EQ(s.negative.size(), 1u);
+  EXPECT_DOUBLE_EQ(s.positive[1], 0.0);
+  EXPECT_DOUBLE_EQ(s.negative[0], -2.0);
+}
+
+TEST(SplitBySign, PreservesOrder) {
+  const std::vector<double> g{3.0, -1.0, 1.0, -2.0};
+  const auto s = split_by_sign(g);
+  EXPECT_DOUBLE_EQ(s.positive[0], 3.0);
+  EXPECT_DOUBLE_EQ(s.positive[1], 1.0);
+  EXPECT_DOUBLE_EQ(s.negative[0], -1.0);
+  EXPECT_DOUBLE_EQ(s.negative[1], -2.0);
+}
+
+TEST(ResampleLinear, IdentityWhenSameLength) {
+  const std::vector<double> xs{1.0, 2.0, 3.0};
+  const auto out = resample_linear(xs, 3);
+  ASSERT_EQ(out.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(out[i], xs[i]);
+  }
+}
+
+TEST(ResampleLinear, UpsampleInterpolates) {
+  const std::vector<double> xs{0.0, 2.0};
+  const auto out = resample_linear(xs, 5);
+  ASSERT_EQ(out.size(), 5u);
+  EXPECT_DOUBLE_EQ(out[0], 0.0);
+  EXPECT_DOUBLE_EQ(out[2], 1.0);
+  EXPECT_DOUBLE_EQ(out[4], 2.0);
+}
+
+TEST(ResampleLinear, DownsampleKeepsEndpoints) {
+  const std::vector<double> xs{0.0, 1.0, 2.0, 3.0, 4.0};
+  const auto out = resample_linear(xs, 2);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_DOUBLE_EQ(out[0], 0.0);
+  EXPECT_DOUBLE_EQ(out[1], 4.0);
+}
+
+TEST(ResampleLinear, EmptyGivesZeros) {
+  const std::vector<double> xs;
+  const auto out = resample_linear(xs, 4);
+  ASSERT_EQ(out.size(), 4u);
+  for (double v : out) {
+    EXPECT_DOUBLE_EQ(v, 0.0);
+  }
+}
+
+TEST(ResampleLinear, SingleBroadcast) {
+  const std::vector<double> xs{7.0};
+  const auto out = resample_linear(xs, 3);
+  for (double v : out) {
+    EXPECT_DOUBLE_EQ(v, 7.0);
+  }
+}
+
+TEST(ResampleLinear, TargetOneTakesFirst) {
+  const std::vector<double> xs{9.0, 1.0, 5.0};
+  const auto out = resample_linear(xs, 1);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0], 9.0);
+}
+
+TEST(DirectionGradients, ShapesConsistent) {
+  std::vector<double> xs(60);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    xs[i] = std::sin(0.4 * static_cast<double>(i));
+  }
+  const auto d = direction_gradients(xs, 30);
+  EXPECT_EQ(d.positive.size(), 30u);
+  EXPECT_EQ(d.negative.size(), 30u);
+}
+
+TEST(DirectionGradients, MonotoneSignalHasEmptyNegativeSide) {
+  std::vector<double> xs{0.0, 1.0, 2.0, 3.0, 4.0, 5.0};
+  const auto d = direction_gradients(xs, 4);
+  // All gradients positive; the negative side is the zero-fill of an
+  // empty split.
+  for (double v : d.negative) {
+    EXPECT_DOUBLE_EQ(v, 0.0);
+  }
+  for (double v : d.positive) {
+    EXPECT_DOUBLE_EQ(v, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace mandipass::dsp

@@ -1,0 +1,113 @@
+#include "dsp/onset.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace mandipass::dsp {
+namespace {
+
+/// Quiet noise followed by a strong oscillation from `start`.
+std::vector<double> synthetic(std::size_t n, std::size_t start, double quiet_sigma,
+                              double loud_amp, Rng& rng) {
+  std::vector<double> xs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    xs[i] = rng.normal(0.0, quiet_sigma);
+    if (i >= start) {
+      xs[i] += loud_amp * std::sin(0.9 * static_cast<double>(i));
+    }
+  }
+  return xs;
+}
+
+TEST(Onset, DetectsAtWindowBoundary) {
+  Rng rng(1);
+  const auto xs = synthetic(300, 100, 20.0, 800.0, rng);
+  const auto onset = detect_onset(xs);
+  ASSERT_TRUE(onset.has_value());
+  EXPECT_EQ(*onset, 100u);  // start is window-aligned (stride 10)
+}
+
+TEST(Onset, QuantisedToStride) {
+  Rng rng(2);
+  const auto xs = synthetic(300, 104, 20.0, 800.0, rng);
+  const auto onset = detect_onset(xs);
+  ASSERT_TRUE(onset.has_value());
+  EXPECT_EQ(*onset % 10, 0u);
+  EXPECT_GE(*onset, 90u);
+  EXPECT_LE(*onset, 110u);
+}
+
+TEST(Onset, NoVibrationReturnsNullopt) {
+  Rng rng(3);
+  const auto xs = synthetic(300, 300, 20.0, 0.0, rng);  // never starts
+  EXPECT_FALSE(detect_onset(xs).has_value());
+}
+
+TEST(Onset, IgnoresShortSpike) {
+  Rng rng(4);
+  std::vector<double> xs(300);
+  for (auto& x : xs) {
+    x = rng.normal(0.0, 10.0);
+  }
+  // One isolated glitch window (high std) that does not sustain.
+  for (std::size_t i = 100; i < 110; ++i) {
+    xs[i] += (i % 2 == 0 ? 2000.0 : -2000.0);
+  }
+  EXPECT_FALSE(detect_onset(xs).has_value());
+}
+
+TEST(Onset, SustainedVibrationAccepted) {
+  Rng rng(5);
+  const auto xs = synthetic(400, 200, 5.0, 500.0, rng);
+  const auto onset = detect_onset(xs);
+  ASSERT_TRUE(onset.has_value());
+  EXPECT_EQ(*onset, 200u);
+}
+
+TEST(Onset, EmptyInput) {
+  EXPECT_FALSE(detect_onset(std::vector<double>{}).has_value());
+}
+
+TEST(Onset, ConfigValidation) {
+  OnsetConfig bad;
+  bad.window = 0;
+  EXPECT_THROW(detect_onset(std::vector<double>(100, 0.0), bad), PreconditionError);
+  OnsetConfig inverted;
+  inverted.start_threshold = 50.0;
+  inverted.sustain_threshold = 100.0;
+  EXPECT_THROW(detect_onset(std::vector<double>(100, 0.0), inverted), PreconditionError);
+}
+
+TEST(SegmentAfterOnset, ReturnsRequestedLength) {
+  Rng rng(6);
+  const auto ref = synthetic(300, 100, 20.0, 800.0, rng);
+  std::vector<double> other(300);
+  for (std::size_t i = 0; i < other.size(); ++i) {
+    other[i] = static_cast<double>(i);
+  }
+  const auto seg = segment_after_onset(ref, other, 60);
+  ASSERT_TRUE(seg.has_value());
+  EXPECT_EQ(seg->size(), 60u);
+  EXPECT_DOUBLE_EQ((*seg)[0], 100.0);  // starts at the onset index
+}
+
+TEST(SegmentAfterOnset, TooLateOnsetFails) {
+  Rng rng(7);
+  const auto ref = synthetic(300, 280, 20.0, 800.0, rng);
+  const auto seg = segment_after_onset(ref, ref, 60);
+  EXPECT_FALSE(seg.has_value());
+}
+
+TEST(SegmentAfterOnset, MismatchedSizesThrow) {
+  std::vector<double> a(100, 0.0);
+  std::vector<double> b(50, 0.0);
+  EXPECT_THROW(segment_after_onset(a, b, 10), PreconditionError);
+}
+
+}  // namespace
+}  // namespace mandipass::dsp

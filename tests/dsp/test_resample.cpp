@@ -1,0 +1,61 @@
+#include "dsp/resample.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.h"
+#include "common/stats.h"
+
+namespace mandipass::dsp {
+namespace {
+
+TEST(Decimate, OutputLengthScales) {
+  std::vector<double> xs(8000, 0.0);
+  const auto out = decimate(xs, 8000.0, 350.0);
+  EXPECT_EQ(out.size(), 350u);
+}
+
+TEST(Decimate, SameRatePassthrough) {
+  std::vector<double> xs{1.0, 2.0, 3.0};
+  const auto out = decimate(xs, 100.0, 100.0);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_DOUBLE_EQ(out[1], 2.0);
+}
+
+TEST(Decimate, PreservesInBandTone) {
+  // 50 Hz tone sampled at 8 kHz decimated to 350 Hz stays ~unit RMS.
+  std::vector<double> xs(16000);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    xs[i] = std::sin(2.0 * std::numbers::pi * 50.0 * static_cast<double>(i) / 8000.0);
+  }
+  const auto out = decimate(xs, 8000.0, 350.0);
+  std::vector<double> tail(out.begin() + static_cast<std::ptrdiff_t>(out.size() / 2), out.end());
+  EXPECT_NEAR(stddev(tail), 1.0 / std::sqrt(2.0), 0.05);
+}
+
+TEST(Decimate, SuppressesOutOfBandTone) {
+  // 1 kHz tone is far above the 350 Hz output Nyquist; the anti-alias
+  // filter must kill it.
+  std::vector<double> xs(16000);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    xs[i] = std::sin(2.0 * std::numbers::pi * 1000.0 * static_cast<double>(i) / 8000.0);
+  }
+  const auto out = decimate(xs, 8000.0, 350.0);
+  std::vector<double> tail(out.begin() + static_cast<std::ptrdiff_t>(out.size() / 2), out.end());
+  EXPECT_LT(stddev(tail), 0.02);
+}
+
+TEST(Decimate, EmptyInput) {
+  EXPECT_TRUE(decimate(std::vector<double>{}, 8000.0, 350.0).empty());
+}
+
+TEST(Decimate, InvalidRatesThrow) {
+  std::vector<double> xs(10, 0.0);
+  EXPECT_THROW(decimate(xs, 100.0, 200.0), PreconditionError);
+  EXPECT_THROW(decimate(xs, 100.0, 0.0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace mandipass::dsp

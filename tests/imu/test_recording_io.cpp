@@ -1,0 +1,93 @@
+#include "imu/recording_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "imu/sensor_model.h"
+
+namespace mandipass::imu {
+namespace {
+
+RawRecording sample_recording(std::size_t n = 20) {
+  Rng rng(5);
+  SensorModel sensor(mpu9250_spec(), rng);
+  std::vector<MotionSample> trace(n);
+  for (auto& m : trace) {
+    m.accel_g = {rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)};
+    m.gyro_dps = {rng.uniform(-10.0, 10.0), 0.0, 5.0};
+  }
+  return sensor.record(trace, 350.0);
+}
+
+TEST(RecordingIo, RoundTrip) {
+  const auto rec = sample_recording();
+  std::stringstream ss;
+  write_recording_csv(ss, rec);
+  const auto back = read_recording_csv(ss);
+  EXPECT_DOUBLE_EQ(back.sample_rate_hz, rec.sample_rate_hz);
+  ASSERT_EQ(back.sample_count(), rec.sample_count());
+  for (std::size_t a = 0; a < kAxisCount; ++a) {
+    for (std::size_t i = 0; i < rec.sample_count(); ++i) {
+      EXPECT_DOUBLE_EQ(back.axes[a][i], rec.axes[a][i]);
+    }
+  }
+}
+
+TEST(RecordingIo, HeaderContainsSampleRate) {
+  const auto rec = sample_recording(3);
+  std::stringstream ss;
+  write_recording_csv(ss, rec);
+  EXPECT_NE(ss.str().find("sample_rate_hz=350"), std::string::npos);
+  EXPECT_NE(ss.str().find("ax,ay,az,gx,gy,gz"), std::string::npos);
+}
+
+TEST(RecordingIo, MissingMagicThrows) {
+  std::stringstream ss("not a recording\n");
+  EXPECT_THROW(read_recording_csv(ss), SerializationError);
+}
+
+TEST(RecordingIo, MissingRateThrows) {
+  std::stringstream ss("# mandipass-recording v1\nax,ay,az,gx,gy,gz\n1,2,3,4,5,6\n");
+  EXPECT_THROW(read_recording_csv(ss), SerializationError);
+}
+
+TEST(RecordingIo, BadRateThrows) {
+  std::stringstream ss(
+      "# mandipass-recording v1\n# sample_rate_hz=0\nax,ay,az,gx,gy,gz\n1,2,3,4,5,6\n");
+  EXPECT_THROW(read_recording_csv(ss), SerializationError);
+}
+
+TEST(RecordingIo, WrongColumnCountThrows) {
+  std::stringstream ss(
+      "# mandipass-recording v1\n# sample_rate_hz=350\nax,ay,az,gx,gy,gz\n1,2,3\n");
+  EXPECT_THROW(read_recording_csv(ss), SerializationError);
+}
+
+TEST(RecordingIo, NonNumericCellThrows) {
+  std::stringstream ss(
+      "# mandipass-recording v1\n# sample_rate_hz=350\nax,ay,az,gx,gy,gz\n1,2,x,4,5,6\n");
+  EXPECT_THROW(read_recording_csv(ss), SerializationError);
+}
+
+TEST(RecordingIo, EmptyBodyThrows) {
+  std::stringstream ss("# mandipass-recording v1\n# sample_rate_hz=350\nax,ay,az,gx,gy,gz\n");
+  EXPECT_THROW(read_recording_csv(ss), SerializationError);
+}
+
+TEST(RecordingIo, FileRoundTrip) {
+  const auto rec = sample_recording(7);
+  const std::string path = ::testing::TempDir() + "/mandipass_rec_test.csv";
+  save_recording(path, rec);
+  const auto back = load_recording(path);
+  EXPECT_EQ(back.sample_count(), rec.sample_count());
+}
+
+TEST(RecordingIo, MissingFileThrows) {
+  EXPECT_THROW(load_recording("/nonexistent/dir/file.csv"), SerializationError);
+}
+
+}  // namespace
+}  // namespace mandipass::imu

@@ -1,0 +1,149 @@
+#include "imu/sensor_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stats.h"
+#include "imu/types.h"
+
+namespace mandipass::imu {
+namespace {
+
+TEST(SensorSpec, FactoryNames) {
+  EXPECT_EQ(mpu9250_spec().name, "MPU-9250");
+  EXPECT_EQ(mpu6050_spec().name, "MPU-6050");
+}
+
+TEST(SensorSpec, Mpu6050IsNoisier) {
+  EXPECT_GT(mpu6050_spec().accel_noise_lsb, mpu9250_spec().accel_noise_lsb);
+  EXPECT_GT(mpu6050_spec().glitch_probability, mpu9250_spec().glitch_probability);
+}
+
+TEST(AxisName, AllNamed) {
+  EXPECT_EQ(axis_name(Axis::Ax), "ax");
+  EXPECT_EQ(axis_name(Axis::Az), "az");
+  EXPECT_EQ(axis_name(Axis::Gz), "gz");
+}
+
+TEST(SensorModel, QuantisesToIntegers) {
+  Rng rng(1);
+  SensorModel sensor(mpu9250_spec(), rng);
+  MotionSample m;
+  m.accel_g = {0.1234, -0.5, 0.98};
+  const auto frame = sensor.sample(m);
+  for (double v : frame) {
+    EXPECT_DOUBLE_EQ(v, std::round(v));
+  }
+}
+
+TEST(SensorModel, ScalesAccelBySensitivity) {
+  // Disable noise/glitches to check the pure scaling.
+  SensorSpec spec = mpu9250_spec();
+  spec.accel_noise_lsb = 0.0;
+  spec.gyro_noise_lsb = 0.0;
+  spec.glitch_probability = 0.0;
+  Rng rng(2);
+  SensorModel sensor(spec, rng);
+  MotionSample m;
+  m.accel_g = {1.0, 0.0, 0.0};
+  const auto frame = sensor.sample(m);
+  EXPECT_DOUBLE_EQ(frame[0], 16384.0);
+}
+
+TEST(SensorModel, ScalesGyroBySensitivity) {
+  SensorSpec spec = mpu9250_spec();
+  spec.accel_noise_lsb = 0.0;
+  spec.gyro_noise_lsb = 0.0;
+  spec.glitch_probability = 0.0;
+  Rng rng(3);
+  SensorModel sensor(spec, rng);
+  MotionSample m;
+  m.gyro_dps = {0.0, 0.0, 10.0};
+  const auto frame = sensor.sample(m);
+  EXPECT_DOUBLE_EQ(frame[5], 1310.0);
+}
+
+TEST(SensorModel, SaturatesAtFullScale) {
+  SensorSpec spec = mpu9250_spec();
+  spec.glitch_probability = 0.0;
+  Rng rng(4);
+  SensorModel sensor(spec, rng);
+  MotionSample m;
+  m.accel_g = {100.0, -100.0, 0.0};
+  const auto frame = sensor.sample(m);
+  EXPECT_DOUBLE_EQ(frame[0], 32767.0);
+  EXPECT_DOUBLE_EQ(frame[1], -32767.0);
+}
+
+TEST(SensorModel, NoiseHasConfiguredSigma) {
+  SensorSpec spec = mpu9250_spec();
+  spec.glitch_probability = 0.0;
+  Rng rng(5);
+  SensorModel sensor(spec, rng);
+  std::vector<double> samples;
+  MotionSample still;  // zero motion: output is pure noise
+  for (int i = 0; i < 20000; ++i) {
+    samples.push_back(sensor.sample(still)[0]);
+  }
+  EXPECT_NEAR(mandipass::stddev(samples), spec.accel_noise_lsb, spec.accel_noise_lsb * 0.05);
+}
+
+TEST(SensorModel, GlitchesAppearAtConfiguredRate) {
+  SensorSpec spec = mpu9250_spec();
+  spec.accel_noise_lsb = 1.0;
+  spec.glitch_probability = 0.02;
+  Rng rng(6);
+  SensorModel sensor(spec, rng);
+  MotionSample still;
+  int glitches = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    if (std::abs(sensor.sample(still)[0]) > 1000.0) {
+      ++glitches;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(glitches) / n, 0.02, 0.004);
+}
+
+TEST(SensorModel, AppliesMountingOrientation) {
+  SensorSpec spec = mpu9250_spec();
+  spec.accel_noise_lsb = 0.0;
+  spec.gyro_noise_lsb = 0.0;
+  spec.glitch_probability = 0.0;
+  Rng rng(7);
+  SensorModel sensor(spec, rng);
+  sensor.set_orientation(Rotation::about_z_deg(90.0));
+  MotionSample m;
+  m.accel_g = {1.0, 0.0, 0.0};
+  const auto frame = sensor.sample(m);
+  EXPECT_NEAR(frame[0], 0.0, 1.0);
+  EXPECT_NEAR(frame[1], 16384.0, 1.0);
+}
+
+TEST(SensorModel, RecordProducesAllAxes) {
+  Rng rng(8);
+  SensorModel sensor(mpu9250_spec(), rng);
+  std::vector<MotionSample> trace(100);
+  const RawRecording rec = sensor.record(trace, 350.0);
+  EXPECT_EQ(rec.sample_count(), 100u);
+  EXPECT_DOUBLE_EQ(rec.sample_rate_hz, 350.0);
+  for (const auto& axis : rec.axes) {
+    EXPECT_EQ(axis.size(), 100u);
+  }
+}
+
+TEST(SensorModel, DeterministicGivenSameRngSeed) {
+  Rng rng1(9);
+  Rng rng2(9);
+  SensorModel a(mpu9250_spec(), rng1);
+  SensorModel b(mpu9250_spec(), rng2);
+  MotionSample m;
+  m.accel_g = {0.1, 0.2, 0.3};
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(a.sample(m), b.sample(m));
+  }
+}
+
+}  // namespace
+}  // namespace mandipass::imu

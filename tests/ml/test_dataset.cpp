@@ -1,0 +1,113 @@
+#include "ml/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace mandipass::ml {
+namespace {
+
+Dataset blob_dataset() {
+  Dataset d;
+  for (int i = 0; i < 50; ++i) {
+    d.add({static_cast<double>(i), 100.0 - i}, i % 2 == 0 ? 0 : 1);
+  }
+  return d;
+}
+
+TEST(Dataset, AddAndCounts) {
+  Dataset d;
+  d.add({1.0, 2.0}, 3);
+  d.add({4.0, 5.0}, 1);
+  EXPECT_EQ(d.size(), 2u);
+  EXPECT_EQ(d.feature_count(), 2u);
+  EXPECT_EQ(d.class_count(), 4u);  // labels 0..3
+}
+
+TEST(Dataset, MismatchedWidthThrows) {
+  Dataset d;
+  d.add({1.0, 2.0}, 0);
+  EXPECT_THROW(d.add({1.0}, 0), PreconditionError);
+}
+
+TEST(Split, Proportions) {
+  Rng rng(1);
+  const auto s = train_test_split(blob_dataset(), 0.8, rng);
+  EXPECT_EQ(s.train.size(), 40u);
+  EXPECT_EQ(s.test.size(), 10u);
+}
+
+TEST(Split, PartitionIsDisjointAndComplete) {
+  Rng rng(2);
+  const auto data = blob_dataset();
+  const auto s = train_test_split(data, 0.6, rng);
+  // Feature 0 is a unique id per row; union must cover 0..49 exactly once.
+  std::vector<bool> seen(50, false);
+  auto mark = [&seen](const Dataset& d) {
+    for (const auto& row : d.x) {
+      const auto id = static_cast<std::size_t>(row[0]);
+      EXPECT_FALSE(seen[id]);
+      seen[id] = true;
+    }
+  };
+  mark(s.train);
+  mark(s.test);
+  for (bool b : seen) {
+    EXPECT_TRUE(b);
+  }
+}
+
+TEST(Split, DeterministicGivenSeed) {
+  Rng a(3);
+  Rng b(3);
+  const auto sa = train_test_split(blob_dataset(), 0.8, a);
+  const auto sb = train_test_split(blob_dataset(), 0.8, b);
+  for (std::size_t i = 0; i < sa.train.size(); ++i) {
+    EXPECT_EQ(sa.train.x[i][0], sb.train.x[i][0]);
+  }
+}
+
+TEST(Split, InvalidFractionThrows) {
+  Rng rng(4);
+  EXPECT_THROW(train_test_split(blob_dataset(), 0.0, rng), PreconditionError);
+  EXPECT_THROW(train_test_split(blob_dataset(), 1.0, rng), PreconditionError);
+}
+
+TEST(Scaler, ZeroMeanUnitVar) {
+  StandardScaler scaler;
+  const auto data = blob_dataset();
+  scaler.fit(data);
+  const auto scaled = scaler.transform(data);
+  double sum0 = 0.0;
+  double sq0 = 0.0;
+  for (const auto& row : scaled.x) {
+    sum0 += row[0];
+    sq0 += row[0] * row[0];
+  }
+  const double n = static_cast<double>(scaled.size());
+  EXPECT_NEAR(sum0 / n, 0.0, 1e-9);
+  EXPECT_NEAR(sq0 / n, 1.0, 1e-9);
+}
+
+TEST(Scaler, ConstantFeatureMapsToZero) {
+  Dataset d;
+  d.add({5.0, 1.0}, 0);
+  d.add({5.0, 2.0}, 1);
+  StandardScaler scaler;
+  scaler.fit(d);
+  const auto row = scaler.transform(std::vector<double>{5.0, 1.5});
+  EXPECT_DOUBLE_EQ(row[0], 0.0);
+}
+
+TEST(Scaler, PreservesLabels) {
+  StandardScaler scaler;
+  const auto data = blob_dataset();
+  scaler.fit(data);
+  const auto scaled = scaler.transform(data);
+  EXPECT_EQ(scaled.y, data.y);
+}
+
+}  // namespace
+}  // namespace mandipass::ml

@@ -1,0 +1,115 @@
+#include "ml/decision_tree.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace mandipass::ml {
+namespace {
+
+TEST(DecisionTree, AxisAlignedSplit) {
+  Dataset d;
+  for (int i = 0; i < 20; ++i) {
+    d.add({static_cast<double>(i)}, i < 10 ? 0u : 1u);
+  }
+  DecisionTreeClassifier dt;
+  dt.fit(d);
+  EXPECT_EQ(dt.predict(std::vector<double>{3.0}), 0u);
+  EXPECT_EQ(dt.predict(std::vector<double>{15.0}), 1u);
+  EXPECT_DOUBLE_EQ(dt.accuracy(d), 1.0);
+}
+
+TEST(DecisionTree, LearnsXorUnlikeLinearModels) {
+  Dataset d;
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    const double a = rng.uniform(0.0, 1.0);
+    const double b = rng.uniform(0.0, 1.0);
+    d.add({a, b}, ((a > 0.5) != (b > 0.5)) ? 1u : 0u);
+  }
+  DecisionTreeClassifier dt;
+  dt.fit(d);
+  EXPECT_GT(dt.accuracy(d), 0.95);
+}
+
+TEST(DecisionTree, MaxDepthLimitsTree) {
+  Dataset d;
+  Rng rng(2);
+  for (int i = 0; i < 300; ++i) {
+    d.add({rng.uniform(0.0, 1.0), rng.uniform(0.0, 1.0)},
+          static_cast<std::uint32_t>(rng.uniform_index(4)));
+  }
+  DecisionTreeConfig shallow;
+  shallow.max_depth = 2;
+  DecisionTreeClassifier dt(shallow);
+  dt.fit(d);
+  EXPECT_LE(dt.depth(), 2u);
+  EXPECT_LE(dt.node_count(), 7u);  // 2^(d+1) - 1
+}
+
+TEST(DecisionTree, PureNodeStopsSplitting) {
+  Dataset d;
+  for (int i = 0; i < 10; ++i) {
+    d.add({static_cast<double>(i)}, 0u);
+  }
+  DecisionTreeClassifier dt;
+  dt.fit(d);
+  EXPECT_EQ(dt.node_count(), 1u);
+  EXPECT_EQ(dt.predict(std::vector<double>{100.0}), 0u);
+}
+
+TEST(DecisionTree, MinSamplesLeafRespected) {
+  Dataset d;
+  d.add({0.0}, 0);
+  d.add({1.0}, 1);
+  DecisionTreeConfig cfg;
+  cfg.min_samples_leaf = 2;
+  cfg.min_samples_split = 2;
+  DecisionTreeClassifier dt(cfg);
+  dt.fit(d);
+  EXPECT_EQ(dt.node_count(), 1u);  // split would create 1-sample leaves
+}
+
+TEST(DecisionTree, IdenticalFeaturesNoSplit) {
+  Dataset d;
+  d.add({1.0}, 0);
+  d.add({1.0}, 1);
+  d.add({1.0}, 0);
+  d.add({1.0}, 0);
+  DecisionTreeClassifier dt;
+  dt.fit(d);
+  EXPECT_EQ(dt.node_count(), 1u);
+  EXPECT_EQ(dt.predict(std::vector<double>{1.0}), 0u);  // majority
+}
+
+TEST(DecisionTree, MultiClass) {
+  Dataset d;
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    d.add({rng.normal(0.0, 0.3)}, 0);
+    d.add({rng.normal(3.0, 0.3)}, 1);
+    d.add({rng.normal(6.0, 0.3)}, 2);
+  }
+  DecisionTreeClassifier dt;
+  dt.fit(d);
+  EXPECT_EQ(dt.predict(std::vector<double>{0.1}), 0u);
+  EXPECT_EQ(dt.predict(std::vector<double>{2.9}), 1u);
+  EXPECT_EQ(dt.predict(std::vector<double>{6.1}), 2u);
+}
+
+TEST(DecisionTree, InvalidConfigThrows) {
+  DecisionTreeConfig bad;
+  bad.max_depth = 0;
+  EXPECT_THROW(DecisionTreeClassifier{bad}, PreconditionError);
+  DecisionTreeClassifier dt;
+  EXPECT_THROW(dt.fit(Dataset{}), PreconditionError);
+  EXPECT_THROW(dt.predict(std::vector<double>{0.0}), PreconditionError);
+}
+
+TEST(DecisionTree, Name) {
+  EXPECT_EQ(DecisionTreeClassifier().name(), "DT");
+}
+
+}  // namespace
+}  // namespace mandipass::ml

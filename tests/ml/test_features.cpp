@@ -1,0 +1,52 @@
+#include "ml/features.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace mandipass::ml {
+namespace {
+
+TEST(AxisStatistics, PaperOrderAndValues) {
+  const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  const auto s = axis_statistics(xs);
+  ASSERT_EQ(s.size(), kStatsPerAxis);
+  EXPECT_DOUBLE_EQ(s[0], 5.0);   // mean
+  EXPECT_DOUBLE_EQ(s[1], 4.5);   // median
+  EXPECT_DOUBLE_EQ(s[2], 4.0);   // variance
+  EXPECT_DOUBLE_EQ(s[3], 2.0);   // std
+  EXPECT_DOUBLE_EQ(s[4], 5.5);   // upper quartile
+  EXPECT_DOUBLE_EQ(s[5], 4.0);   // lower quartile
+}
+
+TEST(AxisStatistics, EmptyThrows) {
+  EXPECT_THROW(axis_statistics(std::vector<double>{}), PreconditionError);
+}
+
+TEST(Sfs, SixAxesGive36Features) {
+  std::vector<std::vector<double>> axes(6, std::vector<double>{1.0, 2.0, 3.0});
+  const auto f = sfs_features(axes);
+  EXPECT_EQ(f.size(), 36u);  // the paper's 6 x 6
+}
+
+TEST(Sfs, ConcatenationOrder) {
+  std::vector<std::vector<double>> axes{{1.0, 1.0}, {10.0, 10.0}};
+  const auto f = sfs_features(axes);
+  ASSERT_EQ(f.size(), 12u);
+  EXPECT_DOUBLE_EQ(f[0], 1.0);   // axis 0 mean
+  EXPECT_DOUBLE_EQ(f[6], 10.0);  // axis 1 mean
+}
+
+TEST(Sfs, SensitiveToDistributionChange) {
+  std::vector<std::vector<double>> a{{1.0, 2.0, 3.0}};
+  std::vector<std::vector<double>> b{{1.0, 2.0, 9.0}};
+  const auto fa = sfs_features(a);
+  const auto fb = sfs_features(b);
+  EXPECT_NE(fa[0], fb[0]);  // mean differs
+  EXPECT_NE(fa[2], fb[2]);  // variance differs
+}
+
+}  // namespace
+}  // namespace mandipass::ml

@@ -1,0 +1,90 @@
+#include "ml/knn.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace mandipass::ml {
+namespace {
+
+/// Two well-separated Gaussian blobs.
+Dataset blobs(std::size_t per_class, Rng& rng) {
+  Dataset d;
+  for (std::size_t i = 0; i < per_class; ++i) {
+    d.add({rng.normal(0.0, 1.0), rng.normal(0.0, 1.0)}, 0);
+    d.add({rng.normal(8.0, 1.0), rng.normal(8.0, 1.0)}, 1);
+  }
+  return d;
+}
+
+TEST(Knn, SeparableBlobsPerfect) {
+  Rng rng(1);
+  KnnClassifier knn(3);
+  knn.fit(blobs(50, rng));
+  EXPECT_EQ(knn.predict(std::vector<double>{0.5, -0.5}), 0u);
+  EXPECT_EQ(knn.predict(std::vector<double>{7.5, 8.5}), 1u);
+}
+
+TEST(Knn, K1MemorisesTrainingSet) {
+  Rng rng(2);
+  KnnClassifier knn(1);
+  const auto data = blobs(20, rng);
+  knn.fit(data);
+  EXPECT_DOUBLE_EQ(knn.accuracy(data), 1.0);
+}
+
+TEST(Knn, MajorityVote) {
+  KnnClassifier knn(3);
+  Dataset d;
+  d.add({0.0}, 0);
+  d.add({1.0}, 1);
+  d.add({1.1}, 1);
+  d.add({10.0}, 0);
+  knn.fit(d);
+  // Neighbours of 0.9: {1.0:1, 1.1:1, 0.0:0} -> majority 1.
+  EXPECT_EQ(knn.predict(std::vector<double>{0.9}), 1u);
+}
+
+TEST(Knn, KLargerThanDatasetStillWorks) {
+  KnnClassifier knn(100);
+  Dataset d;
+  d.add({0.0}, 0);
+  d.add({1.0}, 0);
+  d.add({5.0}, 1);
+  knn.fit(d);
+  EXPECT_EQ(knn.predict(std::vector<double>{0.4}), 0u);
+}
+
+TEST(Knn, HighDimensionalAccuracy) {
+  Rng rng(3);
+  Dataset train;
+  Dataset test;
+  for (int i = 0; i < 100; ++i) {
+    std::vector<double> a(10);
+    std::vector<double> b(10);
+    for (std::size_t j = 0; j < 10; ++j) {
+      a[j] = rng.normal(0.0, 1.0);
+      b[j] = rng.normal(4.0, 1.0);
+    }
+    (i < 80 ? train : test).add(a, 0);
+    (i < 80 ? train : test).add(b, 1);
+  }
+  KnnClassifier knn(5);
+  knn.fit(train);
+  EXPECT_GT(knn.accuracy(test), 0.95);
+}
+
+TEST(Knn, InvalidArgsThrow) {
+  EXPECT_THROW(KnnClassifier(0), PreconditionError);
+  KnnClassifier knn(3);
+  EXPECT_THROW(knn.predict(std::vector<double>{1.0}), PreconditionError);  // not fitted
+  EXPECT_THROW(knn.fit(Dataset{}), PreconditionError);
+}
+
+TEST(Knn, Name) {
+  EXPECT_EQ(KnnClassifier().name(), "KNN");
+}
+
+}  // namespace
+}  // namespace mandipass::ml

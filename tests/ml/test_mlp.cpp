@@ -1,0 +1,77 @@
+#include "ml/mlp.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace mandipass::ml {
+namespace {
+
+TEST(Mlp, LearnsNonlinearBoundary) {
+  Rng rng(1);
+  Dataset d;
+  for (int i = 0; i < 400; ++i) {
+    const double a = rng.uniform(-1.0, 1.0);
+    const double b = rng.uniform(-1.0, 1.0);
+    d.add({a, b}, (a * a + b * b < 0.4) ? 1u : 0u);  // circle inside square
+  }
+  MlpClassifier mlp({.hidden = 32, .epochs = 60, .lr = 5e-3});
+  mlp.fit(d);
+  EXPECT_GT(mlp.accuracy(d), 0.9);
+}
+
+TEST(Mlp, SeparableBlobsEasy) {
+  Rng rng(2);
+  Dataset d;
+  for (int i = 0; i < 100; ++i) {
+    d.add({rng.normal(0.0, 0.5)}, 0);
+    d.add({rng.normal(5.0, 0.5)}, 1);
+  }
+  MlpClassifier mlp;
+  mlp.fit(d);
+  EXPECT_EQ(mlp.predict(std::vector<double>{0.0}), 0u);
+  EXPECT_EQ(mlp.predict(std::vector<double>{5.0}), 1u);
+}
+
+TEST(Mlp, DeterministicGivenSeed) {
+  Rng rng(3);
+  Dataset d;
+  for (int i = 0; i < 50; ++i) {
+    d.add({rng.normal(0.0, 1.0), rng.normal(0.0, 1.0)}, i % 2);
+  }
+  MlpClassifier a({.epochs = 5, .seed = 7});
+  MlpClassifier b({.epochs = 5, .seed = 7});
+  a.fit(d);
+  b.fit(d);
+  for (int i = 0; i < 20; ++i) {
+    const std::vector<double> x{static_cast<double>(i) * 0.3 - 3.0, 0.5};
+    EXPECT_EQ(a.predict(x), b.predict(x));
+  }
+}
+
+TEST(Mlp, PredictBeforeFitThrows) {
+  MlpClassifier mlp;
+  EXPECT_THROW(mlp.predict(std::vector<double>{1.0}), PreconditionError);
+}
+
+TEST(Mlp, WrongFeatureCountThrows) {
+  Rng rng(4);
+  Dataset d;
+  d.add({1.0, 2.0}, 0);
+  d.add({3.0, 4.0}, 1);
+  MlpClassifier mlp({.epochs = 1});
+  mlp.fit(d);
+  EXPECT_THROW(mlp.predict(std::vector<double>{1.0}), PreconditionError);
+}
+
+TEST(Mlp, InvalidConfigThrows) {
+  EXPECT_THROW(MlpClassifier({.hidden = 0}), PreconditionError);
+}
+
+TEST(Mlp, Name) {
+  EXPECT_EQ(MlpClassifier().name(), "NN");
+}
+
+}  // namespace
+}  // namespace mandipass::ml

@@ -1,0 +1,89 @@
+#include "ml/naive_bayes.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace mandipass::ml {
+namespace {
+
+Dataset gaussian_classes(Rng& rng) {
+  Dataset d;
+  for (int i = 0; i < 200; ++i) {
+    d.add({rng.normal(0.0, 1.0), rng.normal(5.0, 1.0)}, 0);
+    d.add({rng.normal(4.0, 1.0), rng.normal(0.0, 1.0)}, 1);
+  }
+  return d;
+}
+
+TEST(NaiveBayes, SeparableClasses) {
+  Rng rng(1);
+  NaiveBayesClassifier nb;
+  nb.fit(gaussian_classes(rng));
+  EXPECT_EQ(nb.predict(std::vector<double>{0.0, 5.0}), 0u);
+  EXPECT_EQ(nb.predict(std::vector<double>{4.0, 0.0}), 1u);
+}
+
+TEST(NaiveBayes, HighAccuracyOnHeldOut) {
+  Rng rng(2);
+  NaiveBayesClassifier nb;
+  nb.fit(gaussian_classes(rng));
+  const auto test = gaussian_classes(rng);
+  EXPECT_GT(nb.accuracy(test), 0.97);
+}
+
+TEST(NaiveBayes, UsesVarianceNotJustMean) {
+  // Class 0: tight around 0. Class 1: wide around 0. A point at 3 is much
+  // more likely under the wide class even though both means are 0.
+  Rng rng(3);
+  Dataset d;
+  for (int i = 0; i < 500; ++i) {
+    d.add({rng.normal(0.0, 0.5)}, 0);
+    d.add({rng.normal(0.0, 5.0)}, 1);
+  }
+  NaiveBayesClassifier nb;
+  nb.fit(d);
+  EXPECT_EQ(nb.predict(std::vector<double>{4.0}), 1u);
+  EXPECT_EQ(nb.predict(std::vector<double>{0.05}), 0u);
+}
+
+TEST(NaiveBayes, PriorMatters) {
+  // Identical likelihoods, lopsided priors -> majority class wins.
+  Rng rng(4);
+  Dataset d;
+  for (int i = 0; i < 95; ++i) {
+    d.add({rng.normal(0.0, 1.0)}, 0);
+  }
+  for (int i = 0; i < 5; ++i) {
+    d.add({rng.normal(0.0, 1.0)}, 1);
+  }
+  NaiveBayesClassifier nb;
+  nb.fit(d);
+  EXPECT_EQ(nb.predict(std::vector<double>{0.0}), 0u);
+}
+
+TEST(NaiveBayes, ConstantFeatureDoesNotCrash) {
+  Dataset d;
+  d.add({1.0, 0.0}, 0);
+  d.add({1.0, 0.1}, 0);
+  d.add({1.0, 5.0}, 1);
+  d.add({1.0, 5.2}, 1);
+  NaiveBayesClassifier nb;
+  nb.fit(d);
+  EXPECT_EQ(nb.predict(std::vector<double>{1.0, 0.05}), 0u);
+  EXPECT_EQ(nb.predict(std::vector<double>{1.0, 5.1}), 1u);
+}
+
+TEST(NaiveBayes, EmptyFitThrows) {
+  NaiveBayesClassifier nb;
+  EXPECT_THROW(nb.fit(Dataset{}), PreconditionError);
+  EXPECT_THROW(nb.predict(std::vector<double>{1.0}), PreconditionError);
+}
+
+TEST(NaiveBayes, Name) {
+  EXPECT_EQ(NaiveBayesClassifier().name(), "NB");
+}
+
+}  // namespace
+}  // namespace mandipass::ml

@@ -1,0 +1,95 @@
+#include "ml/svm.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace mandipass::ml {
+namespace {
+
+Dataset separable(Rng& rng) {
+  Dataset d;
+  for (int i = 0; i < 100; ++i) {
+    d.add({rng.normal(-2.0, 0.5), rng.normal(0.0, 0.5)}, 0);
+    d.add({rng.normal(2.0, 0.5), rng.normal(0.0, 0.5)}, 1);
+  }
+  return d;
+}
+
+TEST(Svm, LinearlySeparable) {
+  Rng rng(1);
+  SvmClassifier svm;
+  svm.fit(separable(rng));
+  EXPECT_EQ(svm.predict(std::vector<double>{-2.0, 0.0}), 0u);
+  EXPECT_EQ(svm.predict(std::vector<double>{2.0, 0.0}), 1u);
+}
+
+TEST(Svm, GeneralisesToHeldOut) {
+  Rng rng(2);
+  SvmClassifier svm;
+  svm.fit(separable(rng));
+  EXPECT_GT(svm.accuracy(separable(rng)), 0.97);
+}
+
+TEST(Svm, DecisionSignMatchesPrediction) {
+  Rng rng(3);
+  SvmClassifier svm;
+  svm.fit(separable(rng));
+  const std::vector<double> x{2.5, 0.1};
+  EXPECT_GT(svm.decision(x, 1), svm.decision(x, 0));
+}
+
+TEST(Svm, ThreeClassesOneVsRest) {
+  Rng rng(4);
+  Dataset d;
+  for (int i = 0; i < 100; ++i) {
+    d.add({rng.normal(0.0, 0.4), rng.normal(0.0, 0.4)}, 0);
+    d.add({rng.normal(4.0, 0.4), rng.normal(0.0, 0.4)}, 1);
+    d.add({rng.normal(2.0, 0.4), rng.normal(4.0, 0.4)}, 2);
+  }
+  SvmClassifier svm;
+  svm.fit(d);
+  EXPECT_EQ(svm.predict(std::vector<double>{0.0, 0.0}), 0u);
+  EXPECT_EQ(svm.predict(std::vector<double>{4.0, 0.0}), 1u);
+  EXPECT_EQ(svm.predict(std::vector<double>{2.0, 4.0}), 2u);
+}
+
+TEST(Svm, BiasHandlesOffsetData) {
+  // Both classes on the same side of the origin: requires the bias term.
+  Rng rng(5);
+  Dataset d;
+  for (int i = 0; i < 200; ++i) {
+    d.add({rng.normal(10.0, 0.3)}, 0);
+    d.add({rng.normal(12.0, 0.3)}, 1);
+  }
+  SvmClassifier svm({.lambda = 1e-4, .epochs = 100});
+  svm.fit(d);
+  EXPECT_GT(svm.accuracy(d), 0.95);
+}
+
+TEST(Svm, DeterministicGivenSeed) {
+  Rng rng(6);
+  const auto data = separable(rng);
+  SvmClassifier a({.seed = 9});
+  SvmClassifier b({.seed = 9});
+  a.fit(data);
+  b.fit(data);
+  const std::vector<double> x{0.3, -0.7};
+  EXPECT_DOUBLE_EQ(a.decision(x, 0), b.decision(x, 0));
+}
+
+TEST(Svm, InvalidConfigThrows) {
+  EXPECT_THROW(SvmClassifier({.lambda = 0.0}), PreconditionError);
+  EXPECT_THROW(SvmClassifier({.lambda = 1e-4, .epochs = 0}), PreconditionError);
+  SvmClassifier svm;
+  EXPECT_THROW(svm.fit(Dataset{}), PreconditionError);
+  EXPECT_THROW(svm.predict(std::vector<double>{0.0}), PreconditionError);
+}
+
+TEST(Svm, Name) {
+  EXPECT_EQ(SvmClassifier().name(), "SVM");
+}
+
+}  // namespace
+}  // namespace mandipass::ml

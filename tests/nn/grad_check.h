@@ -1,0 +1,85 @@
+// Shared numerical-gradient checker for layer backward passes.
+//
+// Verifies dL/dx and dL/dtheta against central finite differences for the
+// scalar loss L = sum(output * direction) with a fixed random direction.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "nn/layer.h"
+
+namespace mandipass::nn::testing {
+
+/// Loss = sum_i out[i] * dir[i]; returns (loss, dL/dout = dir).
+inline double directed_loss(const Tensor& out, const Tensor& dir) {
+  double loss = 0.0;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    loss += static_cast<double>(out[i]) * dir[i];
+  }
+  return loss;
+}
+
+/// Checks the analytic input and parameter gradients of `layer` on `input`
+/// against finite differences. `train` selects the forward mode (BatchNorm
+/// needs train=true for its batch-statistics path).
+inline void check_gradients(Layer& layer, Tensor input, bool train = true, double eps = 1e-3,
+                            double tol = 2e-2) {
+  Rng rng(12345);
+  Tensor out = layer.forward(input, train);
+  Tensor dir(out.shape());
+  for (std::size_t i = 0; i < dir.size(); ++i) {
+    dir[i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+  }
+  for (Param* p : layer.params()) {
+    p->zero_grad();
+  }
+  const Tensor grad_in = layer.backward(dir);
+  ASSERT_EQ(grad_in.shape(), input.shape());
+
+  // Input gradient: probe a subset of coordinates.
+  const std::size_t stride = std::max<std::size_t>(1, input.size() / 24);
+  for (std::size_t i = 0; i < input.size(); i += stride) {
+    const float saved = input[i];
+    input[i] = saved + static_cast<float>(eps);
+    const double plus = directed_loss(layer.forward(input, train), dir);
+    input[i] = saved - static_cast<float>(eps);
+    const double minus = directed_loss(layer.forward(input, train), dir);
+    input[i] = saved;
+    const double numeric = (plus - minus) / (2.0 * eps);
+    EXPECT_NEAR(grad_in[i], numeric, tol * std::max(1.0, std::abs(numeric)))
+        << "input grad mismatch at " << i;
+  }
+
+  // Parameter gradients.
+  for (Param* p : layer.params()) {
+    const std::size_t pstride = std::max<std::size_t>(1, p->value.size() / 16);
+    for (std::size_t i = 0; i < p->value.size(); i += pstride) {
+      const float saved = p->value[i];
+      p->value[i] = saved + static_cast<float>(eps);
+      const double plus = directed_loss(layer.forward(input, train), dir);
+      p->value[i] = saved - static_cast<float>(eps);
+      const double minus = directed_loss(layer.forward(input, train), dir);
+      p->value[i] = saved;
+      const double numeric = (plus - minus) / (2.0 * eps);
+      EXPECT_NEAR(p->grad[i], numeric, tol * std::max(1.0, std::abs(numeric)))
+          << "param grad mismatch at " << i;
+    }
+  }
+  // Restore the backward cache for any further use.
+  layer.forward(input, train);
+}
+
+/// Fills a tensor with uniform values in [-1, 1].
+inline Tensor random_tensor(Shape shape, std::uint64_t seed) {
+  Rng rng(seed);
+  Tensor t(std::move(shape));
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    t[i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+  }
+  return t;
+}
+
+}  // namespace mandipass::nn::testing

@@ -1,0 +1,116 @@
+#include "nn/adam.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace mandipass::nn {
+namespace {
+
+TEST(Adam, MinimisesQuadratic) {
+  // f(x) = (x - 3)^2, df/dx = 2(x - 3).
+  Param x({1});
+  x.value[0] = 0.0f;
+  Adam opt({&x}, {.lr = 0.1});
+  for (int i = 0; i < 500; ++i) {
+    opt.zero_grad();
+    x.grad[0] = 2.0f * (x.value[0] - 3.0f);
+    opt.step();
+  }
+  EXPECT_NEAR(x.value[0], 3.0f, 1e-2);
+}
+
+TEST(Adam, FirstStepIsLrSized) {
+  // Adam's bias correction makes the very first step ~= lr * sign(grad).
+  Param x({1});
+  x.value[0] = 1.0f;
+  Adam opt({&x}, {.lr = 0.01});
+  opt.zero_grad();
+  x.grad[0] = 123.0f;
+  opt.step();
+  EXPECT_NEAR(x.value[0], 1.0f - 0.01f, 1e-4);
+}
+
+TEST(Adam, ZeroGradClearsAll) {
+  Param a({2});
+  Param b({3});
+  a.grad.fill(5.0f);
+  b.grad.fill(-2.0f);
+  Adam opt({&a, &b}, {});
+  opt.zero_grad();
+  for (std::size_t i = 0; i < a.grad.size(); ++i) {
+    EXPECT_EQ(a.grad[i], 0.0f);
+  }
+  for (std::size_t i = 0; i < b.grad.size(); ++i) {
+    EXPECT_EQ(b.grad[i], 0.0f);
+  }
+}
+
+TEST(Adam, NoGradNoMove) {
+  Param x({4});
+  x.value.fill(2.0f);
+  Adam opt({&x}, {});
+  opt.zero_grad();
+  opt.step();
+  for (std::size_t i = 0; i < x.value.size(); ++i) {
+    EXPECT_FLOAT_EQ(x.value[i], 2.0f);
+  }
+}
+
+TEST(Adam, WeightDecayShrinksParameters) {
+  Param x({1});
+  x.value[0] = 10.0f;
+  Adam opt({&x}, {.lr = 0.1, .weight_decay = 0.1});
+  for (int i = 0; i < 100; ++i) {
+    opt.zero_grad();  // no loss gradient, decay only
+    opt.step();
+  }
+  EXPECT_LT(std::abs(x.value[0]), 10.0f * 0.5f);
+}
+
+TEST(Adam, StepCount) {
+  Param x({1});
+  Adam opt({&x}, {});
+  EXPECT_EQ(opt.step_count(), 0u);
+  opt.step();
+  opt.step();
+  EXPECT_EQ(opt.step_count(), 2u);
+}
+
+TEST(Adam, LrSetter) {
+  Param x({1});
+  Adam opt({&x}, {.lr = 0.5});
+  EXPECT_DOUBLE_EQ(opt.lr(), 0.5);
+  opt.set_lr(0.25);
+  EXPECT_DOUBLE_EQ(opt.lr(), 0.25);
+}
+
+TEST(Adam, InvalidConfigThrows) {
+  Param x({1});
+  EXPECT_THROW(Adam({&x}, {.lr = 0.0}), PreconditionError);
+  EXPECT_THROW(Adam({&x}, {.lr = 0.1, .beta1 = 1.0}), PreconditionError);
+  EXPECT_THROW(Adam({nullptr}, {}), PreconditionError);
+}
+
+TEST(Adam, HandlesRosenbrockValley) {
+  // A harder 2-D test: Rosenbrock f = (1-a)^2 + 100(b - a^2)^2.
+  Param p({2});
+  p.value[0] = -1.0f;
+  p.value[1] = 1.0f;
+  Adam opt({&p}, {.lr = 0.02});
+  for (int i = 0; i < 8000; ++i) {
+    opt.zero_grad();
+    const double a = p.value[0];
+    const double b = p.value[1];
+    p.grad[0] = static_cast<float>(-2.0 * (1.0 - a) - 400.0 * a * (b - a * a));
+    p.grad[1] = static_cast<float>(200.0 * (b - a * a));
+    opt.step();
+  }
+  EXPECT_NEAR(p.value[0], 1.0f, 0.1f);
+  EXPECT_NEAR(p.value[1], 1.0f, 0.2f);
+}
+
+}  // namespace
+}  // namespace mandipass::nn

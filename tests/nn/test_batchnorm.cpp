@@ -1,0 +1,119 @@
+#include "nn/batchnorm.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "grad_check.h"
+
+namespace mandipass::nn {
+namespace {
+
+using testing::check_gradients;
+using testing::random_tensor;
+
+TEST(BatchNorm, NormalisesBatchStatistics) {
+  BatchNorm2d bn(2);
+  Tensor in = random_tensor({4, 2, 3, 5}, 1);
+  // Shift channel 1 far away to make the effect visible.
+  for (std::size_t b = 0; b < 4; ++b) {
+    for (std::size_t h = 0; h < 3; ++h) {
+      for (std::size_t w = 0; w < 5; ++w) {
+        in.at4(b, 1, h, w) += 100.0f;
+      }
+    }
+  }
+  const Tensor out = bn.forward(in, /*train=*/true);
+  for (std::size_t c = 0; c < 2; ++c) {
+    double sum = 0.0;
+    double sum2 = 0.0;
+    for (std::size_t b = 0; b < 4; ++b) {
+      for (std::size_t h = 0; h < 3; ++h) {
+        for (std::size_t w = 0; w < 5; ++w) {
+          sum += out.at4(b, c, h, w);
+          sum2 += static_cast<double>(out.at4(b, c, h, w)) * out.at4(b, c, h, w);
+        }
+      }
+    }
+    const double n = 4.0 * 3.0 * 5.0;
+    EXPECT_NEAR(sum / n, 0.0, 1e-5);
+    EXPECT_NEAR(sum2 / n, 1.0, 1e-3);
+  }
+}
+
+TEST(BatchNorm, GammaBetaScaleShift) {
+  BatchNorm2d bn(1);
+  bn.params()[0]->value.fill(3.0f);  // gamma
+  bn.params()[1]->value.fill(-1.0f);  // beta
+  const Tensor in = random_tensor({8, 1, 2, 2}, 2);
+  const Tensor out = bn.forward(in, true);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    sum += out[i];
+  }
+  EXPECT_NEAR(sum / static_cast<double>(out.size()), -1.0, 1e-4);
+}
+
+TEST(BatchNorm, RunningStatsConvergeToDataStats) {
+  BatchNorm2d bn(1, /*momentum=*/0.3);
+  Rng rng(3);
+  for (int step = 0; step < 200; ++step) {
+    Tensor in({16, 1, 2, 2});
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      in[i] = static_cast<float>(rng.normal(5.0, 2.0));
+    }
+    bn.forward(in, true);
+  }
+  EXPECT_NEAR(bn.running_mean()[0], 5.0, 0.3);
+  EXPECT_NEAR(bn.running_var()[0], 4.0, 0.8);
+}
+
+TEST(BatchNorm, EvalModeUsesRunningStats) {
+  BatchNorm2d bn(1, 0.5);
+  Tensor in({4, 1, 1, 2});
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    in[i] = static_cast<float>(i);
+  }
+  bn.forward(in, true);
+  bn.forward(in, true);
+  // In eval mode, a constant input maps through the affine running stats —
+  // all outputs identical, no batch statistics involved.
+  Tensor constant({2, 1, 1, 2});
+  constant.fill(1.0f);
+  const Tensor out = bn.forward(constant, false);
+  for (std::size_t i = 1; i < out.size(); ++i) {
+    EXPECT_FLOAT_EQ(out[i], out[0]);
+  }
+}
+
+TEST(BatchNorm, EvalModeIsDeterministic) {
+  BatchNorm2d bn(2);
+  bn.forward(random_tensor({8, 2, 2, 2}, 4), true);
+  const Tensor probe = random_tensor({3, 2, 2, 2}, 5);
+  const Tensor a = bn.forward(probe, false);
+  const Tensor b = bn.forward(probe, false);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_FLOAT_EQ(a[i], b[i]);
+  }
+}
+
+TEST(BatchNorm, GradientCheck) {
+  BatchNorm2d bn(3);
+  // Non-trivial gamma/beta so their gradients are exercised.
+  bn.params()[0]->value[1] = 1.7f;
+  bn.params()[1]->value[2] = -0.4f;
+  check_gradients(bn, random_tensor({4, 3, 2, 3}, 6), /*train=*/true, 1e-3, 5e-2);
+}
+
+TEST(BatchNorm, WrongChannelCountThrows) {
+  BatchNorm2d bn(4);
+  EXPECT_THROW(bn.forward(random_tensor({2, 3, 2, 2}, 7), true), ShapeError);
+}
+
+TEST(BatchNorm, InvalidConfigThrows) {
+  EXPECT_THROW(BatchNorm2d(0), PreconditionError);
+  EXPECT_THROW(BatchNorm2d(4, 0.0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace mandipass::nn

@@ -1,0 +1,161 @@
+#include "nn/conv2d.h"
+
+#include <gtest/gtest.h>
+
+#include "grad_check.h"
+
+namespace mandipass::nn {
+namespace {
+
+using testing::check_gradients;
+using testing::random_tensor;
+
+TEST(Conv2d, OutExtent) {
+  // The paper's branch geometry: W 30 -> 15 -> 8 -> 4 with k=3, s=2, p=1.
+  EXPECT_EQ(Conv2d::out_extent(30, 3, 2, 1), 15u);
+  EXPECT_EQ(Conv2d::out_extent(15, 3, 2, 1), 8u);
+  EXPECT_EQ(Conv2d::out_extent(8, 3, 2, 1), 4u);
+  // H stays 6 with s=1, p=1.
+  EXPECT_EQ(Conv2d::out_extent(6, 3, 1, 1), 6u);
+}
+
+TEST(Conv2d, OutputShape) {
+  Rng rng(1);
+  Conv2dConfig cfg;
+  cfg.in_channels = 1;
+  cfg.out_channels = 4;
+  Conv2d conv(cfg, rng);
+  const Tensor out = conv.forward(random_tensor({2, 1, 6, 30}, 7), true);
+  ASSERT_EQ(out.rank(), 4u);
+  EXPECT_EQ(out.dim(0), 2u);
+  EXPECT_EQ(out.dim(1), 4u);
+  EXPECT_EQ(out.dim(2), 6u);
+  EXPECT_EQ(out.dim(3), 15u);
+}
+
+TEST(Conv2d, IdentityKernelCopiesInput) {
+  Rng rng(2);
+  Conv2dConfig cfg;
+  cfg.in_channels = 1;
+  cfg.out_channels = 1;
+  cfg.stride_w = 1;
+  Conv2d conv(cfg, rng);
+  // Hand-set the 3x3 kernel to a centred delta.
+  Param* w = conv.params()[0];
+  Param* b = conv.params()[1];
+  w->value.fill(0.0f);
+  w->value.at4(0, 0, 1, 1) = 1.0f;
+  b->value.fill(0.0f);
+  const Tensor in = random_tensor({1, 1, 5, 7}, 3);
+  const Tensor out = conv.forward(in, true);
+  ASSERT_EQ(out.shape(), in.shape());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    EXPECT_FLOAT_EQ(out[i], in[i]);
+  }
+}
+
+TEST(Conv2d, BiasAddsUniformly) {
+  Rng rng(3);
+  Conv2dConfig cfg;
+  cfg.in_channels = 1;
+  cfg.out_channels = 2;
+  Conv2d conv(cfg, rng);
+  conv.params()[0]->value.fill(0.0f);
+  conv.params()[1]->value[0] = 1.5f;
+  conv.params()[1]->value[1] = -2.0f;
+  Tensor in({1, 1, 4, 8});
+  const Tensor out = conv.forward(in, true);
+  EXPECT_FLOAT_EQ(out.at4(0, 0, 2, 1), 1.5f);
+  EXPECT_FLOAT_EQ(out.at4(0, 1, 2, 1), -2.0f);
+}
+
+TEST(Conv2d, PaddingZeroesOutside) {
+  Rng rng(4);
+  Conv2dConfig cfg;
+  cfg.in_channels = 1;
+  cfg.out_channels = 1;
+  cfg.stride_w = 1;
+  Conv2d conv(cfg, rng);
+  Param* w = conv.params()[0];
+  w->value.fill(1.0f);  // sum of the 3x3 neighbourhood
+  conv.params()[1]->value.fill(0.0f);
+  Tensor in({1, 1, 3, 3});
+  in.fill(1.0f);
+  const Tensor out = conv.forward(in, true);
+  EXPECT_FLOAT_EQ(out.at4(0, 0, 1, 1), 9.0f);  // centre sees all 9
+  EXPECT_FLOAT_EQ(out.at4(0, 0, 0, 0), 4.0f);  // corner sees 4
+}
+
+TEST(Conv2d, GradientCheckStride1) {
+  Rng rng(5);
+  Conv2dConfig cfg;
+  cfg.in_channels = 2;
+  cfg.out_channels = 3;
+  cfg.stride_w = 1;
+  Conv2d conv(cfg, rng);
+  check_gradients(conv, random_tensor({2, 2, 4, 6}, 11));
+}
+
+TEST(Conv2d, GradientCheckPaperGeometry) {
+  Rng rng(6);
+  Conv2dConfig cfg;
+  cfg.in_channels = 1;
+  cfg.out_channels = 4;
+  cfg.stride_h = 1;
+  cfg.stride_w = 2;
+  Conv2d conv(cfg, rng);
+  check_gradients(conv, random_tensor({2, 1, 6, 30}, 13));
+}
+
+TEST(Conv2d, GradientCheckStride2Both) {
+  Rng rng(7);
+  Conv2dConfig cfg;
+  cfg.in_channels = 3;
+  cfg.out_channels = 2;
+  cfg.stride_h = 2;
+  cfg.stride_w = 2;
+  Conv2d conv(cfg, rng);
+  check_gradients(conv, random_tensor({3, 3, 5, 9}, 17));
+}
+
+TEST(Conv2d, WrongInputShapeThrows) {
+  Rng rng(8);
+  Conv2d conv({}, rng);
+  EXPECT_THROW(conv.forward(random_tensor({2, 3}, 1), true), ShapeError);
+  Conv2dConfig two;
+  two.in_channels = 2;
+  Conv2d conv2(two, rng);
+  EXPECT_THROW(conv2.forward(random_tensor({1, 1, 4, 4}, 1), true), ShapeError);
+}
+
+TEST(Conv2d, DeterministicAcrossCalls) {
+  Rng rng(9);
+  Conv2d conv({}, rng);
+  const Tensor in = random_tensor({1, 1, 6, 30}, 19);
+  const Tensor a = conv.forward(in, true);
+  const Tensor b = conv.forward(in, true);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_FLOAT_EQ(a[i], b[i]);
+  }
+}
+
+TEST(Conv2d, VaryingInputSizesRebuildIndex) {
+  // The im2col gather index is cached per plane size; alternating sizes
+  // must stay correct.
+  Rng rng(10);
+  Conv2dConfig cfg;
+  cfg.stride_w = 1;
+  cfg.out_channels = 1;
+  Conv2d conv(cfg, rng);
+  const Tensor small = random_tensor({1, 1, 4, 6}, 21);
+  const Tensor large = random_tensor({1, 1, 6, 10}, 23);
+  const Tensor s1 = conv.forward(small, true);
+  conv.forward(large, true);
+  const Tensor s2 = conv.forward(small, true);
+  for (std::size_t i = 0; i < s1.size(); ++i) {
+    EXPECT_FLOAT_EQ(s1[i], s2[i]);
+  }
+}
+
+}  // namespace
+}  // namespace mandipass::nn

@@ -1,0 +1,125 @@
+#include "nn/layers.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "grad_check.h"
+
+namespace mandipass::nn {
+namespace {
+
+using testing::check_gradients;
+using testing::random_tensor;
+
+TEST(ReLU, ClampsNegatives) {
+  ReLU relu;
+  Tensor in({1, 4});
+  in[0] = -1.0f;
+  in[1] = 0.0f;
+  in[2] = 2.0f;
+  in[3] = -0.5f;
+  const Tensor out = relu.forward(in, true);
+  EXPECT_FLOAT_EQ(out[0], 0.0f);
+  EXPECT_FLOAT_EQ(out[1], 0.0f);
+  EXPECT_FLOAT_EQ(out[2], 2.0f);
+  EXPECT_FLOAT_EQ(out[3], 0.0f);
+}
+
+TEST(ReLU, GradientMasksNegatives) {
+  ReLU relu;
+  Tensor in({1, 3});
+  in[0] = -1.0f;
+  in[1] = 1.0f;
+  in[2] = 3.0f;
+  relu.forward(in, true);
+  Tensor g({1, 3});
+  g.fill(1.0f);
+  const Tensor gi = relu.backward(g);
+  EXPECT_FLOAT_EQ(gi[0], 0.0f);
+  EXPECT_FLOAT_EQ(gi[1], 1.0f);
+  EXPECT_FLOAT_EQ(gi[2], 1.0f);
+}
+
+TEST(ReLU, GradientCheck) {
+  ReLU relu;
+  // Keep inputs away from the kink at 0 for clean finite differences.
+  Tensor in = random_tensor({2, 8}, 1);
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    if (std::abs(in[i]) < 0.1f) {
+      in[i] = 0.5f;
+    }
+  }
+  check_gradients(relu, in);
+}
+
+TEST(Sigmoid, KnownValues) {
+  Sigmoid sig;
+  Tensor in({1, 3});
+  in[0] = 0.0f;
+  in[1] = 100.0f;
+  in[2] = -100.0f;
+  const Tensor out = sig.forward(in, true);
+  EXPECT_FLOAT_EQ(out[0], 0.5f);
+  EXPECT_NEAR(out[1], 1.0f, 1e-6);
+  EXPECT_NEAR(out[2], 0.0f, 1e-6);
+}
+
+TEST(Sigmoid, OutputInUnitInterval) {
+  Sigmoid sig;
+  const Tensor out = sig.forward(random_tensor({4, 16}, 2), true);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_GE(out[i], 0.0f);
+    EXPECT_LE(out[i], 1.0f);
+  }
+}
+
+TEST(Sigmoid, GradientCheck) {
+  Sigmoid sig;
+  check_gradients(sig, random_tensor({2, 10}, 3));
+}
+
+TEST(Flatten, CollapsesTrailingDims) {
+  Flatten flat;
+  const Tensor out = flat.forward(random_tensor({2, 3, 4, 5}, 4), true);
+  EXPECT_EQ(out.rank(), 2u);
+  EXPECT_EQ(out.dim(0), 2u);
+  EXPECT_EQ(out.dim(1), 60u);
+}
+
+TEST(Flatten, Rank2PassThrough) {
+  Flatten flat;
+  const Tensor in = random_tensor({3, 7}, 5);
+  const Tensor out = flat.forward(in, true);
+  EXPECT_EQ(out.shape(), in.shape());
+}
+
+TEST(Flatten, BackwardRestoresShape) {
+  Flatten flat;
+  const Tensor in = random_tensor({2, 3, 2, 2}, 6);
+  const Tensor out = flat.forward(in, true);
+  const Tensor back = flat.backward(out);
+  EXPECT_EQ(back.shape(), in.shape());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    EXPECT_FLOAT_EQ(back[i], in[i]);
+  }
+}
+
+TEST(Layers, BackwardBeforeForwardThrows) {
+  ReLU relu;
+  Tensor g({1, 2});
+  EXPECT_THROW(relu.backward(g), PreconditionError);
+  Sigmoid sig;
+  EXPECT_THROW(sig.backward(g), PreconditionError);
+  Flatten flat;
+  EXPECT_THROW(flat.backward(g), PreconditionError);
+}
+
+TEST(Layers, Names) {
+  EXPECT_EQ(ReLU().name(), "ReLU");
+  EXPECT_EQ(Sigmoid().name(), "Sigmoid");
+  EXPECT_EQ(Flatten().name(), "Flatten");
+}
+
+}  // namespace
+}  // namespace mandipass::nn

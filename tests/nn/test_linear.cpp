@@ -1,0 +1,78 @@
+#include "nn/linear.h"
+
+#include <gtest/gtest.h>
+
+#include "grad_check.h"
+
+namespace mandipass::nn {
+namespace {
+
+using testing::check_gradients;
+using testing::random_tensor;
+
+TEST(Linear, OutputShape) {
+  Rng rng(1);
+  Linear fc(8, 3, rng);
+  const Tensor out = fc.forward(random_tensor({5, 8}, 2), true);
+  EXPECT_EQ(out.dim(0), 5u);
+  EXPECT_EQ(out.dim(1), 3u);
+}
+
+TEST(Linear, ComputesAffineMap) {
+  Rng rng(2);
+  Linear fc(2, 2, rng);
+  // W = [[1, 2], [3, 4]], b = [10, 20]
+  Param* w = fc.params()[0];
+  Param* b = fc.params()[1];
+  w->value.at2(0, 0) = 1.0f;
+  w->value.at2(0, 1) = 2.0f;
+  w->value.at2(1, 0) = 3.0f;
+  w->value.at2(1, 1) = 4.0f;
+  b->value[0] = 10.0f;
+  b->value[1] = 20.0f;
+  Tensor in({1, 2});
+  in.at2(0, 0) = 1.0f;
+  in.at2(0, 1) = -1.0f;
+  const Tensor out = fc.forward(in, true);
+  EXPECT_FLOAT_EQ(out.at2(0, 0), 10.0f - 1.0f);
+  EXPECT_FLOAT_EQ(out.at2(0, 1), 20.0f - 1.0f);
+}
+
+TEST(Linear, GradientCheck) {
+  Rng rng(3);
+  Linear fc(6, 4, rng);
+  check_gradients(fc, random_tensor({3, 6}, 4));
+}
+
+TEST(Linear, BatchIndependence) {
+  Rng rng(5);
+  Linear fc(4, 2, rng);
+  const Tensor a = random_tensor({1, 4}, 6);
+  Tensor ab({2, 4});
+  for (std::size_t j = 0; j < 4; ++j) {
+    ab.at2(0, j) = a.at2(0, j);
+    ab.at2(1, j) = a.at2(0, j) * 2.0f;
+  }
+  const Tensor single = fc.forward(a, true);
+  const Tensor batch = fc.forward(ab, true);
+  EXPECT_FLOAT_EQ(batch.at2(0, 0), single.at2(0, 0));
+  EXPECT_FLOAT_EQ(batch.at2(0, 1), single.at2(0, 1));
+}
+
+TEST(Linear, WrongShapeThrows) {
+  Rng rng(7);
+  Linear fc(4, 2, rng);
+  EXPECT_THROW(fc.forward(random_tensor({2, 5}, 8), true), ShapeError);
+  EXPECT_THROW(fc.forward(random_tensor({2, 4, 1, 1}, 9), true), ShapeError);
+}
+
+TEST(Linear, AccessorsAndInvalidConfig) {
+  Rng rng(10);
+  Linear fc(16, 32, rng);
+  EXPECT_EQ(fc.in_features(), 16u);
+  EXPECT_EQ(fc.out_features(), 32u);
+  EXPECT_THROW(Linear(0, 4, rng), PreconditionError);
+}
+
+}  // namespace
+}  // namespace mandipass::nn

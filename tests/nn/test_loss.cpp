@@ -1,0 +1,113 @@
+#include "nn/loss.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "grad_check.h"
+
+namespace mandipass::nn {
+namespace {
+
+using testing::random_tensor;
+
+TEST(SoftmaxCE, UniformLogitsGiveLogC) {
+  SoftmaxCrossEntropy loss;
+  Tensor logits({2, 4});
+  const double l = loss.forward(logits, {0, 3});
+  EXPECT_NEAR(l, std::log(4.0), 1e-6);
+}
+
+TEST(SoftmaxCE, ConfidentCorrectIsNearZero) {
+  SoftmaxCrossEntropy loss;
+  Tensor logits({1, 3});
+  logits.at2(0, 1) = 50.0f;
+  EXPECT_NEAR(loss.forward(logits, {1}), 0.0, 1e-6);
+}
+
+TEST(SoftmaxCE, ConfidentWrongIsLarge) {
+  SoftmaxCrossEntropy loss;
+  Tensor logits({1, 3});
+  logits.at2(0, 1) = 50.0f;
+  EXPECT_GT(loss.forward(logits, {0}), 10.0);
+}
+
+TEST(SoftmaxCE, ProbabilitiesSumToOne) {
+  SoftmaxCrossEntropy loss;
+  const Tensor logits = random_tensor({3, 5}, 1);
+  std::vector<std::uint32_t> labels{0, 2, 4};
+  loss.forward(logits, labels);
+  for (std::size_t b = 0; b < 3; ++b) {
+    double sum = 0.0;
+    for (std::size_t k = 0; k < 5; ++k) {
+      sum += loss.probabilities().at2(b, k);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-5);
+  }
+}
+
+TEST(SoftmaxCE, NumericallyStableForHugeLogits) {
+  SoftmaxCrossEntropy loss;
+  Tensor logits({1, 2});
+  logits.at2(0, 0) = 10000.0f;
+  logits.at2(0, 1) = 9999.0f;
+  const double l = loss.forward(logits, {0});
+  EXPECT_TRUE(std::isfinite(l));
+  EXPECT_NEAR(l, std::log(1.0 + std::exp(-1.0)), 1e-4);
+}
+
+TEST(SoftmaxCE, GradientMatchesFiniteDifference) {
+  SoftmaxCrossEntropy loss;
+  Tensor logits = random_tensor({2, 4}, 2);
+  std::vector<std::uint32_t> labels{1, 3};
+  loss.forward(logits, labels);
+  const Tensor grad = loss.backward();
+  const double eps = 1e-3;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    const float saved = logits[i];
+    logits[i] = saved + static_cast<float>(eps);
+    const double plus = loss.forward(logits, labels);
+    logits[i] = saved - static_cast<float>(eps);
+    const double minus = loss.forward(logits, labels);
+    logits[i] = saved;
+    EXPECT_NEAR(grad[i], (plus - minus) / (2.0 * eps), 1e-3);
+  }
+}
+
+TEST(SoftmaxCE, GradientSumsToZeroPerRow) {
+  SoftmaxCrossEntropy loss;
+  const Tensor logits = random_tensor({3, 6}, 3);
+  loss.forward(logits, {0, 1, 5});
+  const Tensor grad = loss.backward();
+  for (std::size_t b = 0; b < 3; ++b) {
+    double sum = 0.0;
+    for (std::size_t k = 0; k < 6; ++k) {
+      sum += grad.at2(b, k);
+    }
+    EXPECT_NEAR(sum, 0.0, 1e-6);
+  }
+}
+
+TEST(SoftmaxCE, AccuracyCounting) {
+  SoftmaxCrossEntropy loss;
+  Tensor logits({2, 3});
+  logits.at2(0, 2) = 5.0f;  // predicts 2
+  logits.at2(1, 0) = 5.0f;  // predicts 0
+  loss.forward(logits, {2, 1});
+  EXPECT_DOUBLE_EQ(loss.accuracy(), 0.5);
+}
+
+TEST(SoftmaxCE, LabelOutOfRangeThrows) {
+  SoftmaxCrossEntropy loss;
+  Tensor logits({1, 3});
+  EXPECT_THROW(loss.forward(logits, {3}), PreconditionError);
+}
+
+TEST(SoftmaxCE, LabelCountMismatchThrows) {
+  SoftmaxCrossEntropy loss;
+  Tensor logits({2, 3});
+  EXPECT_THROW(loss.forward(logits, {0}), PreconditionError);
+}
+
+}  // namespace
+}  // namespace mandipass::nn

@@ -1,0 +1,62 @@
+// Quantisation primitive tests live with the nn module; the end-to-end
+// QuantizedExtractor tests are in tests/core/test_quantized_extractor.cpp.
+#include "nn/quantize.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace mandipass::nn {
+namespace {
+
+TEST(Quantize, ShapeAndSize) {
+  Tensor w({3, 7});
+  const auto q = quantize_rows(w);
+  EXPECT_EQ(q.rows, 3u);
+  EXPECT_EQ(q.cols, 7u);
+  EXPECT_EQ(q.values.size(), 21u);
+  EXPECT_EQ(q.scales.size(), 3u);
+  EXPECT_EQ(q.storage_bytes(), 21u + 3u * sizeof(float));
+}
+
+TEST(Quantize, ExtremesMapTo127) {
+  Tensor w({1, 3});
+  w.at2(0, 0) = -2.0f;
+  w.at2(0, 1) = 1.0f;
+  w.at2(0, 2) = 2.0f;
+  const auto q = quantize_rows(w);
+  EXPECT_EQ(q.values[0], -127);
+  EXPECT_EQ(q.values[2], 127);
+  EXPECT_NEAR(q.scales[0], 2.0f / 127.0f, 1e-9);
+}
+
+TEST(Quantize, PerRowScalesIndependent) {
+  Tensor w({2, 2});
+  w.at2(0, 0) = 0.01f;
+  w.at2(0, 1) = -0.01f;
+  w.at2(1, 0) = 100.0f;
+  w.at2(1, 1) = -100.0f;
+  const auto q = quantize_rows(w);
+  // The small row keeps full resolution despite the huge row.
+  EXPECT_NEAR(dequantize(q).at2(0, 0), 0.01f, 1e-4);
+  EXPECT_NEAR(dequantize(q).at2(1, 0), 100.0f, 1.0f);
+}
+
+TEST(Quantize, NonMatrixThrows) {
+  Tensor w({2, 2, 2, 2});
+  EXPECT_THROW(quantize_rows(w), PreconditionError);
+}
+
+TEST(Quantize, ErrorMetricZeroForExactValues) {
+  Tensor w({1, 2});
+  w.at2(0, 0) = 127.0f;
+  w.at2(0, 1) = -127.0f;
+  const auto q = quantize_rows(w);
+  EXPECT_NEAR(quantization_error(w, q), 0.0, 1e-5);
+}
+
+}  // namespace
+}  // namespace mandipass::nn

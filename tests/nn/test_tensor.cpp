@@ -1,0 +1,111 @@
+#include "nn/tensor.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace mandipass::nn {
+namespace {
+
+TEST(Tensor, DefaultIsEmpty) {
+  Tensor t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(Tensor, ZeroInitialised) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.size(), 6u);
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    EXPECT_EQ(t[i], 0.0f);
+  }
+}
+
+TEST(Tensor, ShapeAccessors) {
+  Tensor t({2, 3, 4, 5});
+  EXPECT_EQ(t.rank(), 4u);
+  EXPECT_EQ(t.dim(0), 2u);
+  EXPECT_EQ(t.dim(3), 5u);
+  EXPECT_THROW(t.dim(4), PreconditionError);
+}
+
+TEST(Tensor, At2RowMajor) {
+  Tensor t({2, 3});
+  t.at2(1, 2) = 7.0f;
+  EXPECT_EQ(t[5], 7.0f);
+}
+
+TEST(Tensor, At4RowMajor) {
+  Tensor t({2, 3, 4, 5});
+  t.at4(1, 2, 3, 4) = 9.0f;
+  EXPECT_EQ(t[1 * 60 + 2 * 20 + 3 * 5 + 4], 9.0f);
+}
+
+TEST(Tensor, FillSetsAll) {
+  Tensor t({3, 3});
+  t.fill(2.5f);
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    EXPECT_EQ(t[i], 2.5f);
+  }
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor t({2, 6});
+  t.at2(1, 3) = 4.0f;
+  t.reshape({2, 2, 3, 1});
+  EXPECT_EQ(t.rank(), 4u);
+  EXPECT_EQ(t[9], 4.0f);
+}
+
+TEST(Tensor, ReshapeSizeMismatchThrows) {
+  Tensor t({2, 6});
+  EXPECT_THROW(t.reshape({5}), PreconditionError);
+}
+
+TEST(Tensor, InvalidShapesThrow) {
+  EXPECT_THROW(Tensor({0, 3}), PreconditionError);
+  EXPECT_THROW(Tensor({1, 2, 3, 4, 5}), PreconditionError);
+}
+
+TEST(Tensor, HeInitStatistics) {
+  Rng rng(5);
+  Tensor t({1000, 100});
+  t.init_he(rng, 50);
+  double sum = 0.0;
+  double sum2 = 0.0;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    sum += t[i];
+    sum2 += static_cast<double>(t[i]) * t[i];
+  }
+  const double n = static_cast<double>(t.size());
+  EXPECT_NEAR(sum / n, 0.0, 0.01);
+  EXPECT_NEAR(sum2 / n, 2.0 / 50.0, 0.005);
+}
+
+TEST(Tensor, XavierInitBounded) {
+  Rng rng(6);
+  Tensor t({100, 100});
+  t.init_xavier(rng, 64, 64);
+  const double limit = std::sqrt(6.0 / 128.0);
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    EXPECT_LE(std::abs(t[i]), limit);
+  }
+}
+
+TEST(Tensor, CheckSameShape) {
+  Tensor a({2, 3});
+  Tensor b({2, 3});
+  Tensor c({3, 2});
+  EXPECT_NO_THROW(Tensor::check_same_shape(a, b, "test"));
+  EXPECT_THROW(Tensor::check_same_shape(a, c, "test"), ShapeError);
+}
+
+TEST(ShapeSize, Computes) {
+  EXPECT_EQ(shape_size({2, 3, 4}), 24u);
+  EXPECT_EQ(shape_size({}), 0u);
+}
+
+}  // namespace
+}  // namespace mandipass::nn

@@ -1,0 +1,68 @@
+// Property sweep: the 4th-order Butterworth high-pass design must hold
+// its defining properties (-3 dB at fc, monotone stopband, flat passband)
+// over the whole range of cutoff / sample-rate combinations the system
+// may be configured with.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dsp/filter.h"
+
+namespace mandipass::dsp {
+namespace {
+
+struct FilterCase {
+  double fc;
+  double fs;
+};
+
+class ButterworthSweep : public ::testing::TestWithParam<FilterCase> {};
+
+TEST_P(ButterworthSweep, CutoffIsMinus3dB) {
+  const auto [fc, fs] = GetParam();
+  auto hp = SosFilter::butterworth_highpass4(fc, fs);
+  EXPECT_NEAR(hp.magnitude_at(fc, fs), 1.0 / std::sqrt(2.0), 0.03);
+}
+
+TEST_P(ButterworthSweep, StopbandMonotone) {
+  const auto [fc, fs] = GetParam();
+  auto hp = SosFilter::butterworth_highpass4(fc, fs);
+  double prev = -1.0;
+  for (int i = 1; i <= 20; ++i) {
+    const double f = fc * static_cast<double>(i) / 20.0;
+    const double mag = hp.magnitude_at(f, fs);
+    EXPECT_GE(mag, prev - 1e-9);
+    prev = mag;
+  }
+}
+
+TEST_P(ButterworthSweep, PassbandFlat) {
+  const auto [fc, fs] = GetParam();
+  auto hp = SosFilter::butterworth_highpass4(fc, fs);
+  // One octave above cutoff a 4th-order Butterworth is within ~0.3 dB.
+  const double f = std::min(2.0 * fc, 0.45 * fs);
+  EXPECT_GT(hp.magnitude_at(f, fs), 0.9);
+}
+
+TEST_P(ButterworthSweep, DeepAttenuationADecadeDown) {
+  const auto [fc, fs] = GetParam();
+  auto hp = SosFilter::butterworth_highpass4(fc, fs);
+  EXPECT_LT(hp.magnitude_at(fc / 10.0, fs), 2e-4);  // ~-80 dB ideal
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CutoffGrid, ButterworthSweep,
+    ::testing::Values(FilterCase{20.0, 350.0},   // the paper's filter
+                      FilterCase{20.0, 160.0},   // slowest plausible IMU rate
+                      FilterCase{20.0, 500.0},   // fastest per the paper
+                      FilterCase{10.0, 350.0},   // looser cutoff
+                      FilterCase{40.0, 350.0},   // tighter cutoff
+                      FilterCase{50.0, 1000.0},  // simulator-side rates
+                      FilterCase{460.0, 8000.0}),
+    [](const ::testing::TestParamInfo<FilterCase>& info) {
+      return "fc" + std::to_string(static_cast<int>(info.param.fc)) + "_fs" +
+             std::to_string(static_cast<int>(info.param.fs));
+    });
+
+}  // namespace
+}  // namespace mandipass::dsp

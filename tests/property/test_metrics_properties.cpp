@@ -1,0 +1,105 @@
+// Property sweep over the authentication metrics: for synthetic genuine /
+// impostor distance distributions with known separation, the EER must
+// behave like a proper equal-error rate — monotone in the separation,
+// bounded, and consistent with the FAR/FRR definitions at every
+// threshold.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "auth/metrics.h"
+#include "common/rng.h"
+
+namespace mandipass::auth {
+namespace {
+
+struct SeparationCase {
+  double genuine_mean;
+  double impostor_mean;
+  double sigma;
+};
+
+class MetricsSweep : public ::testing::TestWithParam<SeparationCase> {
+ protected:
+  void SetUp() override {
+    Rng rng(4242);
+    const auto p = GetParam();
+    for (int i = 0; i < 4000; ++i) {
+      genuine_.push_back(rng.normal(p.genuine_mean, p.sigma));
+      impostor_.push_back(rng.normal(p.impostor_mean, p.sigma));
+    }
+  }
+
+  std::vector<double> genuine_;
+  std::vector<double> impostor_;
+};
+
+TEST_P(MetricsSweep, EerMatchesGaussianTheory) {
+  const auto p = GetParam();
+  const auto r = compute_eer(genuine_, impostor_);
+  // Equal sigmas: EER = Phi(-(mu_i - mu_g) / (2 sigma)).
+  const double z = (p.impostor_mean - p.genuine_mean) / (2.0 * p.sigma);
+  const double theory = 0.5 * std::erfc(z / std::sqrt(2.0));
+  EXPECT_NEAR(r.eer, theory, std::max(0.01, theory * 0.3));
+}
+
+TEST_P(MetricsSweep, EerThresholdNearMidpoint) {
+  const auto p = GetParam();
+  const auto r = compute_eer(genuine_, impostor_);
+  const double mid = 0.5 * (p.genuine_mean + p.impostor_mean);
+  EXPECT_NEAR(r.threshold, mid, p.sigma);
+}
+
+TEST_P(MetricsSweep, FarFrrCrossNearEer) {
+  const auto r = compute_eer(genuine_, impostor_);
+  EXPECT_NEAR(far_at(impostor_, r.threshold), r.eer, 0.02);
+  EXPECT_NEAR(frr_at(genuine_, r.threshold), r.eer, 0.02);
+}
+
+TEST_P(MetricsSweep, RatesAreMonotoneInThreshold) {
+  double prev_far = -1.0;
+  double prev_frr = 2.0;
+  for (double t = -1.0; t <= 2.0; t += 0.05) {
+    const double far = far_at(impostor_, t);
+    const double frr = frr_at(genuine_, t);
+    EXPECT_GE(far, prev_far);
+    EXPECT_LE(frr, prev_frr);
+    prev_far = far;
+    prev_frr = frr;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Separations, MetricsSweep,
+    ::testing::Values(SeparationCase{0.2, 0.8, 0.10},   // easy
+                      SeparationCase{0.3, 0.7, 0.10},   // moderate
+                      SeparationCase{0.35, 0.65, 0.10}, // harder
+                      SeparationCase{0.4, 0.6, 0.10},   // heavy overlap
+                      SeparationCase{0.3, 0.7, 0.05},   // tight clusters
+                      SeparationCase{0.3, 0.7, 0.20}),  // diffuse clusters
+    [](const ::testing::TestParamInfo<SeparationCase>& info) {
+      return "g" + std::to_string(static_cast<int>(info.param.genuine_mean * 100)) + "_i" +
+             std::to_string(static_cast<int>(info.param.impostor_mean * 100)) + "_s" +
+             std::to_string(static_cast<int>(info.param.sigma * 100));
+    });
+
+// Separate (non-parameterised) ordering property: larger separation can
+// never produce a larger EER.
+TEST(MetricsOrdering, EerMonotoneInSeparation) {
+  Rng rng(7);
+  double prev_eer = 1.0;
+  for (const double gap : {0.1, 0.2, 0.3, 0.4, 0.5}) {
+    std::vector<double> genuine;
+    std::vector<double> impostor;
+    for (int i = 0; i < 4000; ++i) {
+      genuine.push_back(rng.normal(0.5 - gap / 2.0, 0.1));
+      impostor.push_back(rng.normal(0.5 + gap / 2.0, 0.1));
+    }
+    const double eer = compute_eer(genuine, impostor).eer;
+    EXPECT_LE(eer, prev_eer + 0.01);
+    prev_eer = eer;
+  }
+}
+
+}  // namespace
+}  // namespace mandipass::auth

@@ -1,0 +1,124 @@
+// Property sweep over the vibration simulator: invariants that must hold
+// for EVERY person and EVERY session condition, not just the defaults —
+// the propagation-decay ordering of Fig. 1, onset detectability, and
+// finite bounded outputs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stats.h"
+#include "core/preprocessor.h"
+#include "vibration/population.h"
+#include "vibration/session.h"
+
+namespace mandipass::vibration {
+namespace {
+
+struct ConditionCase {
+  Activity activity;
+  Food food;
+  double tone;
+  EarSide side;
+  const char* name;
+};
+
+class SimulatorSweep : public ::testing::TestWithParam<ConditionCase> {};
+
+double voiced_std(const imu::RawRecording& rec, std::size_t axis) {
+  std::vector<double> seg(rec.axes[axis].begin() + 115, rec.axes[axis].begin() + 225);
+  return mandipass::stddev(seg);
+}
+
+TEST_P(SimulatorSweep, SessionsRemainProcessable) {
+  const auto p = GetParam();
+  Rng rng(1000 + static_cast<std::uint64_t>(p.tone * 100));
+  PopulationGenerator pop(808);
+  const core::Preprocessor prep;
+  int processed = 0;
+  const int people = 6;
+  for (int i = 0; i < people; ++i) {
+    SessionRecorder rec(pop.sample(), rng);
+    SessionConfig cfg;
+    cfg.activity = p.activity;
+    cfg.food = p.food;
+    cfg.tone_multiplier = p.tone;
+    cfg.ear_side = p.side;
+    for (int attempt = 0; attempt < 4; ++attempt) {
+      try {
+        const auto array = prep.process(rec.record(cfg));
+        for (const auto& seg : array.axes) {
+          for (double v : seg) {
+            ASSERT_TRUE(std::isfinite(v));
+            ASSERT_GE(v, 0.0);
+            ASSERT_LE(v, 1.0);
+          }
+        }
+        ++processed;
+        break;
+      } catch (const SignalError&) {
+        continue;
+      }
+    }
+  }
+  EXPECT_GE(processed, people - 1);  // at most one person needs >4 retries
+}
+
+TEST_P(SimulatorSweep, SignalsFiniteAndWithinFullScale) {
+  const auto p = GetParam();
+  Rng rng(77);
+  PopulationGenerator pop(909);
+  SessionRecorder rec(pop.sample(), rng);
+  SessionConfig cfg;
+  cfg.activity = p.activity;
+  cfg.food = p.food;
+  cfg.tone_multiplier = p.tone;
+  cfg.ear_side = p.side;
+  const auto r = rec.record(cfg);
+  for (const auto& axis : r.axes) {
+    for (double v : axis) {
+      ASSERT_TRUE(std::isfinite(v));
+      ASSERT_LE(std::abs(v), 32767.0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Conditions, SimulatorSweep,
+    ::testing::Values(
+        ConditionCase{Activity::Static, Food::None, 1.0, EarSide::Right, "baseline"},
+        ConditionCase{Activity::Walk, Food::None, 1.0, EarSide::Right, "walk"},
+        ConditionCase{Activity::Run, Food::None, 1.0, EarSide::Right, "run"},
+        ConditionCase{Activity::Static, Food::Lollipop, 1.0, EarSide::Right, "lollipop"},
+        ConditionCase{Activity::Static, Food::Water, 1.0, EarSide::Right, "water"},
+        ConditionCase{Activity::Static, Food::None, 1.15, EarSide::Right, "high_tone"},
+        ConditionCase{Activity::Static, Food::None, 0.87, EarSide::Right, "low_tone"},
+        ConditionCase{Activity::Static, Food::None, 1.0, EarSide::Left, "left_ear"}),
+    [](const ::testing::TestParamInfo<ConditionCase>& info) { return info.param.name; });
+
+// Per-person sweep of the Fig. 1 decay ordering.
+class PropagationSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PropagationSweep, ThroatToEarDecayHoldsPerPerson) {
+  Rng rng(GetParam());
+  PopulationGenerator pop(GetParam() * 31 + 7);
+  SessionRecorder rec(pop.sample(), rng);
+  double throat = 0.0;
+  double mandible = 0.0;
+  double ear = 0.0;
+  SessionConfig cfg;
+  for (int i = 0; i < 4; ++i) {
+    cfg.location = AttachLocation::Throat;
+    throat += voiced_std(rec.record(cfg), 2);
+    cfg.location = AttachLocation::Mandible;
+    mandible += voiced_std(rec.record(cfg), 2);
+    cfg.location = AttachLocation::Ear;
+    ear += voiced_std(rec.record(cfg), 2);
+  }
+  EXPECT_GT(throat, mandible);
+  EXPECT_GT(mandible, ear * 0.95);  // mandible >= ear within sampling noise
+}
+
+INSTANTIATE_TEST_SUITE_P(People, PropagationSweep, ::testing::Range<std::uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace mandipass::vibration

@@ -1,0 +1,92 @@
+// Property sweep over the cancelable-template scheme (Section VI): for
+// every template dimension in use, the Gaussian transform must (a) keep
+// genuine matches matching under one matrix, (b) decorrelate the same
+// vector under different matrices (unlinkability / replay defence), and
+// (c) keep different users apart.
+#include <gtest/gtest.h>
+
+#include "auth/cosine.h"
+#include "auth/gaussian_matrix.h"
+#include "common/rng.h"
+
+namespace mandipass::auth {
+namespace {
+
+class TemplateSweep : public ::testing::TestWithParam<std::size_t> {
+ protected:
+  std::vector<float> sigmoid_like(std::uint64_t seed) const {
+    Rng rng(seed);
+    std::vector<float> v(GetParam());
+    for (auto& x : v) {
+      x = static_cast<float>(rng.uniform(0.0, 1.0));
+    }
+    return v;
+  }
+
+  std::vector<float> perturbed(const std::vector<float>& x, double sigma,
+                               std::uint64_t seed) const {
+    Rng rng(seed);
+    auto y = x;
+    for (auto& v : y) {
+      v += static_cast<float>(rng.normal(0.0, sigma));
+    }
+    return y;
+  }
+};
+
+TEST_P(TemplateSweep, GenuineMatchSurvivesTransform) {
+  const GaussianMatrix g(11, GetParam());
+  for (int t = 0; t < 10; ++t) {
+    const auto x = sigmoid_like(100 + t);
+    const auto y = perturbed(x, 0.02, 200 + t);
+    const double before = cosine_distance(x, y);
+    const double after = cosine_distance(g.transform(x), g.transform(y));
+    EXPECT_LT(after, before + 0.15);
+  }
+}
+
+TEST_P(TemplateSweep, RekeyDecorrelates) {
+  double mean = 0.0;
+  const int trials = 20;
+  for (int t = 0; t < trials; ++t) {
+    const GaussianMatrix g1(1000 + t, GetParam());
+    const GaussianMatrix g2(5000 + t, GetParam());
+    const auto x = sigmoid_like(300 + t);
+    mean += cosine_distance(g1.transform(x), g2.transform(x));
+  }
+  mean /= trials;
+  EXPECT_GT(mean, 0.6);
+}
+
+TEST_P(TemplateSweep, ImpostorsStayApart) {
+  const GaussianMatrix g(13, GetParam());
+  double raw_mean = 0.0;
+  double transformed_mean = 0.0;
+  const int trials = 20;
+  for (int t = 0; t < trials; ++t) {
+    const auto x = sigmoid_like(400 + 2 * t);
+    const auto y = sigmoid_like(401 + 2 * t);
+    raw_mean += cosine_distance(x, y);
+    transformed_mean += cosine_distance(g.transform(x), g.transform(y));
+  }
+  raw_mean /= trials;
+  transformed_mean /= trials;
+  // The projection must not collapse impostor separation.
+  EXPECT_GT(transformed_mean, raw_mean * 0.5);
+}
+
+TEST_P(TemplateSweep, TransformDeterministicPerSeed) {
+  const GaussianMatrix a(21, GetParam());
+  const GaussianMatrix b(21, GetParam());
+  const auto x = sigmoid_like(500);
+  EXPECT_EQ(a.transform(x), b.transform(x));
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, TemplateSweep,
+                         ::testing::Values(32, 64, 128, 256, 512),
+                         [](const ::testing::TestParamInfo<std::size_t>& info) {
+                           return "dim" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace mandipass::auth

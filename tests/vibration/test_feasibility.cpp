@@ -1,0 +1,122 @@
+#include "vibration/feasibility.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.h"
+#include "common/stats.h"
+#include "dsp/fft.h"
+#include "vibration/oscillator.h"
+#include "vibration/population.h"
+
+namespace mandipass::vibration {
+namespace {
+
+PersonProfile reference_person() {
+  PersonProfile p;
+  p.mass_kg = 0.2;
+  p.k1 = 2.0e4;
+  p.k2 = 2.0e4;
+  p.c1 = 25.0;
+  p.c2 = 25.0;
+  p.alpha_per_m = 9.0;
+  p.dist_throat_mandible_m = 0.09;
+  p.dist_mandible_ear_m = 0.055;
+  p.f0_hz = 140.0;
+  p.duty_positive = 0.5;
+  p.force_pos_n = 0.5;
+  p.force_neg_n = 0.5;
+  return p;
+}
+
+TEST(Feasibility, ResonanceNearNaturalFrequency) {
+  const auto p = reference_person();
+  // Lightly damped: the theoretical |Y_P| peak sits near fn.
+  EXPECT_NEAR(theoretical_resonance_hz(p), p.natural_freq_hz(), p.natural_freq_hz() * 0.1);
+}
+
+TEST(Feasibility, StifferPlantResonatesHigher) {
+  auto soft = reference_person();
+  auto stiff = reference_person();
+  stiff.k1 *= 4.0;
+  stiff.k2 *= 4.0;
+  EXPECT_GT(theoretical_resonance_hz(stiff), theoretical_resonance_hz(soft) * 1.5);
+}
+
+TEST(Feasibility, HeavierMandibleResonatesLower) {
+  auto light = reference_person();
+  auto heavy = reference_person();
+  heavy.mass_kg *= 4.0;
+  EXPECT_LT(theoretical_resonance_hz(heavy), theoretical_resonance_hz(light) * 0.7);
+}
+
+TEST(Feasibility, AttenuationScalesWithExpAlphaD) {
+  // Doubling alpha*d must scale |Y| by exactly e^{-alpha d} (Eq. 3).
+  auto near = reference_person();
+  auto far = reference_person();
+  far.dist_mandible_ear_m += 0.02;
+  const double w = 2.0 * std::numbers::pi * 80.0;
+  const double ratio = std::abs(received_spectrum_at(far, Direction::Positive, w)) /
+                       std::abs(received_spectrum_at(near, Direction::Positive, w));
+  EXPECT_NEAR(ratio, std::exp(-near.alpha_per_m * 0.02), 1e-9);
+}
+
+TEST(Feasibility, SymmetricPlantHasNoDirectionAsymmetry) {
+  const auto p = reference_person();  // c1 == c2, F_P == F_N, duty 0.5
+  EXPECT_NEAR(direction_asymmetry(p), 0.0, 1e-12);
+}
+
+TEST(Feasibility, TissueAsymmetryShowsInSpectrum) {
+  auto p = reference_person();
+  p.c2 = 4.0 * p.c1;  // the paper's c1 != c2
+  EXPECT_GT(direction_asymmetry(p), 0.02);
+}
+
+TEST(Feasibility, ForceAsymmetryShowsInSpectrum) {
+  auto p = reference_person();
+  p.force_neg_n = 0.5 * p.force_pos_n;
+  EXPECT_GT(direction_asymmetry(p), 0.05);
+}
+
+TEST(Feasibility, DistinctPeopleDistinctSpectra) {
+  PopulationGenerator gen(77);
+  const auto a = gen.sample();
+  const auto b = gen.sample();
+  const auto sa = received_spectrum(a, 10.0, 250.0, 256);
+  const auto sb = received_spectrum(b, 10.0, 250.0, 256);
+  std::vector<double> ma;
+  std::vector<double> mb;
+  for (std::size_t i = 0; i < sa.size(); ++i) {
+    ma.push_back(sa[i].magnitude_positive);
+    mb.push_back(sb[i].magnitude_positive);
+  }
+  EXPECT_LT(pearson(ma, mb), 0.999);  // not the same curve
+}
+
+TEST(Feasibility, TheoryMatchesSimulatedOscillatorResonance) {
+  // Cross-validation: the numerically integrated plant must ring at the
+  // frequency the closed-form spectrum predicts.
+  const auto p = reference_person();
+  MandibleOscillator osc(p);
+  const double fs = 8000.0;
+  std::vector<double> impulse(16384, 0.0);
+  impulse[0] = 100.0;
+  const auto trace = osc.integrate(impulse, fs);
+  const auto mag = dsp::magnitude_spectrum(trace.displacement);
+  const std::size_t peak = dsp::dominant_bin(mag);
+  const double sim_freq = dsp::bin_frequency(peak, dsp::next_pow2(impulse.size()), fs);
+  EXPECT_NEAR(sim_freq, theoretical_resonance_hz(p), 6.0);
+}
+
+TEST(Feasibility, InvalidArgsThrow) {
+  const auto p = reference_person();
+  EXPECT_THROW(received_spectrum_at(p, Direction::Positive, 0.0), PreconditionError);
+  EXPECT_THROW(received_spectrum(p, 0.0, 100.0, 16), PreconditionError);
+  EXPECT_THROW(received_spectrum(p, 100.0, 50.0, 16), PreconditionError);
+  EXPECT_THROW(received_spectrum(p, 10.0, 100.0, 1), PreconditionError);
+}
+
+}  // namespace
+}  // namespace mandipass::vibration

@@ -1,0 +1,130 @@
+#include "vibration/glottal.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/stats.h"
+#include "dsp/fft.h"
+
+namespace mandipass::vibration {
+namespace {
+
+PersonProfile test_person() {
+  PersonProfile p;
+  p.f0_hz = 140.0;
+  p.duty_positive = 0.5;
+  p.force_pos_n = 1.0;
+  p.force_neg_n = 0.8;
+  return p;
+}
+
+TEST(Glottal, OutputLength) {
+  Rng rng(1);
+  GlottalSource src(test_person(), {}, rng);
+  const auto f = src.generate(0.5, 8000.0);
+  EXPECT_EQ(f.size(), 4000u);
+}
+
+TEST(Glottal, ToneMultiplierScalesF0) {
+  Rng rng(2);
+  GlottalModifiers high;
+  high.tone_multiplier = 1.2;
+  GlottalSource src(test_person(), high, rng);
+  EXPECT_NEAR(src.effective_f0(), 168.0, 1e-9);
+}
+
+TEST(Glottal, FundamentalAppearsInSpectrum) {
+  Rng rng(3);
+  GlottalModifiers quiet;
+  quiet.amplitude_jitter = 0.0;
+  quiet.f0_jitter = 0.0;
+  GlottalSource src(test_person(), quiet, rng);
+  const auto f = src.generate(1.0, 8000.0);
+  const auto mag = dsp::magnitude_spectrum(f);
+  const auto peak = dsp::dominant_bin(mag);
+  const double freq = dsp::bin_frequency(peak, dsp::next_pow2(f.size()), 8000.0);
+  EXPECT_NEAR(freq, 140.0, 10.0);
+}
+
+TEST(Glottal, PositiveAndNegativePhasesPresent) {
+  Rng rng(4);
+  GlottalSource src(test_person(), {}, rng);
+  const auto f = src.generate(0.3, 8000.0);
+  EXPECT_GT(*std::max_element(f.begin(), f.end()), 0.5);
+  EXPECT_LT(*std::min_element(f.begin(), f.end()), -0.3);
+}
+
+TEST(Glottal, AsymmetricForcesRespectHabit) {
+  Rng rng(5);
+  GlottalModifiers quiet;
+  quiet.amplitude_jitter = 0.0;
+  quiet.f0_jitter = 0.0;
+  quiet.duty_jitter = 0.0;
+  quiet.force_ratio_jitter = 0.0;
+  quiet.am_depth_min = 0.0;
+  quiet.am_depth_max = 0.0;
+  GlottalSource src(test_person(), quiet, rng);
+  const auto f = src.generate(0.5, 8000.0);
+  const double peak_pos = *std::max_element(f.begin(), f.end());
+  const double peak_neg = -*std::min_element(f.begin(), f.end());
+  EXPECT_NEAR(peak_pos, 1.0, 0.05);
+  EXPECT_NEAR(peak_neg, 0.8, 0.05);
+}
+
+TEST(Glottal, EnvelopeStartsAndEndsQuiet) {
+  Rng rng(6);
+  GlottalSource src(test_person(), {}, rng);
+  const auto f = src.generate(0.5, 8000.0);
+  EXPECT_LT(std::abs(f.front()), 0.2);
+  EXPECT_LT(std::abs(f.back()), 0.05);
+  // Mid-signal is loud.
+  double mid_max = 0.0;
+  for (std::size_t i = f.size() / 3; i < 2 * f.size() / 3; ++i) {
+    mid_max = std::max(mid_max, std::abs(f[i]));
+  }
+  EXPECT_GT(mid_max, 0.5);
+}
+
+TEST(Glottal, AmplitudeMultiplierScalesOutput) {
+  Rng rng1(7);
+  Rng rng2(7);
+  GlottalModifiers base;
+  base.amplitude_jitter = 0.0;
+  base.f0_jitter = 0.0;
+  GlottalModifiers loud = base;
+  loud.amplitude_multiplier = 2.0;
+  GlottalSource a(test_person(), base, rng1);
+  GlottalSource b(test_person(), loud, rng2);
+  const auto fa = a.generate(0.3, 8000.0);
+  const auto fb = b.generate(0.3, 8000.0);
+  const double ra = mandipass::stddev(fa);
+  const double rb = mandipass::stddev(fb);
+  EXPECT_NEAR(rb / ra, 2.0, 0.05);
+}
+
+TEST(Glottal, SessionsDiffer) {
+  Rng rng(8);
+  GlottalSource src(test_person(), {}, rng);
+  const auto f1 = src.generate(0.3, 8000.0);
+  const auto f2 = src.generate(0.3, 8000.0);
+  double diff = 0.0;
+  for (std::size_t i = 0; i < f1.size(); ++i) {
+    diff += std::abs(f1[i] - f2[i]);
+  }
+  EXPECT_GT(diff, 1.0);  // jitter and phase make sessions distinct
+}
+
+TEST(Glottal, InvalidConfigThrows) {
+  Rng rng(9);
+  PersonProfile bad = test_person();
+  bad.duty_positive = 0.0;
+  EXPECT_THROW(GlottalSource(bad, {}, rng), PreconditionError);
+  GlottalSource ok(test_person(), {}, rng);
+  EXPECT_THROW(ok.generate(0.0, 8000.0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace mandipass::vibration

@@ -1,0 +1,133 @@
+#include "vibration/nuisance.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stats.h"
+#include "dsp/fft.h"
+
+namespace mandipass::vibration {
+namespace {
+
+TEST(Activity, StaticHasNoArtifact) {
+  Rng rng(1);
+  const auto art = generate_motion_artifact(Activity::Static, 1000, 8000.0, rng);
+  for (const auto& a : art.accel_g) {
+    EXPECT_DOUBLE_EQ(a[0], 0.0);
+    EXPECT_DOUBLE_EQ(a[1], 0.0);
+    EXPECT_DOUBLE_EQ(a[2], 0.0);
+  }
+}
+
+TEST(Activity, RunStrongerThanWalk) {
+  Rng rng(2);
+  const std::size_t n = 32000;  // 4 s
+  const auto walk = generate_motion_artifact(Activity::Walk, n, 8000.0, rng);
+  const auto run = generate_motion_artifact(Activity::Run, n, 8000.0, rng);
+  auto rms = [](const MotionArtifact& art) {
+    double acc = 0.0;
+    for (const auto& a : art.accel_g) {
+      acc += a[0] * a[0] + a[1] * a[1] + a[2] * a[2];
+    }
+    return std::sqrt(acc / static_cast<double>(art.accel_g.size()));
+  };
+  EXPECT_GT(rms(run), rms(walk));
+}
+
+TEST(Activity, ArtifactIsLowFrequency) {
+  // Section IV cites that body-movement components are < 10 Hz; the 20 Hz
+  // high-pass must be able to remove them.
+  Rng rng(3);
+  const std::size_t n = 65536;
+  const auto art = generate_motion_artifact(Activity::Run, n, 8000.0, rng);
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = art.accel_g[i][0];
+  }
+  const auto power = dsp::power_spectrum(x);
+  double low = 0.0;
+  double high = 0.0;
+  for (std::size_t k = 1; k < power.size(); ++k) {
+    const double f = dsp::bin_frequency(k, n, 8000.0);
+    (f < 10.0 ? low : high) += power[k];
+  }
+  EXPECT_GT(low, high * 20.0);
+}
+
+TEST(Activity, GaitHasGyroComponent) {
+  Rng rng(4);
+  const auto art = generate_motion_artifact(Activity::Walk, 16000, 8000.0, rng);
+  double max_gyro = 0.0;
+  for (const auto& g : art.gyro_dps) {
+    max_gyro = std::max(max_gyro, std::abs(g[1]));
+  }
+  EXPECT_GT(max_gyro, 1.0);
+}
+
+TEST(Food, NoneIsIdentity) {
+  Rng rng(5);
+  const auto m = food_damping_multiplier(Food::None, rng);
+  EXPECT_DOUBLE_EQ(m[0], 1.0);
+  EXPECT_DOUBLE_EQ(m[1], 1.0);
+}
+
+TEST(Food, LollipopAndWaterPerturbMildly) {
+  Rng rng(6);
+  for (int i = 0; i < 100; ++i) {
+    for (const Food food : {Food::Lollipop, Food::Water}) {
+      const auto m = food_damping_multiplier(food, rng);
+      EXPECT_GE(m[0], 1.0);
+      EXPECT_LE(m[0], 1.1);
+      EXPECT_GE(m[1], 1.0);
+      EXPECT_LE(m[1], 1.1);
+    }
+  }
+}
+
+TEST(Food, LollipopIsAsymmetric) {
+  // A lollipop braces one side of the mouth: c1 shifts more than c2 on
+  // average.
+  Rng rng(7);
+  double d1 = 0.0;
+  double d2 = 0.0;
+  for (int i = 0; i < 2000; ++i) {
+    const auto m = food_damping_multiplier(Food::Lollipop, rng);
+    d1 += m[0] - 1.0;
+    d2 += m[1] - 1.0;
+  }
+  EXPECT_GT(d1, d2);
+}
+
+TEST(Drift, ZeroDaysIsNearIdentity) {
+  Rng rng(8);
+  const auto d = sample_long_term_drift(0.0, rng);
+  EXPECT_DOUBLE_EQ(d.f0_multiplier, 1.0);
+  EXPECT_DOUBLE_EQ(d.force_pos_multiplier, 1.0);
+  EXPECT_DOUBLE_EQ(d.reseat_yaw_deg, 0.0);
+}
+
+TEST(Drift, TwoWeeksStaysSmall) {
+  Rng rng(9);
+  for (int i = 0; i < 500; ++i) {
+    const auto d = sample_long_term_drift(14.0, rng);
+    EXPECT_GE(d.f0_multiplier, 0.9);
+    EXPECT_LE(d.f0_multiplier, 1.1);
+    EXPECT_GE(d.force_pos_multiplier, 0.7);
+    EXPECT_LE(d.force_pos_multiplier, 1.3);
+  }
+}
+
+TEST(Drift, GrowsWithTime) {
+  Rng rng(10);
+  double short_dev = 0.0;
+  double long_dev = 0.0;
+  for (int i = 0; i < 2000; ++i) {
+    short_dev += std::abs(sample_long_term_drift(1.0, rng).f0_multiplier - 1.0);
+    long_dev += std::abs(sample_long_term_drift(14.0, rng).f0_multiplier - 1.0);
+  }
+  EXPECT_GT(long_dev, short_dev * 2.0);
+}
+
+}  // namespace
+}  // namespace mandipass::vibration

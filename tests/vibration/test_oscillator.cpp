@@ -1,0 +1,139 @@
+#include "vibration/oscillator.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/error.h"
+
+namespace mandipass::vibration {
+namespace {
+
+PersonProfile plant(double mass, double k_total, double c1, double c2) {
+  PersonProfile p;
+  p.mass_kg = mass;
+  p.k1 = k_total / 2.0;
+  p.k2 = k_total / 2.0;
+  p.c1 = c1;
+  p.c2 = c2;
+  return p;
+}
+
+TEST(Oscillator, RestStaysAtRest) {
+  MandibleOscillator osc(plant(0.2, 4e4, 2.0, 2.0));
+  std::vector<double> zero(100, 0.0);
+  const auto t = osc.integrate(zero, 8000.0);
+  for (double x : t.displacement) {
+    EXPECT_DOUBLE_EQ(x, 0.0);
+  }
+}
+
+TEST(Oscillator, StepResponseConvergesToStaticDeflection) {
+  const double k_total = 4.0e4;
+  MandibleOscillator osc(plant(0.2, k_total, 60.0, 60.0));
+  std::vector<double> step(80000, 1.0);  // 10 s of constant 1 N
+  const auto t = osc.integrate(step, 8000.0);
+  EXPECT_NEAR(t.displacement.back(), 1.0 / k_total, 1e-7);
+}
+
+TEST(Oscillator, RingsNearNaturalFrequency) {
+  // Impulse response of a lightly damped oscillator rings at ~wn.
+  PersonProfile p = plant(0.2, 4.0e4, 4.0, 4.0);
+  MandibleOscillator osc(p);
+  std::vector<double> impulse(8000, 0.0);
+  impulse[0] = 100.0;
+  const auto t = osc.integrate(impulse, 8000.0);
+  // Count zero crossings of displacement over 1 s.
+  int crossings = 0;
+  for (std::size_t i = 1; i < t.displacement.size(); ++i) {
+    if ((t.displacement[i - 1] < 0.0) != (t.displacement[i] < 0.0)) {
+      ++crossings;
+    }
+  }
+  const double measured_freq = crossings / 2.0;  // crossings per second / 2
+  EXPECT_NEAR(measured_freq, p.natural_freq_hz(), p.natural_freq_hz() * 0.1);
+}
+
+TEST(Oscillator, DampingDecaysEnergy) {
+  MandibleOscillator osc(plant(0.2, 4.0e4, 10.0, 10.0));
+  std::vector<double> impulse(16000, 0.0);
+  impulse[0] = 100.0;
+  const auto t = osc.integrate(impulse, 8000.0);
+  double early = 0.0;
+  double late = 0.0;
+  for (std::size_t i = 0; i < 4000; ++i) {
+    early = std::max(early, std::abs(t.displacement[i]));
+    late = std::max(late, std::abs(t.displacement[i + 12000]));
+  }
+  EXPECT_LT(late, early * 0.2);
+}
+
+TEST(Oscillator, AsymmetricDampingShapesTheWaveform) {
+  // c1 != c2 is the paper's core biometric asymmetry. Its imprint on the
+  // waveform: the (3, 20) response must differ from BOTH symmetric
+  // sandwiches (3, 3) and (20, 20) — the direction-switched damping is a
+  // genuinely different plant, not equivalent to either average.
+  const std::vector<double> cases{3.0, 20.0};
+  std::vector<double> impulse(8000, 0.0);
+  impulse[0] = 100.0;
+  const auto mixed =
+      MandibleOscillator(plant(0.2, 4.0e4, 3.0, 20.0)).integrate(impulse, 8000.0);
+  for (double c : cases) {
+    const auto sym = MandibleOscillator(plant(0.2, 4.0e4, c, c)).integrate(impulse, 8000.0);
+    double diff = 0.0;
+    double norm = 0.0;
+    for (std::size_t i = 0; i < mixed.displacement.size(); ++i) {
+      diff += std::abs(mixed.displacement[i] - sym.displacement[i]);
+      norm += std::abs(sym.displacement[i]);
+    }
+    EXPECT_GT(diff / norm, 0.05) << "mixed plant indistinguishable from c1=c2=" << c;
+  }
+}
+
+TEST(Oscillator, FoodOverrideChangesDamping) {
+  PersonProfile p = plant(0.2, 4.0e4, 8.0, 8.0);
+  MandibleOscillator normal(p);
+  MandibleOscillator damped(p, p.c1 * 3.0, p.c2 * 3.0);
+  EXPECT_DOUBLE_EQ(normal.effective_c1(), 8.0);
+  EXPECT_DOUBLE_EQ(damped.effective_c1(), 24.0);
+  std::vector<double> impulse(8000, 0.0);
+  impulse[0] = 100.0;
+  const auto tn = normal.integrate(impulse, 8000.0);
+  const auto td = damped.integrate(impulse, 8000.0);
+  double max_n = 0.0;
+  double max_d = 0.0;
+  for (std::size_t i = 4000; i < 8000; ++i) {
+    max_n = std::max(max_n, std::abs(tn.displacement[i]));
+    max_d = std::max(max_d, std::abs(td.displacement[i]));
+  }
+  EXPECT_LT(max_d, max_n);
+}
+
+TEST(Oscillator, TracesAligned) {
+  MandibleOscillator osc(plant(0.2, 4.0e4, 5.0, 5.0));
+  std::vector<double> f(100, 0.5);
+  const auto t = osc.integrate(f, 8000.0);
+  EXPECT_EQ(t.displacement.size(), 100u);
+  EXPECT_EQ(t.velocity.size(), 100u);
+  EXPECT_EQ(t.acceleration.size(), 100u);
+}
+
+TEST(Oscillator, InvalidPlantThrows) {
+  PersonProfile p = plant(0.2, 4.0e4, 5.0, 5.0);
+  p.mass_kg = 0.0;
+  EXPECT_THROW(MandibleOscillator{p}, PreconditionError);
+}
+
+TEST(Profile, DerivedQuantities) {
+  PersonProfile p = plant(0.1, 0.1 * std::pow(2.0 * std::numbers::pi * 100.0, 2.0), 5.0, 5.0);
+  EXPECT_NEAR(p.natural_freq_hz(), 100.0, 1e-9);
+  EXPECT_GT(p.zeta_positive(), 0.0);
+  EXPECT_DOUBLE_EQ(p.zeta_positive(), p.zeta_negative());
+  EXPECT_GT(p.path_attenuation(), 0.0);
+  EXPECT_LT(p.path_attenuation(), 1.0);
+}
+
+}  // namespace
+}  // namespace mandipass::vibration

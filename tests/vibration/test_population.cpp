@@ -1,0 +1,139 @@
+#include "vibration/population.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace mandipass::vibration {
+namespace {
+
+TEST(Population, IdsAreSequential) {
+  PopulationGenerator gen(1);
+  const auto people = gen.sample_population(5);
+  for (std::size_t i = 0; i < people.size(); ++i) {
+    EXPECT_EQ(people[i].id, i);
+  }
+}
+
+TEST(Population, DeterministicForSeed) {
+  PopulationGenerator a(42);
+  PopulationGenerator b(42);
+  const auto pa = a.sample();
+  const auto pb = b.sample();
+  EXPECT_DOUBLE_EQ(pa.mass_kg, pb.mass_kg);
+  EXPECT_DOUBLE_EQ(pa.f0_hz, pb.f0_hz);
+  EXPECT_DOUBLE_EQ(pa.c1, pb.c1);
+}
+
+TEST(Population, PeopleDiffer) {
+  PopulationGenerator gen(7);
+  const auto people = gen.sample_population(20);
+  std::set<double> masses;
+  for (const auto& p : people) {
+    masses.insert(p.mass_kg);
+  }
+  EXPECT_EQ(masses.size(), 20u);
+}
+
+TEST(Population, DerivedQuantitiesInConfiguredRanges) {
+  PopulationGenerator gen(11);
+  const PopulationConfig& c = gen.config();
+  for (int i = 0; i < 200; ++i) {
+    const auto p = gen.sample();
+    EXPECT_GE(p.natural_freq_hz(), c.natural_freq_min_hz - 1e-9);
+    EXPECT_LE(p.natural_freq_hz(), c.natural_freq_max_hz + 1e-9);
+    EXPECT_GE(p.zeta_positive(), c.zeta_pos_min - 1e-9);
+    EXPECT_LE(p.zeta_positive(), c.zeta_pos_max + 1e-9);
+    EXPECT_GE(p.f0_hz, c.f0_min);
+    EXPECT_LE(p.f0_hz, c.f0_max);
+    EXPECT_GT(p.mass_kg, 0.0);
+    EXPECT_GT(p.k1, 0.0);
+    EXPECT_GT(p.k2, 0.0);
+    EXPECT_GT(p.c1, 0.0);
+    EXPECT_GT(p.c2, 0.0);
+    EXPECT_GT(p.force_pos_n, 0.0);
+    EXPECT_GT(p.force_neg_n, 0.0);
+  }
+}
+
+TEST(Population, GenderFractionRoughlyRespected) {
+  PopulationGenerator gen(13);
+  int males = 0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    males += gen.sample().gender == Gender::Male ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(males) / n, 28.0 / 34.0, 0.03);
+}
+
+TEST(Population, ForcedGender) {
+  PopulationGenerator gen(17);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(gen.sample_with_gender(Gender::Female).gender, Gender::Female);
+    EXPECT_EQ(gen.sample_with_gender(Gender::Male).gender, Gender::Male);
+  }
+}
+
+TEST(Population, FemalesHaveHigherF0OnAverage) {
+  PopulationGenerator gen(19);
+  double male_f0 = 0.0;
+  double female_f0 = 0.0;
+  const int n = 500;
+  for (int i = 0; i < n; ++i) {
+    male_f0 += gen.sample_with_gender(Gender::Male).f0_hz;
+    female_f0 += gen.sample_with_gender(Gender::Female).f0_hz;
+  }
+  EXPECT_GT(female_f0 / n, male_f0 / n + 30.0);
+}
+
+TEST(Population, CouplingDirectionsNormalised) {
+  PopulationGenerator gen(23);
+  for (int i = 0; i < 50; ++i) {
+    const auto p = gen.sample();
+    const double na = p.accel_dir[0] * p.accel_dir[0] + p.accel_dir[1] * p.accel_dir[1] +
+                      p.accel_dir[2] * p.accel_dir[2];
+    EXPECT_NEAR(na, 1.0, 1e-9);
+    const double ng = p.gyro_dir[0] * p.gyro_dir[0] + p.gyro_dir[1] * p.gyro_dir[1] +
+                      p.gyro_dir[2] * p.gyro_dir[2];
+    EXPECT_NEAR(ng, 1.0, 1e-9);
+  }
+}
+
+TEST(Population, MimicCopiesObservableHabitKeepsPlant) {
+  PopulationGenerator gen(29);
+  const auto victim = gen.sample();
+  const auto attacker = gen.sample();
+  const auto mimic = PopulationGenerator::mimic(attacker, victim);
+  // Observable manner copied from the victim: pitch and loudness.
+  EXPECT_DOUBLE_EQ(mimic.f0_hz, victim.f0_hz);
+  EXPECT_NEAR(0.5 * (mimic.force_pos_n + mimic.force_neg_n),
+              0.5 * (victim.force_pos_n + victim.force_neg_n), 1e-12);
+  // Involuntary articulation dynamics stay the attacker's...
+  EXPECT_DOUBLE_EQ(mimic.duty_positive, attacker.duty_positive);
+  EXPECT_NEAR(mimic.force_neg_n / mimic.force_pos_n,
+              attacker.force_neg_n / attacker.force_pos_n, 1e-12);
+  // ...as do plant and coupling.
+  EXPECT_DOUBLE_EQ(mimic.mass_kg, attacker.mass_kg);
+  EXPECT_DOUBLE_EQ(mimic.c1, attacker.c1);
+  EXPECT_DOUBLE_EQ(mimic.k1, attacker.k1);
+  EXPECT_EQ(mimic.accel_dir, attacker.accel_dir);
+}
+
+TEST(Population, MimicImperfectHasPitchError) {
+  PopulationGenerator gen(31);
+  const auto victim = gen.sample();
+  const auto attacker = gen.sample();
+  Rng rng(5);
+  double total_rel_err = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    const auto m = PopulationGenerator::mimic_imperfect(attacker, victim, rng, 0.04);
+    total_rel_err += std::abs(m.f0_hz - victim.f0_hz) / victim.f0_hz;
+    EXPECT_DOUBLE_EQ(m.mass_kg, attacker.mass_kg);
+  }
+  // Mean |error| of a half-normal with sigma 0.04 is ~3.2%.
+  EXPECT_NEAR(total_rel_err / 200.0, 0.032, 0.01);
+}
+
+}  // namespace
+}  // namespace mandipass::vibration

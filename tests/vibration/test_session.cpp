@@ -1,0 +1,183 @@
+#include "vibration/session.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/stats.h"
+#include "dsp/onset.h"
+#include "vibration/population.h"
+
+namespace mandipass::vibration {
+namespace {
+
+class SessionTest : public ::testing::Test {
+ protected:
+  SessionTest() : rng_(99), pop_(2024) {}
+
+  Rng rng_;
+  PopulationGenerator pop_;
+};
+
+std::vector<double> voiced_window(const imu::RawRecording& rec, imu::Axis axis,
+                                  const SessionConfig& cfg) {
+  const auto start =
+      static_cast<std::size_t>((cfg.silence_s + 0.05) * cfg.sample_rate_hz);
+  const auto end =
+      static_cast<std::size_t>((cfg.silence_s + cfg.voice_s - 0.05) * cfg.sample_rate_hz);
+  const auto& ch = rec.axis(axis);
+  return {ch.begin() + static_cast<std::ptrdiff_t>(start),
+          ch.begin() + static_cast<std::ptrdiff_t>(end)};
+}
+
+TEST_F(SessionTest, RecordingShape) {
+  SessionRecorder rec(pop_.sample(), rng_);
+  SessionConfig cfg;
+  const auto r = rec.record(cfg);
+  EXPECT_DOUBLE_EQ(r.sample_rate_hz, 350.0);
+  const auto expected =
+      static_cast<std::size_t>((cfg.silence_s + cfg.voice_s + cfg.tail_s) * 350.0);
+  EXPECT_NEAR(static_cast<double>(r.sample_count()), static_cast<double>(expected), 2.0);
+}
+
+TEST_F(SessionTest, SilenceIsQuietVoicingIsLoud) {
+  SessionRecorder rec(pop_.sample(), rng_);
+  SessionConfig cfg;
+  const auto r = rec.record(cfg);
+  // Quiet leading window.
+  std::vector<double> quiet(r.axis(imu::Axis::Ax).begin(),
+                            r.axis(imu::Axis::Ax).begin() + 80);
+  const auto loud = voiced_window(r, imu::Axis::Ax, cfg);
+  // Some axis must be much louder while voicing; check the best one.
+  double best_ratio = 0.0;
+  for (std::size_t a = 0; a < 3; ++a) {
+    std::vector<double> q(r.axes[a].begin(), r.axes[a].begin() + 80);
+    const auto l = voiced_window(r, static_cast<imu::Axis>(a), cfg);
+    best_ratio = std::max(best_ratio, mandipass::stddev(l) / (mandipass::stddev(q) + 1e-9));
+  }
+  EXPECT_GT(best_ratio, 4.0);
+}
+
+TEST_F(SessionTest, OnsetDetectableOnStrongestAxis) {
+  SessionRecorder rec(pop_.sample(), rng_);
+  SessionConfig cfg;
+  int detected = 0;
+  for (int i = 0; i < 20; ++i) {
+    const auto r = rec.record(cfg);
+    double best_peak = -1.0;
+    std::size_t best_axis = 0;
+    for (std::size_t a = 0; a < 3; ++a) {
+      const auto stds = mandipass::windowed_stddev(r.axes[a], 10, 10);
+      for (double s : stds) {
+        if (s > best_peak) {
+          best_peak = s;
+          best_axis = a;
+        }
+      }
+    }
+    if (dsp::detect_onset(r.axes[best_axis]).has_value()) {
+      ++detected;
+    }
+  }
+  EXPECT_GE(detected, 18);  // the occasional miss is allowed (user retries)
+}
+
+TEST_F(SessionTest, ThroatLouderThanMandibleLouderThanEar) {
+  // Fig. 1's propagation decay, averaged over several sessions.
+  SessionRecorder rec(pop_.sample(), rng_);
+  SessionConfig cfg;
+  double std_throat = 0.0;
+  double std_mandible = 0.0;
+  double std_ear = 0.0;
+  for (int i = 0; i < 5; ++i) {
+    cfg.location = AttachLocation::Throat;
+    std_throat += mandipass::stddev(voiced_window(rec.record(cfg), imu::Axis::Az, cfg));
+    cfg.location = AttachLocation::Mandible;
+    std_mandible += mandipass::stddev(voiced_window(rec.record(cfg), imu::Axis::Az, cfg));
+    cfg.location = AttachLocation::Ear;
+    std_ear += mandipass::stddev(voiced_window(rec.record(cfg), imu::Axis::Az, cfg));
+  }
+  EXPECT_GT(std_throat, std_mandible);
+  EXPECT_GT(std_mandible, std_ear);
+}
+
+TEST_F(SessionTest, GravityGivesAxesDifferentBaselines) {
+  // Fig. 5(b): start values differ across axes.
+  SessionRecorder rec(pop_.sample(), rng_);
+  const auto r = rec.record(SessionConfig{});
+  std::vector<double> first_means;
+  for (std::size_t a = 0; a < 3; ++a) {
+    std::vector<double> head(r.axes[a].begin(), r.axes[a].begin() + 50);
+    first_means.push_back(mandipass::mean(head));
+  }
+  // At least two accel axes sit at clearly different DC levels.
+  const double spread = mandipass::max_value(first_means) - mandipass::min_value(first_means);
+  EXPECT_GT(spread, 500.0);  // LSB
+}
+
+TEST_F(SessionTest, WalkAddsLowFrequencyEnergy) {
+  SessionRecorder rec(pop_.sample(), rng_);
+  SessionConfig still;
+  SessionConfig walking;
+  walking.activity = Activity::Walk;
+  // Disable the sparse glitch process: a single +-4000 LSB spike in the
+  // short quiet window would swamp the gait signal this test measures.
+  still.sensor.glitch_probability = 0.0;
+  walking.sensor.glitch_probability = 0.0;
+  double e_still = 0.0;
+  double e_walk = 0.0;
+  for (int i = 0; i < 5; ++i) {
+    // Compare the *quiet* leading samples: gait shows up before voicing.
+    const auto rs = rec.record(still);
+    const auto rw = rec.record(walking);
+    std::vector<double> qs(rs.axis(imu::Axis::Ax).begin(), rs.axis(imu::Axis::Ax).begin() + 90);
+    std::vector<double> qw(rw.axis(imu::Axis::Ax).begin(), rw.axis(imu::Axis::Ax).begin() + 90);
+    e_still += mandipass::stddev(qs);
+    e_walk += mandipass::stddev(qw);
+  }
+  EXPECT_GT(e_walk, e_still * 1.5);
+}
+
+TEST_F(SessionTest, DifferentPeopleProduceDifferentSignals) {
+  auto p1 = pop_.sample();
+  auto p2 = pop_.sample();
+  SessionRecorder r1(p1, rng_);
+  SessionRecorder r2(p2, rng_);
+  const auto a = r1.record(SessionConfig{});
+  const auto b = r2.record(SessionConfig{});
+  const auto wa = voiced_window(a, imu::Axis::Az, SessionConfig{});
+  const auto wb = voiced_window(b, imu::Axis::Az, SessionConfig{});
+  EXPECT_LT(std::abs(mandipass::pearson(wa, wb)), 0.9);
+}
+
+TEST_F(SessionTest, RecordManyCount) {
+  SessionRecorder rec(pop_.sample(), rng_);
+  const auto batch = rec.record_many(SessionConfig{}, 7);
+  EXPECT_EQ(batch.size(), 7u);
+}
+
+TEST_F(SessionTest, InvalidConfigThrows) {
+  SessionRecorder rec(pop_.sample(), rng_);
+  SessionConfig bad;
+  bad.sample_rate_hz = 0.0;
+  EXPECT_THROW(rec.record(bad), PreconditionError);
+  SessionConfig bad2;
+  bad2.internal_rate_hz = 100.0;  // below 2x the sensor rate
+  EXPECT_THROW(rec.record(bad2), PreconditionError);
+}
+
+TEST_F(SessionTest, LeftEarStillProducesVibration) {
+  SessionRecorder rec(pop_.sample(), rng_);
+  SessionConfig left;
+  left.ear_side = EarSide::Left;
+  const auto r = rec.record(left);
+  double best = 0.0;
+  for (std::size_t a = 0; a < 3; ++a) {
+    best = std::max(best, mandipass::stddev(voiced_window(r, static_cast<imu::Axis>(a), left)));
+  }
+  EXPECT_GT(best, 200.0);
+}
+
+}  // namespace
+}  // namespace mandipass::vibration
