@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_earside.dir/bench_earside.cpp.o"
+  "CMakeFiles/bench_earside.dir/bench_earside.cpp.o.d"
+  "bench_earside"
+  "bench_earside.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_earside.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

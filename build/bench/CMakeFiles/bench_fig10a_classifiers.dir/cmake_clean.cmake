@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10a_classifiers.dir/bench_fig10a_classifiers.cpp.o"
+  "CMakeFiles/bench_fig10a_classifiers.dir/bench_fig10a_classifiers.cpp.o.d"
+  "bench_fig10a_classifiers"
+  "bench_fig10a_classifiers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10a_classifiers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

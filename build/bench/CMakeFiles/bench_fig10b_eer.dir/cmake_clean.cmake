@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10b_eer.dir/bench_fig10b_eer.cpp.o"
+  "CMakeFiles/bench_fig10b_eer.dir/bench_fig10b_eer.cpp.o.d"
+  "bench_fig10b_eer"
+  "bench_fig10b_eer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10b_eer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

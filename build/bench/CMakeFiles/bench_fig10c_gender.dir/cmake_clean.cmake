@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10c_gender.dir/bench_fig10c_gender.cpp.o"
+  "CMakeFiles/bench_fig10c_gender.dir/bench_fig10c_gender.cpp.o.d"
+  "bench_fig10c_gender"
+  "bench_fig10c_gender.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10c_gender.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

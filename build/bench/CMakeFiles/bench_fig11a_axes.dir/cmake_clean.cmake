@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11a_axes.dir/bench_fig11a_axes.cpp.o"
+  "CMakeFiles/bench_fig11a_axes.dir/bench_fig11a_axes.cpp.o.d"
+  "bench_fig11a_axes"
+  "bench_fig11a_axes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11a_axes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11b_trainlen.dir/bench_fig11b_trainlen.cpp.o"
+  "CMakeFiles/bench_fig11b_trainlen.dir/bench_fig11b_trainlen.cpp.o.d"
+  "bench_fig11b_trainlen"
+  "bench_fig11b_trainlen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11b_trainlen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

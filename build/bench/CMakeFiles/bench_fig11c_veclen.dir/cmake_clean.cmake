@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11c_veclen.dir/bench_fig11c_veclen.cpp.o"
+  "CMakeFiles/bench_fig11c_veclen.dir/bench_fig11c_veclen.cpp.o.d"
+  "bench_fig11c_veclen"
+  "bench_fig11c_veclen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11c_veclen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_orientation.dir/bench_fig13_orientation.cpp.o"
+  "CMakeFiles/bench_fig13_orientation.dir/bench_fig13_orientation.cpp.o.d"
+  "bench_fig13_orientation"
+  "bench_fig13_orientation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_orientation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_onset.dir/bench_fig5_onset.cpp.o"
+  "CMakeFiles/bench_fig5_onset.dir/bench_fig5_onset.cpp.o.d"
+  "bench_fig5_onset"
+  "bench_fig5_onset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_onset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

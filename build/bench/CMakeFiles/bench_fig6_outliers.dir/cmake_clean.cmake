@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_outliers.dir/bench_fig6_outliers.cpp.o"
+  "CMakeFiles/bench_fig6_outliers.dir/bench_fig6_outliers.cpp.o.d"
+  "bench_fig6_outliers"
+  "bench_fig6_outliers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_outliers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_statistical.dir/bench_fig7_statistical.cpp.o"
+  "CMakeFiles/bench_fig7_statistical.dir/bench_fig7_statistical.cpp.o.d"
+  "bench_fig7_statistical"
+  "bench_fig7_statistical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_statistical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_quantized.cpp" "bench/CMakeFiles/bench_quantized.dir/bench_quantized.cpp.o" "gcc" "bench/CMakeFiles/bench_quantized.dir/bench_quantized.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/mandipass_benchlib.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mandipass_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/vibration/CMakeFiles/mandipass_vibration.dir/DependInfo.cmake"
+  "/root/repo/build/src/imu/CMakeFiles/mandipass_imu.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/mandipass_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/mandipass_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/mandipass_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/auth/CMakeFiles/mandipass_auth.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/mandipass_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mandipass_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_quantized.dir/bench_quantized.cpp.o"
+  "CMakeFiles/bench_quantized.dir/bench_quantized.cpp.o.d"
+  "bench_quantized"
+  "bench_quantized.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_quantized.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mandipass_benchlib.dir/bench_common.cpp.o"
+  "CMakeFiles/mandipass_benchlib.dir/bench_common.cpp.o.d"
+  "libmandipass_benchlib.a"
+  "libmandipass_benchlib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mandipass_benchlib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmandipass_benchlib.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enroll_and_verify.dir/enroll_and_verify.cpp.o"
+  "CMakeFiles/enroll_and_verify.dir/enroll_and_verify.cpp.o.d"
+  "enroll_and_verify"
+  "enroll_and_verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enroll_and_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robustness_tour.dir/robustness_tour.cpp.o"
+  "CMakeFiles/robustness_tour.dir/robustness_tour.cpp.o.d"
+  "robustness_tour"
+  "robustness_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robustness_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

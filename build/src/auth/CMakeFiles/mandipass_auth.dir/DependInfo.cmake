@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/auth/cosine.cpp" "src/auth/CMakeFiles/mandipass_auth.dir/cosine.cpp.o" "gcc" "src/auth/CMakeFiles/mandipass_auth.dir/cosine.cpp.o.d"
+  "/root/repo/src/auth/gaussian_matrix.cpp" "src/auth/CMakeFiles/mandipass_auth.dir/gaussian_matrix.cpp.o" "gcc" "src/auth/CMakeFiles/mandipass_auth.dir/gaussian_matrix.cpp.o.d"
+  "/root/repo/src/auth/metrics.cpp" "src/auth/CMakeFiles/mandipass_auth.dir/metrics.cpp.o" "gcc" "src/auth/CMakeFiles/mandipass_auth.dir/metrics.cpp.o.d"
+  "/root/repo/src/auth/template_store.cpp" "src/auth/CMakeFiles/mandipass_auth.dir/template_store.cpp.o" "gcc" "src/auth/CMakeFiles/mandipass_auth.dir/template_store.cpp.o.d"
+  "/root/repo/src/auth/verifier.cpp" "src/auth/CMakeFiles/mandipass_auth.dir/verifier.cpp.o" "gcc" "src/auth/CMakeFiles/mandipass_auth.dir/verifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mandipass_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/mandipass_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mandipass_auth.dir/cosine.cpp.o"
+  "CMakeFiles/mandipass_auth.dir/cosine.cpp.o.d"
+  "CMakeFiles/mandipass_auth.dir/gaussian_matrix.cpp.o"
+  "CMakeFiles/mandipass_auth.dir/gaussian_matrix.cpp.o.d"
+  "CMakeFiles/mandipass_auth.dir/metrics.cpp.o"
+  "CMakeFiles/mandipass_auth.dir/metrics.cpp.o.d"
+  "CMakeFiles/mandipass_auth.dir/template_store.cpp.o"
+  "CMakeFiles/mandipass_auth.dir/template_store.cpp.o.d"
+  "CMakeFiles/mandipass_auth.dir/verifier.cpp.o"
+  "CMakeFiles/mandipass_auth.dir/verifier.cpp.o.d"
+  "libmandipass_auth.a"
+  "libmandipass_auth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mandipass_auth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

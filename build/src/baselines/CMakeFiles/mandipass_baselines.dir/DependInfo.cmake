@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/acoustic.cpp" "src/baselines/CMakeFiles/mandipass_baselines.dir/acoustic.cpp.o" "gcc" "src/baselines/CMakeFiles/mandipass_baselines.dir/acoustic.cpp.o.d"
+  "/root/repo/src/baselines/earecho.cpp" "src/baselines/CMakeFiles/mandipass_baselines.dir/earecho.cpp.o" "gcc" "src/baselines/CMakeFiles/mandipass_baselines.dir/earecho.cpp.o.d"
+  "/root/repo/src/baselines/skullconduct.cpp" "src/baselines/CMakeFiles/mandipass_baselines.dir/skullconduct.cpp.o" "gcc" "src/baselines/CMakeFiles/mandipass_baselines.dir/skullconduct.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mandipass_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/mandipass_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/auth/CMakeFiles/mandipass_auth.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/mandipass_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mandipass_baselines.dir/acoustic.cpp.o"
+  "CMakeFiles/mandipass_baselines.dir/acoustic.cpp.o.d"
+  "CMakeFiles/mandipass_baselines.dir/earecho.cpp.o"
+  "CMakeFiles/mandipass_baselines.dir/earecho.cpp.o.d"
+  "CMakeFiles/mandipass_baselines.dir/skullconduct.cpp.o"
+  "CMakeFiles/mandipass_baselines.dir/skullconduct.cpp.o.d"
+  "libmandipass_baselines.a"
+  "libmandipass_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mandipass_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mandipass_common.dir/rng.cpp.o"
+  "CMakeFiles/mandipass_common.dir/rng.cpp.o.d"
+  "CMakeFiles/mandipass_common.dir/stats.cpp.o"
+  "CMakeFiles/mandipass_common.dir/stats.cpp.o.d"
+  "CMakeFiles/mandipass_common.dir/table.cpp.o"
+  "CMakeFiles/mandipass_common.dir/table.cpp.o.d"
+  "libmandipass_common.a"
+  "libmandipass_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mandipass_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

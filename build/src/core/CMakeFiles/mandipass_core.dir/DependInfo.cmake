@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/calibration.cpp" "src/core/CMakeFiles/mandipass_core.dir/calibration.cpp.o" "gcc" "src/core/CMakeFiles/mandipass_core.dir/calibration.cpp.o.d"
+  "/root/repo/src/core/dataset_builder.cpp" "src/core/CMakeFiles/mandipass_core.dir/dataset_builder.cpp.o" "gcc" "src/core/CMakeFiles/mandipass_core.dir/dataset_builder.cpp.o.d"
+  "/root/repo/src/core/extractor.cpp" "src/core/CMakeFiles/mandipass_core.dir/extractor.cpp.o" "gcc" "src/core/CMakeFiles/mandipass_core.dir/extractor.cpp.o.d"
+  "/root/repo/src/core/mandipass.cpp" "src/core/CMakeFiles/mandipass_core.dir/mandipass.cpp.o" "gcc" "src/core/CMakeFiles/mandipass_core.dir/mandipass.cpp.o.d"
+  "/root/repo/src/core/preprocessor.cpp" "src/core/CMakeFiles/mandipass_core.dir/preprocessor.cpp.o" "gcc" "src/core/CMakeFiles/mandipass_core.dir/preprocessor.cpp.o.d"
+  "/root/repo/src/core/quantized_extractor.cpp" "src/core/CMakeFiles/mandipass_core.dir/quantized_extractor.cpp.o" "gcc" "src/core/CMakeFiles/mandipass_core.dir/quantized_extractor.cpp.o.d"
+  "/root/repo/src/core/signal_array.cpp" "src/core/CMakeFiles/mandipass_core.dir/signal_array.cpp.o" "gcc" "src/core/CMakeFiles/mandipass_core.dir/signal_array.cpp.o.d"
+  "/root/repo/src/core/trainer.cpp" "src/core/CMakeFiles/mandipass_core.dir/trainer.cpp.o" "gcc" "src/core/CMakeFiles/mandipass_core.dir/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mandipass_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/mandipass_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/imu/CMakeFiles/mandipass_imu.dir/DependInfo.cmake"
+  "/root/repo/build/src/vibration/CMakeFiles/mandipass_vibration.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/mandipass_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/auth/CMakeFiles/mandipass_auth.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mandipass_core.dir/calibration.cpp.o"
+  "CMakeFiles/mandipass_core.dir/calibration.cpp.o.d"
+  "CMakeFiles/mandipass_core.dir/dataset_builder.cpp.o"
+  "CMakeFiles/mandipass_core.dir/dataset_builder.cpp.o.d"
+  "CMakeFiles/mandipass_core.dir/extractor.cpp.o"
+  "CMakeFiles/mandipass_core.dir/extractor.cpp.o.d"
+  "CMakeFiles/mandipass_core.dir/mandipass.cpp.o"
+  "CMakeFiles/mandipass_core.dir/mandipass.cpp.o.d"
+  "CMakeFiles/mandipass_core.dir/preprocessor.cpp.o"
+  "CMakeFiles/mandipass_core.dir/preprocessor.cpp.o.d"
+  "CMakeFiles/mandipass_core.dir/quantized_extractor.cpp.o"
+  "CMakeFiles/mandipass_core.dir/quantized_extractor.cpp.o.d"
+  "CMakeFiles/mandipass_core.dir/signal_array.cpp.o"
+  "CMakeFiles/mandipass_core.dir/signal_array.cpp.o.d"
+  "CMakeFiles/mandipass_core.dir/trainer.cpp.o"
+  "CMakeFiles/mandipass_core.dir/trainer.cpp.o.d"
+  "libmandipass_core.a"
+  "libmandipass_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mandipass_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dsp/fft.cpp" "src/dsp/CMakeFiles/mandipass_dsp.dir/fft.cpp.o" "gcc" "src/dsp/CMakeFiles/mandipass_dsp.dir/fft.cpp.o.d"
+  "/root/repo/src/dsp/filter.cpp" "src/dsp/CMakeFiles/mandipass_dsp.dir/filter.cpp.o" "gcc" "src/dsp/CMakeFiles/mandipass_dsp.dir/filter.cpp.o.d"
+  "/root/repo/src/dsp/gradient.cpp" "src/dsp/CMakeFiles/mandipass_dsp.dir/gradient.cpp.o" "gcc" "src/dsp/CMakeFiles/mandipass_dsp.dir/gradient.cpp.o.d"
+  "/root/repo/src/dsp/normalize.cpp" "src/dsp/CMakeFiles/mandipass_dsp.dir/normalize.cpp.o" "gcc" "src/dsp/CMakeFiles/mandipass_dsp.dir/normalize.cpp.o.d"
+  "/root/repo/src/dsp/onset.cpp" "src/dsp/CMakeFiles/mandipass_dsp.dir/onset.cpp.o" "gcc" "src/dsp/CMakeFiles/mandipass_dsp.dir/onset.cpp.o.d"
+  "/root/repo/src/dsp/outlier.cpp" "src/dsp/CMakeFiles/mandipass_dsp.dir/outlier.cpp.o" "gcc" "src/dsp/CMakeFiles/mandipass_dsp.dir/outlier.cpp.o.d"
+  "/root/repo/src/dsp/resample.cpp" "src/dsp/CMakeFiles/mandipass_dsp.dir/resample.cpp.o" "gcc" "src/dsp/CMakeFiles/mandipass_dsp.dir/resample.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mandipass_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

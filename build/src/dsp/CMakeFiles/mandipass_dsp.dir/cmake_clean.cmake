@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mandipass_dsp.dir/fft.cpp.o"
+  "CMakeFiles/mandipass_dsp.dir/fft.cpp.o.d"
+  "CMakeFiles/mandipass_dsp.dir/filter.cpp.o"
+  "CMakeFiles/mandipass_dsp.dir/filter.cpp.o.d"
+  "CMakeFiles/mandipass_dsp.dir/gradient.cpp.o"
+  "CMakeFiles/mandipass_dsp.dir/gradient.cpp.o.d"
+  "CMakeFiles/mandipass_dsp.dir/normalize.cpp.o"
+  "CMakeFiles/mandipass_dsp.dir/normalize.cpp.o.d"
+  "CMakeFiles/mandipass_dsp.dir/onset.cpp.o"
+  "CMakeFiles/mandipass_dsp.dir/onset.cpp.o.d"
+  "CMakeFiles/mandipass_dsp.dir/outlier.cpp.o"
+  "CMakeFiles/mandipass_dsp.dir/outlier.cpp.o.d"
+  "CMakeFiles/mandipass_dsp.dir/resample.cpp.o"
+  "CMakeFiles/mandipass_dsp.dir/resample.cpp.o.d"
+  "libmandipass_dsp.a"
+  "libmandipass_dsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mandipass_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/imu/orientation.cpp" "src/imu/CMakeFiles/mandipass_imu.dir/orientation.cpp.o" "gcc" "src/imu/CMakeFiles/mandipass_imu.dir/orientation.cpp.o.d"
+  "/root/repo/src/imu/recording_io.cpp" "src/imu/CMakeFiles/mandipass_imu.dir/recording_io.cpp.o" "gcc" "src/imu/CMakeFiles/mandipass_imu.dir/recording_io.cpp.o.d"
+  "/root/repo/src/imu/sensor_model.cpp" "src/imu/CMakeFiles/mandipass_imu.dir/sensor_model.cpp.o" "gcc" "src/imu/CMakeFiles/mandipass_imu.dir/sensor_model.cpp.o.d"
+  "/root/repo/src/imu/types.cpp" "src/imu/CMakeFiles/mandipass_imu.dir/types.cpp.o" "gcc" "src/imu/CMakeFiles/mandipass_imu.dir/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mandipass_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mandipass_imu.dir/orientation.cpp.o"
+  "CMakeFiles/mandipass_imu.dir/orientation.cpp.o.d"
+  "CMakeFiles/mandipass_imu.dir/recording_io.cpp.o"
+  "CMakeFiles/mandipass_imu.dir/recording_io.cpp.o.d"
+  "CMakeFiles/mandipass_imu.dir/sensor_model.cpp.o"
+  "CMakeFiles/mandipass_imu.dir/sensor_model.cpp.o.d"
+  "CMakeFiles/mandipass_imu.dir/types.cpp.o"
+  "CMakeFiles/mandipass_imu.dir/types.cpp.o.d"
+  "libmandipass_imu.a"
+  "libmandipass_imu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mandipass_imu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

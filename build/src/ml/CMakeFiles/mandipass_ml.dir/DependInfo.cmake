@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/dataset.cpp" "src/ml/CMakeFiles/mandipass_ml.dir/dataset.cpp.o" "gcc" "src/ml/CMakeFiles/mandipass_ml.dir/dataset.cpp.o.d"
+  "/root/repo/src/ml/decision_tree.cpp" "src/ml/CMakeFiles/mandipass_ml.dir/decision_tree.cpp.o" "gcc" "src/ml/CMakeFiles/mandipass_ml.dir/decision_tree.cpp.o.d"
+  "/root/repo/src/ml/features.cpp" "src/ml/CMakeFiles/mandipass_ml.dir/features.cpp.o" "gcc" "src/ml/CMakeFiles/mandipass_ml.dir/features.cpp.o.d"
+  "/root/repo/src/ml/knn.cpp" "src/ml/CMakeFiles/mandipass_ml.dir/knn.cpp.o" "gcc" "src/ml/CMakeFiles/mandipass_ml.dir/knn.cpp.o.d"
+  "/root/repo/src/ml/mlp.cpp" "src/ml/CMakeFiles/mandipass_ml.dir/mlp.cpp.o" "gcc" "src/ml/CMakeFiles/mandipass_ml.dir/mlp.cpp.o.d"
+  "/root/repo/src/ml/naive_bayes.cpp" "src/ml/CMakeFiles/mandipass_ml.dir/naive_bayes.cpp.o" "gcc" "src/ml/CMakeFiles/mandipass_ml.dir/naive_bayes.cpp.o.d"
+  "/root/repo/src/ml/svm.cpp" "src/ml/CMakeFiles/mandipass_ml.dir/svm.cpp.o" "gcc" "src/ml/CMakeFiles/mandipass_ml.dir/svm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mandipass_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/mandipass_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

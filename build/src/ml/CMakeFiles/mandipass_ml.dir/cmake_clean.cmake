@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mandipass_ml.dir/dataset.cpp.o"
+  "CMakeFiles/mandipass_ml.dir/dataset.cpp.o.d"
+  "CMakeFiles/mandipass_ml.dir/decision_tree.cpp.o"
+  "CMakeFiles/mandipass_ml.dir/decision_tree.cpp.o.d"
+  "CMakeFiles/mandipass_ml.dir/features.cpp.o"
+  "CMakeFiles/mandipass_ml.dir/features.cpp.o.d"
+  "CMakeFiles/mandipass_ml.dir/knn.cpp.o"
+  "CMakeFiles/mandipass_ml.dir/knn.cpp.o.d"
+  "CMakeFiles/mandipass_ml.dir/mlp.cpp.o"
+  "CMakeFiles/mandipass_ml.dir/mlp.cpp.o.d"
+  "CMakeFiles/mandipass_ml.dir/naive_bayes.cpp.o"
+  "CMakeFiles/mandipass_ml.dir/naive_bayes.cpp.o.d"
+  "CMakeFiles/mandipass_ml.dir/svm.cpp.o"
+  "CMakeFiles/mandipass_ml.dir/svm.cpp.o.d"
+  "libmandipass_ml.a"
+  "libmandipass_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mandipass_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

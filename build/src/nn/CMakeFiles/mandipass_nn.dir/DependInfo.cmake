@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/adam.cpp" "src/nn/CMakeFiles/mandipass_nn.dir/adam.cpp.o" "gcc" "src/nn/CMakeFiles/mandipass_nn.dir/adam.cpp.o.d"
+  "/root/repo/src/nn/batchnorm.cpp" "src/nn/CMakeFiles/mandipass_nn.dir/batchnorm.cpp.o" "gcc" "src/nn/CMakeFiles/mandipass_nn.dir/batchnorm.cpp.o.d"
+  "/root/repo/src/nn/conv2d.cpp" "src/nn/CMakeFiles/mandipass_nn.dir/conv2d.cpp.o" "gcc" "src/nn/CMakeFiles/mandipass_nn.dir/conv2d.cpp.o.d"
+  "/root/repo/src/nn/layers.cpp" "src/nn/CMakeFiles/mandipass_nn.dir/layers.cpp.o" "gcc" "src/nn/CMakeFiles/mandipass_nn.dir/layers.cpp.o.d"
+  "/root/repo/src/nn/linear.cpp" "src/nn/CMakeFiles/mandipass_nn.dir/linear.cpp.o" "gcc" "src/nn/CMakeFiles/mandipass_nn.dir/linear.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/nn/CMakeFiles/mandipass_nn.dir/loss.cpp.o" "gcc" "src/nn/CMakeFiles/mandipass_nn.dir/loss.cpp.o.d"
+  "/root/repo/src/nn/quantize.cpp" "src/nn/CMakeFiles/mandipass_nn.dir/quantize.cpp.o" "gcc" "src/nn/CMakeFiles/mandipass_nn.dir/quantize.cpp.o.d"
+  "/root/repo/src/nn/sequential.cpp" "src/nn/CMakeFiles/mandipass_nn.dir/sequential.cpp.o" "gcc" "src/nn/CMakeFiles/mandipass_nn.dir/sequential.cpp.o.d"
+  "/root/repo/src/nn/serialize.cpp" "src/nn/CMakeFiles/mandipass_nn.dir/serialize.cpp.o" "gcc" "src/nn/CMakeFiles/mandipass_nn.dir/serialize.cpp.o.d"
+  "/root/repo/src/nn/tensor.cpp" "src/nn/CMakeFiles/mandipass_nn.dir/tensor.cpp.o" "gcc" "src/nn/CMakeFiles/mandipass_nn.dir/tensor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mandipass_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mandipass_nn.dir/adam.cpp.o"
+  "CMakeFiles/mandipass_nn.dir/adam.cpp.o.d"
+  "CMakeFiles/mandipass_nn.dir/batchnorm.cpp.o"
+  "CMakeFiles/mandipass_nn.dir/batchnorm.cpp.o.d"
+  "CMakeFiles/mandipass_nn.dir/conv2d.cpp.o"
+  "CMakeFiles/mandipass_nn.dir/conv2d.cpp.o.d"
+  "CMakeFiles/mandipass_nn.dir/layers.cpp.o"
+  "CMakeFiles/mandipass_nn.dir/layers.cpp.o.d"
+  "CMakeFiles/mandipass_nn.dir/linear.cpp.o"
+  "CMakeFiles/mandipass_nn.dir/linear.cpp.o.d"
+  "CMakeFiles/mandipass_nn.dir/loss.cpp.o"
+  "CMakeFiles/mandipass_nn.dir/loss.cpp.o.d"
+  "CMakeFiles/mandipass_nn.dir/quantize.cpp.o"
+  "CMakeFiles/mandipass_nn.dir/quantize.cpp.o.d"
+  "CMakeFiles/mandipass_nn.dir/sequential.cpp.o"
+  "CMakeFiles/mandipass_nn.dir/sequential.cpp.o.d"
+  "CMakeFiles/mandipass_nn.dir/serialize.cpp.o"
+  "CMakeFiles/mandipass_nn.dir/serialize.cpp.o.d"
+  "CMakeFiles/mandipass_nn.dir/tensor.cpp.o"
+  "CMakeFiles/mandipass_nn.dir/tensor.cpp.o.d"
+  "libmandipass_nn.a"
+  "libmandipass_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mandipass_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vibration/feasibility.cpp" "src/vibration/CMakeFiles/mandipass_vibration.dir/feasibility.cpp.o" "gcc" "src/vibration/CMakeFiles/mandipass_vibration.dir/feasibility.cpp.o.d"
+  "/root/repo/src/vibration/glottal.cpp" "src/vibration/CMakeFiles/mandipass_vibration.dir/glottal.cpp.o" "gcc" "src/vibration/CMakeFiles/mandipass_vibration.dir/glottal.cpp.o.d"
+  "/root/repo/src/vibration/nuisance.cpp" "src/vibration/CMakeFiles/mandipass_vibration.dir/nuisance.cpp.o" "gcc" "src/vibration/CMakeFiles/mandipass_vibration.dir/nuisance.cpp.o.d"
+  "/root/repo/src/vibration/oscillator.cpp" "src/vibration/CMakeFiles/mandipass_vibration.dir/oscillator.cpp.o" "gcc" "src/vibration/CMakeFiles/mandipass_vibration.dir/oscillator.cpp.o.d"
+  "/root/repo/src/vibration/population.cpp" "src/vibration/CMakeFiles/mandipass_vibration.dir/population.cpp.o" "gcc" "src/vibration/CMakeFiles/mandipass_vibration.dir/population.cpp.o.d"
+  "/root/repo/src/vibration/session.cpp" "src/vibration/CMakeFiles/mandipass_vibration.dir/session.cpp.o" "gcc" "src/vibration/CMakeFiles/mandipass_vibration.dir/session.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mandipass_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/mandipass_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/imu/CMakeFiles/mandipass_imu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mandipass_vibration.dir/feasibility.cpp.o"
+  "CMakeFiles/mandipass_vibration.dir/feasibility.cpp.o.d"
+  "CMakeFiles/mandipass_vibration.dir/glottal.cpp.o"
+  "CMakeFiles/mandipass_vibration.dir/glottal.cpp.o.d"
+  "CMakeFiles/mandipass_vibration.dir/nuisance.cpp.o"
+  "CMakeFiles/mandipass_vibration.dir/nuisance.cpp.o.d"
+  "CMakeFiles/mandipass_vibration.dir/oscillator.cpp.o"
+  "CMakeFiles/mandipass_vibration.dir/oscillator.cpp.o.d"
+  "CMakeFiles/mandipass_vibration.dir/population.cpp.o"
+  "CMakeFiles/mandipass_vibration.dir/population.cpp.o.d"
+  "CMakeFiles/mandipass_vibration.dir/session.cpp.o"
+  "CMakeFiles/mandipass_vibration.dir/session.cpp.o.d"
+  "libmandipass_vibration.a"
+  "libmandipass_vibration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mandipass_vibration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

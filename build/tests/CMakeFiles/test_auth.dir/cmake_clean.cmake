@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_auth.dir/auth/test_cosine.cpp.o"
+  "CMakeFiles/test_auth.dir/auth/test_cosine.cpp.o.d"
+  "CMakeFiles/test_auth.dir/auth/test_gaussian_matrix.cpp.o"
+  "CMakeFiles/test_auth.dir/auth/test_gaussian_matrix.cpp.o.d"
+  "CMakeFiles/test_auth.dir/auth/test_metrics.cpp.o"
+  "CMakeFiles/test_auth.dir/auth/test_metrics.cpp.o.d"
+  "CMakeFiles/test_auth.dir/auth/test_template_store.cpp.o"
+  "CMakeFiles/test_auth.dir/auth/test_template_store.cpp.o.d"
+  "CMakeFiles/test_auth.dir/auth/test_template_store_io.cpp.o"
+  "CMakeFiles/test_auth.dir/auth/test_template_store_io.cpp.o.d"
+  "CMakeFiles/test_auth.dir/auth/test_verifier.cpp.o"
+  "CMakeFiles/test_auth.dir/auth/test_verifier.cpp.o.d"
+  "test_auth"
+  "test_auth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_auth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

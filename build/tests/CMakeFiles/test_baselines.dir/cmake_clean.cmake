@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_baselines.dir/baselines/test_acoustic.cpp.o"
+  "CMakeFiles/test_baselines.dir/baselines/test_acoustic.cpp.o.d"
+  "CMakeFiles/test_baselines.dir/baselines/test_earecho.cpp.o"
+  "CMakeFiles/test_baselines.dir/baselines/test_earecho.cpp.o.d"
+  "CMakeFiles/test_baselines.dir/baselines/test_skullconduct.cpp.o"
+  "CMakeFiles/test_baselines.dir/baselines/test_skullconduct.cpp.o.d"
+  "test_baselines"
+  "test_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

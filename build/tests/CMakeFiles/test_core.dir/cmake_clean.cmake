@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_calibration.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_calibration.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_dataset_builder.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_dataset_builder.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_extractor.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_extractor.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_mandipass.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_mandipass.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_preprocessor.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_preprocessor.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_quantized_extractor.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_quantized_extractor.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_signal_array.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_signal_array.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_trainer.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_trainer.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

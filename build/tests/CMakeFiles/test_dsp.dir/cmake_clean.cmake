@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dsp.dir/dsp/test_fft.cpp.o"
+  "CMakeFiles/test_dsp.dir/dsp/test_fft.cpp.o.d"
+  "CMakeFiles/test_dsp.dir/dsp/test_filter.cpp.o"
+  "CMakeFiles/test_dsp.dir/dsp/test_filter.cpp.o.d"
+  "CMakeFiles/test_dsp.dir/dsp/test_gradient.cpp.o"
+  "CMakeFiles/test_dsp.dir/dsp/test_gradient.cpp.o.d"
+  "CMakeFiles/test_dsp.dir/dsp/test_normalize.cpp.o"
+  "CMakeFiles/test_dsp.dir/dsp/test_normalize.cpp.o.d"
+  "CMakeFiles/test_dsp.dir/dsp/test_onset.cpp.o"
+  "CMakeFiles/test_dsp.dir/dsp/test_onset.cpp.o.d"
+  "CMakeFiles/test_dsp.dir/dsp/test_outlier.cpp.o"
+  "CMakeFiles/test_dsp.dir/dsp/test_outlier.cpp.o.d"
+  "CMakeFiles/test_dsp.dir/dsp/test_resample.cpp.o"
+  "CMakeFiles/test_dsp.dir/dsp/test_resample.cpp.o.d"
+  "test_dsp"
+  "test_dsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

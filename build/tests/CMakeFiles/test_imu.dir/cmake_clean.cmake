@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_imu.dir/imu/test_orientation.cpp.o"
+  "CMakeFiles/test_imu.dir/imu/test_orientation.cpp.o.d"
+  "CMakeFiles/test_imu.dir/imu/test_recording_io.cpp.o"
+  "CMakeFiles/test_imu.dir/imu/test_recording_io.cpp.o.d"
+  "CMakeFiles/test_imu.dir/imu/test_sensor_model.cpp.o"
+  "CMakeFiles/test_imu.dir/imu/test_sensor_model.cpp.o.d"
+  "test_imu"
+  "test_imu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_imu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

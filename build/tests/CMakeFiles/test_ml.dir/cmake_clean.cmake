@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ml.dir/ml/test_dataset.cpp.o"
+  "CMakeFiles/test_ml.dir/ml/test_dataset.cpp.o.d"
+  "CMakeFiles/test_ml.dir/ml/test_decision_tree.cpp.o"
+  "CMakeFiles/test_ml.dir/ml/test_decision_tree.cpp.o.d"
+  "CMakeFiles/test_ml.dir/ml/test_features.cpp.o"
+  "CMakeFiles/test_ml.dir/ml/test_features.cpp.o.d"
+  "CMakeFiles/test_ml.dir/ml/test_knn.cpp.o"
+  "CMakeFiles/test_ml.dir/ml/test_knn.cpp.o.d"
+  "CMakeFiles/test_ml.dir/ml/test_mlp.cpp.o"
+  "CMakeFiles/test_ml.dir/ml/test_mlp.cpp.o.d"
+  "CMakeFiles/test_ml.dir/ml/test_naive_bayes.cpp.o"
+  "CMakeFiles/test_ml.dir/ml/test_naive_bayes.cpp.o.d"
+  "CMakeFiles/test_ml.dir/ml/test_svm.cpp.o"
+  "CMakeFiles/test_ml.dir/ml/test_svm.cpp.o.d"
+  "test_ml"
+  "test_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/nn/test_adam.cpp" "tests/CMakeFiles/test_nn.dir/nn/test_adam.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/test_adam.cpp.o.d"
+  "/root/repo/tests/nn/test_batchnorm.cpp" "tests/CMakeFiles/test_nn.dir/nn/test_batchnorm.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/test_batchnorm.cpp.o.d"
+  "/root/repo/tests/nn/test_conv2d.cpp" "tests/CMakeFiles/test_nn.dir/nn/test_conv2d.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/test_conv2d.cpp.o.d"
+  "/root/repo/tests/nn/test_layers.cpp" "tests/CMakeFiles/test_nn.dir/nn/test_layers.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/test_layers.cpp.o.d"
+  "/root/repo/tests/nn/test_linear.cpp" "tests/CMakeFiles/test_nn.dir/nn/test_linear.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/test_linear.cpp.o.d"
+  "/root/repo/tests/nn/test_loss.cpp" "tests/CMakeFiles/test_nn.dir/nn/test_loss.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/test_loss.cpp.o.d"
+  "/root/repo/tests/nn/test_quantize.cpp" "tests/CMakeFiles/test_nn.dir/nn/test_quantize.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/test_quantize.cpp.o.d"
+  "/root/repo/tests/nn/test_sequential.cpp" "tests/CMakeFiles/test_nn.dir/nn/test_sequential.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/test_sequential.cpp.o.d"
+  "/root/repo/tests/nn/test_serialize.cpp" "tests/CMakeFiles/test_nn.dir/nn/test_serialize.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/test_serialize.cpp.o.d"
+  "/root/repo/tests/nn/test_tensor.cpp" "tests/CMakeFiles/test_nn.dir/nn/test_tensor.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/test_tensor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mandipass_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/mandipass_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/mandipass_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/vibration/CMakeFiles/mandipass_vibration.dir/DependInfo.cmake"
+  "/root/repo/build/src/imu/CMakeFiles/mandipass_imu.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/mandipass_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/auth/CMakeFiles/mandipass_auth.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/mandipass_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mandipass_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nn.dir/nn/test_adam.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/test_adam.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_batchnorm.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/test_batchnorm.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_conv2d.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/test_conv2d.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_layers.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/test_layers.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_linear.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/test_linear.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_loss.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/test_loss.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_quantize.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/test_quantize.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_sequential.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/test_sequential.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_serialize.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/test_serialize.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_tensor.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/test_tensor.cpp.o.d"
+  "test_nn"
+  "test_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

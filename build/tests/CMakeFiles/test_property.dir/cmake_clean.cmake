@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_property.dir/property/test_filter_response.cpp.o"
+  "CMakeFiles/test_property.dir/property/test_filter_response.cpp.o.d"
+  "CMakeFiles/test_property.dir/property/test_metrics_properties.cpp.o"
+  "CMakeFiles/test_property.dir/property/test_metrics_properties.cpp.o.d"
+  "CMakeFiles/test_property.dir/property/test_simulator_properties.cpp.o"
+  "CMakeFiles/test_property.dir/property/test_simulator_properties.cpp.o.d"
+  "CMakeFiles/test_property.dir/property/test_template_properties.cpp.o"
+  "CMakeFiles/test_property.dir/property/test_template_properties.cpp.o.d"
+  "test_property"
+  "test_property.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

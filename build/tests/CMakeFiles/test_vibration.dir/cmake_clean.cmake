@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vibration.dir/vibration/test_feasibility.cpp.o"
+  "CMakeFiles/test_vibration.dir/vibration/test_feasibility.cpp.o.d"
+  "CMakeFiles/test_vibration.dir/vibration/test_glottal.cpp.o"
+  "CMakeFiles/test_vibration.dir/vibration/test_glottal.cpp.o.d"
+  "CMakeFiles/test_vibration.dir/vibration/test_nuisance.cpp.o"
+  "CMakeFiles/test_vibration.dir/vibration/test_nuisance.cpp.o.d"
+  "CMakeFiles/test_vibration.dir/vibration/test_oscillator.cpp.o"
+  "CMakeFiles/test_vibration.dir/vibration/test_oscillator.cpp.o.d"
+  "CMakeFiles/test_vibration.dir/vibration/test_population.cpp.o"
+  "CMakeFiles/test_vibration.dir/vibration/test_population.cpp.o.d"
+  "CMakeFiles/test_vibration.dir/vibration/test_session.cpp.o"
+  "CMakeFiles/test_vibration.dir/vibration/test_session.cpp.o.d"
+  "test_vibration"
+  "test_vibration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vibration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
