@@ -97,7 +97,7 @@ int main() {
   core::ExtractorConfig ec;
   ec.embedding_dim = 64;
   core::BiometricExtractor extractor(ec);
-  core::ExtractorTrainer trainer(extractor, {.epochs = scale.quick ? 5 : 10,
+  core::ExtractorTrainer trainer(extractor, {.epochs = scale.quick ? 5u : 10u,
                                              .weight_decay = 1e-4,
                                              .input_noise = 0.05});
   trainer.train(gsplit.train);

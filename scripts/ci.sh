@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Offline CI driver: runs the same four jobs as .github/workflows/ci.yml
+# sequentially on the local machine. Each job is independent; this script
+# reports every job's status and fails if any job failed, so a tidy failure
+# does not mask a sanitizer failure.
+set -uo pipefail
+
+REPO="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "$REPO"
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+declare -A STATUS
+
+run_job() {
+  local name="$1"
+  shift
+  echo
+  echo "==== ci job: $name ===="
+  if "$@"; then
+    STATUS[$name]=ok
+  else
+    STATUS[$name]=FAILED
+  fi
+}
+
+job_build_werror() {
+  cmake --preset default >/dev/null &&
+    cmake --build --preset default -j "$JOBS" &&
+    ctest --preset default -j "$JOBS"
+}
+
+job_sanitize() {
+  cmake --preset asan >/dev/null &&
+    cmake --build --preset asan -j "$JOBS" &&
+    ctest --preset asan -j "$JOBS" &&
+    cmake --preset tsan >/dev/null &&
+    cmake --build --preset tsan -j "$JOBS" &&
+    ctest --preset tsan -j "$JOBS"
+}
+
+run_job "build-werror"  job_build_werror
+run_job "sanitize"      job_sanitize
+run_job "clang-tidy"    scripts/run_tidy.sh
+run_job "mandilint"     scripts/lint.sh
+
+echo
+echo "==== ci summary ===="
+FAIL=0
+for name in build-werror sanitize clang-tidy mandilint; do
+  echo "  $name: ${STATUS[$name]}"
+  [ "${STATUS[$name]}" = ok ] || FAIL=1
+done
+exit "$FAIL"

@@ -1,0 +1,8 @@
+#!/usr/bin/env bash
+# Runs the repo-invariant linter (tools/lint/mandilint.py) over the default
+# directory set. See `python3 tools/lint/mandilint.py --list-rules` for the
+# rule catalogue and the inline suppression syntax.
+set -euo pipefail
+
+REPO="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+exec python3 "$REPO/tools/lint/mandilint.py" --repo "$REPO" "$@"

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (config: .clang-tidy) over every translation unit under
+# src/ using the compile_commands.json exported by the `tidy` CMake preset.
+#
+# Usage: scripts/run_tidy.sh [extra clang-tidy args...]
+#
+# Exits 0 if clang-tidy is clean or unavailable (the toolchain image may
+# only ship gcc; the check is then reported as SKIPPED so scripts/check.sh
+# still passes), 1 on findings.
+set -euo pipefail
+
+REPO="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "$REPO"
+
+TIDY_BIN="${CLANG_TIDY:-clang-tidy}"
+if ! command -v "$TIDY_BIN" >/dev/null 2>&1; then
+  echo "run_tidy: SKIPPED ($TIDY_BIN not installed in this toolchain image)"
+  exit 0
+fi
+
+BUILD_DIR="build-tidy"
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+  echo "run_tidy: configuring '$BUILD_DIR' (cmake --preset tidy)"
+  cmake --preset tidy >/dev/null
+fi
+
+mapfile -t SOURCES < <(find src -name '*.cpp' | sort)
+echo "run_tidy: ${#SOURCES[@]} translation units, config .clang-tidy"
+
+FAIL=0
+for src in "${SOURCES[@]}"; do
+  if ! "$TIDY_BIN" -p "$BUILD_DIR" --quiet "$@" "$src"; then
+    FAIL=1
+  fi
+done
+
+if [ "$FAIL" -ne 0 ]; then
+  echo "run_tidy: FAILED (findings above)" >&2
+  exit 1
+fi
+echo "run_tidy: clean"

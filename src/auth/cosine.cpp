@@ -13,9 +13,9 @@ double cosine_similarity(std::span<const float> a, std::span<const float> b) {
   double na = 0.0;
   double nb = 0.0;
   for (std::size_t i = 0; i < a.size(); ++i) {
-    dot += static_cast<double>(a[i]) * b[i];
-    na += static_cast<double>(a[i]) * a[i];
-    nb += static_cast<double>(b[i]) * b[i];
+    dot += static_cast<double>(a[i]) * static_cast<double>(b[i]);
+    na += static_cast<double>(a[i]) * static_cast<double>(a[i]);
+    nb += static_cast<double>(b[i]) * static_cast<double>(b[i]);
   }
   if (na == 0.0 || nb == 0.0) {
     return 0.0;

@@ -4,6 +4,7 @@
 #include <ostream>
 
 #include "common/error.h"
+#include "common/io.h"
 #include "nn/serialize.h"
 
 namespace mandipass::auth {
@@ -42,11 +43,8 @@ void TemplateStore::save(std::ostream& os) const {
     nn::write_u64(os, tmpl.matrix_seed);
     nn::write_u64(os, tmpl.key_version);
     nn::write_u64(os, tmpl.data.size());
-    os.write(reinterpret_cast<const char*>(tmpl.data.data()),
-             static_cast<std::streamsize>(tmpl.data.size() * sizeof(float)));
-  }
-  if (!os) {
-    throw SerializationError("failed writing template store");
+    common::write_exact(os, tmpl.data.data(), tmpl.data.size() * sizeof(float),
+                        "template data");
   }
 }
 
@@ -62,8 +60,8 @@ void TemplateStore::load(std::istream& is) {
     if (name_len == 0 || name_len > 4096) {
       throw SerializationError("implausible user-name length");
     }
-    std::string user(name_len, '\0');
-    is.read(user.data(), static_cast<std::streamsize>(name_len));
+    std::string user(static_cast<std::size_t>(name_len), '\0');
+    common::read_exact(is, user.data(), user.size(), "user name");
     StoredTemplate tmpl;
     tmpl.matrix_seed = nn::read_u64(is);
     tmpl.key_version = static_cast<std::uint32_t>(nn::read_u64(is));
@@ -72,11 +70,8 @@ void TemplateStore::load(std::istream& is) {
       throw SerializationError("implausible template dimension");
     }
     tmpl.data.resize(dim);
-    is.read(reinterpret_cast<char*>(tmpl.data.data()),
-            static_cast<std::streamsize>(dim * sizeof(float)));
-    if (!is) {
-      throw SerializationError("truncated template store");
-    }
+    common::read_exact(is, tmpl.data.data(), tmpl.data.size() * sizeof(float),
+                       "template data");
     fresh[user] = std::move(tmpl);
   }
   store_ = std::move(fresh);

@@ -1,0 +1,43 @@
+#include "common/io.h"
+
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <string>
+
+#include "common/error.h"
+
+namespace mandipass::common {
+
+void read_exact(std::istream& is, void* dst, std::size_t size, const char* what) {
+  MANDIPASS_EXPECTS(what != nullptr);
+  MANDIPASS_EXPECTS(size == 0 || dst != nullptr);
+  MANDIPASS_EXPECTS(size <= static_cast<std::size_t>(std::numeric_limits<std::streamsize>::max()));
+  if (size == 0) {
+    return;
+  }
+  // mandilint: allow(unchecked-io) -- this is the checked wrapper itself.
+  is.read(static_cast<char*>(dst), static_cast<std::streamsize>(size));
+  if (!is || static_cast<std::size_t>(is.gcount()) != size) {
+    throw SerializationError(std::string("truncated stream reading ") + what + " (wanted " +
+                             std::to_string(size) + " bytes, got " +
+                             std::to_string(is.gcount()) + ")");
+  }
+}
+
+void write_exact(std::ostream& os, const void* src, std::size_t size, const char* what) {
+  MANDIPASS_EXPECTS(what != nullptr);
+  MANDIPASS_EXPECTS(size == 0 || src != nullptr);
+  MANDIPASS_EXPECTS(size <= static_cast<std::size_t>(std::numeric_limits<std::streamsize>::max()));
+  if (size == 0) {
+    return;
+  }
+  // mandilint: allow(unchecked-io) -- this is the checked wrapper itself.
+  os.write(static_cast<const char*>(src), static_cast<std::streamsize>(size));
+  if (!os) {
+    throw SerializationError(std::string("failed writing ") + what + " (" +
+                             std::to_string(size) + " bytes)");
+  }
+}
+
+}  // namespace mandipass::common

@@ -1,0 +1,27 @@
+// Checked binary stream I/O.
+//
+// std::istream::read and std::ostream::write report short transfers only
+// through stream state, and every call site in an auth pipeline must check
+// that state or risk matching against a zero-filled template read from a
+// truncated file. These helpers centralise the check: they either transfer
+// exactly `size` bytes or throw mandipass::SerializationError naming the
+// field that was being transferred. mandilint (tools/lint/mandilint.py)
+// forbids raw .read()/.write() calls on streams anywhere else under src/.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+
+namespace mandipass::common {
+
+/// Reads exactly `size` bytes from `is` into `dst`.
+/// Throws SerializationError("truncated stream reading <what>") on a short
+/// read or any stream failure. `size == 0` is a checked no-op.
+void read_exact(std::istream& is, void* dst, std::size_t size, const char* what);
+
+/// Writes exactly `size` bytes from `src` to `os`.
+/// Throws SerializationError("failed writing <what>") if the stream enters
+/// a failed state. `size == 0` is a checked no-op.
+void write_exact(std::ostream& os, const void* src, std::size_t size, const char* what);
+
+}  // namespace mandipass::common

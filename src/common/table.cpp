@@ -78,7 +78,8 @@ void print_histogram(std::ostream& os, const std::vector<double>& values, double
   for (std::size_t b = 0; b < counts.size(); ++b) {
     const double l = lo + width * static_cast<double>(b);
     const double r = l + width;
-    const double pct = total == 0 ? 0.0 : static_cast<double>(counts[b]) / total;
+    const double pct =
+        total == 0 ? 0.0 : static_cast<double>(counts[b]) / static_cast<double>(total);
     os << "  [" << fmt(l, 2) << ", " << fmt(r, 2) << ")  " << fmt_percent(pct, 1) << "  ";
     const int bar = static_cast<int>(std::lround(pct * 50));
     for (int i = 0; i < bar; ++i) {

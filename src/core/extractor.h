@@ -1,8 +1,8 @@
 // The biometric extractor of Fig. 8: a two-branch CNN.
 //
-//   positive-direction gradients (1, K, n/2) -> [Conv3x3/s(1,2) + BN + ReLU] x3 \
-//                                                                                concat
-//   negative-direction gradients (1, K, n/2) -> [Conv3x3/s(1,2) + BN + ReLU] x3 /
+//   positive-direction gradients (1, K, n/2) -> [Conv3x3/s(1,2) + BN + ReLU] x3 --+
+//                                                                                 +-- concat
+//   negative-direction gradients (1, K, n/2) -> [Conv3x3/s(1,2) + BN + ReLU] x3 --+
 //     -> Flatten -> Linear -> Sigmoid -> MandiblePrint (embedding_dim)
 //     -> [training only] Linear head -> person-ID logits
 //

@@ -48,10 +48,11 @@ QuantizedExtractor::Branch QuantizedExtractor::fold_and_quantize_branch(
       const double scale =
           static_cast<double>(gamma[oc]) / std::sqrt(static_cast<double>(var[oc]) + kBnEps);
       for (std::size_t t = 0; t < taps; ++t) {
-        folded.at2(oc, t) = static_cast<float>(w[oc * taps + t] * scale);
+        folded.at2(oc, t) = static_cast<float>(static_cast<double>(w[oc * taps + t]) * scale);
       }
-      layer.bias[oc] =
-          static_cast<float>((b[oc] - mean[oc]) * scale + beta[oc]);
+      layer.bias[oc] = static_cast<float>(
+          (static_cast<double>(b[oc]) - static_cast<double>(mean[oc])) * scale +
+          static_cast<double>(beta[oc]));
     }
     layer.weights = nn::quantize_rows(folded);
     out.convs.push_back(std::move(layer));
@@ -100,7 +101,10 @@ std::vector<float> QuantizedExtractor::run_branch(const Branch& branch,
               patch[cell] = (ih < 0 || ih >= static_cast<std::ptrdiff_t>(cur_h) || iw < 0 ||
                              iw >= static_cast<std::ptrdiff_t>(cur_w))
                                 ? 0.0f
-                                : in[(ic * cur_h + ih) * cur_w + iw];
+                                : in[static_cast<std::size_t>(
+                                      (static_cast<std::ptrdiff_t>(ic * cur_h) + ih) *
+                                          static_cast<std::ptrdiff_t>(cur_w) +
+                                      iw)];
             }
           }
         }

@@ -106,10 +106,12 @@ double ExtractorTrainer::evaluate_accuracy(const LabeledGradientSet& data) {
   nn::SoftmaxCrossEntropy loss;
   for (std::size_t start = 0; start < data.size(); start += kChunk) {
     const std::size_t bs = std::min(kChunk, data.size() - start);
-    std::vector<GradientArray> batch(data.arrays.begin() + start,
-                                     data.arrays.begin() + start + bs);
-    std::vector<std::uint32_t> labels(data.labels.begin() + start,
-                                      data.labels.begin() + start + bs);
+    const auto off = static_cast<std::ptrdiff_t>(start);
+    const auto len = static_cast<std::ptrdiff_t>(bs);
+    std::vector<GradientArray> batch(data.arrays.begin() + off,
+                                     data.arrays.begin() + off + len);
+    std::vector<std::uint32_t> labels(data.labels.begin() + off,
+                                      data.labels.begin() + off + len);
     const BranchTensors input = pack_branches(batch, axes);
     const nn::Tensor logits = extractor_.forward_logits(input, /*train=*/false);
     loss.forward(logits, labels);
@@ -126,8 +128,9 @@ std::vector<std::vector<float>> embed_all(BiometricExtractor& extractor,
   constexpr std::size_t kChunk = 128;
   for (std::size_t start = 0; start < data.size(); start += kChunk) {
     const std::size_t bs = std::min(kChunk, data.size() - start);
-    std::vector<GradientArray> batch(data.arrays.begin() + start,
-                                     data.arrays.begin() + start + bs);
+    const auto off = static_cast<std::ptrdiff_t>(start);
+    std::vector<GradientArray> batch(data.arrays.begin() + off,
+                                     data.arrays.begin() + off + static_cast<std::ptrdiff_t>(bs));
     const BranchTensors input = pack_branches(batch, axes);
     const nn::Tensor e = extractor.embed(input, /*train=*/false);
     for (std::size_t b = 0; b < bs; ++b) {

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <numbers>
 
+#include "common/error.h"
+
 namespace mandipass::imu {
 namespace {
 
@@ -15,6 +17,7 @@ double deg2rad(double d) {
 Rotation::Rotation() : m_{{{1, 0, 0}, {0, 1, 0}, {0, 0, 1}}} {}
 
 Rotation Rotation::from_euler_deg(double yaw, double pitch, double roll) {
+  MANDIPASS_EXPECTS(std::isfinite(yaw) && std::isfinite(pitch) && std::isfinite(roll));
   const double cy = std::cos(deg2rad(yaw)), sy = std::sin(deg2rad(yaw));
   const double cp = std::cos(deg2rad(pitch)), sp = std::sin(deg2rad(pitch));
   const double cr = std::cos(deg2rad(roll)), sr = std::sin(deg2rad(roll));

@@ -77,6 +77,11 @@ RawRecording read_recording_csv(std::istream& is) {
     }
     ++row;
   }
+  if (is.bad()) {
+    // getline stops on a hard I/O error exactly like it stops on EOF;
+    // without this check a failing disk yields a silently-shortened recording.
+    throw SerializationError("stream error while reading recording rows");
+  }
   if (row == 0) {
     throw SerializationError("recording has no samples");
   }
@@ -89,6 +94,10 @@ void save_recording(const std::string& path, const RawRecording& recording) {
     throw SerializationError("cannot open '" + path + "' for writing");
   }
   write_recording_csv(os, recording);
+  os.flush();
+  if (!os) {
+    throw SerializationError("failed flushing '" + path + "'");
+  }
 }
 
 RawRecording load_recording(const std::string& path) {

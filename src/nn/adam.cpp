@@ -40,11 +40,11 @@ void Adam::step() {
       const float g = p.grad[j];
       m[j] = b1 * m[j] + (1.0f - b1) * g;
       v[j] = b2 * v[j] + (1.0f - b2) * g * g;
-      const double m_hat = m[j] / bias1;
-      const double v_hat = v[j] / bias2;
+      const double m_hat = static_cast<double>(m[j]) / bias1;
+      const double v_hat = static_cast<double>(v[j]) / bias2;
       double update = config_.lr * m_hat / (std::sqrt(v_hat) + config_.eps);
       if (config_.weight_decay > 0.0) {
-        update += config_.lr * config_.weight_decay * p.value[j];
+        update += config_.lr * config_.weight_decay * static_cast<double>(p.value[j]);
       }
       p.value[j] -= static_cast<float>(update);
     }

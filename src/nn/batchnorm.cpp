@@ -38,7 +38,7 @@ Tensor BatchNorm2d::forward(const Tensor& input, bool train) {
       for (std::size_t b = 0; b < n; ++b) {
         for (std::size_t i = 0; i < h; ++i) {
           for (std::size_t j = 0; j < w; ++j) {
-            sum += input.at4(b, c, i, j);
+            sum += static_cast<double>(input.at4(b, c, i, j));
           }
         }
       }
@@ -47,7 +47,7 @@ Tensor BatchNorm2d::forward(const Tensor& input, bool train) {
       for (std::size_t b = 0; b < n; ++b) {
         for (std::size_t i = 0; i < h; ++i) {
           for (std::size_t j = 0; j < w; ++j) {
-            const double d = input.at4(b, c, i, j) - mu;
+            const double d = static_cast<double>(input.at4(b, c, i, j)) - mu;
             var += d * d;
           }
         }
@@ -55,14 +55,17 @@ Tensor BatchNorm2d::forward(const Tensor& input, bool train) {
       var /= static_cast<double>(plane);
       const double inv_std = 1.0 / std::sqrt(var + eps_);
       batch_inv_std_[c] = static_cast<float>(inv_std);
-      running_mean_[c] = static_cast<float>((1.0 - momentum_) * running_mean_[c] + momentum_ * mu);
-      running_var_[c] = static_cast<float>((1.0 - momentum_) * running_var_[c] + momentum_ * var);
+      running_mean_[c] = static_cast<float>(
+          (1.0 - momentum_) * static_cast<double>(running_mean_[c]) + momentum_ * mu);
+      running_var_[c] = static_cast<float>(
+          (1.0 - momentum_) * static_cast<double>(running_var_[c]) + momentum_ * var);
       const float g = gamma_.value[c];
       const float be = beta_.value[c];
       for (std::size_t b = 0; b < n; ++b) {
         for (std::size_t i = 0; i < h; ++i) {
           for (std::size_t j = 0; j < w; ++j) {
-            const float xh = static_cast<float>((input.at4(b, c, i, j) - mu) * inv_std);
+            const float xh =
+                static_cast<float>((static_cast<double>(input.at4(b, c, i, j)) - mu) * inv_std);
             x_hat_.at4(b, c, i, j) = xh;
             out.at4(b, c, i, j) = g * xh + be;
           }
@@ -72,7 +75,8 @@ Tensor BatchNorm2d::forward(const Tensor& input, bool train) {
   } else {
     for (std::size_t c = 0; c < channels_; ++c) {
       const float mu = running_mean_[c];
-      const float inv_std = static_cast<float>(1.0 / std::sqrt(running_var_[c] + eps_));
+      const float inv_std =
+          static_cast<float>(1.0 / std::sqrt(static_cast<double>(running_var_[c]) + eps_));
       const float g = gamma_.value[c];
       const float be = beta_.value[c];
       for (std::size_t b = 0; b < n; ++b) {
@@ -104,7 +108,7 @@ Tensor BatchNorm2d::backward(const Tensor& grad_output) {
         for (std::size_t j = 0; j < w; ++j) {
           const double dy = grad_output.at4(b, c, i, j);
           sum_dy += dy;
-          sum_dy_xhat += dy * x_hat_.at4(b, c, i, j);
+          sum_dy_xhat += dy * static_cast<double>(x_hat_.at4(b, c, i, j));
         }
       }
     }

@@ -56,7 +56,8 @@ void Conv2d::build_patch_index(std::size_t h_in, std::size_t w_in) {
               continue;
             }
             patch_index_[cell] =
-                static_cast<std::ptrdiff_t>((ic * h_in + ih) * w_in) + iw;
+                (static_cast<std::ptrdiff_t>(ic * h_in) + ih) * static_cast<std::ptrdiff_t>(w_in) +
+                iw;
           }
         }
       }

@@ -60,7 +60,8 @@ double quantization_error(const Tensor& matrix, const QuantizedMatrix& q) {
   const Tensor back = dequantize(q);
   double max_err = 0.0;
   for (std::size_t i = 0; i < matrix.size(); ++i) {
-    max_err = std::max(max_err, std::abs(static_cast<double>(matrix[i]) - back[i]));
+    max_err =
+        std::max(max_err, std::abs(static_cast<double>(matrix[i]) - static_cast<double>(back[i])));
   }
   return max_err;
 }

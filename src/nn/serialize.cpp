@@ -4,6 +4,7 @@
 #include <ostream>
 
 #include "common/error.h"
+#include "common/io.h"
 
 namespace mandipass::nn {
 namespace {
@@ -17,15 +18,12 @@ void write_u64(std::ostream& os, std::uint64_t v) {
   for (int i = 0; i < 8; ++i) {
     buf[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
   }
-  os.write(buf, 8);
+  common::write_exact(os, buf, 8, "u64");
 }
 
 std::uint64_t read_u64(std::istream& is) {
   char buf[8];
-  is.read(buf, 8);
-  if (!is) {
-    throw SerializationError("truncated stream reading u64");
-  }
+  common::read_exact(is, buf, 8, "u64");
   std::uint64_t v = 0;
   for (int i = 0; i < 8; ++i) {
     v |= static_cast<std::uint64_t>(static_cast<unsigned char>(buf[i])) << (8 * i);
@@ -35,52 +33,48 @@ std::uint64_t read_u64(std::istream& is) {
 
 void write_f64(std::ostream& os, double v) {
   static_assert(sizeof(double) == 8);
-  os.write(reinterpret_cast<const char*>(&v), 8);
+  common::write_exact(os, &v, 8, "f64");
 }
 
 double read_f64(std::istream& is) {
   double v = 0.0;
-  is.read(reinterpret_cast<char*>(&v), 8);
-  if (!is) {
-    throw SerializationError("truncated stream reading f64");
-  }
+  common::read_exact(is, &v, 8, "f64");
   return v;
 }
 
 void write_tag(std::ostream& os, const std::string& tag) {
+  MANDIPASS_EXPECTS(!tag.empty());
   write_u64(os, tag.size());
-  os.write(tag.data(), static_cast<std::streamsize>(tag.size()));
+  common::write_exact(os, tag.data(), tag.size(), "tag");
 }
 
 void expect_tag(std::istream& is, const std::string& tag) {
+  MANDIPASS_EXPECTS(!tag.empty());
   const std::uint64_t len = read_u64(is);
   if (len != tag.size()) {
     throw SerializationError("tag length mismatch, expected '" + tag + "'");
   }
-  std::string got(len, '\0');
-  is.read(got.data(), static_cast<std::streamsize>(len));
-  if (!is || got != tag) {
+  std::string got(static_cast<std::size_t>(len), '\0');
+  common::read_exact(is, got.data(), got.size(), "tag");
+  if (got != tag) {
     throw SerializationError("tag mismatch, expected '" + tag + "' got '" + got + "'");
   }
 }
 
 void write_tensor(std::ostream& os, const Tensor& t) {
-  os.write(kTensorTag, 4);
+  MANDIPASS_EXPECTS(t.rank() > 0);
+  common::write_exact(os, kTensorTag, 4, "tensor tag");
   write_u64(os, t.rank());
   for (std::size_t i = 0; i < t.rank(); ++i) {
     write_u64(os, t.dim(i));
   }
-  os.write(reinterpret_cast<const char*>(t.data()),
-           static_cast<std::streamsize>(t.size() * sizeof(float)));
-  if (!os) {
-    throw SerializationError("failed writing tensor");
-  }
+  common::write_exact(os, t.data(), t.size() * sizeof(float), "tensor data");
 }
 
 Tensor read_tensor(std::istream& is) {
   char tag[4];
-  is.read(tag, 4);
-  if (!is || tag[0] != 'T' || tag[1] != 'N' || tag[2] != 'S' || tag[3] != 'R') {
+  common::read_exact(is, tag, 4, "tensor tag");
+  if (tag[0] != 'T' || tag[1] != 'N' || tag[2] != 'S' || tag[3] != 'R') {
     throw SerializationError("bad tensor tag");
   }
   const std::uint64_t rank = read_u64(is);
@@ -94,17 +88,16 @@ Tensor read_tensor(std::istream& is) {
     if (d == 0 || d > (1ULL << 32)) {
       throw SerializationError("bad tensor dimension");
     }
+    // Cap the running product each step: total <= 2^30 and d <= 2^32, so
+    // total * d <= 2^62 never wraps std::size_t. Checking only after the
+    // loop would let a hostile header overflow the product past 2^64.
     total *= d;
-  }
-  if (total > (1ULL << 30)) {
-    throw SerializationError("tensor too large");
+    if (total > (1ULL << 30)) {
+      throw SerializationError("tensor too large");
+    }
   }
   Tensor t(shape);
-  is.read(reinterpret_cast<char*>(t.data()),
-          static_cast<std::streamsize>(t.size() * sizeof(float)));
-  if (!is) {
-    throw SerializationError("truncated tensor data");
-  }
+  common::read_exact(is, t.data(), t.size() * sizeof(float), "tensor data");
   return t;
 }
 

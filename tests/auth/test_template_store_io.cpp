@@ -4,6 +4,7 @@
 
 #include "auth/template_store.h"
 #include "common/error.h"
+#include "nn/serialize.h"
 
 namespace mandipass::auth {
 namespace {
@@ -60,6 +61,77 @@ TEST(TemplateStoreIo, TruncatedThrowsAndPreservesContents) {
   target.enroll("keepme", make_template(4.0f, 4));
   EXPECT_THROW(target.load(truncated), SerializationError);
   EXPECT_TRUE(target.lookup("keepme").has_value());  // unchanged on failure
+}
+
+// The motivating failure mode for common::read_exact: a template file cut
+// off at *any* byte must throw, never yield a zero-filled-but-matchable
+// template. Exhaustively truncate at every offset of a two-user store.
+TEST(TemplateStoreIo, TruncationAtEveryOffsetThrows) {
+  TemplateStore source;
+  source.enroll("alice", make_template(2.0f, 3, 1));
+  source.enroll("bob", make_template(-1.0f, 5, 2));
+  std::stringstream ss;
+  source.save(ss);
+  const std::string blob = ss.str();
+  ASSERT_GT(blob.size(), 0u);
+  for (std::size_t cut = 0; cut < blob.size(); ++cut) {
+    std::stringstream truncated(blob.substr(0, cut));
+    TemplateStore target;
+    target.enroll("keepme", make_template(4.0f, 4));
+    EXPECT_THROW(target.load(truncated), Error) << "no throw at offset " << cut;
+    // Failed loads must not leave a partially-populated store behind.
+    EXPECT_EQ(target.size(), 1u) << "store mutated at offset " << cut;
+    EXPECT_TRUE(target.lookup("keepme").has_value());
+    EXPECT_FALSE(target.lookup("alice").has_value()) << "partial load at offset " << cut;
+  }
+}
+
+TEST(TemplateStoreIo, OversizedCountHeaderThrows) {
+  std::stringstream ss;
+  nn::write_tag(ss, "MANDIPASS-STORE-V1");
+  nn::write_u64(ss, (1ULL << 20) + 1);  // implausible template count
+  TemplateStore store;
+  EXPECT_THROW(store.load(ss), SerializationError);
+}
+
+TEST(TemplateStoreIo, OversizedNameLengthThrows) {
+  std::stringstream ss;
+  nn::write_tag(ss, "MANDIPASS-STORE-V1");
+  nn::write_u64(ss, 1);     // one template...
+  nn::write_u64(ss, 5000);  // ...whose user name claims to be 5 KB
+  TemplateStore store;
+  EXPECT_THROW(store.load(ss), SerializationError);
+}
+
+TEST(TemplateStoreIo, OversizedTemplateDimensionThrows) {
+  std::stringstream ss;
+  nn::write_tag(ss, "MANDIPASS-STORE-V1");
+  nn::write_u64(ss, 1);
+  nn::write_tag(ss, "mallory");
+  nn::write_u64(ss, 1);            // matrix_seed
+  nn::write_u64(ss, 1);            // key_version
+  nn::write_u64(ss, 1ULL << 40);   // implausible vector length
+  TemplateStore store;
+  EXPECT_THROW(store.load(ss), SerializationError);
+}
+
+TEST(TemplateStoreIo, CorruptedMagicByteThrows) {
+  TemplateStore source;
+  source.enroll("alice", make_template(1.0f, 1));
+  std::stringstream ss;
+  source.save(ss);
+  std::string blob = ss.str();
+  // The store magic spans the first 8 (length) + 18 (tag text) bytes; flip
+  // each one and the load must fail loudly instead of misaligning.
+  const std::size_t magic_bytes = 8 + 18;
+  ASSERT_GE(blob.size(), magic_bytes);
+  for (std::size_t i = 0; i < magic_bytes; ++i) {
+    std::string corrupt = blob;
+    corrupt[i] = static_cast<char>(corrupt[i] ^ 0x5A);
+    std::stringstream bad(corrupt);
+    TemplateStore target;
+    EXPECT_THROW(target.load(bad), Error) << "no throw with byte " << i << " flipped";
+  }
 }
 
 }  // namespace

@@ -1,0 +1,70 @@
+#include "common/io.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <sstream>
+#include <string>
+
+#include "common/error.h"
+
+namespace mandipass::common {
+namespace {
+
+TEST(CheckedIo, ReadExactReadsAllBytes) {
+  std::stringstream ss("abcdefgh");
+  std::array<char, 8> buf{};
+  read_exact(ss, buf.data(), buf.size(), "payload");
+  EXPECT_EQ(std::string(buf.data(), buf.size()), "abcdefgh");
+}
+
+TEST(CheckedIo, ShortReadThrowsWithContext) {
+  std::stringstream ss("abc");
+  std::array<char, 8> buf{};
+  try {
+    read_exact(ss, buf.data(), buf.size(), "template data");
+    FAIL() << "expected SerializationError";
+  } catch (const SerializationError& e) {
+    // The message must name the field and the byte counts so a truncated
+    // template file is diagnosable from the exception alone.
+    EXPECT_NE(std::string(e.what()).find("template data"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("8"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("3"), std::string::npos);
+  }
+}
+
+TEST(CheckedIo, EmptyStreamReadThrows) {
+  std::stringstream ss;
+  char c = 0;
+  EXPECT_THROW(read_exact(ss, &c, 1, "byte"), SerializationError);
+}
+
+TEST(CheckedIo, ZeroSizeIsCheckedNoOp) {
+  std::stringstream ss;
+  EXPECT_NO_THROW(read_exact(ss, nullptr, 0, "nothing"));
+  EXPECT_NO_THROW(write_exact(ss, nullptr, 0, "nothing"));
+  EXPECT_TRUE(ss.good());
+}
+
+TEST(CheckedIo, WriteExactRoundTrips) {
+  std::stringstream ss;
+  const std::string payload = "template-bytes";
+  write_exact(ss, payload.data(), payload.size(), "payload");
+  EXPECT_EQ(ss.str(), payload);
+}
+
+TEST(CheckedIo, WriteToFailedStreamThrows) {
+  std::stringstream ss;
+  ss.setstate(std::ios::badbit);
+  const char byte = 'x';
+  EXPECT_THROW(write_exact(ss, &byte, 1, "byte"), SerializationError);
+}
+
+TEST(CheckedIo, NullBufferWithNonzeroSizeViolatesPrecondition) {
+  std::stringstream ss("abc");
+  EXPECT_THROW(read_exact(ss, nullptr, 3, "byte"), PreconditionError);
+  EXPECT_THROW(write_exact(ss, nullptr, 3, "byte"), PreconditionError);
+}
+
+}  // namespace
+}  // namespace mandipass::common

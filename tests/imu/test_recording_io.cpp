@@ -89,5 +89,41 @@ TEST(RecordingIo, MissingFileThrows) {
   EXPECT_THROW(load_recording("/nonexistent/dir/file.csv"), SerializationError);
 }
 
+// A streambuf whose underflow throws after `good_bytes` characters,
+// simulating a disk that dies mid-read. std::getline swallows the exception
+// and sets badbit, which used to look exactly like a clean EOF — the reader
+// must distinguish the two instead of returning a shortened recording.
+class DyingBuf : public std::streambuf {
+ public:
+  DyingBuf(std::string data, std::size_t good_bytes)
+      : data_(std::move(data)), good_bytes_(good_bytes) {}
+
+ protected:
+  int_type underflow() override {
+    if (pos_ >= good_bytes_ || pos_ >= data_.size()) {
+      throw std::ios_base::failure("simulated disk error");
+    }
+    setg(data_.data() + pos_, data_.data() + pos_, data_.data() + pos_ + 1);
+    ++pos_;
+    return traits_type::to_int_type(data_[pos_ - 1]);
+  }
+
+ private:
+  std::string data_;
+  std::size_t good_bytes_;
+  std::size_t pos_ = 0;
+};
+
+TEST(RecordingIo, StreamErrorMidRowsThrowsInsteadOfTruncating) {
+  const auto rec = sample_recording();
+  std::stringstream ss;
+  write_recording_csv(ss, rec);
+  const std::string blob = ss.str();
+  // Die after ~80% of the payload: headers parse fine, rows are mid-flight.
+  DyingBuf buf(blob, blob.size() * 8 / 10);
+  std::istream dying(&buf);
+  EXPECT_THROW(read_recording_csv(dying), SerializationError);
+}
+
 }  // namespace
 }  // namespace mandipass::imu

@@ -141,5 +141,81 @@ TEST(Serialize, SequentialLayerCountMismatchThrows) {
   EXPECT_THROW(b.load_state(ss), SerializationError);
 }
 
+// Exhaustive truncation sweep: a model file cut at any byte offset must
+// throw SerializationError, never return a short/zero-filled tensor.
+TEST(Serialize, TensorTruncationAtEveryOffsetThrows) {
+  const Tensor t = random_tensor({3, 5}, 12);
+  std::stringstream ss;
+  write_tensor(ss, t);
+  const std::string blob = ss.str();
+  ASSERT_GT(blob.size(), 0u);
+  for (std::size_t cut = 0; cut < blob.size(); ++cut) {
+    std::stringstream truncated(blob.substr(0, cut));
+    EXPECT_THROW(read_tensor(truncated), SerializationError) << "no throw at offset " << cut;
+  }
+}
+
+TEST(Serialize, LayerStateTruncationAtEveryOffsetThrows) {
+  Rng rng(21);
+  Linear layer(3, 2, rng);
+  std::stringstream ss;
+  layer.save_state(ss);
+  const std::string blob = ss.str();
+  Linear target(3, 2, rng);
+  for (std::size_t cut = 0; cut < blob.size(); ++cut) {
+    std::stringstream truncated(blob.substr(0, cut));
+    EXPECT_THROW(target.load_state(truncated), SerializationError)
+        << "no throw at offset " << cut;
+  }
+}
+
+TEST(Serialize, EmptyStreamThrows) {
+  std::stringstream ss;
+  EXPECT_THROW(read_tensor(ss), SerializationError);
+  EXPECT_THROW(read_u64(ss), SerializationError);
+  EXPECT_THROW(read_f64(ss), SerializationError);
+}
+
+TEST(Serialize, OversizedRankThrows) {
+  std::stringstream ss;
+  ss.write("TNSR", 4);
+  write_u64(ss, 5);  // rank cap is 4
+  EXPECT_THROW(read_tensor(ss), SerializationError);
+}
+
+TEST(Serialize, OversizedDimensionThrows) {
+  std::stringstream ss;
+  ss.write("TNSR", 4);
+  write_u64(ss, 1);
+  write_u64(ss, (1ULL << 32) + 1);  // single dim over the per-dim cap
+  EXPECT_THROW(read_tensor(ss), SerializationError);
+}
+
+// Regression: dims of 2^32 each used to wrap the element-count product
+// around 2^64 (2^32 * 2^32 == 0 mod 2^64), sailing past the size cap and
+// asking Tensor to allocate a bogus shape. The running cap now rejects the
+// first oversized dimension before the product can wrap.
+TEST(Serialize, DimensionProductOverflowThrows) {
+  std::stringstream ss;
+  ss.write("TNSR", 4);
+  write_u64(ss, 2);
+  write_u64(ss, 1ULL << 32);
+  write_u64(ss, 1ULL << 32);
+  EXPECT_THROW(read_tensor(ss), SerializationError);
+}
+
+TEST(Serialize, HeaderClaimsMoreDataThanPresentThrows) {
+  // Valid header for a 1024-element tensor, but only 16 bytes of payload.
+  std::stringstream ss;
+  ss.write("TNSR", 4);
+  write_u64(ss, 2);
+  write_u64(ss, 32);
+  write_u64(ss, 32);
+  for (int i = 0; i < 4; ++i) {
+    write_f64(ss, 1.0);
+  }
+  EXPECT_THROW(read_tensor(ss), SerializationError);
+}
+
 }  // namespace
 }  // namespace mandipass::nn

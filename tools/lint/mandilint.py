@@ -1,0 +1,305 @@
+#!/usr/bin/env python3
+"""mandilint — repo-local invariant linter for MandiPass.
+
+Enforces project rules that clang-tidy and compiler warnings cannot express:
+
+  unchecked-io     Raw std::istream::read / std::ostream::write calls are
+                   forbidden under src/ outside the checked wrappers in
+                   src/common/io.cpp (common::read_exact / write_exact).
+                   A short read on a raw call silently yields a zero-filled
+                   template that still gets matched.
+  raw-random       rand()/srand()/std::time()/std::random_device seeding is
+                   forbidden outside src/common/rng.*. All randomness flows
+                   through mandipass::Rng so experiments stay reproducible.
+  expects-guard    Every .cpp under src/ must guard its public entry points
+                   with MANDIPASS_EXPECTS (at least one use per file), or
+                   carry an explicit file-level waiver explaining why the
+                   API is total.
+  header-hygiene   Every header must open with `#pragma once` before any
+                   code, and headers must not contain `using namespace`.
+  no-build-artifacts
+                   Build output (build*/ trees, objects, archives,
+                   CMakeCache.txt, compile_commands.json) must not be
+                   committed to git.
+
+Suppression:
+  A single finding:    <offending line>  // mandilint: allow(<rule>) -- reason
+  A whole file:        // mandilint: allow-file(<rule>) -- reason
+Waivers without a rule name are invalid; `-- reason` text is recommended.
+
+Exit status: 0 when clean, 1 when any finding is reported, 2 on usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+RULES = (
+    "unchecked-io",
+    "raw-random",
+    "expects-guard",
+    "header-hygiene",
+    "no-build-artifacts",
+)
+
+ALLOW_LINE_RE = re.compile(r"//\s*mandilint:\s*allow\(([a-z-]+)\)")
+ALLOW_FILE_RE = re.compile(r"//\s*mandilint:\s*allow-file\(([a-z-]+)\)")
+
+RAW_IO_RE = re.compile(r"\b[A-Za-z_][\w.\->]*\.(read|write)\s*\(")
+RAW_RANDOM_RE = re.compile(
+    r"(?<![\w:])(s?rand\s*\(|std::time\b|time\s*\(\s*(?:NULL|nullptr|0)\s*\)|random_device)"
+)
+USING_NAMESPACE_RE = re.compile(r"^\s*using\s+namespace\b")
+PRAGMA_ONCE_RE = re.compile(r"^\s*#\s*pragma\s+once\b")
+
+BUILD_ARTIFACT_RE = re.compile(
+    r"^(build[^/]*/|out/|cmake-build[^/]*/)"
+    r"|(^|/)(CMakeCache\.txt|compile_commands\.json|CMakeFiles/)"
+    r"|\.(o|obj|a|so|dylib|pyc)$"
+)
+
+
+class Finding:
+    def __init__(self, rule: str, path: str, line: int, message: str):
+        self.rule = rule
+        self.path = path
+        self.line = line
+        self.message = message
+
+    def __str__(self) -> str:
+        where = f"{self.path}:{self.line}" if self.line else self.path
+        return f"{where}: [{self.rule}] {self.message}"
+
+
+def _strip_line_comment(line: str) -> str:
+    """Best-effort removal of // comments (ignores // inside string literals poorly,
+    which is acceptable for the patterns these rules match)."""
+    idx = line.find("//")
+    return line if idx < 0 else line[:idx]
+
+
+def file_waivers(text: str) -> set[str]:
+    return set(ALLOW_FILE_RE.findall(text))
+
+
+def line_waived(line: str, rule: str) -> bool:
+    return rule in ALLOW_LINE_RE.findall(line)
+
+
+def check_unchecked_io(path: Path, rel: str, lines: list[str], waived: set[str]) -> list[Finding]:
+    if "unchecked-io" in waived:
+        return []
+    if not rel.startswith("src/") or rel.endswith((".md", ".txt")):
+        return []
+    if rel == "src/common/io.cpp":
+        # The checked wrappers themselves; annotated inline anyway.
+        return []
+    out = []
+    for i, raw in enumerate(lines, start=1):
+        if line_waived(raw, "unchecked-io"):
+            continue
+        code = _strip_line_comment(raw)
+        if RAW_IO_RE.search(code):
+            out.append(
+                Finding(
+                    "unchecked-io",
+                    rel,
+                    i,
+                    "raw stream .read()/.write() — use mandipass::common::read_exact/"
+                    "write_exact (src/common/io.h) so short transfers throw",
+                )
+            )
+    return out
+
+
+def check_raw_random(path: Path, rel: str, lines: list[str], waived: set[str]) -> list[Finding]:
+    if "raw-random" in waived:
+        return []
+    if not rel.startswith(("src/", "bench/", "examples/")):
+        return []
+    if rel.startswith("src/common/rng"):
+        return []
+    out = []
+    for i, raw in enumerate(lines, start=1):
+        if line_waived(raw, "raw-random"):
+            continue
+        code = _strip_line_comment(raw)
+        m = RAW_RANDOM_RE.search(code)
+        if m:
+            out.append(
+                Finding(
+                    "raw-random",
+                    rel,
+                    i,
+                    f"'{m.group(0).strip()}' — route all randomness through "
+                    "mandipass::Rng (src/common/rng.h) for reproducibility",
+                )
+            )
+    return out
+
+
+def check_expects_guard(path: Path, rel: str, lines: list[str], waived: set[str]) -> list[Finding]:
+    if "expects-guard" in waived:
+        return []
+    if not (rel.startswith("src/") and rel.endswith(".cpp")):
+        return []
+    text = "\n".join(lines)
+    if "MANDIPASS_EXPECTS" in text:
+        return []
+    return [
+        Finding(
+            "expects-guard",
+            rel,
+            0,
+            "no MANDIPASS_EXPECTS precondition guard in this translation unit; "
+            "guard public entry points or add "
+            "`// mandilint: allow-file(expects-guard) -- <why the API is total>`",
+        )
+    ]
+
+
+def check_header_hygiene(path: Path, rel: str, lines: list[str], waived: set[str]) -> list[Finding]:
+    if "header-hygiene" in waived:
+        return []
+    if not rel.endswith((".h", ".hpp")):
+        return []
+    out = []
+    saw_pragma = False
+    in_block_comment = False
+    for i, raw in enumerate(lines, start=1):
+        stripped = raw.strip()
+        if in_block_comment:
+            if "*/" in stripped:
+                in_block_comment = False
+            continue
+        if not stripped or stripped.startswith("//"):
+            continue
+        if stripped.startswith("/*"):
+            if "*/" not in stripped:
+                in_block_comment = True
+            continue
+        if PRAGMA_ONCE_RE.match(stripped):
+            saw_pragma = True
+        # First non-comment line must be the pragma.
+        if not saw_pragma:
+            out.append(
+                Finding(
+                    "header-hygiene",
+                    rel,
+                    i,
+                    "first non-comment line of a header must be `#pragma once`",
+                )
+            )
+        break
+    for i, raw in enumerate(lines, start=1):
+        if line_waived(raw, "header-hygiene"):
+            continue
+        if USING_NAMESPACE_RE.match(_strip_line_comment(raw)):
+            out.append(
+                Finding(
+                    "header-hygiene",
+                    rel,
+                    i,
+                    "`using namespace` in a header leaks into every includer",
+                )
+            )
+    return out
+
+
+def check_build_artifacts(repo: Path) -> list[Finding]:
+    try:
+        tracked = subprocess.run(
+            ["git", "-C", str(repo), "ls-files"],
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.splitlines()
+    except (OSError, subprocess.CalledProcessError):
+        return []  # not a git checkout (e.g. exported tarball); nothing to check
+    out = []
+    for rel in tracked:
+        if BUILD_ARTIFACT_RE.search(rel):
+            out.append(
+                Finding(
+                    "no-build-artifacts",
+                    rel,
+                    0,
+                    "build artifact committed to git — `git rm --cached` it; "
+                    ".gitignore should already exclude it",
+                )
+            )
+    return out
+
+
+FILE_CHECKS = (
+    check_unchecked_io,
+    check_raw_random,
+    check_expects_guard,
+    check_header_hygiene,
+)
+
+SOURCE_SUFFIXES = (".h", ".hpp", ".cpp", ".cc")
+
+
+def lint(repo: Path, subdirs: list[str]) -> list[Finding]:
+    findings: list[Finding] = []
+    for sub in subdirs:
+        root = repo / sub
+        if not root.exists():
+            continue
+        for path in sorted(root.rglob("*")):
+            if not (path.is_file() and path.suffix in SOURCE_SUFFIXES):
+                continue
+            rel = path.relative_to(repo).as_posix()
+            if rel.startswith(("build", "out/")):
+                continue
+            try:
+                text = path.read_text(encoding="utf-8", errors="replace")
+            except OSError as e:
+                findings.append(Finding("io-error", rel, 0, str(e)))
+                continue
+            lines = text.splitlines()
+            waived = file_waivers(text)
+            for check in FILE_CHECKS:
+                findings.extend(check(path, rel, lines, waived))
+    findings.extend(check_build_artifacts(repo))
+    return findings
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src", "tests", "bench", "examples"],
+        help="repo-relative directories to lint (default: src tests bench examples)",
+    )
+    parser.add_argument("--repo", default=None, help="repository root (default: auto-detect)")
+    parser.add_argument("--list-rules", action="store_true", help="print rule names and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(__doc__)
+        return 0
+
+    repo = Path(args.repo) if args.repo else Path(__file__).resolve().parents[2]
+    if not (repo / "CMakeLists.txt").exists():
+        print(f"mandilint: {repo} does not look like the repo root", file=sys.stderr)
+        return 2
+
+    findings = lint(repo, list(args.paths))
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"\nmandilint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print("mandilint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
