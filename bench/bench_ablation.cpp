@@ -45,7 +45,8 @@ double run_variant(const std::string& name, const bench::Scale& scale, double we
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init_bench(argc, argv);
   bench::print_banner("Ablation: regularisation and onset alignment",
                       "(beyond the paper) justifies the library's default settings");
 
@@ -69,6 +70,6 @@ int main() {
   std::cout << "\nNote: in low-nuisance simulator configurations, onset-alignment "
                "diversity acted as free training augmentation and peak alignment HURT "
                "the extractor; with the final nuisance set its effect is within "
-               "run-to-run noise. It stays off by default (see DESIGN.md section 8).\n";
+               "run-to-run noise. It stays off by default (see DESIGN.md section 10).\n";
   return 0;
 }

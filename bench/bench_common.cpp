@@ -6,9 +6,11 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <string>
 
 #include "auth/cosine.h"
 #include "common/error.h"
+#include "common/thread_pool.h"
 
 namespace mandipass::bench {
 
@@ -28,6 +30,30 @@ Scale active_scale() {
     s.sweep_user_arrays = 12;
   }
   return s;
+}
+
+std::size_t init_bench(int argc, char** argv) {
+  std::size_t threads = 0;  // 0 = hardware concurrency
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string value;
+    if (arg == "--threads" && i + 1 < argc) {
+      value = argv[i + 1];
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      value = arg.substr(10);
+    } else {
+      continue;
+    }
+    const long n = std::strtol(value.c_str(), nullptr, 10);
+    if (n >= 1) {
+      threads = static_cast<std::size_t>(n);
+    } else {
+      std::cerr << "[bench] ignoring invalid --threads value '" << value << "'\n";
+    }
+    break;
+  }
+  common::ThreadPool::set_global_threads(threads);
+  return common::ThreadPool::global_thread_count();
 }
 
 std::vector<vibration::PersonProfile> paper_cohort(std::uint64_t seed) {
@@ -126,7 +152,16 @@ EvalSet collect_and_embed(core::BiometricExtractor& extractor,
   Rng rng(session_seed);
   EvalSet eval;
   eval.data = core::collect_gradient_set(people, collection, rng);
+  const auto t0 = std::chrono::steady_clock::now();
   eval.embeddings = core::embed_all(extractor, eval.data);
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  if (secs > 0.0) {
+    std::cout << "[bench] embedded " << eval.embeddings.size() << " arrays in "
+              << static_cast<int>(secs * 1000.0) << " ms ("
+              << static_cast<int>(static_cast<double>(eval.embeddings.size()) / secs)
+              << " arrays/s, " << common::ThreadPool::global_thread_count() << " threads)\n";
+  }
   return eval;
 }
 
@@ -184,7 +219,8 @@ void print_banner(const std::string& experiment, const std::string& paper_claim)
             << " MandiPass reproduction — " << experiment << "\n"
             << " Paper: " << paper_claim << "\n"
             << " Scale: " << (s.quick ? "QUICK (set MANDIPASS_BENCH_QUICK=0 for full)" : "full")
-            << "\n"
+            << "   Threads: " << common::ThreadPool::global_thread_count()
+            << " (--threads N)\n"
             << "==============================================================\n";
 }
 

@@ -45,6 +45,15 @@ struct Scale {
 /// Reads MANDIPASS_BENCH_QUICK and returns the active scale.
 Scale active_scale();
 
+/// Parses the shared bench CLI flags and configures the global thread
+/// pool. Every bench main() calls this first:
+///
+///   --threads N   size the pool to N lanes (default: all hardware cores)
+///
+/// Unknown flags are left alone for the bench's own parsing. Returns the
+/// active lane count.
+std::size_t init_bench(int argc, char** argv);
+
 /// Fixed seeds so every bench sees the same people.
 inline constexpr std::uint64_t kHiredPopulationSeed = 101;
 inline constexpr std::uint64_t kUserPopulationSeed = 202;

@@ -9,7 +9,8 @@
 
 using namespace mandipass;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init_bench(argc, argv);
   bench::print_banner("Section VII-B: effect of ear side",
                       "left-ear VSR 98.02% (right ear is the default)");
 

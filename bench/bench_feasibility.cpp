@@ -12,7 +12,8 @@
 
 using namespace mandipass;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init_bench(argc, argv);
   bench::print_banner("Section II: theoretical feasibility of MandiblePrint",
                       "Y(w) of Eq. 6 is person-specific and direction-asymmetric");
 

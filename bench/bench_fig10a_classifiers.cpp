@@ -16,7 +16,8 @@
 
 using namespace mandipass;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init_bench(argc, argv);
   bench::print_banner("Fig. 10(a): classifier comparison on the 34-user cohort",
                       "biometric extractor 90.54% >> SVM/NB/DT/KNN/NN");
 

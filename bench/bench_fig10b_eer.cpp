@@ -37,7 +37,8 @@ EvalResult evaluate(core::BiometricExtractor& extractor, const core::CollectionC
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init_bench(argc, argv);
   bench::print_banner("Fig. 10(b): FAR/FRR curve and EER",
                       "EER 1.28% @ threshold 0.5485; same-user dist 0.4884, "
                       "different-user 0.7032; MPU-6050 EER 1.29%");

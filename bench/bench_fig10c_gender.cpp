@@ -8,7 +8,8 @@
 
 using namespace mandipass;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init_bench(argc, argv);
   bench::print_banner("Fig. 10(c): VSR fairness across genders",
                       "five males and five females all verify with comparably high VSR");
 

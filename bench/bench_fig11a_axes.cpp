@@ -9,7 +9,8 @@
 
 using namespace mandipass;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init_bench(argc, argv);
   bench::print_banner("Fig. 11(a): effect of the number of involved axes",
                       "EER falls 14.46% -> 1.28% as axes are added; accel-only = 2.05%");
 

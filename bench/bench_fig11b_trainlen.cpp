@@ -12,7 +12,8 @@
 
 using namespace mandipass;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init_bench(argc, argv);
   bench::print_banner("Fig. 11(b): effect of training-set length",
                       "EER decreases as per-person collection grows 10 s -> 60 s (1.28%)");
 

@@ -10,7 +10,8 @@
 
 using namespace mandipass;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init_bench(argc, argv);
   bench::print_banner("Fig. 11(c): effect of the MandiblePrint length",
                       "EER decreases with embedding length; < 1.5% at 512");
 

@@ -21,7 +21,8 @@ struct Factor {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init_bench(argc, argv);
   bench::print_banner("Fig. 12: impact of food and activity",
                       "lollipop / water / walk / run all keep similarity past the "
                       "threshold (VSR > 99%)");

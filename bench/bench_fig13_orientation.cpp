@@ -10,7 +10,8 @@
 
 using namespace mandipass;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init_bench(argc, argv);
   bench::print_banner("Fig. 13: robustness to IMU orientation",
                       "any two 90-degree-rotated groups still verify (similarity past "
                       "threshold)");

@@ -9,7 +9,8 @@
 
 using namespace mandipass;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init_bench(argc, argv);
   bench::print_banner("Fig. 14: robustness to voicing tone",
                       "high/low tone probes still verify against normal-tone enrolment");
 

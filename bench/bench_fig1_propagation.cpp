@@ -25,7 +25,8 @@ double voiced_axis_std(const imu::RawRecording& rec, imu::Axis axis,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init_bench(argc, argv);
   bench::print_banner("Fig. 1: vibration propagation path",
                       "std(az): throat 3805 > mandible 1050 > ear 761 (strength decay)");
 

@@ -12,7 +12,8 @@
 
 using namespace mandipass;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init_bench(argc, argv);
   bench::print_banner("Fig. 5: onset statistics and per-axis start values",
                       "windowed std crosses 250 at the vibration start; axes have "
                       "different baselines");

@@ -12,7 +12,8 @@
 
 using namespace mandipass;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init_bench(argc, argv);
   bench::print_banner("Fig. 6: MAD outlier detection and mean replacement",
                       "all injected outliers found; replacement restores the segment");
 

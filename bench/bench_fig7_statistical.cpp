@@ -18,7 +18,8 @@
 
 using namespace mandipass;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init_bench(argc, argv);
   bench::print_banner("Fig. 7: statistical features are not person-separable",
                       "best classic classifier on 36-dim SFS < 65% (4 users x 500 arrays)");
 

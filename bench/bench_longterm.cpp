@@ -8,7 +8,8 @@
 
 using namespace mandipass;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init_bench(argc, argv);
   bench::print_banner("Section VII-F: long-term observation",
                       "six users re-verify after two weeks with average VSR > 99.5%");
 

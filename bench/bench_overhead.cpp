@@ -98,6 +98,7 @@ BENCHMARK(BM_EndToEndVerification)->Unit(benchmark::kMicrosecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::init_bench(argc, argv);
   bench::print_banner("Section VII-E: overhead",
                       "collection 0.2 s; preprocessing < 0.01 s; extraction < 1 s; "
                       "model ~5 MB; template ~1.8 KB");

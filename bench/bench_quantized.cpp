@@ -14,7 +14,8 @@
 
 using namespace mandipass;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init_bench(argc, argv);
   bench::print_banner("Extension: int8 on-device model",
                       "(beyond the paper) 4x smaller extractor with near-identical EER");
 

@@ -13,7 +13,8 @@
 
 using namespace mandipass;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init_bench(argc, argv);
   bench::print_banner("Section VII-G: security assessment",
                       "attack VSR: zero-effort 0%, vibration-aware 1.28%, impersonation "
                       "1.30%, replay 0.6%");

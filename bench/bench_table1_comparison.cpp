@@ -34,7 +34,8 @@ struct SystemRow {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init_bench(argc, argv);
   bench::print_banner("Table I: comparison with SkullConduct and EarEcho",
                       "MandiPass: RTC<=1s yes, FRR<=2%, replay-resilient, noise-immune; "
                       "baselines fail 3-4 of the 4");

@@ -1,0 +1,152 @@
+// Batch authentication throughput: verifications/sec of the concurrent
+// BatchVerifier engine at batch sizes 1..256, single- vs multi-thread.
+//
+// This is the serving-path number the ROADMAP's "heavy traffic" goal
+// needs: each request is a Gaussian cancelable transform (dim x dim
+// matrix-vector product) plus a cosine distance, fanned out over the
+// thread pool under a shared-lock template store. Per-request decisions
+// are independent, so the multi-thread decision vector must be identical
+// to the single-thread one — the bench checks that too.
+//
+// Usage: bench_throughput [--threads N]   (default: all hardware cores)
+#include <chrono>
+#include <iostream>
+#include <vector>
+
+#include "auth/batch_verifier.h"
+#include "auth/gaussian_matrix.h"
+#include "bench_common.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "common/thread_pool.h"
+
+using namespace mandipass;
+
+namespace {
+
+constexpr std::size_t kDim = 256;       // MandiblePrint length (headline config)
+constexpr std::size_t kUsers = 64;
+
+std::vector<float> random_print(Rng& rng) {
+  std::vector<float> v(kDim);
+  for (float& x : v) {
+    x = static_cast<float>(rng.uniform());  // sigmoid-range embedding
+  }
+  return v;
+}
+
+struct Measurement {
+  double per_sec = 0.0;
+  double mean_ms = 0.0;
+  double max_ms = 0.0;
+  std::vector<auth::BatchDecision> decisions;
+};
+
+Measurement measure(const auth::BatchVerifier& engine,
+                    std::span<const auth::VerifyRequest> requests, common::ThreadPool& pool) {
+  using clock = std::chrono::steady_clock;
+  // Warm-up pass (first-touch, pool spin-up), then repeat until ~0.25 s.
+  auth::BatchResult last = engine.verify_batch(requests, &pool);
+  const auto t0 = clock::now();
+  std::size_t total = 0;
+  double mean_ms = 0.0;
+  double max_ms = 0.0;
+  std::size_t batches = 0;
+  while (std::chrono::duration<double>(clock::now() - t0).count() < 0.25) {
+    last = engine.verify_batch(requests, &pool);
+    total += last.stats.requests;
+    mean_ms += last.stats.mean_request_ms;
+    max_ms = std::max(max_ms, last.stats.max_request_ms);
+    ++batches;
+  }
+  const double secs = std::chrono::duration<double>(clock::now() - t0).count();
+  Measurement m;
+  m.per_sec = static_cast<double>(total) / secs;
+  m.mean_ms = batches > 0 ? mean_ms / static_cast<double>(batches) : 0.0;
+  m.max_ms = max_ms;
+  m.decisions = std::move(last.decisions);
+  return m;
+}
+
+bool same_decisions(const std::vector<auth::BatchDecision>& a,
+                    const std::vector<auth::BatchDecision>& b) {
+  if (a.size() != b.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].known != b[i].known || a[i].key_version != b[i].key_version ||
+        a[i].decision.accepted != b[i].decision.accepted ||
+        a[i].decision.distance != b[i].decision.distance) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t threads = bench::init_bench(argc, argv);
+  bench::print_banner("batch authentication throughput",
+                      "reproduction extension: concurrent serving path "
+                      "(verifications/sec, single- vs multi-thread)");
+
+  Rng rng(4242);
+  auth::BatchVerifier engine;
+  std::vector<std::vector<float>> prints;
+  for (std::size_t u = 0; u < kUsers; ++u) {
+    prints.push_back(random_print(rng));
+    const std::uint64_t seed = rng();
+    const auth::GaussianMatrix g(seed, kDim);
+    auth::StoredTemplate tmpl;
+    tmpl.data = g.transform(prints.back());
+    tmpl.matrix_seed = seed;
+    tmpl.key_version = 1;
+    engine.enroll("user" + std::to_string(u), tmpl);
+  }
+
+  common::ThreadPool single(1);
+  common::ThreadPool multi(threads);
+
+  std::cout << "\nverifications/sec by batch size (" << kUsers << " enrolled users, dim "
+            << kDim << "):\n";
+  Table table({"batch", "1 thread [v/s]", std::to_string(threads) + " threads [v/s]",
+               "speedup", "mean lat [ms]", "max lat [ms]"});
+
+  bool consistent = true;
+  double speedup_at_64 = 0.0;
+  for (const std::size_t batch : {std::size_t{1}, std::size_t{4}, std::size_t{16},
+                                  std::size_t{64}, std::size_t{256}}) {
+    std::vector<auth::VerifyRequest> requests;
+    requests.reserve(batch);
+    for (std::size_t i = 0; i < batch; ++i) {
+      const std::size_t u = i % kUsers;
+      // Genuine probe with mild session noise; every request still runs
+      // the full transform + distance whatever the outcome.
+      std::vector<float> probe = prints[u];
+      for (float& x : probe) {
+        x += static_cast<float>(rng.normal(0.0, 0.01));
+      }
+      requests.push_back({"user" + std::to_string(u), std::move(probe)});
+    }
+    const Measurement s = measure(engine, requests, single);
+    const Measurement m = measure(engine, requests, multi);
+    consistent = consistent && same_decisions(s.decisions, m.decisions);
+    const double speedup = s.per_sec > 0.0 ? m.per_sec / s.per_sec : 0.0;
+    if (batch == 64) {
+      speedup_at_64 = speedup;
+    }
+    table.add_row({std::to_string(batch), fmt(s.per_sec, 0), fmt(m.per_sec, 0),
+                   fmt(speedup, 2) + "x", fmt(m.mean_ms, 3), fmt(m.max_ms, 3)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nspeedup at batch 64 with " << threads << " threads: " << fmt(speedup_at_64, 2)
+            << "x\n";
+  std::cout << "single- vs multi-thread decisions identical: "
+            << (consistent ? "PASS" : "FAIL") << "\n";
+  // The throughput target (>= 3x at batch 64 with all cores) only means
+  // something on a multi-core host; the hard in-bench gate is decision
+  // consistency.
+  return consistent ? 0 : 1;
+}

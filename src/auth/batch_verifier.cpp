@@ -1,0 +1,139 @@
+#include "auth/batch_verifier.h"
+
+#include <chrono>
+#include <mutex>
+
+#include "auth/gaussian_matrix.h"
+#include "common/error.h"
+
+namespace mandipass::auth {
+
+BatchVerifier::BatchVerifier(double threshold) : verifier_(threshold) {}
+
+void BatchVerifier::enroll(const std::string& user, StoredTemplate tmpl) {
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  store_.enroll(user, std::move(tmpl));
+}
+
+bool BatchVerifier::revoke(const std::string& user) {
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  return store_.revoke(user);
+}
+
+std::optional<StoredTemplate> BatchVerifier::snapshot(const std::string& user) const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return store_.lookup(user);
+}
+
+std::size_t BatchVerifier::size() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return store_.size();
+}
+
+double BatchVerifier::threshold() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return verifier_.threshold();
+}
+
+void BatchVerifier::set_threshold(double t) {
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  verifier_.set_threshold(t);
+}
+
+BatchDecision BatchVerifier::verify_one(const std::string& user,
+                                        std::span<const float> raw_probe) const {
+  MANDIPASS_EXPECTS(!raw_probe.empty());
+  // Shared-lock window: copy the template and the operating threshold so
+  // the decision is computed against one consistent generation even while
+  // writers re-key the user concurrently.
+  std::optional<StoredTemplate> stored;
+  double threshold = 0.0;
+  {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    stored = store_.lookup(user);
+    threshold = verifier_.threshold();
+  }
+  BatchDecision out;
+  if (!stored.has_value()) {
+    return out;
+  }
+  out.known = true;
+  out.key_version = stored->key_version;
+  const auto g = matrix_for(stored->matrix_seed, raw_probe.size());
+  const auto transformed = g->transform(raw_probe);
+  const Verifier v(threshold);
+  out.decision = v.verify(transformed, stored->data);
+  return out;
+}
+
+std::shared_ptr<const GaussianMatrix> BatchVerifier::matrix_for(std::uint64_t seed,
+                                                               std::size_t dim) const {
+  {
+    std::shared_lock<std::shared_mutex> lock(cache_mutex_);
+    const auto it = matrix_cache_.find(seed);
+    if (it != matrix_cache_.end() && it->second->dim() == dim) {
+      return it->second;
+    }
+  }
+  // Build outside any lock (dim^2 RNG draws), then publish. A losing
+  // racer's matrix is identical by construction, so either copy is fine.
+  auto fresh = std::make_shared<const GaussianMatrix>(seed, dim);
+  std::unique_lock<std::shared_mutex> lock(cache_mutex_);
+  auto [it, inserted] = matrix_cache_.try_emplace(seed, fresh);
+  if (!inserted && it->second->dim() != dim) {
+    it->second = fresh;
+  }
+  return it->second;
+}
+
+BatchResult BatchVerifier::verify_batch(std::span<const VerifyRequest> requests,
+                                        common::ThreadPool* pool) const {
+  using clock = std::chrono::steady_clock;
+  common::ThreadPool& tp = pool != nullptr ? *pool : common::ThreadPool::global();
+
+  BatchResult result;
+  result.decisions.resize(requests.size());
+  std::vector<double> request_ms(requests.size(), 0.0);
+
+  const auto batch_start = clock::now();
+  tp.parallel_for(0, requests.size(), 1, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      const auto t0 = clock::now();
+      result.decisions[i] = verify_one(requests[i].user, requests[i].raw_probe);
+      request_ms[i] = std::chrono::duration<double, std::milli>(clock::now() - t0).count();
+    }
+  });
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(clock::now() - batch_start).count();
+
+  BatchStats& s = result.stats;
+  s.requests = requests.size();
+  s.wall_ms = wall_ms;
+  double sum_ms = 0.0;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const BatchDecision& d = result.decisions[i];
+    s.known += d.known ? 1 : 0;
+    s.accepted += (d.known && d.decision.accepted) ? 1 : 0;
+    sum_ms += request_ms[i];
+    s.max_request_ms = std::max(s.max_request_ms, request_ms[i]);
+  }
+  if (s.requests > 0) {
+    s.mean_request_ms = sum_ms / static_cast<double>(s.requests);
+  }
+  if (wall_ms > 0.0) {
+    s.throughput_per_s = static_cast<double>(s.requests) * 1000.0 / wall_ms;
+  }
+  return result;
+}
+
+void BatchVerifier::save(std::ostream& os) const {
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  store_.save(os);
+}
+
+void BatchVerifier::load(std::istream& is) {
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  store_.load(is);
+}
+
+}  // namespace mandipass::auth

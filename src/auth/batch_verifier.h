@@ -1,0 +1,113 @@
+// Concurrent batch authentication engine.
+//
+// A production deployment serves many verification requests at once while
+// enrolments and revocations trickle in. BatchVerifier owns a
+// TemplateStore behind a std::shared_mutex:
+//
+//   * verify paths take a shared lock only long enough to snapshot the
+//     user's StoredTemplate (a copy), then run the heavy math — Gaussian
+//     cancelable transform + cosine distance — outside the lock;
+//   * enroll / revoke / re-key take the exclusive lock.
+//
+// A reader therefore always sees a template that existed in full at some
+// point (no torn reads: the snapshot happens under the lock), and the
+// returned key_version identifies exactly which template generation the
+// decision was made against. verify_batch fans the requests out over a
+// thread pool with deterministic chunking; per-request decisions are
+// independent, so the decision vector is identical for any thread count.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "auth/gaussian_matrix.h"
+#include "auth/template_store.h"
+#include "auth/verifier.h"
+#include "common/thread_pool.h"
+
+namespace mandipass::auth {
+
+/// One authentication request: a user id plus the raw (pre-transform)
+/// MandiblePrint extracted from the probe recording.
+struct VerifyRequest {
+  std::string user;
+  std::vector<float> raw_probe;
+};
+
+/// Outcome of one request in a batch.
+struct BatchDecision {
+  bool known = false;            ///< user was enrolled when snapshotted
+  Decision decision;             ///< valid only when known
+  std::uint32_t key_version = 0; ///< template generation the decision used
+};
+
+/// Aggregate latency / throughput statistics of one verify_batch call.
+struct BatchStats {
+  std::size_t requests = 0;
+  std::size_t known = 0;           ///< requests that matched an enrolment
+  std::size_t accepted = 0;
+  double wall_ms = 0.0;            ///< batch wall-clock time
+  double mean_request_ms = 0.0;    ///< mean per-request service time
+  double max_request_ms = 0.0;     ///< worst per-request service time
+  double throughput_per_s = 0.0;   ///< requests / wall seconds
+};
+
+struct BatchResult {
+  std::vector<BatchDecision> decisions;  ///< decisions[i] answers requests[i]
+  BatchStats stats;
+};
+
+class BatchVerifier {
+ public:
+  explicit BatchVerifier(double threshold = kPaperThreshold);
+
+  /// Seals a template (exclusive lock). Overwrites any previous one.
+  void enroll(const std::string& user, StoredTemplate tmpl);
+
+  /// Removes a user's template (exclusive lock); false if absent.
+  bool revoke(const std::string& user);
+
+  /// Consistent copy of the user's sealed template (shared lock).
+  std::optional<StoredTemplate> snapshot(const std::string& user) const;
+
+  /// Enrolled-user count (shared lock).
+  std::size_t size() const;
+
+  /// Verifies one request against the current template generation.
+  BatchDecision verify_one(const std::string& user, std::span<const float> raw_probe) const;
+
+  /// Verifies a batch, fanning requests out over `pool` (the global pool
+  /// when null). Returns per-request decisions plus aggregate stats.
+  BatchResult verify_batch(std::span<const VerifyRequest> requests,
+                           common::ThreadPool* pool = nullptr) const;
+
+  double threshold() const;
+  void set_threshold(double t);
+
+  /// Bulk snapshot of the whole store (exclusive lock held by save for a
+  /// consistent image); mirrors TemplateStore persistence.
+  void save(std::ostream& os) const;
+  void load(std::istream& is);
+
+ private:
+  /// Cached Gaussian matrix for (seed, dim). The matrix is a pure
+  /// function of its seed, so whichever thread materialises it first
+  /// produces the same values; rebuilding it per request would dominate
+  /// the verify path (dim^2 Box-Muller draws vs one dim^2 mat-vec).
+  std::shared_ptr<const GaussianMatrix> matrix_for(std::uint64_t seed, std::size_t dim) const;
+
+  mutable std::shared_mutex mutex_;
+  Verifier verifier_;    ///< guarded by mutex_ (threshold can be re-tuned)
+  TemplateStore store_;  ///< guarded by mutex_
+
+  mutable std::shared_mutex cache_mutex_;
+  mutable std::unordered_map<std::uint64_t, std::shared_ptr<const GaussianMatrix>>
+      matrix_cache_;  ///< guarded by cache_mutex_
+};
+
+}  // namespace mandipass::auth

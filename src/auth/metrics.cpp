@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.h"
+#include "common/thread_pool.h"
 
 namespace mandipass::auth {
 
@@ -55,10 +56,24 @@ EerResult compute_eer(std::span<const double> genuine_distances,
   if (prev_diff >= 0.0) {
     return best;  // FAR already above FRR at the smallest threshold
   }
-  for (std::size_t i = 1; i < candidates.size(); ++i) {
+  // The sweep is O(candidates x samples) — the quadratic hot loop of
+  // every Fig. 10/11 bench. FAR/FRR at each candidate are independent, so
+  // they fan out over the thread pool; each candidate is counted by one
+  // thread in the serial order, and the crossing scan below stays serial,
+  // so the result is identical for any thread count.
+  const std::size_t m = candidates.size();
+  std::vector<double> fars(m, 0.0);
+  std::vector<double> frrs(m, 0.0);
+  common::parallel_for(1, m, 16, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      fars[i] = far_at(impostor_distances, candidates[i]);
+      frrs[i] = frr_at(genuine_distances, candidates[i]);
+    }
+  });
+  for (std::size_t i = 1; i < m; ++i) {
     const double t = candidates[i];
-    const double far = far_at(impostor_distances, t);
-    const double frr = frr_at(genuine_distances, t);
+    const double far = fars[i];
+    const double frr = frrs[i];
     const double diff = far - frr;
     if (diff >= 0.0) {
       // Crossed between prev_t and t; interpolate the threshold and take
@@ -84,12 +99,15 @@ std::vector<RocPoint> roc_curve(std::span<const double> genuine_distances,
                                 std::size_t points) {
   MANDIPASS_EXPECTS(points >= 2);
   MANDIPASS_EXPECTS(hi > lo);
-  std::vector<RocPoint> curve;
-  curve.reserve(points);
-  for (std::size_t i = 0; i < points; ++i) {
-    const double t = lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(points - 1);
-    curve.push_back({t, far_at(impostor_distances, t), frr_at(genuine_distances, t)});
-  }
+  // Each sweep point is computed independently by exactly one thread, so
+  // the curve is identical for any thread count.
+  std::vector<RocPoint> curve(points);
+  common::parallel_for(0, points, 8, [&](std::size_t i_lo, std::size_t i_hi) {
+    for (std::size_t i = i_lo; i < i_hi; ++i) {
+      const double t = lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(points - 1);
+      curve[i] = {t, far_at(impostor_distances, t), frr_at(genuine_distances, t)};
+    }
+  });
   return curve;
 }
 

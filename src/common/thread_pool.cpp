@@ -1,0 +1,165 @@
+#include "common/thread_pool.h"
+
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/error.h"
+
+namespace mandipass::common {
+
+namespace {
+// Set while a thread is executing chunks for ANY pool; a parallel_for
+// issued from such a thread runs inline instead of re-entering a queue
+// (prevents deadlock when every worker blocks on a nested region).
+thread_local bool t_inside_pool = false;
+}  // namespace
+
+struct ThreadPool::Impl {
+  std::mutex mutex;
+  std::condition_variable wake;
+  std::vector<std::function<void()>> queue;  // LIFO; order is irrelevant
+  std::vector<std::thread> workers;
+  bool stopping = false;
+  std::size_t lanes = 1;
+
+  void worker_loop() {
+    t_inside_pool = true;
+    std::unique_lock<std::mutex> lock(mutex);
+    for (;;) {
+      wake.wait(lock, [&] { return stopping || !queue.empty(); });
+      if (stopping && queue.empty()) {
+        return;
+      }
+      auto task = std::move(queue.back());
+      queue.pop_back();
+      lock.unlock();
+      task();
+      lock.lock();
+    }
+  }
+};
+
+ThreadPool::ThreadPool(std::size_t threads) : impl_(std::make_unique<Impl>()) {
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) {
+      threads = 1;
+    }
+  }
+  impl_->lanes = threads;
+  impl_->workers.reserve(threads - 1);
+  for (std::size_t i = 0; i + 1 < threads; ++i) {
+    impl_->workers.emplace_back([impl = impl_.get()] { impl->worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->stopping = true;
+  }
+  impl_->wake.notify_all();
+  for (std::thread& w : impl_->workers) {
+    w.join();
+  }
+}
+
+std::size_t ThreadPool::thread_count() const { return impl_->lanes; }
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                              const std::function<void(std::size_t, std::size_t)>& body) {
+  MANDIPASS_EXPECTS(begin <= end);
+  MANDIPASS_EXPECTS(grain >= 1);
+  const std::size_t range = end - begin;
+  if (range == 0) {
+    return;
+  }
+  // Inline fast path: nothing to split, a single lane, or a nested call.
+  if (impl_->lanes == 1 || range < 2 * grain || t_inside_pool) {
+    body(begin, end);
+    return;
+  }
+
+  std::size_t chunks = (range + grain - 1) / grain;
+  if (chunks > impl_->lanes) {
+    chunks = impl_->lanes;
+  }
+  const std::size_t base = range / chunks;
+  const std::size_t extra = range % chunks;  // first `extra` chunks get +1
+
+  struct Region {
+    std::mutex mutex;
+    std::condition_variable done;
+    std::size_t remaining;
+    std::exception_ptr error;
+  } region;
+  region.remaining = chunks;
+
+  auto run_chunk = [&](std::size_t chunk) {
+    const std::size_t lo =
+        begin + chunk * base + (chunk < extra ? chunk : extra);
+    const std::size_t hi = lo + base + (chunk < extra ? 1 : 0);
+    try {
+      body(lo, hi);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(region.mutex);
+      if (!region.error) {
+        region.error = std::current_exception();
+      }
+    }
+    std::lock_guard<std::mutex> lock(region.mutex);
+    if (--region.remaining == 0) {
+      region.done.notify_one();
+    }
+  };
+
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    for (std::size_t c = 1; c < chunks; ++c) {
+      impl_->queue.push_back([&run_chunk, c] { run_chunk(c); });
+    }
+  }
+  impl_->wake.notify_all();
+
+  // The caller executes chunk 0, then waits for the workers.
+  const bool was_inside = t_inside_pool;
+  t_inside_pool = true;
+  run_chunk(0);
+  t_inside_pool = was_inside;
+
+  std::unique_lock<std::mutex> lock(region.mutex);
+  region.done.wait(lock, [&] { return region.remaining == 0; });
+  if (region.error) {
+    std::rethrow_exception(region.error);
+  }
+}
+
+namespace {
+std::mutex g_global_mutex;
+std::unique_ptr<ThreadPool> g_global_pool;
+}  // namespace
+
+ThreadPool& ThreadPool::global() {
+  std::lock_guard<std::mutex> lock(g_global_mutex);
+  if (!g_global_pool) {
+    g_global_pool = std::make_unique<ThreadPool>();
+  }
+  return *g_global_pool;
+}
+
+void ThreadPool::set_global_threads(std::size_t threads) {
+  std::lock_guard<std::mutex> lock(g_global_mutex);
+  g_global_pool = std::make_unique<ThreadPool>(threads);
+}
+
+std::size_t ThreadPool::global_thread_count() { return global().thread_count(); }
+
+void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                  const std::function<void(std::size_t, std::size_t)>& body) {
+  ThreadPool::global().parallel_for(begin, end, grain, body);
+}
+
+}  // namespace mandipass::common

@@ -1,6 +1,9 @@
 #include "core/extractor.h"
 
+#include <algorithm>
+
 #include "common/error.h"
+#include "common/thread_pool.h"
 #include "nn/batchnorm.h"
 #include "nn/conv2d.h"
 #include "nn/layers.h"
@@ -66,11 +69,18 @@ nn::Tensor BiometricExtractor::embed(const BranchTensors& input, bool train) {
   const nn::Tensor fn = branch_neg_->forward(input.negative, train);
   const std::size_t n = fp.dim(0);
   nn::Tensor concat({n, 2 * branch_flat_});
-  for (std::size_t b = 0; b < n; ++b) {
-    for (std::size_t i = 0; i < branch_flat_; ++i) {
-      concat.at2(b, i) = fp.at2(b, i);
-      concat.at2(b, branch_flat_ + i) = fn.at2(b, i);
+  const auto splice = [&](std::size_t b_lo, std::size_t b_hi) {
+    for (std::size_t b = b_lo; b < b_hi; ++b) {
+      for (std::size_t i = 0; i < branch_flat_; ++i) {
+        concat.at2(b, i) = fp.at2(b, i);
+        concat.at2(b, branch_flat_ + i) = fn.at2(b, i);
+      }
     }
+  };
+  if (train) {
+    splice(0, n);
+  } else {
+    common::parallel_for(0, n, 1, splice);
   }
   return trunk_->forward(concat, train);
 }
@@ -120,6 +130,33 @@ std::vector<float> BiometricExtractor::extract(const GradientArray& array) {
   std::vector<float> out(config_.embedding_dim);
   for (std::size_t i = 0; i < out.size(); ++i) {
     out[i] = e.at2(0, i);
+  }
+  return out;
+}
+
+std::vector<std::vector<float>> BiometricExtractor::extract_batch(
+    const std::vector<GradientArray>& arrays) {
+  std::vector<std::vector<float>> out;
+  out.reserve(arrays.size());
+  // Chunked so the im2col / patch buffers stay cache-resident; the
+  // parallelism lives inside embed() (per-sample fan-out in the conv GEMM
+  // and the branch splice), which keeps the output independent of both
+  // the chunk size and the thread count.
+  constexpr std::size_t kChunk = 128;
+  for (std::size_t start = 0; start < arrays.size(); start += kChunk) {
+    const std::size_t bs = std::min(kChunk, arrays.size() - start);
+    const auto off = static_cast<std::ptrdiff_t>(start);
+    const std::vector<GradientArray> batch(arrays.begin() + off,
+                                           arrays.begin() + off + static_cast<std::ptrdiff_t>(bs));
+    const BranchTensors input = pack_branches(batch, config_.axes);
+    const nn::Tensor e = embed(input, /*train=*/false);
+    for (std::size_t b = 0; b < bs; ++b) {
+      std::vector<float> row(e.dim(1));
+      for (std::size_t j = 0; j < row.size(); ++j) {
+        row[j] = e.at2(b, j);
+      }
+      out.push_back(std::move(row));
+    }
   }
   return out;
 }

@@ -54,6 +54,12 @@ class BiometricExtractor {
   /// Convenience: embeds one gradient array (inference path).
   std::vector<float> extract(const GradientArray& array);
 
+  /// Batch inference: embeds every array (evaluation mode), processing in
+  /// fixed-size chunks. Row i is the MandiblePrint of arrays[i]. The hot
+  /// loops fan out over the global thread pool with deterministic
+  /// chunking, so the result is bit-identical for any thread count.
+  std::vector<std::vector<float>> extract_batch(const std::vector<GradientArray>& arrays);
+
   /// Parameter count / storage accounting (Section VII-E).
   std::size_t parameter_count();
   std::size_t storage_bytes();

@@ -122,26 +122,7 @@ double ExtractorTrainer::evaluate_accuracy(const LabeledGradientSet& data) {
 
 std::vector<std::vector<float>> embed_all(BiometricExtractor& extractor,
                                           const LabeledGradientSet& data) {
-  std::vector<std::vector<float>> out;
-  out.reserve(data.size());
-  const std::size_t axes = extractor.config().axes;
-  constexpr std::size_t kChunk = 128;
-  for (std::size_t start = 0; start < data.size(); start += kChunk) {
-    const std::size_t bs = std::min(kChunk, data.size() - start);
-    const auto off = static_cast<std::ptrdiff_t>(start);
-    std::vector<GradientArray> batch(data.arrays.begin() + off,
-                                     data.arrays.begin() + off + static_cast<std::ptrdiff_t>(bs));
-    const BranchTensors input = pack_branches(batch, axes);
-    const nn::Tensor e = extractor.embed(input, /*train=*/false);
-    for (std::size_t b = 0; b < bs; ++b) {
-      std::vector<float> row(e.dim(1));
-      for (std::size_t j = 0; j < row.size(); ++j) {
-        row[j] = e.at2(b, j);
-      }
-      out.push_back(std::move(row));
-    }
-  }
-  return out;
+  return extractor.extract_batch(data.arrays);
 }
 
 }  // namespace mandipass::core

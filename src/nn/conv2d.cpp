@@ -1,5 +1,6 @@
 #include "nn/conv2d.h"
 
+#include "common/thread_pool.h"
 #include "nn/serialize.h"
 
 // Implementation note: the convolution is lowered to im2col + GEMM-style
@@ -8,6 +9,13 @@
 // dot product and both backward products are contiguous axpy loops, all
 // of which the compiler vectorises. With the tiny planes MandiPass uses
 // (6 x 30) this is ~5x faster than the direct form on one core.
+//
+// Inference-mode forward additionally chunks the im2col gather (per
+// sample) and the GEMM (per patch row) over the global thread pool. Each
+// output element is still produced by one thread with the exact serial
+// accumulation order, so multi-threaded inference is bit-identical to
+// single-threaded (DESIGN.md §9). Training stays strictly serial: the
+// backward pass accumulates into shared weight gradients.
 
 namespace mandipass::nn {
 
@@ -65,7 +73,7 @@ void Conv2d::build_patch_index(std::size_t h_in, std::size_t w_in) {
   }
 }
 
-Tensor Conv2d::forward(const Tensor& input, bool /*train*/) {
+Tensor Conv2d::forward(const Tensor& input, bool train) {
   if (input.rank() != 4 || input.dim(1) != config_.in_channels) {
     throw ShapeError("Conv2d::forward expects (N, in_c, H, W)");
   }
@@ -79,33 +87,49 @@ Tensor Conv2d::forward(const Tensor& input, bool /*train*/) {
   const std::size_t image = input.dim(1) * input.dim(2) * input.dim(3);
 
   // im2col: rows = N * positions, cols = taps (padding taps stay zero).
+  // Each sample writes a disjoint slice of `patches_`.
   patches_.assign(n * positions * taps, 0.0f);
-  for (std::size_t b = 0; b < n; ++b) {
-    const float* img = input.data() + b * image;
-    float* dst = patches_.data() + b * positions * taps;
-    for (std::size_t cell = 0; cell < positions * taps; ++cell) {
-      const std::ptrdiff_t src = patch_index_[cell];
-      if (src >= 0) {
-        dst[cell] = img[src];
+  const auto im2col = [&](std::size_t b_lo, std::size_t b_hi) {
+    for (std::size_t b = b_lo; b < b_hi; ++b) {
+      const float* img = input.data() + b * image;
+      float* dst = patches_.data() + b * positions * taps;
+      for (std::size_t cell = 0; cell < positions * taps; ++cell) {
+        const std::ptrdiff_t src = patch_index_[cell];
+        if (src >= 0) {
+          dst[cell] = img[src];
+        }
       }
     }
-  }
+  };
 
+  // GEMM: each patch row r produces the disjoint output slice
+  // out[b, :, pos]; the per-element accumulation order over `taps` never
+  // depends on the chunking, so parallel output is bit-identical.
   Tensor out({n, config_.out_channels, h_out, w_out});
-  const float* w = weight_.value.data();
   const std::size_t rows = n * positions;
-  for (std::size_t r = 0; r < rows; ++r) {
-    const float* patch = patches_.data() + r * taps;
-    const std::size_t b = r / positions;
-    const std::size_t pos = r % positions;
-    for (std::size_t oc = 0; oc < config_.out_channels; ++oc) {
-      const float* wr = w + oc * taps;
-      float acc = bias_.value[oc];
-      for (std::size_t k = 0; k < taps; ++k) {
-        acc += wr[k] * patch[k];
+  const auto gemm = [&](std::size_t r_lo, std::size_t r_hi) {
+    const float* w = weight_.value.data();
+    for (std::size_t r = r_lo; r < r_hi; ++r) {
+      const float* patch = patches_.data() + r * taps;
+      const std::size_t b = r / positions;
+      const std::size_t pos = r % positions;
+      for (std::size_t oc = 0; oc < config_.out_channels; ++oc) {
+        const float* wr = w + oc * taps;
+        float acc = bias_.value[oc];
+        for (std::size_t k = 0; k < taps; ++k) {
+          acc += wr[k] * patch[k];
+        }
+        out.data()[(b * config_.out_channels + oc) * positions + pos] = acc;
       }
-      out.data()[(b * config_.out_channels + oc) * positions + pos] = acc;
     }
+  };
+
+  if (train) {
+    im2col(0, n);
+    gemm(0, rows);
+  } else {
+    common::parallel_for(0, n, 1, im2col);
+    common::parallel_for(0, rows, 32, gemm);
   }
   return out;
 }

@@ -1,0 +1,127 @@
+// Golden-fixture generator. Runs the seeded simulator + full pipeline
+// once and writes tests/golden/data/golden_pipeline.bin. The fixture is
+// committed; regenerate ONLY when a pipeline stage changes semantics on
+// purpose, and say so in the commit message.
+//
+// Usage: golden_gen <output-dir>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+
+#include "auth/cosine.h"
+#include "auth/gaussian_matrix.h"
+#include "common/error.h"
+#include "core/extractor.h"
+#include "core/preprocessor.h"
+#include "golden/golden_format.h"
+#include "vibration/population.h"
+#include "vibration/session.h"
+
+using namespace mandipass;
+
+namespace {
+
+constexpr std::uint64_t kPopulationSeed = 31337;
+constexpr std::uint64_t kSessionSeedBase = 424242;
+constexpr std::size_t kSeedCandidates = 64;
+constexpr std::size_t kWeightSeedCandidates = 8;
+constexpr std::size_t kPrefixLen = 16;
+// Headroom for the fixture's exact decision assertions: the untrained
+// (seeded-weights) extractor separates people only weakly, so the
+// generator scans session seeds and keeps the widest genuine/impostor
+// gap. With the threshold at the midpoint, each decision has >= kMinGap/2
+// of margin — 50x the golden test's 1e-4 distance tolerance.
+constexpr double kMinGap = 0.01;
+
+core::ExtractorConfig golden_extractor_config() {
+  core::ExtractorConfig cfg;
+  cfg.embedding_dim = 64;
+  cfg.channels = {8, 12, 16};
+  return cfg;  // axes / half_length / weight seed: library defaults
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::cerr << "usage: golden_gen <output-dir>\n";
+    return 2;
+  }
+
+  vibration::PopulationGenerator population(kPopulationSeed);
+  const auto people = population.sample_population(2);
+  const vibration::SessionConfig session;
+  const core::Preprocessor prep;
+  const std::uint64_t gauss_seed = 0x60D1DEA5;
+
+  // Deterministic seed scan: the untrained extractor separates people only
+  // weakly, so sweep session seeds x weight-init seeds and keep the widest
+  // genuine/impostor gap. The scan is pure function of the constants above,
+  // so regeneration is reproducible.
+  testing::GoldenFixture f;
+  double best_gap = -1.0;
+  for (std::size_t w = 0; w < kWeightSeedCandidates; ++w) {
+    core::ExtractorConfig extractor_config = golden_extractor_config();
+    extractor_config.seed += w;
+    core::BiometricExtractor extractor(extractor_config);
+    const auth::GaussianMatrix g(gauss_seed, extractor_config.embedding_dim);
+    for (std::size_t i = 0; i < kSeedCandidates; ++i) {
+      Rng session_rng(kSessionSeedBase + i);
+      vibration::SessionRecorder genuine(people[0], session_rng);
+      vibration::SessionRecorder impostor(people[1], session_rng);
+
+      testing::GoldenFixture candidate;
+      const imu::RawRecording enroll_rec = genuine.record(session);
+      candidate.probe_recording = genuine.record(session);
+      const imu::RawRecording impostor_rec = impostor.record(session);
+
+      candidate.probe_signal = prep.process(candidate.probe_recording);
+      candidate.probe_gradient = core::build_gradient_array(candidate.probe_signal);
+      candidate.enroll_gradient = core::build_gradient_array(prep.process(enroll_rec));
+      candidate.impostor_gradient = core::build_gradient_array(prep.process(impostor_rec));
+
+      candidate.extractor = extractor_config;
+      const auto probe_print = extractor.extract(candidate.probe_gradient);
+      const auto enroll_print = extractor.extract(candidate.enroll_gradient);
+      const auto impostor_print = extractor.extract(candidate.impostor_gradient);
+      candidate.print_prefix.assign(
+          probe_print.begin(), probe_print.begin() + static_cast<std::ptrdiff_t>(kPrefixLen));
+
+      candidate.gauss_seed = gauss_seed;
+      const auto sealed = g.transform(enroll_print);
+      candidate.genuine_distance = auth::cosine_distance(g.transform(probe_print), sealed);
+      candidate.impostor_distance = auth::cosine_distance(g.transform(impostor_print), sealed);
+      candidate.threshold = 0.5 * (candidate.genuine_distance + candidate.impostor_distance);
+
+      const double gap = candidate.impostor_distance - candidate.genuine_distance;
+      if (gap > best_gap) {
+        best_gap = gap;
+        f = std::move(candidate);
+        std::cout << "weight seed +" << w << ", session seed " << (kSessionSeedBase + i)
+                  << ": gap " << gap << std::endl;
+      }
+    }
+  }
+
+  std::cout << "genuine distance:  " << f.genuine_distance << "\n"
+            << "impostor distance: " << f.impostor_distance << "\n"
+            << "gap:               " << best_gap << "\n";
+  MANDIPASS_EXPECTS(best_gap > kMinGap);
+
+  const std::filesystem::path dir = argv[1];
+  std::filesystem::create_directories(dir);
+  const std::filesystem::path path = dir / testing::kGoldenFileName;
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    std::cerr << "cannot open " << path << " for writing\n";
+    return 1;
+  }
+  testing::save_golden(out, f);
+  out.flush();
+  if (!out) {
+    std::cerr << "short write to " << path << "\n";
+    return 1;
+  }
+  std::cout << "wrote " << path << " (" << std::filesystem::file_size(path) << " bytes)\n";
+  return 0;
+}

@@ -1,0 +1,141 @@
+// Golden-pipeline regression suite (ctest label: golden).
+//
+// tests/golden/data/golden_pipeline.bin is a committed trace of the full
+// MandiPass pipeline produced by golden_gen from the seeded simulator.
+// Each test below replays ONE stage from the *stored* input of that
+// stage and compares against the stored output, so a failure names the
+// exact stage whose numerics drifted.
+//
+// Tolerances (documented here, asserted below):
+//   preprocessing (double)        1e-9  absolute   — pure double pipeline,
+//                                                    deterministic given IEEE-754
+//   gradient build (double)       1e-9  absolute   — linear resampling only
+//   MandiblePrint prefix (float)  1e-4  absolute   — float GEMM + libm
+//                                                    (exp in sigmoid/BN) may
+//                                                    differ across platforms
+//   cosine distances (double)     1e-4  absolute   — inherits print noise
+//   decisions (bool)              exact            — the generator enforces a
+//                                                    > 0.01 genuine/impostor gap
+//                                                    around the midpoint threshold,
+//                                                    50x the distance tolerance
+//                                                    on each side
+//
+// A legitimate pipeline change (new filter, different resampling, new
+// extractor topology) must regenerate the fixture via
+//   build/tests/golden_gen tests/golden/data
+// and the commit message must say which stage changed and why.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <string>
+
+#include "auth/cosine.h"
+#include "auth/gaussian_matrix.h"
+#include "auth/verifier.h"
+#include "core/extractor.h"
+#include "core/preprocessor.h"
+#include "golden/golden_format.h"
+
+namespace mandipass::testing {
+namespace {
+
+constexpr double kDoubleTol = 1e-9;
+constexpr double kPrintTol = 1e-4;
+constexpr double kDistanceTol = 1e-4;
+
+class GoldenPipeline : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    const std::string path = std::string(MANDIPASS_GOLDEN_DIR) + "/" + kGoldenFileName;
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in) << "missing golden fixture " << path
+                    << " — regenerate with: build/tests/golden_gen tests/golden/data";
+    fixture_ = new GoldenFixture(load_golden(in));
+  }
+
+  static void TearDownTestSuite() {
+    delete fixture_;
+    fixture_ = nullptr;
+  }
+
+  const GoldenFixture& fixture() const { return *fixture_; }
+
+ private:
+  static GoldenFixture* fixture_;
+};
+
+GoldenFixture* GoldenPipeline::fixture_ = nullptr;
+
+void expect_axes_near(const std::array<std::vector<double>, imu::kAxisCount>& actual,
+                      const std::array<std::vector<double>, imu::kAxisCount>& expected,
+                      double tol, const char* stage) {
+  for (std::size_t a = 0; a < imu::kAxisCount; ++a) {
+    ASSERT_EQ(actual[a].size(), expected[a].size()) << stage << " axis " << a;
+    for (std::size_t i = 0; i < actual[a].size(); ++i) {
+      ASSERT_NEAR(actual[a][i], expected[a][i], tol)
+          << stage << " axis " << a << " sample " << i;
+    }
+  }
+}
+
+TEST_F(GoldenPipeline, FixtureIsSelfConsistent) {
+  const GoldenFixture& f = fixture();
+  EXPECT_GT(f.probe_recording.sample_count(), 0u);
+  EXPECT_EQ(f.probe_signal.segment_length(), core::kDefaultSegmentLength);
+  EXPECT_EQ(f.probe_gradient.half_length(), f.extractor.half_length);
+  EXPECT_FALSE(f.print_prefix.empty());
+  EXPECT_LE(f.print_prefix.size(), f.extractor.embedding_dim);
+  EXPECT_LT(f.genuine_distance, f.threshold);
+  EXPECT_GT(f.impostor_distance, f.threshold);
+}
+
+TEST_F(GoldenPipeline, PreprocessingMatchesStoredSignalArray) {
+  const core::Preprocessor prep;
+  const core::SignalArray signal = prep.process(fixture().probe_recording);
+  expect_axes_near(signal.axes, fixture().probe_signal.axes, kDoubleTol, "signal");
+}
+
+TEST_F(GoldenPipeline, GradientBuildMatchesStoredGradientArray) {
+  const core::GradientArray g = core::build_gradient_array(fixture().probe_signal);
+  expect_axes_near(g.positive, fixture().probe_gradient.positive, kDoubleTol,
+                   "positive gradient");
+  expect_axes_near(g.negative, fixture().probe_gradient.negative, kDoubleTol,
+                   "negative gradient");
+}
+
+TEST_F(GoldenPipeline, ExtractorMatchesStoredPrintPrefix) {
+  core::BiometricExtractor extractor(fixture().extractor);
+  const std::vector<float> print = extractor.extract(fixture().probe_gradient);
+  ASSERT_EQ(print.size(), fixture().extractor.embedding_dim);
+  for (std::size_t i = 0; i < fixture().print_prefix.size(); ++i) {
+    ASSERT_NEAR(print[i], fixture().print_prefix[i], kPrintTol) << "dim " << i;
+  }
+}
+
+TEST_F(GoldenPipeline, DistancesMatchStoredValues) {
+  const GoldenFixture& f = fixture();
+  core::BiometricExtractor extractor(f.extractor);
+  const auth::GaussianMatrix g(f.gauss_seed, f.extractor.embedding_dim);
+  const auto sealed = g.transform(extractor.extract(f.enroll_gradient));
+  const double genuine =
+      auth::cosine_distance(g.transform(extractor.extract(f.probe_gradient)), sealed);
+  const double impostor =
+      auth::cosine_distance(g.transform(extractor.extract(f.impostor_gradient)), sealed);
+  EXPECT_NEAR(genuine, f.genuine_distance, kDistanceTol);
+  EXPECT_NEAR(impostor, f.impostor_distance, kDistanceTol);
+}
+
+TEST_F(GoldenPipeline, DecisionsAreExact) {
+  const GoldenFixture& f = fixture();
+  core::BiometricExtractor extractor(f.extractor);
+  const auth::GaussianMatrix g(f.gauss_seed, f.extractor.embedding_dim);
+  const auto sealed = g.transform(extractor.extract(f.enroll_gradient));
+  const auth::Verifier verifier(f.threshold);
+  EXPECT_TRUE(
+      verifier.verify(g.transform(extractor.extract(f.probe_gradient)), sealed).accepted);
+  EXPECT_FALSE(
+      verifier.verify(g.transform(extractor.extract(f.impostor_gradient)), sealed).accepted);
+}
+
+}  // namespace
+}  // namespace mandipass::testing
