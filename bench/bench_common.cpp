@@ -3,16 +3,72 @@
 #include <chrono>
 #include <cmath>
 #include <cstdlib>
+#include <ctime>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <mutex>
 #include <string>
 
 #include "auth/cosine.h"
+#include "common/bench_report.h"
 #include "common/error.h"
+#include "common/obs.h"
 #include "common/thread_pool.h"
 
+#ifndef MANDIPASS_GIT_SHA
+#define MANDIPASS_GIT_SHA "unknown"
+#endif
+
 namespace mandipass::bench {
+
+namespace {
+
+/// Per-run state behind --json, flushed by an atexit hook so every bench
+/// gets a report without touching its main().
+struct BenchSession {
+  std::mutex mutex;
+  bool json_enabled = false;
+  std::string json_path;
+  std::string bench_name = "bench";
+  std::size_t threads = 1;
+  std::chrono::steady_clock::time_point wall_start{};
+  std::clock_t cpu_start{};
+  std::vector<common::BenchVerdict> verdicts;
+};
+
+BenchSession& session() {
+  static BenchSession s;
+  return s;
+}
+
+void flush_session_report() {
+  BenchSession& s = session();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  if (!s.json_enabled) {
+    return;
+  }
+  common::BenchReport report;
+  report.bench = s.bench_name;
+  report.git_sha = MANDIPASS_GIT_SHA;
+  report.threads = static_cast<std::int64_t>(s.threads);
+  report.quick = active_scale().quick;
+  report.wall_s = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                                s.wall_start)
+                      .count();
+  report.cpu_s = static_cast<double>(std::clock() - s.cpu_start) /
+                 static_cast<double>(CLOCKS_PER_SEC);
+  report.metrics = common::obs::Registry::instance().snapshot();
+  report.verdicts = s.verdicts;
+  try {
+    common::write_report(report, s.json_path);
+    std::cout << "[bench] wrote report to " << s.json_path << "\n";
+  } catch (const Error& e) {
+    std::cerr << "[bench] failed to write report: " << e.what() << "\n";
+  }
+}
+
+}  // namespace
 
 Scale active_scale() {
   Scale s;
@@ -32,28 +88,76 @@ Scale active_scale() {
   return s;
 }
 
-std::size_t init_bench(int argc, char** argv) {
+std::size_t init_bench(int& argc, char** argv) {
   std::size_t threads = 0;  // 0 = hardware concurrency
+  bool json_enabled = false;
+  std::string json_path;
+
+  // Scan and compact in one pass: consumed flags are removed from argv so
+  // downstream parsers (google-benchmark rejects unknown flags) never see
+  // them.
+  int out = 1;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    std::string value;
-    if (arg == "--threads" && i + 1 < argc) {
-      value = argv[i + 1];
-    } else if (arg.rfind("--threads=", 0) == 0) {
-      value = arg.substr(10);
-    } else {
+    if (arg == "--threads" || arg.rfind("--threads=", 0) == 0) {
+      std::string value;
+      if (arg == "--threads") {
+        if (i + 1 < argc) {
+          value = argv[++i];
+        }
+      } else {
+        value = arg.substr(10);
+      }
+      const long n = std::strtol(value.c_str(), nullptr, 10);
+      if (n >= 1) {
+        threads = static_cast<std::size_t>(n);
+      } else {
+        std::cerr << "[bench] ignoring invalid --threads value '" << value << "'\n";
+      }
       continue;
     }
-    const long n = std::strtol(value.c_str(), nullptr, 10);
-    if (n >= 1) {
-      threads = static_cast<std::size_t>(n);
-    } else {
-      std::cerr << "[bench] ignoring invalid --threads value '" << value << "'\n";
+    if (arg == "--json" || arg.rfind("--json=", 0) == 0) {
+      json_enabled = true;
+      if (arg.rfind("--json=", 0) == 0) {
+        json_path = arg.substr(7);
+      } else if (i + 1 < argc && argv[i + 1][0] != '-') {
+        json_path = argv[++i];
+      }
+      continue;
     }
-    break;
+    argv[out++] = argv[i];
   }
+  argc = out;
+  argv[argc] = nullptr;
+
   common::ThreadPool::set_global_threads(threads);
+
+  BenchSession& s = session();
+  {
+    std::lock_guard<std::mutex> lock(s.mutex);
+    if (argv[0] != nullptr && argv[0][0] != '\0') {
+      s.bench_name = std::filesystem::path(argv[0]).filename().string();
+    }
+    s.json_enabled = json_enabled;
+    s.json_path = json_path.empty() ? "BENCH_" + s.bench_name + ".json" : json_path;
+    s.threads = common::ThreadPool::global_thread_count();
+    s.wall_start = std::chrono::steady_clock::now();
+    s.cpu_start = std::clock();
+  }
+  if (json_enabled) {
+    // The registry singleton must be constructed before the atexit hook
+    // registers, so it destructs after the hook runs.
+    common::obs::Registry::instance();
+    std::atexit(flush_session_report);
+  }
   return common::ThreadPool::global_thread_count();
+}
+
+bool record_verdict(const std::string& name, bool pass, const std::string& detail) {
+  BenchSession& s = session();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  s.verdicts.push_back({name, pass, detail});
+  return pass;
 }
 
 std::vector<vibration::PersonProfile> paper_cohort(std::uint64_t seed) {

@@ -48,11 +48,23 @@ Scale active_scale();
 /// Parses the shared bench CLI flags and configures the global thread
 /// pool. Every bench main() calls this first:
 ///
-///   --threads N   size the pool to N lanes (default: all hardware cores)
+///   --threads N     size the pool to N lanes (default: all hardware cores)
+///   --json [PATH]   on exit, write a schema-versioned BenchReport
+///                   (common/bench_report.h) with the run's metadata,
+///                   common::obs metric snapshot, and recorded verdicts;
+///                   PATH defaults to BENCH_<bench name>.json
 ///
-/// Unknown flags are left alone for the bench's own parsing. Returns the
-/// active lane count.
-std::size_t init_bench(int argc, char** argv);
+/// Both flags are removed from argc/argv so harnesses that hand argv to
+/// another parser (e.g. google-benchmark in bench_overhead) never see
+/// them. Unknown flags are left alone for the bench's own parsing.
+/// Returns the active lane count.
+std::size_t init_bench(int& argc, char** argv);
+
+/// Records a named reproduction-shape claim (e.g. "onset detected",
+/// "eer below paper bound") into the report --json emits. Safe to call
+/// whether or not --json was given; returns `pass` so call sites can
+/// fold it into their exit code.
+bool record_verdict(const std::string& name, bool pass, const std::string& detail = "");
 
 /// Fixed seeds so every bench sees the same people.
 inline constexpr std::uint64_t kHiredPopulationSeed = 101;

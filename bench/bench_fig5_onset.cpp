@@ -62,5 +62,8 @@ int main(int argc, char** argv) {
 
   std::cout << "\nShape check (onset found, axis baselines differ): "
             << (onset.has_value() ? "PASS" : "FAIL") << "\n";
+  bench::record_verdict("onset_detected", onset.has_value(),
+                        onset ? "onset at sample " + std::to_string(*onset)
+                              : "no onset found");
   return onset.has_value() ? 0 : 1;
 }

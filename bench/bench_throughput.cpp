@@ -148,5 +148,7 @@ int main(int argc, char** argv) {
   // The throughput target (>= 3x at batch 64 with all cores) only means
   // something on a multi-core host; the hard in-bench gate is decision
   // consistency.
+  bench::record_verdict("decisions_thread_invariant", consistent,
+                        "single- vs multi-thread batch decisions identical");
   return consistent ? 0 : 1;
 }

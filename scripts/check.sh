@@ -3,10 +3,13 @@
 #
 #   1. default preset: RelWithDebInfo build with the strict warning set and
 #      MANDIPASS_WARNINGS_AS_ERRORS=ON, then the full ctest suite
-#   2. asan preset:    ASan+UBSan instrumented build + ctest
-#   3. tsan preset:    TSan instrumented build + ctest
-#   4. clang-tidy over src/ (skipped if clang-tidy is not installed)
-#   5. mandilint repo-invariant linter
+#   2. bench smoke:    quick-mode bench_fig5_onset --json, gated by
+#      bench_compare against the committed baseline (counters/verdicts
+#      only; latency is machine-specific)
+#   3. asan preset:    ASan+UBSan instrumented build + ctest
+#   4. tsan preset:    TSan instrumented build + ctest
+#   5. clang-tidy over src/ (skipped if clang-tidy is not installed)
+#   6. mandilint repo-invariant linter
 #
 # Usage:
 #   scripts/check.sh           # everything
@@ -34,6 +37,11 @@ step "default build (warnings-as-errors) + ctest"
 cmake --preset default >/dev/null
 cmake --build --preset default -j "$JOBS"
 ctest --preset default -j "$JOBS"
+
+step "bench smoke + bench_compare vs committed baseline"
+MANDIPASS_BENCH_QUICK=1 build/bench/bench_fig5_onset --json build/BENCH_bench_fig5_onset.json
+build/tools/bench_compare --skip-latency \
+  bench/baselines/bench_fig5_onset.quick.json build/BENCH_bench_fig5_onset.json
 
 if [ "$FAST" -eq 0 ]; then
   step "ASan+UBSan build + ctest"

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Offline CI driver: runs the same four jobs as .github/workflows/ci.yml
-# sequentially on the local machine. Each job is independent; this script
+# Offline CI driver: runs the same jobs as .github/workflows/ci.yml
+# sequentially on the local machine (bench-smoke reuses build-werror's
+# tree, so keep that ordering). Each job is independent; this script
 # reports every job's status and fails if any job failed, so a tidy failure
 # does not mask a sanitizer failure.
 set -uo pipefail
@@ -29,6 +30,20 @@ job_build_werror() {
     ctest --preset default -j "$JOBS"
 }
 
+job_bench_smoke() {
+  MANDIPASS_BENCH_QUICK=1 build/bench/bench_fig5_onset \
+    --json build/BENCH_bench_fig5_onset.json &&
+    build/tools/bench_compare --skip-latency \
+      bench/baselines/bench_fig5_onset.quick.json \
+      build/BENCH_bench_fig5_onset.json
+}
+
+job_no_obs() {
+  cmake -B build-no-obs -S . -DMANDIPASS_NO_OBS=ON \
+    -DMANDIPASS_BUILD_TESTS=OFF -DMANDIPASS_BUILD_EXAMPLES=OFF >/dev/null &&
+    cmake --build build-no-obs -j "$JOBS"
+}
+
 job_sanitize() {
   cmake --preset asan >/dev/null &&
     cmake --build --preset asan -j "$JOBS" &&
@@ -39,6 +54,8 @@ job_sanitize() {
 }
 
 run_job "build-werror"  job_build_werror
+run_job "bench-smoke"   job_bench_smoke
+run_job "no-obs"        job_no_obs
 run_job "sanitize"      job_sanitize
 run_job "clang-tidy"    scripts/run_tidy.sh
 run_job "mandilint"     scripts/lint.sh
@@ -46,7 +63,7 @@ run_job "mandilint"     scripts/lint.sh
 echo
 echo "==== ci summary ===="
 FAIL=0
-for name in build-werror sanitize clang-tidy mandilint; do
+for name in build-werror bench-smoke no-obs sanitize clang-tidy mandilint; do
   echo "  $name: ${STATUS[$name]}"
   [ "${STATUS[$name]}" = ok ] || FAIL=1
 done

@@ -5,18 +5,29 @@
 
 #include "auth/gaussian_matrix.h"
 #include "common/error.h"
+#include "common/obs.h"
 
 namespace mandipass::auth {
 
 BatchVerifier::BatchVerifier(double threshold) : verifier_(threshold) {}
 
 void BatchVerifier::enroll(const std::string& user, StoredTemplate tmpl) {
-  std::unique_lock<std::shared_mutex> lock(mutex_);
+  std::unique_lock<std::shared_mutex> lock(mutex_, std::defer_lock);
+  {
+    MANDIPASS_OBS_TRACE(trace_wait, "auth.batch.exclusive_lock_wait_us");
+    lock.lock();
+  }
+  MANDIPASS_OBS_COUNT("auth.batch.enroll_total");
   store_.enroll(user, std::move(tmpl));
 }
 
 bool BatchVerifier::revoke(const std::string& user) {
-  std::unique_lock<std::shared_mutex> lock(mutex_);
+  std::unique_lock<std::shared_mutex> lock(mutex_, std::defer_lock);
+  {
+    MANDIPASS_OBS_TRACE(trace_wait, "auth.batch.exclusive_lock_wait_us");
+    lock.lock();
+  }
+  MANDIPASS_OBS_COUNT("auth.batch.revoke_total");
   return store_.revoke(user);
 }
 
@@ -42,19 +53,26 @@ void BatchVerifier::set_threshold(double t) {
 
 BatchDecision BatchVerifier::verify_one(const std::string& user,
                                         std::span<const float> raw_probe) const {
+  MANDIPASS_OBS_TRACE(trace_verify, "auth.batch.verify_us");
   MANDIPASS_EXPECTS(!raw_probe.empty());
+  MANDIPASS_OBS_COUNT("auth.batch.verify_total");
   // Shared-lock window: copy the template and the operating threshold so
   // the decision is computed against one consistent generation even while
   // writers re-key the user concurrently.
   std::optional<StoredTemplate> stored;
   double threshold = 0.0;
   {
-    std::shared_lock<std::shared_mutex> lock(mutex_);
+    std::shared_lock<std::shared_mutex> lock(mutex_, std::defer_lock);
+    {
+      MANDIPASS_OBS_TRACE(trace_wait, "auth.batch.shared_lock_wait_us");
+      lock.lock();
+    }
     stored = store_.lookup(user);
     threshold = verifier_.threshold();
   }
   BatchDecision out;
   if (!stored.has_value()) {
+    MANDIPASS_OBS_COUNT("auth.batch.verify_unknown");
     return out;
   }
   out.known = true;
@@ -63,6 +81,11 @@ BatchDecision BatchVerifier::verify_one(const std::string& user,
   const auto transformed = g->transform(raw_probe);
   const Verifier v(threshold);
   out.decision = v.verify(transformed, stored->data);
+  if (out.decision.accepted) {
+    MANDIPASS_OBS_COUNT("auth.batch.verify_accepted");
+  } else {
+    MANDIPASS_OBS_COUNT("auth.batch.verify_rejected");
+  }
   return out;
 }
 
@@ -72,9 +95,11 @@ std::shared_ptr<const GaussianMatrix> BatchVerifier::matrix_for(std::uint64_t se
     std::shared_lock<std::shared_mutex> lock(cache_mutex_);
     const auto it = matrix_cache_.find(seed);
     if (it != matrix_cache_.end() && it->second->dim() == dim) {
+      MANDIPASS_OBS_COUNT("auth.batch.matrix_cache_hits");
       return it->second;
     }
   }
+  MANDIPASS_OBS_COUNT("auth.batch.matrix_cache_misses");
   // Build outside any lock (dim^2 RNG draws), then publish. A losing
   // racer's matrix is identical by construction, so either copy is fine.
   auto fresh = std::make_shared<const GaussianMatrix>(seed, dim);
@@ -88,6 +113,7 @@ std::shared_ptr<const GaussianMatrix> BatchVerifier::matrix_for(std::uint64_t se
 
 BatchResult BatchVerifier::verify_batch(std::span<const VerifyRequest> requests,
                                         common::ThreadPool* pool) const {
+  MANDIPASS_OBS_TRACE(trace_batch, "auth.batch.batch_us");
   using clock = std::chrono::steady_clock;
   common::ThreadPool& tp = pool != nullptr ? *pool : common::ThreadPool::global();
 

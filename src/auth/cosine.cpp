@@ -1,5 +1,6 @@
 #include "auth/cosine.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/error.h"
@@ -18,9 +19,14 @@ double cosine_similarity(std::span<const float> a, std::span<const float> b) {
     nb += static_cast<double>(b[i]) * static_cast<double>(b[i]);
   }
   if (na == 0.0 || nb == 0.0) {
+    // Degenerate probe (zero-norm embedding): similarity 0 maps to
+    // distance 1.0, which is past every operating threshold the paper
+    // considers — a defined reject, never NaN.
     return 0.0;
   }
-  return dot / (std::sqrt(na) * std::sqrt(nb));
+  // Floating-point roundoff can push |cos| a few ulps past 1 for
+  // near-parallel vectors; clamp so distance stays inside [0, 2].
+  return std::clamp(dot / (std::sqrt(na) * std::sqrt(nb)), -1.0, 1.0);
 }
 
 double cosine_distance(std::span<const float> a, std::span<const float> b) {

@@ -1,0 +1,451 @@
+#include "common/json.h"
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/error.h"
+
+namespace mandipass::common {
+
+namespace {
+
+[[noreturn]] void fail(std::string_view what, std::size_t offset) {
+  throw SerializationError("json: " + std::string(what) + " at byte " +
+                           std::to_string(offset));
+}
+
+/// Recursive-descent parser over a string_view. Positions survive into
+/// error messages so malformed bench reports point at the offending byte.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Json parse_document() {
+    Json value = parse_value(0);
+    skip_whitespace();
+    if (pos_ != text_.size()) {
+      fail("trailing garbage after document", pos_);
+    }
+    return value;
+  }
+
+ private:
+  void skip_whitespace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') {
+        break;
+      }
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) {
+      fail("unexpected end of input", pos_);
+    }
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) {
+      fail(std::string("expected '") + c + "'", pos_);
+    }
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) {
+      return false;
+    }
+    pos_ += literal.size();
+    return true;
+  }
+
+  Json parse_value(std::size_t depth) {
+    if (depth > Json::kMaxDepth) {
+      fail("nesting too deep", pos_);
+    }
+    skip_whitespace();
+    const char c = peek();
+    switch (c) {
+      case '{':
+        return parse_object(depth);
+      case '[':
+        return parse_array(depth);
+      case '"':
+        return Json(parse_string());
+      case 't':
+        if (!consume_literal("true")) {
+          fail("invalid literal", pos_);
+        }
+        return Json(true);
+      case 'f':
+        if (!consume_literal("false")) {
+          fail("invalid literal", pos_);
+        }
+        return Json(false);
+      case 'n':
+        if (!consume_literal("null")) {
+          fail("invalid literal", pos_);
+        }
+        return Json(nullptr);
+      default:
+        return parse_number();
+    }
+  }
+
+  Json parse_object(std::size_t depth) {
+    expect('{');
+    Json::Object members;
+    skip_whitespace();
+    if (peek() == '}') {
+      ++pos_;
+      return Json(std::move(members));
+    }
+    while (true) {
+      skip_whitespace();
+      std::string key = parse_string();
+      skip_whitespace();
+      expect(':');
+      members.emplace_back(std::move(key), parse_value(depth + 1));
+      skip_whitespace();
+      const char next = peek();
+      if (next == ',') {
+        ++pos_;
+        continue;
+      }
+      if (next == '}') {
+        ++pos_;
+        return Json(std::move(members));
+      }
+      fail("expected ',' or '}' in object", pos_);
+    }
+  }
+
+  Json parse_array(std::size_t depth) {
+    expect('[');
+    Json::Array items;
+    skip_whitespace();
+    if (peek() == ']') {
+      ++pos_;
+      return Json(std::move(items));
+    }
+    while (true) {
+      items.push_back(parse_value(depth + 1));
+      skip_whitespace();
+      const char next = peek();
+      if (next == ',') {
+        ++pos_;
+        continue;
+      }
+      if (next == ']') {
+        ++pos_;
+        return Json(std::move(items));
+      }
+      fail("expected ',' or ']' in array", pos_);
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) {
+        fail("unterminated string", pos_);
+      }
+      const char c = text_[pos_++];
+      if (c == '"') {
+        return out;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        fail("raw control character in string", pos_ - 1);
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        fail("unterminated escape", pos_);
+      }
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': append_unicode_escape(out); break;
+        default: fail("invalid escape", pos_ - 1);
+      }
+    }
+  }
+
+  std::uint32_t parse_hex4() {
+    if (pos_ + 4 > text_.size()) {
+      fail("truncated \\u escape", pos_);
+    }
+    std::uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      value <<= 4U;
+      if (c >= '0' && c <= '9') {
+        value |= static_cast<std::uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        value |= static_cast<std::uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        value |= static_cast<std::uint32_t>(c - 'A' + 10);
+      } else {
+        fail("invalid hex digit in \\u escape", pos_ - 1);
+      }
+    }
+    return value;
+  }
+
+  /// Decodes \uXXXX (BMP only; surrogate pairs are rejected — the bench
+  /// schema never emits non-BMP text) and appends UTF-8.
+  void append_unicode_escape(std::string& out) {
+    const std::uint32_t cp = parse_hex4();
+    if (cp >= 0xD800 && cp <= 0xDFFF) {
+      fail("surrogate \\u escapes unsupported", pos_);
+    }
+    if (cp < 0x80) {
+      out.push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out.push_back(static_cast<char>(0xC0U | (cp >> 6U)));
+      out.push_back(static_cast<char>(0x80U | (cp & 0x3FU)));
+    } else {
+      out.push_back(static_cast<char>(0xE0U | (cp >> 12U)));
+      out.push_back(static_cast<char>(0x80U | ((cp >> 6U) & 0x3FU)));
+      out.push_back(static_cast<char>(0x80U | (cp & 0x3FU)));
+    }
+  }
+
+  Json parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') {
+      ++pos_;
+    }
+    auto digit_run = [&] {
+      std::size_t n = 0;
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+        ++n;
+      }
+      return n;
+    };
+    if (digit_run() == 0) {
+      fail("invalid number", start);
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (digit_run() == 0) {
+        fail("digits required after decimal point", pos_);
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (digit_run() == 0) {
+        fail("digits required in exponent", pos_);
+      }
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size() || !std::isfinite(value)) {
+      fail("number out of range", start);
+    }
+    return Json(value);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+void append_escaped(std::string& out, const std::string& s) {
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void append_number(std::string& out, double v) {
+  // Integral values in range print without an exponent or trailing zeros
+  // (range check first: casting an out-of-range double would be UB).
+  if (std::abs(v) < 1e15 && v == std::floor(v)) {
+    out += std::to_string(static_cast<long long>(v));
+    return;
+  }
+  // %.17g guarantees double round-trip through parse().
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+void append_dump(std::string& out, const Json& value, int indent, int level) {
+  const bool pretty = indent >= 0;
+  const auto pad = [&](int lvl) {
+    if (pretty) {
+      out.push_back('\n');
+      out.append(static_cast<std::size_t>(indent * lvl), ' ');
+    }
+  };
+  switch (value.type()) {
+    case Json::Type::Null:
+      out += "null";
+      return;
+    case Json::Type::Bool:
+      out += value.as_bool() ? "true" : "false";
+      return;
+    case Json::Type::Number:
+      append_number(out, value.as_number());
+      return;
+    case Json::Type::String:
+      append_escaped(out, value.as_string());
+      return;
+    case Json::Type::Array: {
+      const auto& items = value.as_array();
+      if (items.empty()) {
+        out += "[]";
+        return;
+      }
+      out.push_back('[');
+      for (std::size_t i = 0; i < items.size(); ++i) {
+        if (i > 0) {
+          out.push_back(',');
+        }
+        pad(level + 1);
+        append_dump(out, items[i], indent, level + 1);
+      }
+      pad(level);
+      out.push_back(']');
+      return;
+    }
+    case Json::Type::Object: {
+      const auto& members = value.as_object();
+      if (members.empty()) {
+        out += "{}";
+        return;
+      }
+      out.push_back('{');
+      for (std::size_t i = 0; i < members.size(); ++i) {
+        if (i > 0) {
+          out.push_back(',');
+        }
+        pad(level + 1);
+        append_escaped(out, members[i].first);
+        out += pretty ? ": " : ":";
+        append_dump(out, members[i].second, indent, level + 1);
+      }
+      pad(level);
+      out.push_back('}');
+      return;
+    }
+  }
+}
+
+[[noreturn]] void type_error(std::string_view wanted) {
+  throw SerializationError("json: value is not a " + std::string(wanted));
+}
+
+}  // namespace
+
+bool Json::as_bool() const {
+  if (type_ != Type::Bool) {
+    type_error("bool");
+  }
+  return bool_;
+}
+
+double Json::as_number() const {
+  if (type_ != Type::Number) {
+    type_error("number");
+  }
+  return number_;
+}
+
+const std::string& Json::as_string() const {
+  if (type_ != Type::String) {
+    type_error("string");
+  }
+  return string_;
+}
+
+const Json::Array& Json::as_array() const {
+  if (type_ != Type::Array) {
+    type_error("array");
+  }
+  return array_;
+}
+
+const Json::Object& Json::as_object() const {
+  if (type_ != Type::Object) {
+    type_error("object");
+  }
+  return object_;
+}
+
+const Json* Json::find(std::string_view key) const {
+  if (type_ != Type::Object) {
+    return nullptr;
+  }
+  for (const auto& [k, v] : object_) {
+    if (k == key) {
+      return &v;
+    }
+  }
+  return nullptr;
+}
+
+const Json& Json::at(std::string_view key) const {
+  const Json* found = find(key);
+  if (found == nullptr) {
+    throw SerializationError("json: missing key '" + std::string(key) + "'");
+  }
+  return *found;
+}
+
+void Json::add(std::string key, Json value) {
+  MANDIPASS_EXPECTS(type_ == Type::Object || type_ == Type::Null);
+  type_ = Type::Object;
+  object_.emplace_back(std::move(key), std::move(value));
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  append_dump(out, *this, indent, 0);
+  return out;
+}
+
+Json Json::parse(std::string_view text) {
+  Parser parser(text);
+  return parser.parse_document();
+}
+
+}  // namespace mandipass::common

@@ -1,0 +1,84 @@
+// Minimal JSON value type with a strict parser and a deterministic
+// dumper, sized for the bench-report schema (common/bench_report.h) and
+// the tools/bench_compare gate — not a general-purpose JSON library.
+//
+// Supported: null, booleans, finite doubles, strings (with the standard
+// escapes incl. \uXXXX for BMP code points), arrays, and objects. Objects
+// preserve insertion order so dump() output is stable and diff-able.
+// parse() rejects trailing garbage, unterminated literals, and nesting
+// deeper than kMaxDepth, throwing SerializationError with a byte offset.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace mandipass::common {
+
+class Json {
+ public:
+  enum class Type { Null, Bool, Number, String, Array, Object };
+
+  using Array = std::vector<Json>;
+  /// Insertion-ordered key/value list; lookups are linear (objects in the
+  /// bench schema hold at most a dozen keys).
+  using Object = std::vector<std::pair<std::string, Json>>;
+
+  /// Parser recursion limit.
+  static constexpr std::size_t kMaxDepth = 64;
+
+  Json() : type_(Type::Null) {}
+  Json(std::nullptr_t) : type_(Type::Null) {}  // NOLINT(google-explicit-constructor)
+  Json(bool b) : type_(Type::Bool), bool_(b) {}  // NOLINT(google-explicit-constructor)
+  Json(double v) : type_(Type::Number), number_(v) {}  // NOLINT(google-explicit-constructor)
+  Json(int v) : type_(Type::Number), number_(v) {}  // NOLINT(google-explicit-constructor)
+  Json(std::string s)  // NOLINT(google-explicit-constructor)
+      : type_(Type::String), string_(std::move(s)) {}
+  Json(const char* s) : type_(Type::String), string_(s) {}  // NOLINT(google-explicit-constructor)
+  Json(Array a) : type_(Type::Array), array_(std::move(a)) {}  // NOLINT(google-explicit-constructor)
+  Json(Object o) : type_(Type::Object), object_(std::move(o)) {}  // NOLINT(google-explicit-constructor)
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::Null; }
+  bool is_bool() const { return type_ == Type::Bool; }
+  bool is_number() const { return type_ == Type::Number; }
+  bool is_string() const { return type_ == Type::String; }
+  bool is_array() const { return type_ == Type::Array; }
+  bool is_object() const { return type_ == Type::Object; }
+
+  /// Typed accessors; throw SerializationError on a type mismatch so
+  /// schema errors surface as parse failures, not garbage values.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const Array& as_array() const;
+  const Object& as_object() const;
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const Json* find(std::string_view key) const;
+
+  /// Object member lookup that throws SerializationError when absent.
+  const Json& at(std::string_view key) const;
+
+  /// Appends a member to an object value.
+  void add(std::string key, Json value);
+
+  /// Serialises the value. indent < 0 renders compact single-line JSON;
+  /// indent >= 0 pretty-prints with that many spaces per level.
+  std::string dump(int indent = -1) const;
+
+  /// Strict parse of a complete JSON document.
+  static Json parse(std::string_view text);
+
+ private:
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+}  // namespace mandipass::common

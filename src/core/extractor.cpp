@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.h"
+#include "common/obs.h"
 #include "common/thread_pool.h"
 #include "nn/batchnorm.h"
 #include "nn/conv2d.h"
@@ -60,10 +61,12 @@ void BiometricExtractor::attach_head(std::size_t classes) {
 }
 
 nn::Tensor BiometricExtractor::embed(const BranchTensors& input, bool train) {
+  MANDIPASS_OBS_TRACE_SAMPLED(trace_embed, "core.extractor.embed_us", 4);
   if (input.positive.rank() != 4 || input.positive.dim(2) != config_.axes ||
       input.positive.dim(3) != config_.half_length) {
     throw ShapeError("BiometricExtractor::embed expects (N, 1, axes, half_length)");
   }
+  MANDIPASS_OBS_COUNT_N("core.extractor.samples", input.positive.dim(0));
   nn::Tensor::check_same_shape(input.positive, input.negative, "BiometricExtractor::embed");
   const nn::Tensor fp = branch_pos_->forward(input.positive, train);
   const nn::Tensor fn = branch_neg_->forward(input.negative, train);

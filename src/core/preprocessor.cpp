@@ -5,6 +5,7 @@
 #include <string>
 
 #include "common/error.h"
+#include "common/obs.h"
 #include "common/stats.h"
 #include "dsp/filter.h"
 #include "dsp/normalize.h"
@@ -17,6 +18,7 @@ Preprocessor::Preprocessor(PreprocessorConfig config) : config_(config) {
 }
 
 std::optional<std::size_t> Preprocessor::detect_onset(const imu::RawRecording& recording) const {
+  MANDIPASS_OBS_TRACE_SAMPLED(trace_onset, "core.prep.onset_us", 4);
   // Pick the accelerometer axis with the largest windowed std-dev peak —
   // the axis the jaw vibration couples into most strongly this session.
   double best_peak = -1.0;
@@ -31,7 +33,13 @@ std::optional<std::size_t> Preprocessor::detect_onset(const imu::RawRecording& r
       }
     }
   }
-  return dsp::detect_onset(recording.axes[best_axis], config_.onset);
+  const auto onset = dsp::detect_onset(recording.axes[best_axis], config_.onset);
+  if (onset.has_value()) {
+    MANDIPASS_OBS_COUNT("core.prep.onset_detected");
+  } else {
+    MANDIPASS_OBS_COUNT("core.prep.onset_missing");
+  }
+  return onset;
 }
 
 std::size_t Preprocessor::refine_onset(const imu::RawRecording& recording,
@@ -75,12 +83,15 @@ std::size_t Preprocessor::refine_onset(const imu::RawRecording& recording,
 }
 
 SignalArray Preprocessor::process(const imu::RawRecording& recording) const {
+  MANDIPASS_OBS_TRACE_SAMPLED(trace_process, "core.prep.process_us", 4);
   MANDIPASS_EXPECTS(recording.sample_rate_hz > 0.0);
   if (recording.sample_count() < config_.segment_length) {
+    MANDIPASS_OBS_COUNT("core.prep.short_recording");
     throw SignalError("recording shorter than one segment");
   }
   const auto onset = detect_onset(recording);
   if (!onset.has_value()) {
+    MANDIPASS_OBS_COUNT("core.prep.no_onset");
     throw SignalError("no vibration onset detected — ask the user to voice 'EMM' again");
   }
   std::size_t start = *onset;
@@ -88,24 +99,45 @@ SignalArray Preprocessor::process(const imu::RawRecording& recording) const {
     start = refine_onset(recording, start);
   }
   if (start + config_.segment_length > recording.sample_count()) {
+    MANDIPASS_OBS_COUNT("core.prep.onset_truncated");
     throw SignalError("vibration onset too close to the end of the recording (" +
                       std::to_string(start) + " + " +
                       std::to_string(config_.segment_length) + " > " +
                       std::to_string(recording.sample_count()) + ")");
   }
 
+  // Stage-major rather than axis-major so each stage is timed once per
+  // call instead of once per axis. Axes are independent, so the numbers
+  // are identical either way.
   SignalArray out;
-  for (std::size_t a = 0; a < imu::kAxisCount; ++a) {
-    // 1. segmentation
-    std::span<const double> segment(recording.axes[a].data() + start, config_.segment_length);
-    // 2. MAD outlier detect + two-sided neighbour-mean replacement
-    std::vector<double> cleaned = dsp::mad_clean(segment, config_.mad);
-    // 3. high-pass Butterworth (body-motion LFC removal)
-    auto hp = dsp::SosFilter::butterworth_highpass4(config_.highpass_hz, recording.sample_rate_hz);
-    cleaned = hp.filter(cleaned);
-    // 4. min-max normalisation
-    out.axes[a] = dsp::minmax_normalize(cleaned);
+  std::array<std::vector<double>, imu::kAxisCount> cleaned;
+  {
+    // 1+2. segmentation, then MAD outlier detect + two-sided
+    // neighbour-mean replacement
+    MANDIPASS_OBS_TRACE_SAMPLED(trace_mad, "core.prep.mad_us", 4);
+    for (std::size_t a = 0; a < imu::kAxisCount; ++a) {
+      std::span<const double> segment(recording.axes[a].data() + start, config_.segment_length);
+      cleaned[a] = dsp::mad_clean(segment, config_.mad);
+    }
   }
+  {
+    // 3. high-pass Butterworth (body-motion LFC removal). One filter
+    // serves all axes: filter() resets its state per call, so hoisting
+    // the coefficient design out of the loop changes nothing numerically.
+    MANDIPASS_OBS_TRACE_SAMPLED(trace_filter, "core.prep.filter_us", 4);
+    auto hp = dsp::SosFilter::butterworth_highpass4(config_.highpass_hz, recording.sample_rate_hz);
+    for (auto& axis : cleaned) {
+      axis = hp.filter(axis);
+    }
+  }
+  {
+    // 4. min-max normalisation
+    MANDIPASS_OBS_TRACE_SAMPLED(trace_norm, "core.prep.normalize_us", 4);
+    for (std::size_t a = 0; a < imu::kAxisCount; ++a) {
+      out.axes[a] = dsp::minmax_normalize(cleaned[a]);
+    }
+  }
+  MANDIPASS_OBS_COUNT("core.prep.ok");
   return out;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.h"
+#include "common/obs.h"
 #include "nn/adam.h"
 #include "nn/loss.h"
 
@@ -55,6 +56,7 @@ double ExtractorTrainer::train(const LabeledGradientSet& data) {
 
   double final_acc = 0.0;
   for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    MANDIPASS_OBS_TRACE(trace_epoch, "core.trainer.epoch_us");
     const auto perm = rng.permutation(data.size());
     double loss_sum = 0.0;
     double acc_sum = 0.0;
@@ -94,6 +96,8 @@ double ExtractorTrainer::train(const LabeledGradientSet& data) {
     }
     opt.set_lr(opt.lr() * config_.lr_decay);
   }
+  MANDIPASS_OBS_COUNT_N("core.trainer.epochs", config_.epochs);
+  MANDIPASS_OBS_GAUGE_SET("core.trainer.train_accuracy", final_acc);
   return final_acc;
 }
 

@@ -1,5 +1,6 @@
 #include "nn/conv2d.h"
 
+#include "common/obs.h"
 #include "common/thread_pool.h"
 #include "nn/serialize.h"
 
@@ -74,6 +75,7 @@ void Conv2d::build_patch_index(std::size_t h_in, std::size_t w_in) {
 }
 
 Tensor Conv2d::forward(const Tensor& input, bool train) {
+  MANDIPASS_OBS_TRACE_SAMPLED(trace_forward, "nn.conv2d.forward_us", 4);
   if (input.rank() != 4 || input.dim(1) != config_.in_channels) {
     throw ShapeError("Conv2d::forward expects (N, in_c, H, W)");
   }

@@ -62,6 +62,65 @@ TEST(Cosine, BoundsOnRandomVectors) {
   }
 }
 
+TEST(Cosine, ZeroNormEitherSideIsDefinedReject) {
+  // A degenerate (all-zero) embedding must map to a defined reject-side
+  // distance, never NaN: distance 1.0 sits past every operating threshold
+  // the paper considers (0.33–0.55).
+  const std::vector<float> zero{0.0f, 0.0f, 0.0f};
+  const std::vector<float> probe{0.5f, -1.0f, 2.0f};
+  for (const auto& [a, b] : {std::pair{zero, probe}, std::pair{probe, zero},
+                             std::pair{zero, zero}}) {
+    const double d = cosine_distance(a, b);
+    EXPECT_FALSE(std::isnan(d));
+    EXPECT_DOUBLE_EQ(d, 1.0);
+  }
+}
+
+TEST(Cosine, PropertySymmetryAndRange) {
+  Rng rng(7);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<float> a(16);
+    std::vector<float> b(16);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      a[i] = static_cast<float>(rng.normal(0.0, trial % 5 == 0 ? 1e4 : 1.0));
+      b[i] = static_cast<float>(rng.normal(0.0, 1.0));
+    }
+    if (trial % 7 == 0) {
+      b = a;  // exercise the near-parallel clamp branch
+    }
+    const double ab = cosine_distance(a, b);
+    const double ba = cosine_distance(b, a);
+    EXPECT_DOUBLE_EQ(ab, ba);
+    EXPECT_GE(ab, 0.0);
+    EXPECT_LE(ab, 2.0);
+  }
+}
+
+TEST(Cosine, ParallelVectorsClampInsideRange) {
+  // Large parallel vectors can push |cos| a few ulps past 1 without the
+  // clamp; distance must stay within [0, 2] exactly.
+  std::vector<float> a(64);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = static_cast<float>(i) * 1e3f + 1.0f;
+  }
+  std::vector<float> b(a);
+  for (auto& v : b) {
+    v *= 3.0f;
+  }
+  const double d = cosine_distance(a, b);
+  EXPECT_GE(d, 0.0);
+  EXPECT_LE(d, 2.0);
+  const double opposite = cosine_distance(a, [&] {
+    std::vector<float> neg(a);
+    for (auto& v : neg) {
+      v = -v;
+    }
+    return neg;
+  }());
+  EXPECT_GE(opposite, 0.0);
+  EXPECT_LE(opposite, 2.0);
+}
+
 TEST(Cosine, MismatchedSizesThrow) {
   const std::vector<float> a{1.0f};
   const std::vector<float> b{1.0f, 2.0f};

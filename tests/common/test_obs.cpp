@@ -1,0 +1,289 @@
+// Unit tests for the common::obs metrics/tracing layer (DESIGN.md §11).
+//
+// Metric names are unique per test: the registry is process-wide and
+// never deallocates, so sharing a name across tests would couple their
+// counts.
+#include "common/obs.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+
+namespace mandipass::common::obs {
+namespace {
+
+TEST(ObsCounter, AddAndReset) {
+  Counter& c = counter("test.counter.add_and_reset");
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(ObsCounter, SameNameSameInstance) {
+  Counter& a = counter("test.counter.identity");
+  Counter& b = counter("test.counter.identity");
+  EXPECT_EQ(&a, &b);
+  a.add(3);
+  EXPECT_EQ(b.value(), 3u);
+}
+
+TEST(ObsCounter, EmptyNameRejected) {
+  EXPECT_THROW(counter(""), PreconditionError);
+  EXPECT_THROW(gauge(""), PreconditionError);
+  EXPECT_THROW(histogram(""), PreconditionError);
+}
+
+TEST(ObsGauge, LastWriteWins) {
+  Gauge& g = gauge("test.gauge.last_write");
+  g.set(1.5);
+  g.set(-2.25);
+  EXPECT_DOUBLE_EQ(g.value(), -2.25);
+  g.reset();
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST(ObsHistogram, BucketIndexLayout) {
+  // Bucket 0 is [0, 1] µs; bucket k (k >= 1) is (2^(k-1), 2^k].
+  EXPECT_EQ(Histogram::bucket_index(0.0), 0u);
+  EXPECT_EQ(Histogram::bucket_index(1.0), 0u);
+  EXPECT_EQ(Histogram::bucket_index(1.5), 1u);
+  EXPECT_EQ(Histogram::bucket_index(2.0), 1u);
+  EXPECT_EQ(Histogram::bucket_index(2.5), 2u);
+  EXPECT_EQ(Histogram::bucket_index(4.0), 2u);
+  EXPECT_EQ(Histogram::bucket_index(1024.0), 10u);
+  EXPECT_EQ(Histogram::bucket_index(1025.0), 11u);
+  // Values beyond the largest finite bucket land in the overflow bucket.
+  EXPECT_EQ(Histogram::bucket_index(1e18), Histogram::kBucketCount - 1);
+}
+
+TEST(ObsHistogram, CountSumMinMax) {
+  Histogram& h = histogram("test.hist.count_sum");
+  h.record(10.0);
+  h.record(30.0);
+  h.record(20.0);
+  const HistogramSnapshot s = h.snapshot("test.hist.count_sum");
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_DOUBLE_EQ(s.sum_us, 60.0);
+  EXPECT_DOUBLE_EQ(s.min_us, 10.0);
+  EXPECT_DOUBLE_EQ(s.max_us, 30.0);
+}
+
+TEST(ObsHistogram, EmptyQuantilesAreZero) {
+  Histogram& h = histogram("test.hist.empty");
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+  const HistogramSnapshot s = h.snapshot("test.hist.empty");
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.min_us, 0.0);
+  EXPECT_DOUBLE_EQ(s.p99_us, 0.0);
+}
+
+TEST(ObsHistogram, QuantileOrderingAndBucketBound) {
+  // Record 1..1000 µs, so the true quantiles are known exactly. The
+  // estimator returns the upper bound of the bucket holding the target
+  // sample clamped to the observed max: ordered in q, never below the
+  // true quantile, and at most one power-of-two bucket (2x) above it.
+  Histogram& h = histogram("test.hist.quantiles");
+  for (int v = 1; v <= 1000; ++v) {
+    h.record(static_cast<double>(v));
+  }
+  const double p50 = h.quantile(0.50);
+  const double p95 = h.quantile(0.95);
+  const double p99 = h.quantile(0.99);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_GE(p50, 500.0);
+  EXPECT_LE(p50, 1000.0);
+  EXPECT_GE(p95, 950.0);
+  EXPECT_LE(p95, 1900.0);
+  EXPECT_GE(p99, 990.0);
+  EXPECT_LE(p99, 1980.0);
+  // p100 clamps to the observed max exactly.
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 1000.0);
+}
+
+TEST(ObsHistogram, OverflowBucketClampsToObservedMax) {
+  Histogram& h = histogram("test.hist.overflow");
+  h.record(1e9);  // ~17 minutes, beyond the largest finite bucket
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 1e9);
+  EXPECT_DOUBLE_EQ(h.snapshot("test.hist.overflow").max_us, 1e9);
+}
+
+TEST(ObsHistogram, NegativeAndNanRecordAsZero) {
+  Histogram& h = histogram("test.hist.nonfinite");
+  h.record(-5.0);
+  h.record(std::numeric_limits<double>::quiet_NaN());
+  const HistogramSnapshot s = h.snapshot("test.hist.nonfinite");
+  EXPECT_EQ(s.count, 2u);
+  EXPECT_DOUBLE_EQ(s.min_us, 0.0);
+  EXPECT_DOUBLE_EQ(s.max_us, 0.0);
+}
+
+TEST(ObsHistogram, ResetKeepsReferenceValid) {
+  Histogram& h = histogram("test.hist.reset");
+  h.record(100.0);
+  Registry::instance().reset();
+  EXPECT_EQ(h.count(), 0u);
+  h.record(7.0);  // the pre-reset reference still works
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(&h, &histogram("test.hist.reset"));
+}
+
+TEST(ObsTraceScope, RecordsElapsedMicroseconds) {
+  Histogram& h = histogram("test.trace.records");
+  {
+    TraceScope t(h);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_GE(h.sum(), 2000.0);  // at least the 2 ms we slept
+}
+
+TEST(ObsTraceScope, DisabledRecordsNothing) {
+  Histogram& h = histogram("test.trace.disabled");
+  set_enabled(false);
+  {
+    TraceScope t(h);
+  }
+  set_enabled(true);
+  EXPECT_EQ(h.count(), 0u);
+  {
+    TraceScope t(h);
+  }
+  EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(ObsMacros, CountGaugeTrace) {
+  MANDIPASS_OBS_COUNT("test.macro.count");
+  MANDIPASS_OBS_COUNT_N("test.macro.count", 4);
+  EXPECT_EQ(counter("test.macro.count").value(), 5u);
+  MANDIPASS_OBS_GAUGE_SET("test.macro.gauge", 0.75);
+  EXPECT_DOUBLE_EQ(gauge("test.macro.gauge").value(), 0.75);
+  {
+    MANDIPASS_OBS_TRACE(t, "test.macro.trace_us");
+  }
+  EXPECT_EQ(histogram("test.macro.trace_us").count(), 1u);
+}
+
+TEST(ObsMacros, SampledTraceRecordsFirstThenEveryPeriod) {
+  // period_log2 = 2 -> every 4th pass is timed, starting with pass 0.
+  // 10 passes hit ticks 0, 4 and 8: exactly three recordings.
+  for (int i = 0; i < 10; ++i) {
+    MANDIPASS_OBS_TRACE_SAMPLED(t, "test.macro.sampled_us", 2);
+  }
+  EXPECT_EQ(histogram("test.macro.sampled_us").count(), 3u);
+  // period_log2 = 0 degenerates to tracing every pass.
+  for (int i = 0; i < 5; ++i) {
+    MANDIPASS_OBS_TRACE_SAMPLED(t, "test.macro.sampled_all_us", 0);
+  }
+  EXPECT_EQ(histogram("test.macro.sampled_all_us").count(), 5u);
+}
+
+TEST(ObsRegistry, SnapshotSortedAndComplete) {
+  counter("test.snap.b").add(2);
+  counter("test.snap.a").add(1);
+  gauge("test.snap.g").set(3.0);
+  histogram("test.snap.h").record(12.0);
+  const MetricsSnapshot snap = Registry::instance().snapshot();
+  for (std::size_t i = 1; i < snap.counters.size(); ++i) {
+    EXPECT_LT(snap.counters[i - 1].name, snap.counters[i].name);
+  }
+  const auto counter_value = [&](std::string_view name) -> std::uint64_t {
+    for (const auto& c : snap.counters) {
+      if (c.name == name) {
+        return c.value;
+      }
+    }
+    return ~std::uint64_t{0};
+  };
+  EXPECT_EQ(counter_value("test.snap.a"), 1u);
+  EXPECT_EQ(counter_value("test.snap.b"), 2u);
+  bool found_gauge = false;
+  for (const auto& g : snap.gauges) {
+    found_gauge = found_gauge || (g.name == "test.snap.g" && g.value == 3.0);
+  }
+  EXPECT_TRUE(found_gauge);
+  bool found_hist = false;
+  for (const auto& h : snap.histograms) {
+    found_hist = found_hist || (h.name == "test.snap.h" && h.count == 1);
+  }
+  EXPECT_TRUE(found_hist);
+}
+
+TEST(ObsConcurrency, ThreadPoolIncrementsSumExactly) {
+  // N lanes x M increments over the pool must sum exactly: counters are
+  // relaxed atomics, so no update may be lost (and TSan must see no race).
+  ThreadPool pool(4);
+  Counter& c = counter("test.conc.pool_counter");
+  Histogram& h = histogram("test.conc.pool_hist");
+  constexpr std::size_t kItems = 64;
+  constexpr std::size_t kIncrements = 2000;
+  pool.parallel_for(0, kItems, 1, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      for (std::size_t k = 0; k < kIncrements; ++k) {
+        c.add();
+        h.record(static_cast<double>(k % 32));
+      }
+    }
+  });
+  EXPECT_EQ(c.value(), kItems * kIncrements);
+  EXPECT_EQ(h.count(), kItems * kIncrements);
+}
+
+TEST(ObsConcurrency, SnapshotDuringWritesIsBounded) {
+  // A snapshot taken mid-run never exceeds the final total, and the final
+  // snapshot is exact once writers are joined.
+  Counter& c = counter("test.conc.snap_counter");
+  std::atomic<bool> stop{false};
+  constexpr std::uint64_t kPerThread = 50000;
+  std::vector<std::thread> writers;
+  writers.reserve(3);
+  for (int t = 0; t < 3; ++t) {
+    writers.emplace_back([&c] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        c.add();
+      }
+    });
+  }
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      EXPECT_LE(c.value(), 3 * kPerThread);
+    }
+  });
+  for (auto& w : writers) {
+    w.join();
+  }
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+  EXPECT_EQ(c.value(), 3 * kPerThread);
+}
+
+TEST(ObsConcurrency, RegistrationRaceYieldsOneInstance) {
+  // Many threads registering the same name concurrently must all get the
+  // same Counter.
+  ThreadPool pool(4);
+  std::vector<Counter*> seen(32, nullptr);
+  pool.parallel_for(0, seen.size(), 1, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      seen[i] = &counter("test.conc.registration");
+      seen[i]->add();
+    }
+  });
+  for (const Counter* p : seen) {
+    EXPECT_EQ(p, seen[0]);
+  }
+  EXPECT_EQ(seen[0]->value(), seen.size());
+}
+
+}  // namespace
+}  // namespace mandipass::common::obs

@@ -92,6 +92,60 @@ TEST_F(PreprocessorTest, ShortRecordingThrows) {
   EXPECT_THROW(prep.process(tiny), SignalError);
 }
 
+TEST_F(PreprocessorTest, AllFlatRecordingThrowsNoOnset) {
+  // Every axis constant (device on a table): no window crosses the onset
+  // threshold, so process() must take the no-onset path, not crash.
+  const Preprocessor prep;
+  imu::RawRecording flat;
+  flat.sample_rate_hz = 350.0;
+  for (auto& axis : flat.axes) {
+    axis.assign(300, 1234.0);
+  }
+  EXPECT_THROW(prep.process(flat), SignalError);
+}
+
+TEST_F(PreprocessorTest, AllSaturatedRecordingProcesses) {
+  // Rail-to-rail clipping on every axis: the onset lands in window 0 and
+  // the full pipeline still produces normalised segments (no OOB reads,
+  // no division by zero in normalisation).
+  const Preprocessor prep;
+  imu::RawRecording sat;
+  sat.sample_rate_hz = 350.0;
+  for (auto& axis : sat.axes) {
+    axis.resize(300);
+    for (std::size_t i = 0; i < axis.size(); ++i) {
+      axis[i] = i % 2 == 0 ? 32767.0 : -32767.0;
+    }
+  }
+  const SignalArray array = prep.process(sat);
+  for (std::size_t a = 0; a < imu::kAxisCount; ++a) {
+    ASSERT_EQ(array.axes[a].size(), kDefaultSegmentLength);
+    EXPECT_GE(min_value(array.axes[a]), 0.0);
+    EXPECT_LE(max_value(array.axes[a]), 1.0);
+  }
+}
+
+TEST_F(PreprocessorTest, OnsetInFinalWindowThrowsShortSegment) {
+  // Vibration confined to the last 10 samples: detection succeeds but a
+  // 60-sample segment cannot fit — the short-segment SignalError path,
+  // with no reads past the end of any axis.
+  PreprocessorConfig cfg;
+  cfg.peak_align_radius = 0;
+  const Preprocessor prep(cfg);
+  imu::RawRecording rec;
+  rec.sample_rate_hz = 350.0;
+  for (auto& axis : rec.axes) {
+    axis.assign(300, 0.0);
+    for (std::size_t i = 290; i < 300; ++i) {
+      axis[i] = i % 2 == 0 ? 3000.0 : -3000.0;
+    }
+  }
+  const auto onset = prep.detect_onset(rec);
+  ASSERT_TRUE(onset.has_value());
+  EXPECT_EQ(*onset, 290u);
+  EXPECT_THROW(prep.process(rec), SignalError);
+}
+
 TEST_F(PreprocessorTest, HighPassRemovesDcOffset) {
   // Gravity puts a large DC on the raw axes; after preprocessing the
   // segment is normalised, but the *shape* must not be a flat line pinned

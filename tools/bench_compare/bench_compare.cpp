@@ -1,0 +1,127 @@
+// bench_compare — the perf-regression gate over BENCH_*.json reports.
+//
+//   bench_compare [options] baseline.json current.json
+//
+// Options:
+//   --latency-tol PCT      relative latency budget (default 50)
+//   --counter-tol PCT      relative counter tolerance (default 0 = exact)
+//   --metric-tol NAME=PCT  per-metric override (repeatable; histogram
+//                          quantiles are addressed as "<name>.p50")
+//   --latency-slack-us US  absolute latency slack (default 5)
+//   --skip-latency         compare counters/verdicts only (cross-machine)
+//   --skip-counters        compare latency/verdicts only
+//
+// Exit codes: 0 within tolerance, 1 regression, 2 usage / parse error or
+// reports that are not comparable (schema, bench name, or scale mismatch).
+#include <cstdlib>
+#include <exception>
+#include <iostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/bench_report.h"
+
+namespace {
+
+using mandipass::common::BenchReport;
+using mandipass::common::CompareOptions;
+using mandipass::common::CompareResult;
+
+void usage(std::ostream& out) {
+  out << "usage: bench_compare [--latency-tol PCT] [--counter-tol PCT]\n"
+         "                     [--metric-tol NAME=PCT] [--latency-slack-us US]\n"
+         "                     [--skip-latency] [--skip-counters]\n"
+         "                     baseline.json current.json\n";
+}
+
+double parse_percent(std::string_view flag, std::string_view text) {
+  std::size_t used = 0;
+  const std::string token(text);
+  double value = 0.0;
+  try {
+    value = std::stod(token, &used);
+  } catch (const std::exception&) {
+    used = 0;
+  }
+  if (used != token.size() || value < 0.0) {
+    std::cerr << "bench_compare: " << flag << " expects a non-negative "
+              << "percentage, got '" << token << "'\n";
+    std::exit(2);
+  }
+  return value / 100.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CompareOptions options;
+  std::vector<std::string> paths;
+
+  const auto next_value = [&](int& i, std::string_view flag) -> std::string_view {
+    if (i + 1 >= argc) {
+      std::cerr << "bench_compare: " << flag << " requires a value\n";
+      std::exit(2);
+    }
+    return argv[++i];
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      usage(std::cout);
+      return 0;
+    }
+    if (arg == "--latency-tol") {
+      options.latency_tol = parse_percent(arg, next_value(i, arg));
+    } else if (arg == "--counter-tol") {
+      options.counter_tol = parse_percent(arg, next_value(i, arg));
+    } else if (arg == "--latency-slack-us") {
+      options.latency_slack_us = parse_percent(arg, next_value(i, arg)) * 100.0;
+    } else if (arg == "--metric-tol") {
+      const std::string_view spec = next_value(i, arg);
+      const std::size_t eq = spec.find('=');
+      if (eq == std::string_view::npos || eq == 0) {
+        std::cerr << "bench_compare: --metric-tol expects NAME=PCT, got '"
+                  << spec << "'\n";
+        return 2;
+      }
+      options.metric_tol[std::string(spec.substr(0, eq))] =
+          parse_percent(arg, spec.substr(eq + 1));
+    } else if (arg == "--skip-latency") {
+      options.skip_latency = true;
+    } else if (arg == "--skip-counters") {
+      options.skip_counters = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "bench_compare: unknown option '" << arg << "'\n";
+      usage(std::cerr);
+      return 2;
+    } else {
+      paths.emplace_back(arg);
+    }
+  }
+
+  if (paths.size() != 2) {
+    usage(std::cerr);
+    return 2;
+  }
+
+  BenchReport baseline;
+  BenchReport current;
+  try {
+    baseline = mandipass::common::read_report(paths[0]);
+    current = mandipass::common::read_report(paths[1]);
+  } catch (const std::exception& e) {
+    std::cerr << "bench_compare: " << e.what() << "\n";
+    return 2;
+  }
+
+  const CompareResult result =
+      mandipass::common::compare_reports(baseline, current, options);
+  std::cout << "bench_compare: " << baseline.bench << " (" << baseline.git_sha
+            << " -> " << current.git_sha << ")\n";
+  for (const auto& msg : result.messages) {
+    std::cout << "  " << msg << "\n";
+  }
+  return result.exit_code();
+}
