@@ -1,0 +1,235 @@
+// bench_faults — graceful-degradation characterization sweep (DESIGN.md
+// §12). Runs the verification pipeline under every modelled IMU fault
+// class at increasing severity and reports, per (kind, severity) cell,
+// how the system responded:
+//
+//   accept   verified and matched (the fault was survivable)
+//   deny     verified but over threshold (degraded signal, typed decision)
+//   reject   typed capture reject (Result error: onset_not_found,
+//            sensor_saturated, non_finite_sample, ...)
+//
+// Nothing in the sweep may throw: every degraded capture must come back
+// as a typed RejectReason with its fault.reject.* counter incremented.
+//
+// Determinism contract (bench_compare gates the quick-mode counters
+// exactly): fixed seeds everywhere, a serial sweep loop, and an untrained
+// fixed-seed extractor — no model cache, so cold and warm runs emit the
+// same counter stream. The extractor acts as a deterministic random
+// projection; the acceptance threshold is calibrated from the clean
+// probes, so "accept" means "indistinguishable from this session's clean
+// captures", which is exactly the axis a fault sweep measures.
+#include <algorithm>
+#include <exception>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/result.h"
+#include "common/table.h"
+#include "core/mandipass.h"
+#include "imu/fault_injector.h"
+#include "vibration/session.h"
+
+using namespace mandipass;
+
+namespace {
+
+constexpr std::uint64_t kInjectorSeed = 0xFA017;
+constexpr const char* kUser = "user0";
+
+/// Outcome tallies for one (kind, severity) cell.
+struct Cell {
+  std::size_t accept = 0;
+  std::size_t deny = 0;
+  std::map<std::string, std::size_t> rejects;  // error_code_name -> count
+
+  std::size_t reject_total() const {
+    std::size_t n = 0;
+    for (const auto& [name, count] : rejects) {
+      n += count;
+    }
+    return n;
+  }
+  std::string top_reject() const {
+    std::string best = "-";
+    std::size_t best_n = 0;
+    for (const auto& [name, count] : rejects) {
+      if (count > best_n) {
+        best = name;
+        best_n = count;
+      }
+    }
+    return best;
+  }
+};
+
+bool recordings_equal(const imu::RawRecording& a, const imu::RawRecording& b) {
+  if (a.sample_rate_hz != b.sample_rate_hz) {
+    return false;
+  }
+  for (std::size_t axis = 0; axis < imu::kAxisCount; ++axis) {
+    if (a.axes[axis] != b.axes[axis]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::init_bench(argc, argv);
+  bench::print_banner("Fault sweep: typed degradation under injected IMU faults",
+                      "every fault class yields accept / deny / typed-reject, never "
+                      "an exception");
+
+  const auto scale = bench::active_scale();
+  const std::size_t enroll_count = scale.quick ? 3 : 5;
+  const std::size_t probe_count = scale.quick ? 6 : 20;
+  const std::vector<double> severities{0.10, 0.25, 0.50, 0.75, 1.00};
+
+  // Deterministic pipeline: untrained fixed-seed extractor (a random
+  // projection), paper cohort's first person, fixed session stream.
+  auto extractor = std::make_shared<core::BiometricExtractor>(
+      bench::default_extractor_config(scale.quick ? 64 : 256));
+  core::MandiPass system(extractor);
+
+  Rng rng(bench::kSessionSeed);
+  const auto cohort = bench::paper_cohort();
+  vibration::SessionRecorder recorder(cohort.front(), rng);
+
+  // Record until we have enroll_count + probe_count processable clean
+  // captures (a simulated session can legitimately miss the onset; those
+  // are the pipeline's everyday rejects, not this bench's subject).
+  std::vector<imu::RawRecording> clean;
+  std::size_t attempts = 0;
+  const std::size_t max_attempts = 4 * (enroll_count + probe_count);
+  while (clean.size() < enroll_count + probe_count && attempts < max_attempts) {
+    ++attempts;
+    auto rec = recorder.record(vibration::SessionConfig{});
+    if (system.try_extract_print(rec).ok()) {
+      clean.push_back(std::move(rec));
+    }
+  }
+  if (clean.size() < enroll_count + probe_count) {
+    std::cerr << "bench_faults: only " << clean.size() << " processable captures after "
+              << attempts << " attempts\n";
+    bench::record_verdict("clean_captures_available", false,
+                          std::to_string(clean.size()) + " of " +
+                              std::to_string(enroll_count + probe_count));
+    return 1;
+  }
+  bench::record_verdict("clean_captures_available", true,
+                        std::to_string(clean.size()) + " captures in " +
+                            std::to_string(attempts) + " attempts");
+
+  const std::vector<imu::RawRecording> enrollment(clean.begin(),
+                                                  clean.begin() + enroll_count);
+  const std::vector<imu::RawRecording> probes(clean.begin() + enroll_count, clean.end());
+
+  const auto enrolled = system.try_enroll(kUser, enrollment);
+  if (!enrolled.ok()) {
+    std::cerr << "bench_faults: enrolment failed: " << enrolled.error().message << "\n";
+    return 1;
+  }
+
+  // Calibrate the operating threshold from the clean probes: the sweep
+  // then measures how far each fault pushes a capture away from the
+  // user's own clean-session distance band.
+  double max_clean = 0.0;
+  for (const auto& probe : probes) {
+    const auto d = system.try_verify(kUser, probe);
+    if (!d.ok()) {
+      std::cerr << "bench_faults: clean probe rejected: " << d.error().message << "\n";
+      return 1;
+    }
+    max_clean = std::max(max_clean, d.value().distance);
+  }
+  const double threshold = std::min(2.0, max_clean * 1.05 + 1e-6);
+  system.set_threshold(threshold);
+  std::cout << "calibrated threshold: " << fmt(threshold, 4) << " (max clean distance "
+            << fmt(max_clean, 4) << ")\n";
+
+  // Clean baseline row: every probe must accept at the calibrated
+  // threshold, and severity-0 injection must be the identity.
+  std::size_t clean_accepts = 0;
+  for (const auto& probe : probes) {
+    const auto d = system.try_verify(kUser, probe);
+    if (d.ok() && d.value().accepted) {
+      ++clean_accepts;
+    }
+  }
+  bench::record_verdict("clean_accepts", clean_accepts == probes.size(),
+                        std::to_string(clean_accepts) + "/" + std::to_string(probes.size()) +
+                            " clean probes accepted");
+
+  const imu::FaultInjector injector(kInjectorSeed);
+  bool severity_zero_identity = true;
+  for (const imu::FaultKind kind : imu::kAllFaultKinds) {
+    const auto copy =
+        injector.apply(probes.front(), imu::FaultSpec{kind, 0.0, 32767.0});
+    severity_zero_identity = severity_zero_identity && recordings_equal(copy, probes.front());
+  }
+  bench::record_verdict("severity_zero_identity", severity_zero_identity,
+                        "severity 0 is the identity for all 7 fault kinds");
+
+  // The sweep. Serial on purpose: the counter stream must not depend on
+  // the thread count.
+  const std::vector<std::string> capture_taxonomy{
+      "invalid_input", "segment_too_short", "onset_not_found", "sensor_saturated",
+      "non_finite_sample"};
+  std::size_t uncaught = 0;
+  bool typed_only = true;
+  Table matrix({"fault", "severity", "accept", "deny", "reject", "top reject reason"});
+  for (const imu::FaultKind kind : imu::kAllFaultKinds) {
+    for (const double severity : severities) {
+      Cell cell;
+      const imu::FaultSpec spec{kind, severity, 32767.0};
+      for (const auto& probe : probes) {
+        try {
+          const auto faulty = injector.apply(probe, spec);
+          const auto d = system.try_verify(kUser, faulty);
+          if (d.ok()) {
+            if (d.value().accepted) {
+              ++cell.accept;
+            } else {
+              ++cell.deny;
+            }
+          } else {
+            const std::string name(common::error_code_name(d.error().code));
+            ++cell.rejects[name];
+            if (std::find(capture_taxonomy.begin(), capture_taxonomy.end(), name) ==
+                capture_taxonomy.end()) {
+              typed_only = false;
+            }
+          }
+        } catch (const std::exception& e) {
+          ++uncaught;
+          std::cerr << "UNCAUGHT: " << fault_kind_name(kind) << " @" << fmt(severity, 2)
+                    << ": " << e.what() << "\n";
+        }
+      }
+      matrix.add_row({std::string(fault_kind_name(kind)), fmt(severity, 2),
+                      std::to_string(cell.accept), std::to_string(cell.deny),
+                      std::to_string(cell.reject_total()), cell.top_reject()});
+    }
+  }
+
+  std::cout << "\nDegradation matrix (" << probes.size() << " probes per cell):\n";
+  matrix.print(std::cout);
+
+  const bool no_throw = uncaught == 0;
+  bench::record_verdict("no_uncaught_exception", no_throw,
+                        no_throw ? "every faulty capture handled as a typed outcome"
+                                 : std::to_string(uncaught) + " exceptions escaped");
+  bench::record_verdict("typed_rejects_only", typed_only,
+                        "every reject code belongs to the capture taxonomy");
+
+  const bool pass = no_throw && typed_only && severity_zero_identity &&
+                    clean_accepts == probes.size();
+  std::cout << "\nShape check (no throws, typed rejects, clean accepts): "
+            << (pass ? "PASS" : "FAIL") << "\n";
+  return pass ? 0 : 1;
+}

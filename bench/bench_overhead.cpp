@@ -100,21 +100,19 @@ void BM_EndToEndVerification(benchmark::State& state) {
 }
 BENCHMARK(BM_EndToEndVerification)->Unit(benchmark::kMicrosecond);
 
-/// Interleaved A/B comparison of one hot-path body with obs tracing
-/// enabled vs disabled at runtime (the disabled side still pays counter
-/// increments by design — obs::set_enabled only gates TraceScope clock
-/// reads, which dominate the instrumentation cost; the full compile-out
-/// is -DMANDIPASS_NO_OBS). Batches alternate which mode runs first so
-/// frequency drift cancels. Each mode is summarised by its *fastest*
-/// batch: preemption and frequency dips only ever inflate a batch, so
-/// the minimum approximates the unperturbed per-iteration cost — medians
-/// still wobbled by ±10% on a few-microsecond body, far above the
-/// sub-percent effect being measured.
-template <typename F>
-double obs_overhead_delta(F&& body, int batches, int iters) {
+/// Interleaved A/B comparison of one hot-path body under two runtime
+/// modes ("on" = the costed feature, "off" = the baseline). `set_mode`
+/// flips the mode before each batch; `body` runs the path. Batches
+/// alternate which mode runs first so frequency drift cancels. Each mode
+/// is summarised by its *fastest* batch: preemption and frequency dips
+/// only ever inflate a batch, so the minimum approximates the
+/// unperturbed per-iteration cost — medians still wobbled by ±10% on a
+/// few-microsecond body, far above the sub-percent effect being measured.
+template <typename Setup, typename F>
+double ab_overhead_delta(Setup&& set_mode, F&& body, int batches, int iters) {
   using clock = std::chrono::steady_clock;
   const auto run_batch = [&](bool on) {
-    common::obs::set_enabled(on);
+    set_mode(on);
     const auto t0 = clock::now();
     for (int i = 0; i < iters; ++i) {
       body();
@@ -136,27 +134,43 @@ double obs_overhead_delta(F&& body, int batches, int iters) {
       best = std::min(best, run_batch(on));
     }
   }
-  common::obs::set_enabled(true);
+  set_mode(true);
   if (!(best_off > 0.0)) {
     return 0.0;
   }
   return (best_on - best_off) / best_off;
 }
 
+/// The observability tax: the same body with obs tracing enabled vs
+/// disabled at runtime (the disabled side still pays counter increments
+/// by design — obs::set_enabled only gates TraceScope clock reads, which
+/// dominate the instrumentation cost; the full compile-out is
+/// -DMANDIPASS_NO_OBS).
+template <typename F>
+double obs_overhead_delta(F&& body, int batches, int iters) {
+  return ab_overhead_delta([](bool on) { common::obs::set_enabled(on); }, body, batches,
+                           iters);
+}
+
 /// Noise on a busy machine only ever inflates a delta, while a real
 /// instrumentation cost is a floor under every attempt — so an
 /// over-bound measurement is retried (fresh interleaved run) and the
-/// smallest delta observed wins.
-template <typename F>
-double obs_overhead_delta_retrying(F&& body, int batches, int iters, double bound) {
+/// smallest delta observed wins. `measure` is any delta-producing run.
+template <typename DeltaFn>
+double smallest_delta(DeltaFn&& measure, double bound) {
   double best = std::numeric_limits<double>::infinity();
   for (int attempt = 0; attempt < 3; ++attempt) {
-    best = std::min(best, obs_overhead_delta(body, batches, iters));
+    best = std::min(best, measure());
     if (best < bound) {
       break;
     }
   }
   return best;
+}
+
+template <typename F>
+double obs_overhead_delta_retrying(F&& body, int batches, int iters, double bound) {
+  return smallest_delta([&] { return obs_overhead_delta(body, batches, iters); }, bound);
 }
 
 }  // namespace
@@ -207,6 +221,30 @@ int main(int argc, char** argv) {
                         "tracing on-vs-off delta " + fmt_percent(prep_delta));
   bench::record_verdict("obs_overhead_extract", extract_delta < 0.02,
                         "tracing on-vs-off delta " + fmt_percent(extract_delta));
+
+  // Robustness tax (DESIGN.md §12): the same preprocessing body with the
+  // NaN/Inf segment guard and output gate on vs off. Same interleaved
+  // fastest-batch methodology and the same <2% bar as the obs tax.
+  std::cout << "\nrobust-path overhead (robust_checks on vs off, fastest of "
+               "interleaved batches):\n";
+  core::PreprocessorConfig relaxed;
+  relaxed.robust_checks = false;
+  const core::Preprocessor prep_relaxed(relaxed);
+  const core::Preprocessor* active_prep = &f.prep;
+  const double robust_delta = smallest_delta(
+      [&] {
+        return ab_overhead_delta(
+            [&](bool on) { active_prep = on ? &f.prep : &prep_relaxed; },
+            [&] { benchmark::DoNotOptimize(active_prep->process(f.recording)); },
+            /*batches=*/15, /*iters=*/600);
+      },
+      /*bound=*/0.02);
+  Table robust_tbl({"path", "delta", "bound", "verdict"});
+  robust_tbl.add_row({"Preprocessor::process robust_checks", fmt_percent(robust_delta),
+                      "< 2%", robust_delta < 0.02 ? "PASS" : "FAIL"});
+  robust_tbl.print(std::cout);
+  bench::record_verdict("robust_path_overhead", robust_delta < 0.02,
+                        "robust_checks on-vs-off delta " + fmt_percent(robust_delta));
 
   std::cout << "\nlatency micro-benchmarks (this machine; the paper's "
                "bounds are for an earbud-class CPU):\n";

@@ -42,6 +42,9 @@ step "bench smoke + bench_compare vs committed baseline"
 MANDIPASS_BENCH_QUICK=1 build/bench/bench_fig5_onset --json build/BENCH_bench_fig5_onset.json
 build/tools/bench_compare --skip-latency \
   bench/baselines/bench_fig5_onset.quick.json build/BENCH_bench_fig5_onset.json
+MANDIPASS_BENCH_QUICK=1 build/bench/bench_faults --json build/BENCH_bench_faults.json
+build/tools/bench_compare --skip-latency \
+  bench/baselines/bench_faults.quick.json build/BENCH_bench_faults.json
 
 if [ "$FAST" -eq 0 ]; then
   step "ASan+UBSan build + ctest"

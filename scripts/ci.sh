@@ -35,13 +35,24 @@ job_bench_smoke() {
     --json build/BENCH_bench_fig5_onset.json &&
     build/tools/bench_compare --skip-latency \
       bench/baselines/bench_fig5_onset.quick.json \
-      build/BENCH_bench_fig5_onset.json
+      build/BENCH_bench_fig5_onset.json &&
+    MANDIPASS_BENCH_QUICK=1 build/bench/bench_faults \
+      --json build/BENCH_bench_faults.json &&
+    build/tools/bench_compare --skip-latency \
+      bench/baselines/bench_faults.quick.json \
+      build/BENCH_bench_faults.json
 }
 
 job_no_obs() {
   cmake -B build-no-obs -S . -DMANDIPASS_NO_OBS=ON \
     -DMANDIPASS_BUILD_TESTS=OFF -DMANDIPASS_BUILD_EXAMPLES=OFF >/dev/null &&
     cmake --build build-no-obs -j "$JOBS"
+}
+
+job_fault() {
+  cmake --preset asan >/dev/null &&
+    cmake --build --preset asan -j "$JOBS" --target test_fault &&
+    ctest --preset asan -L fault --output-on-failure
 }
 
 job_sanitize() {
@@ -56,6 +67,7 @@ job_sanitize() {
 run_job "build-werror"  job_build_werror
 run_job "bench-smoke"   job_bench_smoke
 run_job "no-obs"        job_no_obs
+run_job "fault"         job_fault
 run_job "sanitize"      job_sanitize
 run_job "clang-tidy"    scripts/run_tidy.sh
 run_job "mandilint"     scripts/lint.sh
@@ -63,7 +75,7 @@ run_job "mandilint"     scripts/lint.sh
 echo
 echo "==== ci summary ===="
 FAIL=0
-for name in build-werror bench-smoke no-obs sanitize clang-tidy mandilint; do
+for name in build-werror bench-smoke no-obs fault sanitize clang-tidy mandilint; do
   echo "  $name: ${STATUS[$name]}"
   [ "${STATUS[$name]}" = ok ] || FAIL=1
 done

@@ -1,10 +1,15 @@
 #include "auth/batch_verifier.h"
+// mandilint: allow-file(expects-guard) -- the batch API is total by design
+// (DESIGN.md §12): malformed requests become typed Invalid decisions on the
+// pool workers instead of precondition failures, and threshold bounds are
+// enforced by the owned Verifier.
 
 #include <chrono>
 #include <mutex>
 
 #include "auth/gaussian_matrix.h"
 #include "common/error.h"
+#include "common/finite.h"
 #include "common/obs.h"
 
 namespace mandipass::auth {
@@ -51,11 +56,44 @@ void BatchVerifier::set_threshold(double t) {
   verifier_.set_threshold(t);
 }
 
+const char* batch_status_name(BatchStatus status) {
+  switch (status) {
+    case BatchStatus::Accepted:
+      return "accepted";
+    case BatchStatus::Rejected:
+      return "rejected";
+    case BatchStatus::Unknown:
+      return "unknown";
+    case BatchStatus::Invalid:
+      return "invalid";
+  }
+  return "?";
+}
+
 BatchDecision BatchVerifier::verify_one(const std::string& user,
                                         std::span<const float> raw_probe) const {
   MANDIPASS_OBS_TRACE(trace_verify, "auth.batch.verify_us");
-  MANDIPASS_EXPECTS(!raw_probe.empty());
   MANDIPASS_OBS_COUNT("auth.batch.verify_total");
+  BatchDecision out;
+  // Totality gates: verify_one runs on pool workers, where a throw would
+  // surface via parallel_for on the caller and void the whole batch. Any
+  // malformed request instead becomes an Invalid decision with a typed
+  // reason (and a fault.reject.* counter via make_error).
+  if (raw_probe.empty()) {
+    MANDIPASS_OBS_COUNT("auth.batch.verify_invalid");
+    out.status = BatchStatus::Invalid;
+    out.reason = common::make_error(common::ErrorCode::InvalidInput, "empty probe").code;
+    return out;
+  }
+  for (float v : raw_probe) {
+    if (!common::is_finite(v)) {
+      MANDIPASS_OBS_COUNT("auth.batch.verify_invalid");
+      out.status = BatchStatus::Invalid;
+      out.reason =
+          common::make_error(common::ErrorCode::NonFiniteSample, "non-finite probe value").code;
+      return out;
+    }
+  }
   // Shared-lock window: copy the template and the operating threshold so
   // the decision is computed against one consistent generation even while
   // writers re-key the user concurrently.
@@ -70,9 +108,22 @@ BatchDecision BatchVerifier::verify_one(const std::string& user,
     stored = store_.lookup(user);
     threshold = verifier_.threshold();
   }
-  BatchDecision out;
   if (!stored.has_value()) {
     MANDIPASS_OBS_COUNT("auth.batch.verify_unknown");
+    out.status = BatchStatus::Unknown;
+    out.reason = common::make_error(common::ErrorCode::UnknownUser,
+                                    "no enrolment for user '" + user + "'")
+                     .code;
+    return out;
+  }
+  if (stored->data.size() != raw_probe.size()) {
+    // The cancelable transform is square: a wrong-dim probe can never
+    // match, and cosine_distance would assert on the size disagreement.
+    MANDIPASS_OBS_COUNT("auth.batch.verify_invalid");
+    out.status = BatchStatus::Invalid;
+    out.reason = common::make_error(common::ErrorCode::DimensionMismatch,
+                                    "probe/template dimension mismatch for user '" + user + "'")
+                     .code;
     return out;
   }
   out.known = true;
@@ -83,8 +134,10 @@ BatchDecision BatchVerifier::verify_one(const std::string& user,
   out.decision = v.verify(transformed, stored->data);
   if (out.decision.accepted) {
     MANDIPASS_OBS_COUNT("auth.batch.verify_accepted");
+    out.status = BatchStatus::Accepted;
   } else {
     MANDIPASS_OBS_COUNT("auth.batch.verify_rejected");
+    out.status = BatchStatus::Rejected;
   }
   return out;
 }
@@ -140,6 +193,8 @@ BatchResult BatchVerifier::verify_batch(std::span<const VerifyRequest> requests,
     const BatchDecision& d = result.decisions[i];
     s.known += d.known ? 1 : 0;
     s.accepted += (d.known && d.decision.accepted) ? 1 : 0;
+    s.unknown += d.status == BatchStatus::Unknown ? 1 : 0;
+    s.invalid += d.status == BatchStatus::Invalid ? 1 : 0;
     sum_ms += request_ms[i];
     s.max_request_ms = std::max(s.max_request_ms, request_ms[i]);
   }

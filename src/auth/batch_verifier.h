@@ -28,6 +28,7 @@
 #include "auth/gaussian_matrix.h"
 #include "auth/template_store.h"
 #include "auth/verifier.h"
+#include "common/result.h"
 #include "common/thread_pool.h"
 
 namespace mandipass::auth {
@@ -39,11 +40,28 @@ struct VerifyRequest {
   std::vector<float> raw_probe;
 };
 
+/// What happened to one request in a batch. verify_one is total: every
+/// request — including malformed probes and unknown ids — maps to one of
+/// these, so no exception can escape a worker thread and tear down the
+/// whole batch (DESIGN.md §12).
+enum class BatchStatus : std::uint8_t {
+  Accepted,  ///< enrolled user, distance within threshold
+  Rejected,  ///< enrolled user, distance beyond threshold
+  Unknown,   ///< no enrolment for this user id
+  Invalid,   ///< request malformed (empty / non-finite / wrong-dim probe)
+};
+
+const char* batch_status_name(BatchStatus status);
+
 /// Outcome of one request in a batch.
 struct BatchDecision {
   bool known = false;            ///< user was enrolled when snapshotted
   Decision decision;             ///< valid only when known
   std::uint32_t key_version = 0; ///< template generation the decision used
+  BatchStatus status = BatchStatus::Unknown;
+  /// Structured reject reason; meaningful for Unknown (UnknownUser) and
+  /// Invalid (InvalidInput / NonFiniteSample / DimensionMismatch).
+  common::ErrorCode reason = common::ErrorCode::UnknownUser;
 };
 
 /// Aggregate latency / throughput statistics of one verify_batch call.
@@ -51,6 +69,8 @@ struct BatchStats {
   std::size_t requests = 0;
   std::size_t known = 0;           ///< requests that matched an enrolment
   std::size_t accepted = 0;
+  std::size_t unknown = 0;         ///< ids with no enrolment
+  std::size_t invalid = 0;         ///< malformed requests (typed reject)
   double wall_ms = 0.0;            ///< batch wall-clock time
   double mean_request_ms = 0.0;    ///< mean per-request service time
   double max_request_ms = 0.0;     ///< worst per-request service time

@@ -1,4 +1,5 @@
-// Secure-enclave stand-in: a sealed in-memory template store.
+// Secure-enclave stand-in: a sealed in-memory template store with
+// crash-safe persistence.
 //
 // The real system keeps the cancelable MandiblePrint template in the
 // earphone's secure enclave. We model the enclave's *interface* — sealed
@@ -6,6 +7,21 @@
 // verifier — plus an explicit `steal()` API that the replay-attack bench
 // uses to model enclave compromise (Section VI's replay attacker "steals
 // the MandiblePrint template stored in the secure enclave").
+//
+// Persistence (DESIGN.md §12) is versioned and checksummed:
+//
+//   V2 stream = [u64 18]["MANDIPASS-STORE-V2"][u64 payload_size]
+//               [u64 crc32(payload)][payload]
+//   payload   = [u64 count] then per record
+//               [u64 len][user][u64 seed][u64 key_version][u64 dim][f32...]
+//
+// The legacy V1 stream (same layout, no size/CRC framing) still loads.
+// save_file/load_file add crash safety on top: saves go write-temp →
+// flush → atomic rename with a validated sidecar `.bak` generation, and
+// loads fall back to the backup (restoring the primary) when the primary
+// fails its checksum. The invariant the fault tests enforce: interrupt a
+// save at *any* byte and load_file still returns the previous or the new
+// generation in full — never a corrupt or partial store.
 #pragma once
 
 #include <cstdint>
@@ -15,6 +31,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/result.h"
+
 namespace mandipass::auth {
 
 /// A stored cancelable template plus its key-management metadata.
@@ -22,6 +40,16 @@ struct StoredTemplate {
   std::vector<float> data;          ///< Gaussian-transformed MandiblePrint
   std::uint64_t matrix_seed = 0;    ///< which Gaussian matrix produced it
   std::uint32_t key_version = 0;    ///< bumped on every re-key
+};
+
+/// Which on-disk image load_file ended up trusting.
+enum class LoadSource : std::uint8_t { Primary, Backup };
+
+/// What load_file found and did.
+struct LoadReport {
+  LoadSource source = LoadSource::Primary;
+  bool primary_corrupt = false;  ///< primary existed but failed validation
+  std::size_t templates = 0;     ///< records in the loaded generation
 };
 
 class TemplateStore {
@@ -46,13 +74,42 @@ class TemplateStore {
   std::size_t storage_bytes() const;
 
   /// Persistence: binary dump/restore of every sealed template (what the
-  /// enclave's sealed blob would hold across reboots). Throws
-  /// SerializationError on malformed input; load() replaces the current
-  /// contents only on success.
+  /// enclave's sealed blob would hold across reboots). save() writes the
+  /// CRC-framed V2 format; load() accepts V2 (checksum enforced) and
+  /// legacy V1 streams, throws SerializationError on malformed input, and
+  /// replaces the current contents only on success.
   void save(std::ostream& os) const;
   void load(std::istream& is);
 
+  /// Typed-error variant of load(): CorruptData for checksum / framing
+  /// failures, IoError for stream failures. Contents untouched on error.
+  common::Result<void> try_load(std::istream& is);
+
+  /// Crash-safe save to `path`:
+  ///   1. serialize + checksum the new generation in memory;
+  ///   2. if the current primary validates, rotate it to `path.bak`
+  ///      (a corrupt primary never clobbers a good backup);
+  ///   3. write `path.tmp`, flush, then atomically rename over `path`.
+  /// Transient write failures (IoFailure carrying IoError) are retried up
+  /// to `max_retries` times with linear backoff; ENOSPC-class failures
+  /// (NoSpace) are reported immediately. On any error the previous
+  /// on-disk generation is still loadable.
+  common::Result<void> save_file(const std::string& path, int max_retries = 3) const;
+
+  /// Crash-safe load from `path`: tries the primary, then `path.bak` when
+  /// the primary is missing or fails its checksum. A successful backup
+  /// load atomically restores the primary. Returns where the data came
+  /// from; the in-memory contents are untouched on error.
+  common::Result<LoadReport> load_file(const std::string& path);
+
  private:
+  /// Writes / parses the unframed record payload shared by V1 and V2.
+  void save_body(std::ostream& os) const;
+  void load_body(std::istream& is);
+
+  /// One save_file attempt (serialize → rotate backup → tmp → rename).
+  void save_file_once(const std::string& path) const;
+
   std::unordered_map<std::string, StoredTemplate> store_;
 };
 

@@ -1,7 +1,10 @@
 #include "auth/verifier.h"
 
+#include <string>
+
 #include "auth/cosine.h"
 #include "common/error.h"
+#include "common/finite.h"
 
 namespace mandipass::auth {
 
@@ -26,6 +29,36 @@ std::optional<Decision> Verifier::verify_user(const TemplateStore& store, const 
   const auto stored = store.lookup(user);
   if (!stored.has_value()) {
     return std::nullopt;
+  }
+  const GaussianMatrix g(stored->matrix_seed, raw_probe.size());
+  const auto transformed = g.transform(raw_probe);
+  return verify(transformed, stored->data);
+}
+
+common::Result<Decision> Verifier::try_verify_user(const TemplateStore& store,
+                                                   const std::string& user,
+                                                   std::span<const float> raw_probe) const {
+  using common::ErrorCode;
+  if (raw_probe.empty()) {
+    return common::make_error(ErrorCode::InvalidInput, "empty probe vector");
+  }
+  for (std::size_t i = 0; i < raw_probe.size(); ++i) {
+    if (!common::is_finite(raw_probe[i])) {
+      return common::make_error(ErrorCode::NonFiniteSample,
+                                "non-finite probe value at index " + std::to_string(i));
+    }
+  }
+  const auto stored = store.lookup(user);
+  if (!stored.has_value()) {
+    return common::make_error(ErrorCode::UnknownUser, "no enrolment for user '" + user + "'");
+  }
+  // The cancelable transform is square, so the transformed probe has the
+  // probe's own dimension; catch the disagreement before cosine_distance
+  // would assert on it.
+  if (stored->data.size() != raw_probe.size()) {
+    return common::make_error(ErrorCode::DimensionMismatch,
+                              "probe dimension " + std::to_string(raw_probe.size()) +
+                                  " != template dimension " + std::to_string(stored->data.size()));
   }
   const GaussianMatrix g(stored->matrix_seed, raw_probe.size());
   const auto transformed = g.transform(raw_probe);

@@ -9,6 +9,7 @@
 #include "auth/gaussian_matrix.h"
 #include "auth/metrics.h"
 #include "auth/template_store.h"
+#include "common/result.h"
 
 namespace mandipass::auth {
 
@@ -31,6 +32,13 @@ class Verifier {
   /// nullopt when the user is not enrolled.
   std::optional<Decision> verify_user(const TemplateStore& store, const std::string& user,
                                       std::span<const float> raw_probe) const;
+
+  /// Typed-error variant (DESIGN.md §12): total over its inputs. Empty
+  /// probes, non-finite probe values, unknown users and probes whose
+  /// dimension disagrees with the sealed template all come back as a
+  /// structured reject reason instead of throwing or returning nullopt.
+  common::Result<Decision> try_verify_user(const TemplateStore& store, const std::string& user,
+                                           std::span<const float> raw_probe) const;
 
   double threshold() const { return threshold_; }
   void set_threshold(double t);

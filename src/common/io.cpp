@@ -2,12 +2,125 @@
 
 #include <istream>
 #include <limits>
+#include <mutex>
 #include <ostream>
 #include <string>
 
 #include "common/error.h"
+#include "common/obs.h"
 
 namespace mandipass::common {
+
+namespace {
+
+// Global write-fault state (test/bench setup is single-threaded; the
+// mutex keeps the bookkeeping coherent if a parallel suite arms it
+// around a concurrent save).
+struct FaultState {
+  std::mutex mutex;
+  bool armed = false;
+  IoFaultConfig config;
+  std::size_t written = 0;  ///< bytes successfully written since arming
+  std::uint64_t fired = 0;
+};
+
+FaultState& fault_state() {
+  static FaultState s;
+  return s;
+}
+
+/// Raw pass-through write with the usual stream-state check.
+void write_raw(std::ostream& os, const char* src, std::size_t size, const char* what) {
+  if (size == 0) {
+    return;
+  }
+  // mandilint: allow(unchecked-io) -- this is the checked wrapper itself.
+  os.write(src, static_cast<std::streamsize>(size));
+  if (!os) {
+    throw SerializationError(std::string("failed writing ") + what + " (" +
+                             std::to_string(size) + " bytes)");
+  }
+}
+
+/// Consults the armed fault. Returns true when the write was fully
+/// handled (fault fired and threw); returns false when the caller should
+/// perform a normal write.
+bool maybe_inject_write_fault(std::ostream& os, const char* src, std::size_t size,
+                              const char* what) {
+  FaultState& s = fault_state();
+  std::unique_lock<std::mutex> lock(s.mutex);
+  if (!s.armed) {
+    return false;
+  }
+  if (s.written + size <= s.config.fail_at_byte) {
+    s.written += size;
+    return false;  // still under budget: caller writes normally
+  }
+  // The fault fires on this op.
+  s.fired += 1;
+  MANDIPASS_OBS_COUNT("fault.io.injected");
+  if (--s.config.failures <= 0) {
+    s.armed = false;
+  }
+  const std::size_t prefix =
+      s.config.fail_at_byte > s.written ? s.config.fail_at_byte - s.written : 0;
+  const IoFaultConfig::Kind kind = s.config.kind;
+  s.written += prefix;
+  lock.unlock();  // stream writes below must not hold the state lock
+
+  switch (kind) {
+    case IoFaultConfig::Kind::ShortWrite:
+      write_raw(os, src, prefix, what);
+      throw IoFailure(ErrorCode::IoError,
+                      std::string("injected short write of ") + what + " (" +
+                          std::to_string(prefix) + "/" + std::to_string(size) + " bytes)");
+    case IoFaultConfig::Kind::TornWrite: {
+      const std::size_t torn = prefix + (size - prefix) / 2;
+      write_raw(os, src, torn, what);
+      throw IoFailure(ErrorCode::IoError,
+                      std::string("injected torn write of ") + what + " (" +
+                          std::to_string(torn) + "/" + std::to_string(size) + " bytes)");
+    }
+    case IoFaultConfig::Kind::TransientError:
+      throw IoFailure(ErrorCode::IoError,
+                      std::string("injected transient I/O error writing ") + what);
+    case IoFaultConfig::Kind::NoSpace:
+      write_raw(os, src, prefix, what);
+      throw IoFailure(ErrorCode::NoSpace,
+                      std::string("injected ENOSPC writing ") + what + " (" +
+                          std::to_string(prefix) + "/" + std::to_string(size) + " bytes)");
+  }
+  return true;  // unreachable
+}
+
+}  // namespace
+
+void arm_io_fault(const IoFaultConfig& config) {
+  MANDIPASS_EXPECTS(config.failures > 0);
+  FaultState& s = fault_state();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  s.armed = true;
+  s.config = config;
+  s.written = 0;
+}
+
+void disarm_io_fault() {
+  FaultState& s = fault_state();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  s.armed = false;
+}
+
+bool io_fault_armed() {
+  FaultState& s = fault_state();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  return s.armed;
+}
+
+std::uint64_t io_faults_fired() {
+  FaultState& s = fault_state();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  return s.fired;
+}
 
 void read_exact(std::istream& is, void* dst, std::size_t size, const char* what) {
   MANDIPASS_EXPECTS(what != nullptr);
@@ -32,12 +145,10 @@ void write_exact(std::ostream& os, const void* src, std::size_t size, const char
   if (size == 0) {
     return;
   }
-  // mandilint: allow(unchecked-io) -- this is the checked wrapper itself.
-  os.write(static_cast<const char*>(src), static_cast<std::streamsize>(size));
-  if (!os) {
-    throw SerializationError(std::string("failed writing ") + what + " (" +
-                             std::to_string(size) + " bytes)");
+  if (maybe_inject_write_fault(os, static_cast<const char*>(src), size, what)) {
+    return;
   }
+  write_raw(os, static_cast<const char*>(src), size, what);
 }
 
 }  // namespace mandipass::common

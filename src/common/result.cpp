@@ -1,0 +1,75 @@
+// mandilint: allow-file(expects-guard) -- total functions over a closed
+// enum; the switch default is the guard.
+#include "common/result.h"
+
+#include <array>
+
+#include "common/obs.h"
+
+namespace mandipass::common {
+
+namespace {
+
+struct CodeNames {
+  std::string_view name;
+  std::string_view counter;
+};
+
+constexpr std::size_t code_index(ErrorCode code) {
+  return static_cast<std::size_t>(code);
+}
+
+// Indexed by ErrorCode; the counter strings are literals so make_error
+// never allocates for the registry lookup.
+constexpr std::array<CodeNames, 10> kCodeNames{{
+    {"invalid_input", "fault.reject.invalid_input"},
+    {"segment_too_short", "fault.reject.segment_too_short"},
+    {"onset_not_found", "fault.reject.onset_not_found"},
+    {"sensor_saturated", "fault.reject.sensor_saturated"},
+    {"non_finite_sample", "fault.reject.non_finite_sample"},
+    {"unknown_user", "fault.reject.unknown_user"},
+    {"dimension_mismatch", "fault.reject.dimension_mismatch"},
+    {"io_error", "fault.reject.io_error"},
+    {"no_space", "fault.reject.no_space"},
+    {"corrupt_data", "fault.reject.corrupt_data"},
+}};
+
+}  // namespace
+
+std::string_view error_code_name(ErrorCode code) {
+  const std::size_t i = code_index(code);
+  return i < kCodeNames.size() ? kCodeNames[i].name : std::string_view("unknown_code");
+}
+
+std::string_view reject_counter_name(ErrorCode code) {
+  const std::size_t i = code_index(code);
+  return i < kCodeNames.size() ? kCodeNames[i].counter
+                               : std::string_view("fault.reject.unknown_code");
+}
+
+Error make_error(ErrorCode code, std::string message) {
+  // Reject paths are cold, so the mutex-guarded registry lookup is fine
+  // here (hot accept paths never construct an Error).
+  obs::counter(reject_counter_name(code)).add(1);
+  return Error{code, std::move(message)};
+}
+
+void raise(const Error& error) {
+  switch (error.code) {
+    case ErrorCode::IoError:
+    case ErrorCode::NoSpace:
+    case ErrorCode::CorruptData:
+      throw SerializationError(error.message);
+    case ErrorCode::InvalidInput:
+    case ErrorCode::SegmentTooShort:
+    case ErrorCode::OnsetNotFound:
+    case ErrorCode::SensorSaturated:
+    case ErrorCode::NonFiniteSample:
+    case ErrorCode::UnknownUser:
+    case ErrorCode::DimensionMismatch:
+      throw SignalError(error.message);
+  }
+  throw mandipass::Error(error.message);  // unreachable for valid codes
+}
+
+}  // namespace mandipass::common

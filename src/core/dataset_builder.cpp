@@ -22,7 +22,8 @@ LabeledSignalSet collect_signal_set(std::span<const vibration::PersonProfile> pe
     const std::size_t max_attempts = config.arrays_per_person * config.max_attempt_factor;
     while (collected < config.arrays_per_person) {
       if (++attempts > max_attempts) {
-        throw SignalError("could not collect enough usable sessions for person " +
+        throw SignalError(  // mandilint: allow(no-throw-in-datapath) -- training-time data collection, not the device verify path
+            "could not collect enough usable sessions for person " +
                           std::to_string(people[pi].id) + " (" + std::to_string(collected) +
                           "/" + std::to_string(config.arrays_per_person) + ")");
       }

@@ -64,7 +64,9 @@ nn::Tensor BiometricExtractor::embed(const BranchTensors& input, bool train) {
   MANDIPASS_OBS_TRACE_SAMPLED(trace_embed, "core.extractor.embed_us", 4);
   if (input.positive.rank() != 4 || input.positive.dim(2) != config_.axes ||
       input.positive.dim(3) != config_.half_length) {
-    throw ShapeError("BiometricExtractor::embed expects (N, 1, axes, half_length)");
+    // Caller programming error (shape contract), not a data-dependent reject.
+    throw ShapeError(  // mandilint: allow(no-throw-in-datapath) -- shape contract violation
+        "BiometricExtractor::embed expects (N, 1, axes, half_length)");
   }
   MANDIPASS_OBS_COUNT_N("core.extractor.samples", input.positive.dim(0));
   nn::Tensor::check_same_shape(input.positive, input.negative, "BiometricExtractor::embed");
@@ -194,7 +196,8 @@ void BiometricExtractor::load(std::istream& is) {
   nn::expect_tag(is, "MANDIPASS-EXTRACTOR-V1");
   if (nn::read_u64(is) != config_.axes || nn::read_u64(is) != config_.half_length ||
       nn::read_u64(is) != config_.embedding_dim) {
-    throw SerializationError("extractor config mismatch");
+    throw SerializationError(  // mandilint: allow(no-throw-in-datapath) -- model (de)serialisation keeps the legacy throwing contract
+        "extractor config mismatch");
   }
   branch_pos_->load_state(is);
   branch_neg_->load_state(is);

@@ -19,32 +19,56 @@ std::vector<float> MandiPass::extract_print(const imu::RawRecording& recording) 
   return extractor_->extract(build_gradient_array(array));
 }
 
-void MandiPass::enroll(const std::string& user, std::span<const imu::RawRecording> recordings) {
-  MANDIPASS_EXPECTS(!recordings.empty());
+common::Result<std::vector<float>> MandiPass::try_extract_print(
+    const imu::RawRecording& recording) {
+  auto array = prep_.try_process(recording);
+  if (!array.ok()) {
+    return array.error();
+  }
+  return extractor_->extract(build_gradient_array(array.value()));
+}
+
+common::Result<std::size_t> MandiPass::try_enroll(const std::string& user,
+                                                  std::span<const imu::RawRecording> recordings) {
+  if (user.empty() || recordings.empty()) {
+    return common::make_error(common::ErrorCode::InvalidInput,
+                              "enrolment needs a user id and at least one recording");
+  }
   std::vector<float> mean_print;
   std::size_t usable = 0;
+  common::Error last_reject{common::ErrorCode::InvalidInput, "no recordings"};
   for (const auto& rec : recordings) {
-    std::vector<float> print;
-    try {
-      print = extract_print(rec);
-    } catch (const SignalError&) {
-      continue;
+    auto print = try_extract_print(rec);
+    if (!print.ok()) {
+      last_reject = print.error();
+      continue;  // graceful degradation: skip unusable captures
     }
     if (mean_print.empty()) {
-      mean_print.assign(print.size(), 0.0f);
+      mean_print.assign(print.value().size(), 0.0f);
     }
-    for (std::size_t i = 0; i < print.size(); ++i) {
-      mean_print[i] += print[i];
+    for (std::size_t i = 0; i < print.value().size(); ++i) {
+      mean_print[i] += print.value()[i];
     }
     ++usable;
   }
   if (usable == 0) {
-    throw SignalError("no usable vibration in any enrolment recording");
+    return common::Error{last_reject.code,
+                         "no usable vibration in any enrolment recording (last reject: " +
+                             last_reject.message + ")"};
   }
   for (auto& v : mean_print) {
     v /= static_cast<float>(usable);
   }
   seal_template(user, mean_print);
+  return usable;
+}
+
+void MandiPass::enroll(const std::string& user, std::span<const imu::RawRecording> recordings) {
+  MANDIPASS_EXPECTS(!recordings.empty());
+  auto result = try_enroll(user, recordings);
+  if (!result.ok()) {
+    common::raise(result.error());  // mandilint: allow(no-throw-in-datapath) -- legacy throwing wrapper; try_enroll is the typed path
+  }
 }
 
 void MandiPass::enroll(const std::string& user, const imu::RawRecording& recording) {
@@ -65,13 +89,29 @@ void MandiPass::seal_template(const std::string& user, const std::vector<float>&
   store_.enroll(user, std::move(tmpl));
 }
 
+common::Result<auth::Decision> MandiPass::try_verify(const std::string& user,
+                                                     const imu::RawRecording& recording) {
+  if (!store_.lookup(user).has_value()) {
+    return common::make_error(common::ErrorCode::UnknownUser,
+                              "no enrolment for user '" + user + "'");
+  }
+  auto print = try_extract_print(recording);
+  if (!print.ok()) {
+    return print.error();
+  }
+  return verifier_.try_verify_user(store_, user, print.value());
+}
+
 std::optional<auth::Decision> MandiPass::verify(const std::string& user,
                                                 const imu::RawRecording& recording) {
-  if (!store_.lookup(user).has_value()) {
-    return std::nullopt;
+  auto result = try_verify(user, recording);
+  if (result.ok()) {
+    return result.value();
   }
-  const std::vector<float> print = extract_print(recording);
-  return verifier_.verify_user(store_, user, print);
+  if (result.code() == common::ErrorCode::UnknownUser) {
+    return std::nullopt;  // the documented legacy contract for unknown ids
+  }
+  common::raise(result.error());  // mandilint: allow(no-throw-in-datapath) -- legacy throwing wrapper; try_verify is the typed path
 }
 
 void MandiPass::rekey(const std::string& user, const imu::RawRecording& recording) {

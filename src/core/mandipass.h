@@ -15,6 +15,7 @@
 
 #include "auth/template_store.h"
 #include "auth/verifier.h"
+#include "common/result.h"
 #include "core/dataset_builder.h"
 #include "core/extractor.h"
 #include "core/preprocessor.h"
@@ -52,6 +53,17 @@ class MandiPass {
   /// Cancels the user's compromised template and re-enrolls with a fresh
   /// Gaussian matrix (the Section VI replay-attack response).
   void rekey(const std::string& user, const imu::RawRecording& recording);
+
+  /// Typed-error variants (DESIGN.md §12): every data-dependent failure —
+  /// degraded capture, unknown user — comes back as a common::Error
+  /// reject reason; nothing in these paths throws on malformed input.
+  /// try_enroll returns how many recordings were usable; when none are,
+  /// the error carries the last capture's reject reason.
+  common::Result<std::size_t> try_enroll(const std::string& user,
+                                         std::span<const imu::RawRecording> recordings);
+  common::Result<auth::Decision> try_verify(const std::string& user,
+                                            const imu::RawRecording& recording);
+  common::Result<std::vector<float>> try_extract_print(const imu::RawRecording& recording);
 
   /// Removes a user entirely.
   bool revoke(const std::string& user) { return store_.revoke(user); }

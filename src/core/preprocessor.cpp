@@ -1,10 +1,12 @@
 #include "core/preprocessor.h"
 
+#include <algorithm>
 #include <array>
 #include <cmath>
 #include <string>
 
 #include "common/error.h"
+#include "common/finite.h"
 #include "common/obs.h"
 #include "common/stats.h"
 #include "dsp/filter.h"
@@ -82,28 +84,81 @@ std::size_t Preprocessor::refine_onset(const imu::RawRecording& recording,
   return peak;
 }
 
-SignalArray Preprocessor::process(const imu::RawRecording& recording) const {
+common::Result<SignalArray> Preprocessor::try_process(const imu::RawRecording& recording) const {
   MANDIPASS_OBS_TRACE_SAMPLED(trace_process, "core.prep.process_us", 4);
-  MANDIPASS_EXPECTS(recording.sample_rate_hz > 0.0);
-  if (recording.sample_count() < config_.segment_length) {
+  using common::ErrorCode;
+  using common::make_error;
+  if (!common::is_finite(recording.sample_rate_hz) || recording.sample_rate_hz <= 0.0) {
+    return make_error(ErrorCode::InvalidInput, "non-positive sample rate");
+  }
+  const std::size_t n = recording.sample_count();
+  for (const auto& axis : recording.axes) {
+    if (axis.size() != n) {
+      return make_error(ErrorCode::InvalidInput, "ragged axes: " + std::to_string(axis.size()) +
+                                                     " vs " + std::to_string(n) + " samples");
+    }
+  }
+  if (n < config_.segment_length) {
     MANDIPASS_OBS_COUNT("core.prep.short_recording");
-    throw SignalError("recording shorter than one segment");
+    return make_error(ErrorCode::SegmentTooShort,
+                      "recording shorter than one segment (" + std::to_string(n) + " < " +
+                          std::to_string(config_.segment_length) + " samples)");
   }
   const auto onset = detect_onset(recording);
   if (!onset.has_value()) {
     MANDIPASS_OBS_COUNT("core.prep.no_onset");
-    throw SignalError("no vibration onset detected — ask the user to voice 'EMM' again");
+    // Forensics run only on this already-failed path, so the clean path
+    // never pays for the scan. Worst accel verdict wins: a NaN burst
+    // explains a missing onset better than quiet does.
+    ErrorCode code = ErrorCode::OnsetNotFound;
+    for (std::size_t a = 0; a < 3; ++a) {
+      const ErrorCode axis_code =
+          dsp::classify_onset_failure(recording.axes[a], config_.full_scale_lsb);
+      if (axis_code == ErrorCode::NonFiniteSample) {
+        code = axis_code;
+        break;
+      }
+      if (axis_code == ErrorCode::SensorSaturated) {
+        code = axis_code;
+      }
+    }
+    switch (code) {
+      case ErrorCode::NonFiniteSample:
+        return make_error(code, "non-finite samples poisoned the onset statistics");
+      case ErrorCode::SensorSaturated:
+        return make_error(code, "accelerometer pinned at full scale — clipped capture");
+      default:
+        return make_error(ErrorCode::OnsetNotFound,
+                          "no vibration onset detected — ask the user to voice 'EMM' again");
+    }
   }
   std::size_t start = *onset;
+  if (config_.robust_checks) {
+    // The refine window and the segment feed median sorts (MAD, peak
+    // alignment) that NaN would poison with UB; scan the span both can
+    // touch. ~6 x segment_length isfinite checks on the clean path.
+    const std::size_t guard_end =
+        std::min(n, start + 2 * config_.peak_align_radius + config_.segment_length);
+    for (std::size_t a = 0; a < imu::kAxisCount; ++a) {
+      for (std::size_t i = start; i < guard_end; ++i) {
+        if (!common::is_finite(recording.axes[a][i])) {
+          MANDIPASS_OBS_COUNT("core.prep.nonfinite_segment");
+          return make_error(ErrorCode::NonFiniteSample,
+                            "non-finite sample at index " + std::to_string(i) + " of axis " +
+                                std::to_string(a) + " inside the vibration segment");
+        }
+      }
+    }
+  }
   if (config_.peak_align_radius > 0) {
     start = refine_onset(recording, start);
   }
-  if (start + config_.segment_length > recording.sample_count()) {
+  if (start + config_.segment_length > n) {
     MANDIPASS_OBS_COUNT("core.prep.onset_truncated");
-    throw SignalError("vibration onset too close to the end of the recording (" +
-                      std::to_string(start) + " + " +
-                      std::to_string(config_.segment_length) + " > " +
-                      std::to_string(recording.sample_count()) + ")");
+    return make_error(ErrorCode::SegmentTooShort,
+                      "vibration onset too close to the end of the recording (" +
+                          std::to_string(start) + " + " + std::to_string(config_.segment_length) +
+                          " > " + std::to_string(n) + ")");
   }
 
   // Stage-major rather than axis-major so each stage is timed once per
@@ -137,8 +192,31 @@ SignalArray Preprocessor::process(const imu::RawRecording& recording) const {
       out.axes[a] = dsp::minmax_normalize(cleaned[a]);
     }
   }
+  if (config_.robust_checks) {
+    // Output gate: the filter can only produce non-finite values from
+    // non-finite input (caught above), but the gate is cheap and turns
+    // any residual numeric blow-up into a typed reject instead of a
+    // garbage embedding that still gets matched.
+    for (const auto& axis : out.axes) {
+      for (double v : axis) {
+        if (!common::is_finite(v)) {
+          MANDIPASS_OBS_COUNT("core.prep.nonfinite_output");
+          return make_error(ErrorCode::NonFiniteSample,
+                            "non-finite value in the normalised signal array");
+        }
+      }
+    }
+  }
   MANDIPASS_OBS_COUNT("core.prep.ok");
   return out;
+}
+
+SignalArray Preprocessor::process(const imu::RawRecording& recording) const {
+  auto result = try_process(recording);
+  if (!result.ok()) {
+    common::raise(result.error());  // mandilint: allow(no-throw-in-datapath) -- legacy throwing wrapper; try_process is the typed path
+  }
+  return result.take();
 }
 
 }  // namespace mandipass::core

@@ -11,8 +11,16 @@
 // Onset detection runs on the accelerometer (the paper's choice); since
 // which axis carries the most vibration depends on how the earbud sits,
 // we detect on the accel axis with the largest windowed std-dev peak.
+//
+// Fault model (DESIGN.md §12): try_process is the primary entry point —
+// it validates the recording structurally, classifies degraded captures
+// (clipped, NaN-poisoned, too short, quiet) and returns a typed
+// common::Error reject reason instead of throwing, so a fleet of
+// authentication workers can route on the reason and count it. process()
+// wraps it with the legacy SignalError-throwing contract.
 #pragma once
 
+#include "common/result.h"
 #include "core/signal_array.h"
 #include "dsp/onset.h"
 #include "dsp/outlier.h"
@@ -32,14 +40,25 @@ struct PreprocessorConfig {
   /// alignment diversity acts as training augmentation — so it is off by
   /// default; the ablation bench quantifies the trade-off.
   std::size_t peak_align_radius = 0;
+  /// Full-scale level used to classify clipped captures (SensorSaturated).
+  double full_scale_lsb = 32767.0;
+  /// Robust-path gates: scan the chosen segment for non-finite samples
+  /// before the MAD stage (whose median sort NaN would poison) and verify
+  /// the normalised output is finite. On by default; bench_overhead
+  /// measures the clean-path cost of these scans (acceptance bar ≤ 2%).
+  bool robust_checks = true;
 };
 
 class Preprocessor {
  public:
   explicit Preprocessor(PreprocessorConfig config = {});
 
-  /// Runs the full Section IV pipeline. Throws SignalError when no onset
-  /// is found or fewer than n samples remain after it.
+  /// Runs the full Section IV pipeline, returning the signal array or a
+  /// typed reject reason (InvalidInput, SegmentTooShort, OnsetNotFound,
+  /// SensorSaturated, NonFiniteSample). Never throws on malformed data.
+  common::Result<SignalArray> try_process(const imu::RawRecording& recording) const;
+
+  /// Legacy contract: try_process, throwing SignalError on any reject.
   SignalArray process(const imu::RawRecording& recording) const;
 
   /// Exposed for tests / the Fig. 5 bench: index of the onset sample, or

@@ -28,7 +28,8 @@ QuantizedExtractor::Branch QuantizedExtractor::fold_and_quantize_branch(
     auto* conv = dynamic_cast<nn::Conv2d*>(&branch.layer(i));
     auto* bn = dynamic_cast<nn::BatchNorm2d*>(&branch.layer(i + 1));
     if (conv == nullptr || bn == nullptr) {
-      throw ShapeError("unexpected branch structure during quantisation");
+      throw ShapeError(  // mandilint: allow(no-throw-in-datapath) -- deploy-time model conversion
+          "unexpected branch structure during quantisation");
     }
     const auto& cfg = conv->config();
     const nn::Tensor& w = conv->params()[0]->value;   // (oc, ic, kh, kw)
@@ -66,7 +67,8 @@ QuantizedExtractor::QuantizedExtractor(BiometricExtractor& source)
   negative_ = fold_and_quantize_branch(source.branch_negative());
   auto* fc = dynamic_cast<nn::Linear*>(&source.trunk().layer(0));
   if (fc == nullptr) {
-    throw ShapeError("unexpected trunk structure during quantisation");
+    throw ShapeError(  // mandilint: allow(no-throw-in-datapath) -- deploy-time model conversion
+        "unexpected trunk structure during quantisation");
   }
   fc_weights_ = nn::quantize_rows(fc->params()[0]->value);
   const nn::Tensor& b = fc->params()[1]->value;

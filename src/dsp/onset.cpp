@@ -1,6 +1,10 @@
 #include "dsp/onset.h"
 
+#include <cmath>
+#include <string>
+
 #include "common/error.h"
+#include "common/finite.h"
 #include "common/stats.h"
 
 namespace mandipass::dsp {
@@ -26,6 +30,45 @@ std::optional<std::size_t> detect_onset(std::span<const double> xs, const OnsetC
     }
   }
   return std::nullopt;
+}
+
+common::ErrorCode classify_onset_failure(std::span<const double> xs, double full_scale_lsb) {
+  MANDIPASS_EXPECTS(full_scale_lsb > 0.0);
+  std::size_t saturated = 0;
+  for (double v : xs) {
+    if (!common::is_finite(v)) {
+      return common::ErrorCode::NonFiniteSample;
+    }
+    if (std::abs(v) >= full_scale_lsb) {
+      ++saturated;
+    }
+  }
+  if (!xs.empty() && saturated * 2 > xs.size()) {
+    return common::ErrorCode::SensorSaturated;
+  }
+  return common::ErrorCode::OnsetNotFound;
+}
+
+common::Result<std::size_t> find_onset(std::span<const double> xs, const OnsetConfig& config,
+                                       double full_scale_lsb) {
+  if (xs.empty()) {
+    return common::make_error(common::ErrorCode::InvalidInput, "empty signal");
+  }
+  const auto onset = detect_onset(xs, config);
+  if (onset.has_value()) {
+    return *onset;
+  }
+  const common::ErrorCode code = classify_onset_failure(xs, full_scale_lsb);
+  switch (code) {
+    case common::ErrorCode::NonFiniteSample:
+      return common::make_error(code, "non-finite sample in onset search");
+    case common::ErrorCode::SensorSaturated:
+      return common::make_error(code, "signal pinned at full scale — clipped capture");
+    default:
+      return common::make_error(common::ErrorCode::OnsetNotFound,
+                                "no vibration onset in " + std::to_string(xs.size()) +
+                                    " samples");
+  }
 }
 
 std::optional<std::span<const double>> segment_after_onset(std::span<const double> reference,

@@ -15,6 +15,8 @@
 #include <optional>
 #include <span>
 
+#include "common/result.h"
+
 namespace mandipass::dsp {
 
 struct OnsetConfig {
@@ -28,6 +30,23 @@ struct OnsetConfig {
 /// Returns the index (into `xs`) of the first sample of the window where
 /// the vibration starts, or nullopt when no onset is present.
 std::optional<std::size_t> detect_onset(std::span<const double> xs, const OnsetConfig& config = {});
+
+/// Diagnoses *why* detect_onset returned nullopt, so callers can surface
+/// a typed reject reason instead of a generic "no onset" (DESIGN.md §12).
+/// Scans `xs` once, on the already-cold reject path:
+///   NonFiniteSample  any NaN/Inf in the signal (poisons the windowed
+///                    std-dev, so the thresholds can never fire)
+///   SensorSaturated  more than half the samples pinned at ±full_scale
+///                    (a clipped capture is flat where it should vibrate)
+///   OnsetNotFound    the signal is genuinely quiet
+common::ErrorCode classify_onset_failure(std::span<const double> xs,
+                                         double full_scale_lsb = 32767.0);
+
+/// Result form of detect_onset: the onset index, or a typed reject reason
+/// from classify_onset_failure. Empty input reports InvalidInput.
+common::Result<std::size_t> find_onset(std::span<const double> xs,
+                                       const OnsetConfig& config = {},
+                                       double full_scale_lsb = 32767.0);
 
 /// Convenience: detects the onset on `reference` (the paper uses an
 /// accelerometer axis) and returns the n-sample segment of `xs` starting

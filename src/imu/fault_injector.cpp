@@ -1,0 +1,220 @@
+#include "imu/fault_injector.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/error.h"
+#include "common/obs.h"
+#include "common/rng.h"
+
+namespace mandipass::imu {
+
+namespace {
+
+/// Per-(seed, kind) draw stream so each fault class is independent of the
+/// others and of call order. splitmix-style mixing of the kind index
+/// keeps nearby seeds decorrelated.
+Rng derive_rng(std::uint64_t seed, FaultKind kind) {
+  std::uint64_t z = seed + (static_cast<std::uint64_t>(kind) + 1) * 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30U)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27U)) * 0x94D049BB133111EBULL;
+  return Rng(z ^ (z >> 31U));
+}
+
+double clamp_severity(double s) { return std::clamp(s, 0.0, 1.0); }
+
+RawRecording drop_samples(const RawRecording& in, double severity, Rng& rng) {
+  // severity == per-frame drop probability (capped so *something* survives).
+  const double p = 0.9 * severity;
+  RawRecording out;
+  out.sample_rate_hz = in.sample_rate_hz;
+  const std::size_t n = in.sample_count();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rng.bernoulli(p)) {
+      continue;  // frame lost in transport — all six axes together
+    }
+    for (std::size_t a = 0; a < kAxisCount; ++a) {
+      out.axes[a].push_back(in.axes[a][i]);
+    }
+  }
+  return out;
+}
+
+RawRecording duplicate_samples(const RawRecording& in, double severity, Rng& rng) {
+  const double p = 0.9 * severity;
+  RawRecording out;
+  out.sample_rate_hz = in.sample_rate_hz;
+  const std::size_t n = in.sample_count();
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t copies = rng.bernoulli(p) ? 2 : 1;
+    for (std::size_t c = 0; c < copies; ++c) {
+      for (std::size_t a = 0; a < kAxisCount; ++a) {
+        out.axes[a].push_back(in.axes[a][i]);
+      }
+    }
+  }
+  return out;
+}
+
+void stick_axis(RawRecording& rec, double severity, Rng& rng) {
+  const std::size_t n = rec.sample_count();
+  if (n < 2 || severity <= 0.0) {
+    return;
+  }
+  const std::size_t axis = static_cast<std::size_t>(rng.uniform_index(kAxisCount));
+  const std::size_t span = std::min<std::size_t>(
+      n - 1, static_cast<std::size_t>(std::ceil(severity * static_cast<double>(n))));
+  const std::size_t start = static_cast<std::size_t>(rng.uniform_index(n - span));
+  const double held = rec.axes[axis][start];
+  for (std::size_t i = start; i < start + span; ++i) {
+    rec.axes[axis][i] = held;
+  }
+}
+
+void saturate(RawRecording& rec, double severity, double full_scale) {
+  if (severity <= 0.0) {
+    return;
+  }
+  // Drive the signal 1..9x past its DC level, then clip: at low severity
+  // only the vibration peaks flatten, at high severity whole axes pin.
+  const double drive = 1.0 + 8.0 * severity;
+  for (auto& axis : rec.axes) {
+    if (axis.empty()) {
+      continue;
+    }
+    double dc = 0.0;
+    for (double v : axis) {
+      dc += v;
+    }
+    dc /= static_cast<double>(axis.size());
+    for (double& v : axis) {
+      v = std::clamp(dc + (v - dc) * drive, -full_scale, full_scale);
+    }
+  }
+}
+
+void nonfinite_burst(RawRecording& rec, double severity, Rng& rng) {
+  const std::size_t n = rec.sample_count();
+  if (n == 0 || severity <= 0.0) {
+    return;
+  }
+  // Burst length: up to 25% of the stream at severity 1.
+  const std::size_t len = std::min<std::size_t>(
+      n, static_cast<std::size_t>(std::ceil(0.25 * severity * static_cast<double>(n))));
+  const std::size_t axis = static_cast<std::size_t>(rng.uniform_index(kAxisCount));
+  const std::size_t start = static_cast<std::size_t>(rng.uniform_index(n - len + 1));
+  for (std::size_t i = start; i < start + len; ++i) {
+    // Alternate NaN and ±Inf: both classes of non-finite garbage appear
+    // in the wild (0/0 driver math vs overflow).
+    rec.axes[axis][i] = (i % 2 == 0) ? std::numeric_limits<double>::quiet_NaN()
+                                     : (i % 4 == 1 ? std::numeric_limits<double>::infinity()
+                                                   : -std::numeric_limits<double>::infinity());
+  }
+}
+
+void bias_drift(RawRecording& rec, double severity, Rng& rng) {
+  const std::size_t n = rec.sample_count();
+  if (n == 0 || severity <= 0.0) {
+    return;
+  }
+  // Up to ±2000 LSB of linear ramp over the recording at severity 1 —
+  // the slow thermal drift a cheap MEMS part shows across a session.
+  for (auto& axis : rec.axes) {
+    const double total = severity * 2000.0 * (rng.bernoulli(0.5) ? 1.0 : -1.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      axis[i] += total * static_cast<double>(i) / static_cast<double>(n);
+    }
+  }
+}
+
+void jitter_order(RawRecording& rec, double severity, Rng& rng) {
+  const std::size_t n = rec.sample_count();
+  if (n < 2 || severity <= 0.0) {
+    return;
+  }
+  // Adjacent frame swaps with probability scaled by severity: the stream
+  // a nominal-clock consumer sees after packets arrive out of order.
+  const double p = 0.5 * severity;
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    if (rng.bernoulli(p)) {
+      for (std::size_t a = 0; a < kAxisCount; ++a) {
+        std::swap(rec.axes[a][i], rec.axes[a][i + 1]);
+      }
+      ++i;  // a frame takes part in at most one swap
+    }
+  }
+}
+
+}  // namespace
+
+std::string_view fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::SampleDrop:
+      return "sample_drop";
+    case FaultKind::SampleDuplicate:
+      return "sample_duplicate";
+    case FaultKind::StuckAxis:
+      return "stuck_axis";
+    case FaultKind::Saturation:
+      return "saturation";
+    case FaultKind::NonFiniteBurst:
+      return "non_finite_burst";
+    case FaultKind::BiasDrift:
+      return "bias_drift";
+    case FaultKind::TimestampJitter:
+      return "timestamp_jitter";
+  }
+  return "unknown_fault";
+}
+
+RawRecording FaultInjector::apply(const RawRecording& recording, const FaultSpec& spec) const {
+  MANDIPASS_EXPECTS(spec.full_scale_lsb > 0.0);
+  const double severity = clamp_severity(spec.severity);
+  MANDIPASS_OBS_COUNT("fault.inject.applied");
+  Rng rng = derive_rng(seed_, spec.kind);
+  switch (spec.kind) {
+    case FaultKind::SampleDrop:
+      return drop_samples(recording, severity, rng);
+    case FaultKind::SampleDuplicate:
+      return duplicate_samples(recording, severity, rng);
+    case FaultKind::StuckAxis: {
+      RawRecording out = recording;
+      stick_axis(out, severity, rng);
+      return out;
+    }
+    case FaultKind::Saturation: {
+      RawRecording out = recording;
+      saturate(out, severity, spec.full_scale_lsb);
+      return out;
+    }
+    case FaultKind::NonFiniteBurst: {
+      RawRecording out = recording;
+      nonfinite_burst(out, severity, rng);
+      return out;
+    }
+    case FaultKind::BiasDrift: {
+      RawRecording out = recording;
+      bias_drift(out, severity, rng);
+      return out;
+    }
+    case FaultKind::TimestampJitter: {
+      RawRecording out = recording;
+      jitter_order(out, severity, rng);
+      return out;
+    }
+  }
+  return recording;  // unreachable for valid kinds
+}
+
+RawRecording FaultInjector::apply_all(const RawRecording& recording,
+                                      std::span<const FaultSpec> specs) const {
+  RawRecording out = recording;
+  for (const FaultSpec& spec : specs) {
+    out = apply(out, spec);
+  }
+  return out;
+}
+
+}  // namespace mandipass::imu

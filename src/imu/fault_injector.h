@@ -1,0 +1,81 @@
+// Deterministic IMU stream fault injection (DESIGN.md §12).
+//
+// Real earphone IMU streams arrive degraded: Bluetooth HCI backpressure
+// drops and duplicates frames, a failing MEMS die sticks an axis, loud
+// chewing clips the accelerometer, driver bugs surface NaN bursts, and
+// cheap oscillators drift and jitter. FaultInjector reproduces each of
+// these on any RawRecording, deterministically from a seed: the same
+// (seed, spec, recording) always yields the identical faulty stream, so
+// fault-path tests and the bench_faults characterization sweep are exactly
+// reproducible.
+//
+// RawRecording carries no per-sample timestamps (a fixed nominal rate),
+// so TimestampJitter is modelled where jitter actually lands for such a
+// consumer: as arrival-order perturbation (adjacent frame swaps), the
+// stream a host sees after reassembling jittered packets against a
+// nominal clock.
+//
+// apply() never mutates its input and injects frame-coherently: a dropped
+// or duplicated sample affects all six axes at the same index, so the
+// axes stay aligned (ragged axes are a *different* fault — InvalidInput —
+// that the preprocessor rejects structurally).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "imu/types.h"
+
+namespace mandipass::imu {
+
+/// The modelled fault classes.
+enum class FaultKind : std::uint8_t {
+  SampleDrop,       ///< frames lost in transport
+  SampleDuplicate,  ///< frames re-delivered (stutter)
+  StuckAxis,        ///< one axis holds its last value for a span
+  Saturation,       ///< amplitude scaled up and clipped to full scale
+  NonFiniteBurst,   ///< NaN/Inf burst on one axis
+  BiasDrift,        ///< slow per-axis linear bias ramp
+  TimestampJitter,  ///< arrival-order perturbation (adjacent swaps)
+};
+
+inline constexpr std::array<FaultKind, 7> kAllFaultKinds{
+    FaultKind::SampleDrop,     FaultKind::SampleDuplicate, FaultKind::StuckAxis,
+    FaultKind::Saturation,     FaultKind::NonFiniteBurst,  FaultKind::BiasDrift,
+    FaultKind::TimestampJitter,
+};
+
+/// Stable snake_case name, e.g. "sample_drop".
+std::string_view fault_kind_name(FaultKind kind);
+
+/// One fault to inject. `severity` in [0, 1] scales the fault's knob
+/// (drop probability, stuck-span fraction, burst length, drift magnitude,
+/// swap probability, clip drive); severity 0 is the identity for every
+/// kind.
+struct FaultSpec {
+  FaultKind kind = FaultKind::SampleDrop;
+  double severity = 0.1;
+  double full_scale_lsb = 32767.0;  ///< clip level for Saturation
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(std::uint64_t seed) : seed_(seed) {}
+
+  /// Returns a faulty copy of `recording`. Deterministic: the draw stream
+  /// is derived from (seed, spec.kind) per call, so repeated calls with
+  /// equal arguments are bit-identical.
+  RawRecording apply(const RawRecording& recording, const FaultSpec& spec) const;
+
+  /// Applies several faults in order (compound degradation).
+  RawRecording apply_all(const RawRecording& recording, std::span<const FaultSpec> specs) const;
+
+  std::uint64_t seed() const { return seed_; }
+
+ private:
+  std::uint64_t seed_;
+};
+
+}  // namespace mandipass::imu

@@ -11,14 +11,25 @@ namespace {
 
 constexpr const char* kMagic = "# mandipass-recording v1";
 
-double parse_double(std::string_view cell, const char* what) {
+double parse_double(std::string_view cell, const char* what, std::size_t line_no) {
   double value = 0.0;
   const auto [ptr, ec] = std::from_chars(cell.data(), cell.data() + cell.size(), value);
   if (ec != std::errc{} || ptr != cell.data() + cell.size()) {
-    throw SerializationError(std::string("malformed ") + what + ": '" + std::string(cell) +
-                             "'");
+    throw SerializationError(std::string("malformed ") + what + " on line " +
+                             std::to_string(line_no) + ": '" + std::string(cell) + "'");
   }
   return value;
+}
+
+/// Windows tools emit \r\n; getline leaves the \r on the line.
+void strip_cr(std::string& line) {
+  if (!line.empty() && line.back() == '\r') {
+    line.pop_back();
+  }
+}
+
+bool is_blank(const std::string& line) {
+  return line.find_first_not_of(" \t") == std::string::npos;
 }
 
 }  // namespace
@@ -42,24 +53,49 @@ void write_recording_csv(std::ostream& os, const RawRecording& recording) {
 }
 
 RawRecording read_recording_csv(std::istream& is) {
+  // Every parse error names the 1-based physical line it came from, so a
+  // bad export is fixable without bisecting the file. CRLF endings are
+  // accepted throughout, and blank (or whitespace-only) lines between or
+  // after data rows are skipped.
   std::string line;
-  if (!std::getline(is, line) || line != kMagic) {
-    throw SerializationError("missing recording magic header");
+  std::size_t line_no = 0;
+  if (!std::getline(is, line)) {
+    throw SerializationError("missing recording magic header (empty stream)");
   }
-  if (!std::getline(is, line) || line.rfind("# sample_rate_hz=", 0) != 0) {
-    throw SerializationError("missing sample_rate_hz header");
+  ++line_no;
+  strip_cr(line);
+  if (line != kMagic) {
+    throw SerializationError("missing recording magic header on line " +
+                             std::to_string(line_no));
+  }
+  if (!std::getline(is, line)) {
+    throw SerializationError("missing sample_rate_hz header (line " +
+                             std::to_string(line_no + 1) + ")");
+  }
+  ++line_no;
+  strip_cr(line);
+  if (line.rfind("# sample_rate_hz=", 0) != 0) {
+    throw SerializationError("missing sample_rate_hz header on line " + std::to_string(line_no));
   }
   RawRecording rec;
-  rec.sample_rate_hz = parse_double(std::string_view(line).substr(17), "sample rate");
+  rec.sample_rate_hz = parse_double(std::string_view(line).substr(17), "sample rate", line_no);
   if (rec.sample_rate_hz <= 0.0) {
-    throw SerializationError("non-positive sample rate");
+    throw SerializationError("non-positive sample rate on line " + std::to_string(line_no));
   }
-  if (!std::getline(is, line) || line != "ax,ay,az,gx,gy,gz") {
-    throw SerializationError("missing axis column header");
+  if (!std::getline(is, line)) {
+    throw SerializationError("missing axis column header (line " + std::to_string(line_no + 1) +
+                             ")");
+  }
+  ++line_no;
+  strip_cr(line);
+  if (line != "ax,ay,az,gx,gy,gz") {
+    throw SerializationError("missing axis column header on line " + std::to_string(line_no));
   }
   std::size_t row = 0;
   while (std::getline(is, line)) {
-    if (line.empty()) {
+    ++line_no;
+    strip_cr(line);
+    if (is_blank(line)) {
       continue;
     }
     std::size_t start = 0;
@@ -68,11 +104,12 @@ RawRecording read_recording_csv(std::istream& is) {
       const std::size_t comma = line.find(',', start);
       const bool last = axis + 1 == kAxisCount;
       if (last != (comma == std::string::npos)) {
-        throw SerializationError("row " + std::to_string(row) + " has wrong column count");
+        throw SerializationError("line " + std::to_string(line_no) +
+                                 " has wrong column count (want 6 comma-separated samples)");
       }
       const std::string_view cell =
           std::string_view(line).substr(start, last ? std::string::npos : comma - start);
-      rec.axes[axis].push_back(parse_double(cell, "sample"));
+      rec.axes[axis].push_back(parse_double(cell, "sample", line_no));
       start = comma + 1;
     }
     ++row;

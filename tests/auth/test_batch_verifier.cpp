@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <sstream>
 
 #include "auth/gaussian_matrix.h"
@@ -37,6 +38,79 @@ TEST(BatchVerifier, UnknownUserIsNotKnown) {
   const auto probe = random_print(rng);
   const BatchDecision d = engine.verify_one("nobody", probe);
   EXPECT_FALSE(d.known);
+  EXPECT_EQ(d.status, BatchStatus::Unknown);
+  EXPECT_EQ(d.reason, common::ErrorCode::UnknownUser);
+}
+
+// verify_one runs on thread-pool workers: *every* malformed request must
+// come back as a structured decision, never as an exception that
+// parallel_for rethrows on the caller and voids the rest of the batch.
+TEST(BatchVerifier, EmptyProbeIsInvalidNotThrown) {
+  BatchVerifier engine;
+  Rng rng(11);
+  engine.enroll("alice", make_template(random_print(rng), 3, 0));
+  BatchDecision d;
+  EXPECT_NO_THROW(d = engine.verify_one("alice", std::span<const float>{}));
+  EXPECT_FALSE(d.known);
+  EXPECT_EQ(d.status, BatchStatus::Invalid);
+  EXPECT_EQ(d.reason, common::ErrorCode::InvalidInput);
+}
+
+TEST(BatchVerifier, NonFiniteProbeIsInvalidNotThrown) {
+  BatchVerifier engine;
+  Rng rng(12);
+  const auto print = random_print(rng);
+  engine.enroll("alice", make_template(print, 3, 0));
+  auto probe = print;
+  probe[kDim / 2] = std::numeric_limits<float>::quiet_NaN();
+  BatchDecision d;
+  EXPECT_NO_THROW(d = engine.verify_one("alice", probe));
+  EXPECT_EQ(d.status, BatchStatus::Invalid);
+  EXPECT_EQ(d.reason, common::ErrorCode::NonFiniteSample);
+}
+
+TEST(BatchVerifier, DimensionMismatchIsInvalidNotThrown) {
+  BatchVerifier engine;
+  Rng rng(13);
+  const auto print = random_print(rng);
+  engine.enroll("alice", make_template(print, 3, 0));
+  std::vector<float> short_probe(print.begin(), print.begin() + kDim / 2);
+  BatchDecision d;
+  EXPECT_NO_THROW(d = engine.verify_one("alice", short_probe));
+  EXPECT_EQ(d.status, BatchStatus::Invalid);
+  EXPECT_EQ(d.reason, common::ErrorCode::DimensionMismatch);
+}
+
+TEST(BatchVerifier, MixedBatchWithMalformedRequestsCompletes) {
+  BatchVerifier engine;
+  Rng rng(14);
+  const auto print = random_print(rng);
+  engine.enroll("alice", make_template(print, 3, 2));
+
+  std::vector<VerifyRequest> requests;
+  requests.push_back({"alice", print});                               // Accepted
+  requests.push_back({"mallory", print});                             // Unknown
+  requests.push_back({"alice", {}});                                  // Invalid: empty
+  std::vector<float> nan_probe = print;
+  nan_probe[0] = std::numeric_limits<float>::infinity();
+  requests.push_back({"alice", std::move(nan_probe)});                // Invalid: non-finite
+  requests.push_back({"alice", {1.0f, 2.0f}});                        // Invalid: wrong dim
+
+  common::ThreadPool pool(4);
+  BatchResult result;
+  EXPECT_NO_THROW(result = engine.verify_batch(requests, &pool));
+  ASSERT_EQ(result.decisions.size(), 5u);
+  EXPECT_EQ(result.decisions[0].status, BatchStatus::Accepted);
+  EXPECT_EQ(result.decisions[0].key_version, 2u);
+  EXPECT_EQ(result.decisions[1].status, BatchStatus::Unknown);
+  EXPECT_EQ(result.decisions[2].status, BatchStatus::Invalid);
+  EXPECT_EQ(result.decisions[3].status, BatchStatus::Invalid);
+  EXPECT_EQ(result.decisions[4].status, BatchStatus::Invalid);
+  EXPECT_EQ(result.stats.requests, 5u);
+  EXPECT_EQ(result.stats.known, 1u);
+  EXPECT_EQ(result.stats.accepted, 1u);
+  EXPECT_EQ(result.stats.unknown, 1u);
+  EXPECT_EQ(result.stats.invalid, 3u);
 }
 
 TEST(BatchVerifier, GenuineAcceptedImpostorRejected) {

@@ -1,0 +1,192 @@
+#include "imu/fault_injector.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "vibration/population.h"
+#include "vibration/session.h"
+
+namespace mandipass::imu {
+namespace {
+
+bool recordings_equal(const RawRecording& a, const RawRecording& b) {
+  if (a.sample_rate_hz != b.sample_rate_hz || a.sample_count() != b.sample_count()) {
+    return false;
+  }
+  for (std::size_t axis = 0; axis < kAxisCount; ++axis) {
+    if (a.axes[axis].size() != b.axes[axis].size()) {
+      return false;
+    }
+    for (std::size_t i = 0; i < a.axes[axis].size(); ++i) {
+      const double x = a.axes[axis][i];
+      const double y = b.axes[axis][i];
+      // NaN-aware equality: injected NaNs must compare as "same fault".
+      if (x != y && !(std::isnan(x) && std::isnan(y))) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+class FaultInjectorTest : public ::testing::Test {
+ protected:
+  FaultInjectorTest() : rng_(7), pop_(2024) {}
+
+  RawRecording record_one() {
+    vibration::SessionRecorder rec(pop_.sample(), rng_);
+    return rec.record(vibration::SessionConfig{});
+  }
+
+  Rng rng_;
+  vibration::PopulationGenerator pop_;
+};
+
+TEST_F(FaultInjectorTest, SameSeedSameFaultIsBitIdentical) {
+  const auto rec = record_one();
+  const FaultInjector a(42);
+  const FaultInjector b(42);
+  for (const FaultKind kind : kAllFaultKinds) {
+    const FaultSpec spec{kind, 0.5};
+    EXPECT_TRUE(recordings_equal(a.apply(rec, spec), b.apply(rec, spec)))
+        << fault_kind_name(kind);
+    // Repeated calls on one injector must not advance hidden state.
+    EXPECT_TRUE(recordings_equal(a.apply(rec, spec), a.apply(rec, spec)))
+        << fault_kind_name(kind);
+  }
+}
+
+TEST_F(FaultInjectorTest, DifferentSeedsProduceDifferentStreams) {
+  const auto rec = record_one();
+  const FaultInjector a(1);
+  const FaultInjector b(2);
+  bool any_differ = false;
+  for (const FaultKind kind : kAllFaultKinds) {
+    const FaultSpec spec{kind, 0.5};
+    if (!recordings_equal(a.apply(rec, spec), b.apply(rec, spec))) {
+      any_differ = true;
+    }
+  }
+  EXPECT_TRUE(any_differ);
+}
+
+TEST_F(FaultInjectorTest, SeverityZeroIsIdentityForEveryKind) {
+  const auto rec = record_one();
+  const FaultInjector injector(99);
+  for (const FaultKind kind : kAllFaultKinds) {
+    const FaultSpec spec{kind, 0.0};
+    EXPECT_TRUE(recordings_equal(injector.apply(rec, spec), rec)) << fault_kind_name(kind);
+  }
+}
+
+TEST_F(FaultInjectorTest, FramesStayAlignedAcrossAllKinds) {
+  const auto rec = record_one();
+  const FaultInjector injector(7);
+  for (const FaultKind kind : kAllFaultKinds) {
+    const auto faulty = injector.apply(rec, {kind, 0.7});
+    EXPECT_DOUBLE_EQ(faulty.sample_rate_hz, rec.sample_rate_hz);
+    for (std::size_t a = 0; a < kAxisCount; ++a) {
+      EXPECT_EQ(faulty.axes[a].size(), faulty.sample_count())
+          << fault_kind_name(kind) << " left ragged axes";
+    }
+  }
+}
+
+TEST_F(FaultInjectorTest, DropShrinksAndDuplicateGrowsTheStream) {
+  const auto rec = record_one();
+  const FaultInjector injector(5);
+  const auto dropped = injector.apply(rec, {FaultKind::SampleDrop, 0.5});
+  const auto doubled = injector.apply(rec, {FaultKind::SampleDuplicate, 0.5});
+  EXPECT_LT(dropped.sample_count(), rec.sample_count());
+  EXPECT_GT(doubled.sample_count(), rec.sample_count());
+}
+
+TEST_F(FaultInjectorTest, SaturationClipsWithinFullScale) {
+  const auto rec = record_one();
+  const FaultInjector injector(5);
+  const double full_scale = 1000.0;  // far below the session's dynamic range
+  const auto clipped = injector.apply(rec, {FaultKind::Saturation, 1.0, full_scale});
+  std::size_t pinned = 0;
+  for (const auto& axis : clipped.axes) {
+    for (double v : axis) {
+      ASSERT_LE(std::abs(v), full_scale);
+      pinned += std::abs(v) == full_scale ? 1 : 0;
+    }
+  }
+  EXPECT_GT(pinned, 0u);  // severity 1 must actually pin samples
+}
+
+TEST_F(FaultInjectorTest, NonFiniteBurstHitsExactlyOneAxis) {
+  const auto rec = record_one();
+  const FaultInjector injector(5);
+  const auto faulty = injector.apply(rec, {FaultKind::NonFiniteBurst, 0.5});
+  std::size_t axes_with_nonfinite = 0;
+  for (const auto& axis : faulty.axes) {
+    const bool any = std::any_of(axis.begin(), axis.end(),
+                                 [](double v) { return !std::isfinite(v); });
+    axes_with_nonfinite += any ? 1 : 0;
+  }
+  EXPECT_EQ(axes_with_nonfinite, 1u);
+}
+
+TEST_F(FaultInjectorTest, StuckAxisHoldsOneValueForALongRun) {
+  const auto rec = record_one();
+  const FaultInjector injector(5);
+  const auto faulty = injector.apply(rec, {FaultKind::StuckAxis, 0.5});
+  std::size_t longest_run = 0;
+  for (const auto& axis : faulty.axes) {
+    std::size_t run = 1;
+    for (std::size_t i = 1; i < axis.size(); ++i) {
+      run = axis[i] == axis[i - 1] ? run + 1 : 1;
+      longest_run = std::max(longest_run, run);
+    }
+  }
+  EXPECT_GE(longest_run, rec.sample_count() / 2);
+}
+
+TEST_F(FaultInjectorTest, JitterPermutesButPreservesValues) {
+  const auto rec = record_one();
+  const FaultInjector injector(5);
+  const auto faulty = injector.apply(rec, {FaultKind::TimestampJitter, 1.0});
+  ASSERT_EQ(faulty.sample_count(), rec.sample_count());
+  EXPECT_FALSE(recordings_equal(faulty, rec));
+  for (std::size_t a = 0; a < kAxisCount; ++a) {
+    auto got = faulty.axes[a];
+    auto want = rec.axes[a];
+    std::sort(got.begin(), got.end());
+    std::sort(want.begin(), want.end());
+    EXPECT_EQ(got, want) << "axis " << a << " lost or invented samples";
+  }
+}
+
+TEST_F(FaultInjectorTest, BiasDriftRampsFromZero) {
+  const auto rec = record_one();
+  const FaultInjector injector(5);
+  const auto faulty = injector.apply(rec, {FaultKind::BiasDrift, 1.0});
+  ASSERT_EQ(faulty.sample_count(), rec.sample_count());
+  for (std::size_t a = 0; a < kAxisCount; ++a) {
+    // The ramp is zero at the first sample and largest at the last.
+    EXPECT_DOUBLE_EQ(faulty.axes[a][0], rec.axes[a][0]);
+  }
+  const std::size_t last = rec.sample_count() - 1;
+  bool any_shifted = false;
+  for (std::size_t a = 0; a < kAxisCount; ++a) {
+    any_shifted = any_shifted || faulty.axes[a][last] != rec.axes[a][last];
+  }
+  EXPECT_TRUE(any_shifted);
+}
+
+TEST_F(FaultInjectorTest, ApplyAllComposesInOrder) {
+  const auto rec = record_one();
+  const FaultInjector injector(11);
+  const FaultSpec specs[] = {{FaultKind::SampleDrop, 0.3}, {FaultKind::BiasDrift, 0.8}};
+  const auto composed = injector.apply_all(rec, specs);
+  const auto manual = injector.apply(injector.apply(rec, specs[0]), specs[1]);
+  EXPECT_TRUE(recordings_equal(composed, manual));
+}
+
+}  // namespace
+}  // namespace mandipass::imu

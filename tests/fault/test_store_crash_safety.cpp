@@ -1,0 +1,259 @@
+// Crash safety of the template store's persisted state (DESIGN.md §12).
+//
+// The invariant under test: interrupt a save at *any* injected fault
+// point and a subsequent load returns the previous or the new generation
+// in full — never a corrupt store, never a partial one, and never
+// silently-accepted garbage.
+#include "auth/template_store.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/io.h"
+#include "common/result.h"
+#include "nn/serialize.h"
+
+namespace mandipass::auth {
+namespace {
+
+StoredTemplate make_template(float fill, std::uint64_t seed, std::uint32_t version) {
+  StoredTemplate t;
+  t.data.assign(8, fill);
+  t.matrix_seed = seed;
+  t.key_version = version;
+  return t;
+}
+
+/// Generation 1: alice only. Generation 2: alice re-keyed plus bob.
+TemplateStore generation_one() {
+  TemplateStore s;
+  s.enroll("alice", make_template(1.0f, 7, 1));
+  return s;
+}
+
+TemplateStore generation_two() {
+  TemplateStore s;
+  s.enroll("alice", make_template(2.0f, 9, 2));
+  s.enroll("bob", make_template(-1.0f, 11, 1));
+  return s;
+}
+
+/// True when `store` holds exactly generation 1 or exactly generation 2.
+::testing::AssertionResult is_complete_generation(const TemplateStore& store) {
+  const auto alice = store.lookup("alice");
+  if (!alice.has_value()) {
+    return ::testing::AssertionFailure() << "alice missing entirely";
+  }
+  if (alice->key_version == 1 && store.size() == 1) {
+    return ::testing::AssertionSuccess() << "previous generation";
+  }
+  if (alice->key_version == 2 && store.size() == 2 && store.lookup("bob").has_value()) {
+    return ::testing::AssertionSuccess() << "new generation";
+  }
+  return ::testing::AssertionFailure()
+         << "mixed generations: alice v" << alice->key_version << ", size " << store.size();
+}
+
+class StoreCrashSafetyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/mandipass_store_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name() + ".bin";
+    clean_disk();
+  }
+
+  void TearDown() override {
+    common::disarm_io_fault();
+    clean_disk();
+  }
+
+  void clean_disk() {
+    std::remove(path_.c_str());
+    std::remove((path_ + ".tmp").c_str());
+    std::remove((path_ + ".bak").c_str());
+    std::remove((path_ + ".bak.tmp").c_str());
+  }
+
+  std::string path_;
+};
+
+// CRC framing: flip any single byte of a saved image and the load must
+// fail loudly (and leave the in-memory store untouched) — never yield a
+// matchable-but-wrong template.
+TEST_F(StoreCrashSafetyTest, EveryByteFlipIsDetected) {
+  const TemplateStore source = generation_two();
+  std::ostringstream os(std::ios::binary);
+  source.save(os);
+  const std::string blob = os.str();
+  ASSERT_GT(blob.size(), 0u);
+  for (std::size_t i = 0; i < blob.size(); ++i) {
+    std::string corrupt = blob;
+    corrupt[i] = static_cast<char>(corrupt[i] ^ 0xA5);
+    TemplateStore target = generation_one();
+    std::istringstream is(corrupt, std::ios::binary);
+    const auto result = target.try_load(is);
+    ASSERT_FALSE(result.ok()) << "byte " << i << " flip accepted";
+    EXPECT_EQ(result.code(), common::ErrorCode::CorruptData) << "byte " << i;
+    EXPECT_EQ(target.size(), 1u) << "store mutated by failed load at byte " << i;
+    EXPECT_EQ(target.lookup("alice")->key_version, 1u);
+  }
+}
+
+TEST_F(StoreCrashSafetyTest, SaveLoadFileRoundTrip) {
+  const TemplateStore source = generation_two();
+  ASSERT_TRUE(source.save_file(path_).ok());
+  TemplateStore back;
+  const auto report = back.load_file(path_);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report.value().source, LoadSource::Primary);
+  EXPECT_FALSE(report.value().primary_corrupt);
+  EXPECT_EQ(report.value().templates, 2u);
+  EXPECT_TRUE(is_complete_generation(back));
+  EXPECT_EQ(back.lookup("alice")->key_version, 2u);
+}
+
+// The kill test: re-seed the disk with generation 1, then attempt to save
+// generation 2 with a write fault armed at every byte budget in turn, for
+// every fault flavour. Whatever happens, a fresh load must come back with
+// one complete generation.
+TEST_F(StoreCrashSafetyTest, InterruptedSaveAtEveryFaultPointLeavesALoadableGeneration) {
+  const TemplateStore gen1 = generation_one();
+  const TemplateStore gen2 = generation_two();
+
+  // Upper bound on bytes one save attempt pushes through write_exact:
+  // serialize-to-memory + backup rotation + primary tmp write.
+  std::ostringstream image_os(std::ios::binary);
+  gen2.save(image_os);
+  const std::size_t sweep_end = 3 * image_os.str().size() + 64;
+
+  const common::IoFaultConfig::Kind kinds[] = {
+      common::IoFaultConfig::Kind::ShortWrite,
+      common::IoFaultConfig::Kind::TornWrite,
+      common::IoFaultConfig::Kind::NoSpace,
+  };
+  for (const auto kind : kinds) {
+    for (std::size_t fail_at = 0; fail_at < sweep_end; fail_at += 3) {
+      clean_disk();
+      ASSERT_TRUE(gen1.save_file(path_).ok());
+      common::IoFaultConfig fault;
+      fault.kind = kind;
+      fault.fail_at_byte = fail_at;
+      fault.failures = 1;
+      common::arm_io_fault(fault);
+      const auto saved = gen2.save_file(path_, /*max_retries=*/0);
+      common::disarm_io_fault();
+
+      TemplateStore loaded;
+      const auto report = loaded.load_file(path_);
+      ASSERT_TRUE(report.ok()) << "kind " << static_cast<int>(kind) << " fail_at " << fail_at
+                               << ": " << report.error().message;
+      EXPECT_TRUE(is_complete_generation(loaded))
+          << "kind " << static_cast<int>(kind) << " fail_at " << fail_at;
+      if (saved.ok()) {
+        // A save that reported success must never roll back.
+        EXPECT_EQ(loaded.lookup("alice")->key_version, 2u) << "fail_at " << fail_at;
+      }
+    }
+  }
+}
+
+TEST_F(StoreCrashSafetyTest, TransientWriteErrorIsRetriedToSuccess) {
+  const TemplateStore gen1 = generation_one();
+  ASSERT_TRUE(gen1.save_file(path_).ok());
+  common::IoFaultConfig fault;
+  fault.kind = common::IoFaultConfig::Kind::TransientError;
+  fault.fail_at_byte = 0;  // first write of the next attempt fails
+  fault.failures = 2;      // two EIOs, then the disk recovers
+  common::arm_io_fault(fault);
+  const auto saved = generation_two().save_file(path_, /*max_retries=*/3);
+  common::disarm_io_fault();
+  ASSERT_TRUE(saved.ok()) << saved.error().message;
+  TemplateStore loaded;
+  ASSERT_TRUE(loaded.load_file(path_).ok());
+  EXPECT_EQ(loaded.lookup("alice")->key_version, 2u);
+}
+
+TEST_F(StoreCrashSafetyTest, PersistentNoSpaceFailsFastAndKeepsPreviousGeneration) {
+  ASSERT_TRUE(generation_one().save_file(path_).ok());
+  common::IoFaultConfig fault;
+  fault.kind = common::IoFaultConfig::Kind::NoSpace;
+  fault.fail_at_byte = 0;
+  fault.failures = 100;  // the volume stays full
+  common::arm_io_fault(fault);
+  const std::uint64_t fired_before = common::io_faults_fired();
+  const auto saved = generation_two().save_file(path_, /*max_retries=*/3);
+  common::disarm_io_fault();
+  ASSERT_FALSE(saved.ok());
+  EXPECT_EQ(saved.code(), common::ErrorCode::NoSpace);
+  // ENOSPC is classified non-retryable: exactly one attempt.
+  EXPECT_EQ(common::io_faults_fired() - fired_before, 1u);
+  TemplateStore loaded;
+  ASSERT_TRUE(loaded.load_file(path_).ok());
+  EXPECT_EQ(loaded.lookup("alice")->key_version, 1u);
+}
+
+TEST_F(StoreCrashSafetyTest, CorruptPrimaryRecoversFromBackupAndSelfHeals) {
+  ASSERT_TRUE(generation_one().save_file(path_).ok());
+  ASSERT_TRUE(generation_two().save_file(path_).ok());  // rotates gen1 into .bak
+
+  // Scribble over the middle of the primary.
+  {
+    std::ifstream in(path_, std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    std::string bytes = ss.str();
+    ASSERT_GT(bytes.size(), 10u);
+    bytes[bytes.size() / 2] = static_cast<char>(bytes[bytes.size() / 2] ^ 0xFF);
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    common::write_exact(out, bytes.data(), bytes.size(), "corrupted primary");
+  }
+
+  TemplateStore loaded;
+  const auto report = loaded.load_file(path_);
+  ASSERT_TRUE(report.ok()) << report.error().message;
+  EXPECT_EQ(report.value().source, LoadSource::Backup);
+  EXPECT_TRUE(report.value().primary_corrupt);
+  EXPECT_EQ(loaded.lookup("alice")->key_version, 1u);  // the backup generation
+
+  // The recovery rewrote the primary: the next load is clean again.
+  TemplateStore again;
+  const auto second = again.load_file(path_);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second.value().source, LoadSource::Primary);
+  EXPECT_FALSE(second.value().primary_corrupt);
+  EXPECT_EQ(again.lookup("alice")->key_version, 1u);
+}
+
+TEST_F(StoreCrashSafetyTest, MissingFileReturnsIoError) {
+  TemplateStore store;
+  const auto report = store.load_file(path_);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.code(), common::ErrorCode::IoError);
+}
+
+TEST_F(StoreCrashSafetyTest, LegacyV1StreamStillLoads) {
+  // A V1 image has no CRC framing but must keep loading (deployed stores
+  // predate the V2 format).
+  std::stringstream ss;
+  nn::write_tag(ss, "MANDIPASS-STORE-V1");
+  nn::write_u64(ss, 1);  // one record
+  nn::write_tag(ss, "legacy");
+  nn::write_u64(ss, 5);  // matrix_seed
+  nn::write_u64(ss, 3);  // key_version
+  const std::vector<float> data(8, 0.5f);
+  nn::write_u64(ss, data.size());
+  common::write_exact(ss, data.data(), data.size() * sizeof(float), "template data");
+  TemplateStore store;
+  const auto result = store.try_load(ss);
+  ASSERT_TRUE(result.ok()) << result.error().message;
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.lookup("legacy")->matrix_seed, 5u);
+  EXPECT_EQ(store.lookup("legacy")->key_version, 3u);
+}
+
+}  // namespace
+}  // namespace mandipass::auth

@@ -77,6 +77,62 @@ TEST(RecordingIo, EmptyBodyThrows) {
   EXPECT_THROW(read_recording_csv(ss), SerializationError);
 }
 
+TEST(RecordingIo, CrlfLineEndingsParse) {
+  const auto rec = sample_recording(5);
+  std::stringstream ss;
+  write_recording_csv(ss, rec);
+  // Re-emit the file the way a Windows tool would: every \n becomes \r\n.
+  std::string crlf;
+  for (char c : ss.str()) {
+    if (c == '\n') {
+      crlf += '\r';
+    }
+    crlf += c;
+  }
+  std::stringstream windows(crlf);
+  const auto back = read_recording_csv(windows);
+  EXPECT_DOUBLE_EQ(back.sample_rate_hz, rec.sample_rate_hz);
+  ASSERT_EQ(back.sample_count(), rec.sample_count());
+  for (std::size_t a = 0; a < kAxisCount; ++a) {
+    EXPECT_EQ(back.axes[a], rec.axes[a]);
+  }
+}
+
+TEST(RecordingIo, TrailingAndInteriorBlankLinesIgnored) {
+  std::stringstream ss(
+      "# mandipass-recording v1\n# sample_rate_hz=350\nax,ay,az,gx,gy,gz\n"
+      "1,2,3,4,5,6\n\n   \n7,8,9,10,11,12\n\t\n\n");
+  const auto rec = read_recording_csv(ss);
+  ASSERT_EQ(rec.sample_count(), 2u);
+  EXPECT_DOUBLE_EQ(rec.axes[0][1], 7.0);
+  EXPECT_DOUBLE_EQ(rec.axes[5][0], 6.0);
+}
+
+TEST(RecordingIo, ParseErrorNamesOffendingLine) {
+  // The bad cell sits on physical line 6 (magic, rate, header, row, blank,
+  // bad row); the error must say so instead of making the user bisect.
+  std::stringstream ss(
+      "# mandipass-recording v1\n# sample_rate_hz=350\nax,ay,az,gx,gy,gz\n"
+      "1,2,3,4,5,6\n\n1,2,oops,4,5,6\n");
+  try {
+    read_recording_csv(ss);
+    FAIL() << "expected SerializationError";
+  } catch (const SerializationError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 6"), std::string::npos) << e.what();
+  }
+}
+
+TEST(RecordingIo, ColumnCountErrorNamesOffendingLine) {
+  std::stringstream ss(
+      "# mandipass-recording v1\n# sample_rate_hz=350\nax,ay,az,gx,gy,gz\n1,2,3\n");
+  try {
+    read_recording_csv(ss);
+    FAIL() << "expected SerializationError";
+  } catch (const SerializationError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 4"), std::string::npos) << e.what();
+  }
+}
+
 TEST(RecordingIo, FileRoundTrip) {
   const auto rec = sample_recording(7);
   const std::string path = ::testing::TempDir() + "/mandipass_rec_test.csv";

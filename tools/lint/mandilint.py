@@ -21,6 +21,12 @@ Enforces project rules that clang-tidy and compiler warnings cannot express:
                    Build output (build*/ trees, objects, archives,
                    CMakeCache.txt, compile_commands.json) must not be
                    committed to git.
+  no-throw-in-datapath
+                   `throw` is forbidden under src/core, src/dsp and
+                   src/auth (DESIGN.md section 12): data-dependent failures
+                   must come back as common::Result reject reasons, not
+                   exceptions. Legacy throwing wrappers and serialization
+                   entry points carry explicit allow()/allow-file() waivers.
 
 Suppression:
   A single finding:    <offending line>  // mandilint: allow(<rule>) -- reason
@@ -44,6 +50,7 @@ RULES = (
     "expects-guard",
     "header-hygiene",
     "no-build-artifacts",
+    "no-throw-in-datapath",
 )
 
 ALLOW_LINE_RE = re.compile(r"//\s*mandilint:\s*allow\(([a-z-]+)\)")
@@ -210,6 +217,37 @@ def check_header_hygiene(path: Path, rel: str, lines: list[str], waived: set[str
     return out
 
 
+DATAPATH_PREFIXES = ("src/core/", "src/dsp/", "src/auth/")
+THROW_RE = re.compile(r"(?<![\w])throw\b")
+
+
+def check_no_throw_in_datapath(
+    path: Path, rel: str, lines: list[str], waived: set[str]
+) -> list[Finding]:
+    if "no-throw-in-datapath" in waived:
+        return []
+    if not rel.startswith(DATAPATH_PREFIXES):
+        return []
+    out = []
+    for i, raw in enumerate(lines, start=1):
+        if line_waived(raw, "no-throw-in-datapath"):
+            continue
+        code = _strip_line_comment(raw)
+        if THROW_RE.search(code):
+            out.append(
+                Finding(
+                    "no-throw-in-datapath",
+                    rel,
+                    i,
+                    "`throw` in the authentication data path — return a "
+                    "common::Result reject reason (src/common/result.h) instead, "
+                    "or waive with `// mandilint: allow(no-throw-in-datapath) -- "
+                    "<why this path may throw>`",
+                )
+            )
+    return out
+
+
 def check_build_artifacts(repo: Path) -> list[Finding]:
     try:
         tracked = subprocess.run(
@@ -240,6 +278,7 @@ FILE_CHECKS = (
     check_raw_random,
     check_expects_guard,
     check_header_hygiene,
+    check_no_throw_in_datapath,
 )
 
 SOURCE_SUFFIXES = (".h", ".hpp", ".cpp", ".cc")
