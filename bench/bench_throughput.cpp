@@ -1,15 +1,19 @@
-// Batch authentication throughput: verifications/sec of the concurrent
-// BatchVerifier engine at batch sizes 1..256, single- vs multi-thread.
+// Serving-path throughput, two sections:
 //
-// This is the serving-path number the ROADMAP's "heavy traffic" goal
-// needs: each request is a Gaussian cancelable transform (dim x dim
-// matrix-vector product) plus a cosine distance, fanned out over the
-// thread pool under a shared-lock template store. Per-request decisions
-// are independent, so the multi-thread decision vector must be identical
-// to the single-thread one — the bench checks that too.
+//   1. extract_batch samples/sec — the compiled inference plan (fused
+//      Conv+BN+ReLU, packed register-blocked GEMM, scratch arenas;
+//      DESIGN.md §13) against the layer-by-layer reference path it
+//      replaced, measured single-thread so the speedup is the kernel's,
+//      not the pool's. Gates: compiled matches reference to ≤1e-5
+//      max-abs, and >= 2x reference throughput.
+//   2. verifications/sec of the concurrent BatchVerifier engine at batch
+//      sizes 1..256, single- vs multi-thread. Per-request decisions are
+//      independent, so the multi-thread decision vector must be
+//      identical to the single-thread one — the bench checks that too.
 //
 // Usage: bench_throughput [--threads N]   (default: all hardware cores)
 #include <chrono>
+#include <cmath>
 #include <iostream>
 #include <vector>
 
@@ -83,13 +87,137 @@ bool same_decisions(const std::vector<auth::BatchDecision>& a,
   return true;
 }
 
+// ---- Section 1: compiled-plan extract_batch vs the reference path ----
+
+std::vector<core::GradientArray> random_gradient_batch(std::size_t count, std::size_t half,
+                                                       std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<core::GradientArray> out;
+  out.reserve(count);
+  for (std::size_t s = 0; s < count; ++s) {
+    core::GradientArray g;
+    for (std::size_t a = 0; a < imu::kAxisCount; ++a) {
+      g.positive[a].resize(half);
+      g.negative[a].resize(half);
+      for (std::size_t i = 0; i < half; ++i) {
+        g.positive[a][i] = rng.uniform(0.0, 0.5);
+        g.negative[a][i] = rng.uniform(-0.5, 0.0);
+      }
+    }
+    out.push_back(std::move(g));
+  }
+  return out;
+}
+
+/// The pre-plan extract_batch pipeline, kept here as the measured
+/// baseline: per-chunk GradientArray copy, Tensor packing, and the
+/// layer-by-layer eval forward (separate conv GEMM, BN pass, ReLU pass,
+/// Linear, Sigmoid).
+std::vector<std::vector<float>> reference_extract_batch(
+    core::BiometricExtractor& ex, const std::vector<core::GradientArray>& arrays) {
+  std::vector<std::vector<float>> out;
+  out.reserve(arrays.size());
+  constexpr std::size_t kChunk = 128;
+  for (std::size_t start = 0; start < arrays.size(); start += kChunk) {
+    const std::size_t bs = std::min(kChunk, arrays.size() - start);
+    const auto off = static_cast<std::ptrdiff_t>(start);
+    const std::vector<core::GradientArray> chunk(
+        arrays.begin() + off, arrays.begin() + off + static_cast<std::ptrdiff_t>(bs));
+    const core::BranchTensors input = core::pack_branches(chunk, ex.config().axes);
+    const nn::Tensor e = ex.embed(input, /*train=*/false);
+    for (std::size_t b = 0; b < bs; ++b) {
+      std::vector<float> row(e.dim(1));
+      for (std::size_t j = 0; j < row.size(); ++j) {
+        row[j] = e.at2(b, j);
+      }
+      out.push_back(std::move(row));
+    }
+  }
+  return out;
+}
+
+struct ExtractMeasurement {
+  double samples_per_sec = 0.0;
+  std::vector<std::vector<float>> last;
+};
+
+template <typename F>
+ExtractMeasurement measure_extract(F&& run, std::size_t batch_size) {
+  using clock = std::chrono::steady_clock;
+  ExtractMeasurement m;
+  m.last = run();  // warm-up: plan compile, arena carve, first-touch
+  const auto t0 = clock::now();
+  std::size_t total = 0;
+  while (std::chrono::duration<double>(clock::now() - t0).count() < 0.3) {
+    m.last = run();
+    total += batch_size;
+  }
+  const double secs = std::chrono::duration<double>(clock::now() - t0).count();
+  m.samples_per_sec = static_cast<double>(total) / secs;
+  return m;
+}
+
+float max_abs_delta(const std::vector<std::vector<float>>& a,
+                    const std::vector<std::vector<float>>& b) {
+  float worst = 0.0f;
+  for (std::size_t i = 0; i < a.size() && i < b.size(); ++i) {
+    for (std::size_t j = 0; j < a[i].size() && j < b[i].size(); ++j) {
+      worst = std::max(worst, std::abs(a[i][j] - b[i][j]));
+    }
+  }
+  return worst;
+}
+
+/// Returns pass/fail of the two extract gates (tolerance + 2x speedup).
+bool run_extract_section(std::size_t threads) {
+  core::ExtractorConfig cfg;
+  cfg.embedding_dim = kDim;  // headline MandiblePrint config
+  core::BiometricExtractor ex(cfg);
+  constexpr std::size_t kBatch = 256;
+  const auto batch = random_gradient_batch(kBatch, cfg.half_length, 9001);
+
+  // Single-thread: the tentpole's own gate — kernel vs kernel, no pool.
+  common::ThreadPool::set_global_threads(1);
+  const auto ref = measure_extract([&] { return reference_extract_batch(ex, batch); }, kBatch);
+  const auto fused1 = measure_extract([&] { return ex.extract_batch(batch); }, kBatch);
+  const float delta = max_abs_delta(ref.last, fused1.last);
+  const double speedup = ref.samples_per_sec > 0.0
+                             ? fused1.samples_per_sec / ref.samples_per_sec
+                             : 0.0;
+
+  // Multi-thread compiled path, for the table only. The pool stays at
+  // `threads` afterwards for the verification section.
+  common::ThreadPool::set_global_threads(threads);
+  const auto fusedN = measure_extract([&] { return ex.extract_batch(batch); }, kBatch);
+
+  std::cout << "\nextract_batch samples/sec (batch " << kBatch << ", dim " << kDim << "):\n";
+  Table table({"path", "1 thread [sps]", std::to_string(threads) + " threads [sps]"});
+  table.add_row({"reference (layered)", fmt(ref.samples_per_sec, 0), "-"});
+  table.add_row({"compiled plan", fmt(fused1.samples_per_sec, 0),
+                 fmt(fusedN.samples_per_sec, 0)});
+  table.print(std::cout);
+  std::cout << "single-thread speedup: " << fmt(speedup, 2)
+            << "x   max-abs embedding delta: " << delta << "\n";
+
+  const bool matches = bench::record_verdict(
+      "extract_plan_matches_reference", delta <= 1e-5f,
+      "compiled extract_batch within 1e-5 max-abs of the layer-by-layer reference");
+  const bool fast = bench::record_verdict(
+      "extract_plan_speedup_ge_2x", speedup >= 2.0,
+      "compiled extract_batch >= 2x single-thread reference throughput");
+  return matches && fast;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const std::size_t threads = bench::init_bench(argc, argv);
-  bench::print_banner("batch authentication throughput",
-                      "reproduction extension: concurrent serving path "
+  bench::print_banner("serving-path throughput",
+                      "reproduction extension: compiled inference plan "
+                      "(samples/sec) + concurrent verification "
                       "(verifications/sec, single- vs multi-thread)");
+
+  const bool extract_ok = run_extract_section(threads);
 
   Rng rng(4242);
   auth::BatchVerifier engine;
@@ -150,5 +278,5 @@ int main(int argc, char** argv) {
   // consistency.
   bench::record_verdict("decisions_thread_invariant", consistent,
                         "single- vs multi-thread batch decisions identical");
-  return consistent ? 0 : 1;
+  return (consistent && extract_ok) ? 0 : 1;
 }

@@ -45,6 +45,12 @@ build/tools/bench_compare --skip-latency \
 MANDIPASS_BENCH_QUICK=1 build/bench/bench_faults --json build/BENCH_bench_faults.json
 build/tools/bench_compare --skip-latency \
   bench/baselines/bench_faults.quick.json build/BENCH_bench_faults.json
+# bench_throughput's counters come from timed loops (iteration counts are
+# machine-dependent), so only its verdicts are gated — the important ones
+# being the compiled plan's 1e-5 equivalence and >= 2x speedup.
+MANDIPASS_BENCH_QUICK=1 build/bench/bench_throughput --json build/BENCH_bench_throughput.json
+build/tools/bench_compare --skip-latency --skip-counters \
+  bench/baselines/bench_throughput.quick.json build/BENCH_bench_throughput.json
 
 if [ "$FAST" -eq 0 ]; then
   step "ASan+UBSan build + ctest"

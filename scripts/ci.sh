@@ -40,7 +40,12 @@ job_bench_smoke() {
       --json build/BENCH_bench_faults.json &&
     build/tools/bench_compare --skip-latency \
       bench/baselines/bench_faults.quick.json \
-      build/BENCH_bench_faults.json
+      build/BENCH_bench_faults.json &&
+    MANDIPASS_BENCH_QUICK=1 build/bench/bench_throughput \
+      --json build/BENCH_bench_throughput.json &&
+    build/tools/bench_compare --skip-latency --skip-counters \
+      bench/baselines/bench_throughput.quick.json \
+      build/BENCH_bench_throughput.json
 }
 
 job_no_obs() {

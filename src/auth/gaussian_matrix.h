@@ -14,6 +14,8 @@
 #include <span>
 #include <vector>
 
+#include "nn/inference_plan.h"
+
 namespace mandipass::auth {
 
 class GaussianMatrix {
@@ -23,6 +25,11 @@ class GaussianMatrix {
   GaussianMatrix(std::uint64_t seed, std::size_t dim);
 
   /// x' = x * G. Precondition: x.size() == dim().
+  ///
+  /// Runs on the packed register-blocked kernel (nn::PackedGemm) with G
+  /// packed column-major at construction, so out[j] keeps the reference
+  /// ascending-i accumulation order while the matrix is streamed once in
+  /// blocks of 8 outputs (BatchVerifier's per-probe hot loop).
   std::vector<float> transform(std::span<const float> x) const;
 
   std::size_t dim() const { return dim_; }
@@ -35,7 +42,7 @@ class GaussianMatrix {
  private:
   std::uint64_t seed_;
   std::size_t dim_;
-  std::vector<float> g_;  ///< row-major dim x dim
+  nn::PackedGemm gemm_;  ///< G packed column-major (out[j] = sum_i x[i] G[i][j])
 };
 
 }  // namespace mandipass::auth

@@ -1,0 +1,71 @@
+// Compiled inference path for the biometric extractor (DESIGN.md §13).
+//
+// A CompiledExtractor is built once from a trained BiometricExtractor and
+// owns three packed artifacts: one nn::InferencePlan per conv branch
+// (Conv+BN+ReLU triples folded and fused, weights pre-packed for the
+// register-blocked GEMM) and the trunk Linear with the Sigmoid fused as
+// its epilogue. extract()/extract_batch() then run end-to-end with every
+// intermediate in a per-thread ScratchArena — zero heap allocations in
+// the steady state, no Tensor plumbing, and input planes packed straight
+// from the GradientArray slices.
+//
+// The compiled path is a snapshot of the source's weights; it does not
+// track later training. BiometricExtractor owns the invalidation
+// (recompile after train-mode forward, backward or load) so callers of
+// extract/extract_batch never observe a stale plan.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/signal_array.h"
+#include "nn/inference_plan.h"
+
+namespace mandipass::core {
+
+class BiometricExtractor;
+
+class CompiledExtractor {
+ public:
+  /// Folds and packs `source` (both branches + trunk) in its current
+  /// state. The source is only read; it can keep training afterwards.
+  explicit CompiledExtractor(BiometricExtractor& source);
+
+  /// Embeds one gradient array. Bit-identical to extract_batch of the
+  /// same sample (the batch path runs this same per-sample kernel).
+  std::vector<float> extract(const GradientArray& array) const;
+
+  /// Embeds every array; row i is the MandiblePrint of arrays[i]. Fans
+  /// out in tiles of kSampleTile samples over the global thread pool with
+  /// one ScratchArena per worker; the trunk GEMM streams its packed
+  /// weights once per tile. Each output element is computed by exactly
+  /// one thread in a tile-size-invariant accumulation order, so the
+  /// result is bit-identical for any thread count and batch split.
+  std::vector<std::vector<float>> extract_batch(std::span<const GradientArray> arrays) const;
+
+  /// Samples per trunk-GEMM tile in extract_batch (bounds arena usage;
+  /// has no effect on results).
+  static constexpr std::size_t kSampleTile = 8;
+
+  std::size_t axes() const noexcept { return axes_; }
+  std::size_t half_length() const noexcept { return half_; }
+  std::size_t embedding_dim() const noexcept { return fc_.rows(); }
+  /// Floats per branch input plane: axes * half_length.
+  std::size_t plane_count() const noexcept { return axes_ * half_; }
+
+ private:
+  /// One sample from two packed (axes, half) planes into out
+  /// (embedding_dim floats). The planes must have been allocated from
+  /// `arena` *before* the call (the plans allocate behind them).
+  void embed_one(const float* pos_plane, const float* neg_plane, float* out,
+                 nn::ScratchArena& arena) const;
+
+  std::size_t axes_ = 0;
+  std::size_t half_ = 0;
+  nn::InferencePlan branch_pos_;
+  nn::InferencePlan branch_neg_;
+  nn::PackedGemm fc_;  ///< trunk Linear; Sigmoid fused as epilogue
+};
+
+}  // namespace mandipass::core

@@ -5,6 +5,7 @@
 #include "common/error.h"
 #include "common/obs.h"
 #include "common/thread_pool.h"
+#include "core/compiled_extractor.h"
 #include "nn/batchnorm.h"
 #include "nn/conv2d.h"
 #include "nn/layers.h"
@@ -54,6 +55,15 @@ BiometricExtractor::BiometricExtractor(const ExtractorConfig& config) : config_(
   trunk_->add(std::make_unique<nn::Sigmoid>());
 }
 
+BiometricExtractor::~BiometricExtractor() = default;
+
+CompiledExtractor& BiometricExtractor::compiled() {
+  if (compiled_ == nullptr) {
+    compiled_ = std::make_unique<CompiledExtractor>(*this);
+  }
+  return *compiled_;
+}
+
 void BiometricExtractor::attach_head(std::size_t classes) {
   MANDIPASS_EXPECTS(classes >= 2);
   Rng rng(config_.seed ^ 0x9E3779B97F4A7C15ULL);
@@ -62,6 +72,9 @@ void BiometricExtractor::attach_head(std::size_t classes) {
 
 nn::Tensor BiometricExtractor::embed(const BranchTensors& input, bool train) {
   MANDIPASS_OBS_TRACE_SAMPLED(trace_embed, "core.extractor.embed_us", 4);
+  if (train) {
+    compiled_.reset();  // weights are about to change (backward + optimizer)
+  }
   if (input.positive.rank() != 4 || input.positive.dim(2) != config_.axes ||
       input.positive.dim(3) != config_.half_length) {
     // Caller programming error (shape contract), not a data-dependent reject.
@@ -98,6 +111,7 @@ nn::Tensor BiometricExtractor::forward_logits(const BranchTensors& input, bool t
 
 void BiometricExtractor::backward(const nn::Tensor& grad_logits) {
   MANDIPASS_EXPECTS(head_ != nullptr);
+  compiled_.reset();
   const nn::Tensor g_embed = head_->backward(grad_logits);
   const nn::Tensor g_concat = trunk_->backward(g_embed);
   const std::size_t n = g_concat.dim(0);
@@ -130,40 +144,15 @@ std::vector<nn::Param*> BiometricExtractor::params() {
 }
 
 std::vector<float> BiometricExtractor::extract(const GradientArray& array) {
-  const BranchTensors t = pack_branches({array}, config_.axes);
-  const nn::Tensor e = embed(t, /*train=*/false);
-  std::vector<float> out(config_.embedding_dim);
-  for (std::size_t i = 0; i < out.size(); ++i) {
-    out[i] = e.at2(0, i);
-  }
-  return out;
+  return compiled().extract(array);
 }
 
 std::vector<std::vector<float>> BiometricExtractor::extract_batch(
     const std::vector<GradientArray>& arrays) {
-  std::vector<std::vector<float>> out;
-  out.reserve(arrays.size());
-  // Chunked so the im2col / patch buffers stay cache-resident; the
-  // parallelism lives inside embed() (per-sample fan-out in the conv GEMM
-  // and the branch splice), which keeps the output independent of both
-  // the chunk size and the thread count.
-  constexpr std::size_t kChunk = 128;
-  for (std::size_t start = 0; start < arrays.size(); start += kChunk) {
-    const std::size_t bs = std::min(kChunk, arrays.size() - start);
-    const auto off = static_cast<std::ptrdiff_t>(start);
-    const std::vector<GradientArray> batch(arrays.begin() + off,
-                                           arrays.begin() + off + static_cast<std::ptrdiff_t>(bs));
-    const BranchTensors input = pack_branches(batch, config_.axes);
-    const nn::Tensor e = embed(input, /*train=*/false);
-    for (std::size_t b = 0; b < bs; ++b) {
-      std::vector<float> row(e.dim(1));
-      for (std::size_t j = 0; j < row.size(); ++j) {
-        row[j] = e.at2(b, j);
-      }
-      out.push_back(std::move(row));
-    }
+  if (arrays.empty()) {
+    return {};
   }
-  return out;
+  return compiled().extract_batch(arrays);
 }
 
 std::size_t BiometricExtractor::parameter_count() {
@@ -199,6 +188,7 @@ void BiometricExtractor::load(std::istream& is) {
     throw SerializationError(  // mandilint: allow(no-throw-in-datapath) -- model (de)serialisation keeps the legacy throwing contract
         "extractor config mismatch");
   }
+  compiled_.reset();  // new weights arriving; recompile lazily
   branch_pos_->load_state(is);
   branch_neg_->load_state(is);
   trunk_->load_state(is);

@@ -23,6 +23,8 @@
 
 namespace mandipass::core {
 
+class CompiledExtractor;
+
 struct ExtractorConfig {
   std::size_t axes = imu::kAxisCount;  ///< K: involved axes (paper order)
   std::size_t half_length = kDefaultSegmentLength / 2;  ///< n/2 gradients
@@ -34,6 +36,7 @@ struct ExtractorConfig {
 class BiometricExtractor {
  public:
   explicit BiometricExtractor(const ExtractorConfig& config);
+  ~BiometricExtractor();  // out-of-line: CompiledExtractor is incomplete here
 
   /// Adds the training-time classification head projecting the
   /// MandiblePrint onto `classes` person IDs.
@@ -51,14 +54,22 @@ class BiometricExtractor {
   /// All trainable parameters (head included when attached).
   std::vector<nn::Param*> params();
 
-  /// Convenience: embeds one gradient array (inference path).
+  /// Convenience: embeds one gradient array via the compiled inference
+  /// plan (core/compiled_extractor.h).
   std::vector<float> extract(const GradientArray& array);
 
-  /// Batch inference: embeds every array (evaluation mode), processing in
-  /// fixed-size chunks. Row i is the MandiblePrint of arrays[i]. The hot
-  /// loops fan out over the global thread pool with deterministic
-  /// chunking, so the result is bit-identical for any thread count.
+  /// Batch inference: embeds every array through the compiled plan
+  /// (fused Conv+BN+ReLU, packed GEMM, per-thread scratch arena). Row i
+  /// is the MandiblePrint of arrays[i]. Samples fan out over the global
+  /// thread pool, each computed serially by one thread, so the result is
+  /// bit-identical for any thread count (DESIGN.md §9, §13).
   std::vector<std::vector<float>> extract_batch(const std::vector<GradientArray>& arrays);
+
+  /// The packed, BN-folded plan for the current weights: compiled lazily
+  /// on first use, invalidated by train-mode forwards, backward() and
+  /// load(). The layer-by-layer embed() stays as the training/reference
+  /// path the plan is validated against (≤1e-5 max-abs, tests/perf).
+  CompiledExtractor& compiled();
 
   /// Parameter count / storage accounting (Section VII-E).
   std::size_t parameter_count();
@@ -86,6 +97,7 @@ class BiometricExtractor {
   std::unique_ptr<nn::Sequential> branch_neg_;
   std::unique_ptr<nn::Sequential> trunk_;  ///< Linear -> Sigmoid
   std::unique_ptr<nn::Linear> head_;
+  std::unique_ptr<CompiledExtractor> compiled_;  ///< null = stale/not built
 
   static std::unique_ptr<nn::Sequential> make_branch(const ExtractorConfig& config, Rng& rng,
                                                      std::size_t* flat_out);

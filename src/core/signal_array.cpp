@@ -21,7 +21,7 @@ GradientArray build_gradient_array(const SignalArray& array, std::size_t half) {
   return out;
 }
 
-BranchTensors pack_branches(const std::vector<GradientArray>& batch, std::size_t axes) {
+BranchTensors pack_branches(std::span<const GradientArray> batch, std::size_t axes) {
   MANDIPASS_EXPECTS(!batch.empty());
   MANDIPASS_EXPECTS(axes >= 1 && axes <= imu::kAxisCount);
   const std::size_t n = batch.size();

@@ -11,6 +11,7 @@
 
 #include <array>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "imu/types.h"
@@ -52,6 +53,12 @@ struct BranchTensors {
   nn::Tensor positive;
   nn::Tensor negative;
 };
-BranchTensors pack_branches(const std::vector<GradientArray>& batch, std::size_t axes);
+BranchTensors pack_branches(std::span<const GradientArray> batch, std::size_t axes);
+
+/// Overload keeping brace-init call sites working (std::span has no
+/// initializer_list constructor until C++26).
+inline BranchTensors pack_branches(const std::vector<GradientArray>& batch, std::size_t axes) {
+  return pack_branches(std::span<const GradientArray>(batch), axes);
+}
 
 }  // namespace mandipass::core

@@ -112,11 +112,11 @@ double ExtractorTrainer::evaluate_accuracy(const LabeledGradientSet& data) {
     const std::size_t bs = std::min(kChunk, data.size() - start);
     const auto off = static_cast<std::ptrdiff_t>(start);
     const auto len = static_cast<std::ptrdiff_t>(bs);
-    std::vector<GradientArray> batch(data.arrays.begin() + off,
-                                     data.arrays.begin() + off + len);
+    // Pack straight from the slice — no per-chunk GradientArray copies.
+    const BranchTensors input =
+        pack_branches(std::span<const GradientArray>(data.arrays).subspan(start, bs), axes);
     std::vector<std::uint32_t> labels(data.labels.begin() + off,
                                       data.labels.begin() + off + len);
-    const BranchTensors input = pack_branches(batch, axes);
     const nn::Tensor logits = extractor_.forward_logits(input, /*train=*/false);
     loss.forward(logits, labels);
     correct += static_cast<std::size_t>(loss.accuracy() * static_cast<double>(bs) + 0.5);

@@ -23,6 +23,7 @@ class BatchNorm2d final : public Layer {
 
   const Tensor& running_mean() const { return running_mean_; }
   const Tensor& running_var() const { return running_var_; }
+  double eps() const { return eps_; }
 
  private:
   std::size_t channels_;

@@ -36,35 +36,29 @@ Conv2d::Conv2d(const Conv2dConfig& config, Rng& rng)
   weight_.value.init_he(rng, config.in_channels * config.kernel_h * config.kernel_w);
 }
 
-void Conv2d::build_patch_index(std::size_t h_in, std::size_t w_in) {
-  const std::size_t h_out = out_extent(h_in, config_.kernel_h, config_.stride_h, config_.pad_h);
-  const std::size_t w_out = out_extent(w_in, config_.kernel_w, config_.stride_w, config_.pad_w);
-  if (h_in == idx_h_in_ && w_in == idx_w_in_) {
-    return;  // cached
-  }
-  idx_h_in_ = h_in;
-  idx_w_in_ = w_in;
-  idx_h_out_ = h_out;
-  idx_w_out_ = w_out;
-  const std::size_t taps = config_.in_channels * config_.kernel_h * config_.kernel_w;
+std::vector<std::ptrdiff_t> Conv2d::make_patch_index(const Conv2dConfig& config,
+                                                     std::size_t h_in, std::size_t w_in) {
+  const std::size_t h_out = out_extent(h_in, config.kernel_h, config.stride_h, config.pad_h);
+  const std::size_t w_out = out_extent(w_in, config.kernel_w, config.stride_w, config.pad_w);
+  const std::size_t taps = config.in_channels * config.kernel_h * config.kernel_w;
   // For each (output position, tap): the flat offset into one image's
   // (C, H, W) block, or -1 for a padding tap.
-  patch_index_.assign(h_out * w_out * taps, -1);
+  std::vector<std::ptrdiff_t> index(h_out * w_out * taps, -1);
   std::size_t cell = 0;
   for (std::size_t oh = 0; oh < h_out; ++oh) {
     for (std::size_t ow = 0; ow < w_out; ++ow) {
-      for (std::size_t ic = 0; ic < config_.in_channels; ++ic) {
-        for (std::size_t kh = 0; kh < config_.kernel_h; ++kh) {
-          for (std::size_t kw = 0; kw < config_.kernel_w; ++kw, ++cell) {
-            const std::ptrdiff_t ih = static_cast<std::ptrdiff_t>(oh * config_.stride_h + kh) -
-                                      static_cast<std::ptrdiff_t>(config_.pad_h);
-            const std::ptrdiff_t iw = static_cast<std::ptrdiff_t>(ow * config_.stride_w + kw) -
-                                      static_cast<std::ptrdiff_t>(config_.pad_w);
+      for (std::size_t ic = 0; ic < config.in_channels; ++ic) {
+        for (std::size_t kh = 0; kh < config.kernel_h; ++kh) {
+          for (std::size_t kw = 0; kw < config.kernel_w; ++kw, ++cell) {
+            const std::ptrdiff_t ih = static_cast<std::ptrdiff_t>(oh * config.stride_h + kh) -
+                                      static_cast<std::ptrdiff_t>(config.pad_h);
+            const std::ptrdiff_t iw = static_cast<std::ptrdiff_t>(ow * config.stride_w + kw) -
+                                      static_cast<std::ptrdiff_t>(config.pad_w);
             if (ih < 0 || ih >= static_cast<std::ptrdiff_t>(h_in) || iw < 0 ||
                 iw >= static_cast<std::ptrdiff_t>(w_in)) {
               continue;
             }
-            patch_index_[cell] =
+            index[cell] =
                 (static_cast<std::ptrdiff_t>(ic * h_in) + ih) * static_cast<std::ptrdiff_t>(w_in) +
                 iw;
           }
@@ -72,6 +66,18 @@ void Conv2d::build_patch_index(std::size_t h_in, std::size_t w_in) {
       }
     }
   }
+  return index;
+}
+
+void Conv2d::build_patch_index(std::size_t h_in, std::size_t w_in) {
+  if (h_in == idx_h_in_ && w_in == idx_w_in_) {
+    return;  // cached; the output extents were remembered alongside
+  }
+  idx_h_in_ = h_in;
+  idx_w_in_ = w_in;
+  idx_h_out_ = out_extent(h_in, config_.kernel_h, config_.stride_h, config_.pad_h);
+  idx_w_out_ = out_extent(w_in, config_.kernel_w, config_.stride_w, config_.pad_w);
+  patch_index_ = make_patch_index(config_, h_in, w_in);
 }
 
 Tensor Conv2d::forward(const Tensor& input, bool train) {
@@ -79,7 +85,9 @@ Tensor Conv2d::forward(const Tensor& input, bool train) {
   if (input.rank() != 4 || input.dim(1) != config_.in_channels) {
     throw ShapeError("Conv2d::forward expects (N, in_c, H, W)");
   }
-  input_ = input;
+  if (train) {
+    input_ = input;  // backward needs the input shape and patch geometry
+  }
   const std::size_t n = input.dim(0);
   build_patch_index(input.dim(2), input.dim(3));
   const std::size_t h_out = idx_h_out_;
@@ -111,10 +119,12 @@ Tensor Conv2d::forward(const Tensor& input, bool train) {
   const std::size_t rows = n * positions;
   const auto gemm = [&](std::size_t r_lo, std::size_t r_hi) {
     const float* w = weight_.value.data();
+    // Strength reduction: (b, pos) are divmod of r by `positions`, seeded
+    // once per chunk and carried incrementally instead of divided per row.
+    std::size_t b = r_lo / positions;
+    std::size_t pos = r_lo % positions;
     for (std::size_t r = r_lo; r < r_hi; ++r) {
       const float* patch = patches_.data() + r * taps;
-      const std::size_t b = r / positions;
-      const std::size_t pos = r % positions;
       for (std::size_t oc = 0; oc < config_.out_channels; ++oc) {
         const float* wr = w + oc * taps;
         float acc = bias_.value[oc];
@@ -122,6 +132,10 @@ Tensor Conv2d::forward(const Tensor& input, bool train) {
           acc += wr[k] * patch[k];
         }
         out.data()[(b * config_.out_channels + oc) * positions + pos] = acc;
+      }
+      if (++pos == positions) {
+        pos = 0;
+        ++b;
       }
     }
   };

@@ -40,6 +40,12 @@ class Conv2d final : public Layer {
   static std::size_t out_extent(std::size_t in, std::size_t kernel, std::size_t stride,
                                 std::size_t pad);
 
+  /// Builds the im2col gather index for one (C, H, W) image: the flat
+  /// source offset per (output position, tap), -1 for a padding tap.
+  /// Shared with the compiled inference plan (nn/inference_plan.h).
+  static std::vector<std::ptrdiff_t> make_patch_index(const Conv2dConfig& config,
+                                                      std::size_t h_in, std::size_t w_in);
+
   const Conv2dConfig& config() const { return config_; }
 
  private:

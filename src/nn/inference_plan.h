@@ -1,0 +1,183 @@
+// Compiled inference plan: fused Conv+BN+ReLU stages, a packed
+// register-blocked GEMM kernel, and an allocation-free scratch arena
+// (DESIGN.md §13).
+//
+// The training stack (Conv2d / BatchNorm2d / ReLU as separate layers,
+// one freshly allocated Tensor per layer output) is the *reference*
+// implementation: auditable, differentiable, and bit-stable. Inference
+// never needs that generality — the branch topology is frozen, BatchNorm
+// runs off its running statistics, and nothing is kept for a backward
+// pass. An InferencePlan is compiled once from a trained branch:
+//
+//   * each BatchNorm2d's affine is folded into the preceding Conv2d's
+//     weights and bias (w' = w * gamma/sqrt(var+eps),
+//     b' = (b - mean) * gamma/sqrt(var+eps) + beta), and the ReLU becomes
+//     a GEMM epilogue — one pass per conv block instead of three;
+//   * the folded weights are pre-packed taps-major in blocks of
+//     kOcBlock output channels and multiplied against a tile of kXTile
+//     patch rows at a time, so each packed weight load is reused across
+//     the tile while all accumulators stay in registers (an explicit
+//     AVX2 kernel covers machines without AVX-512);
+//   * every intermediate (im2col patches, activations) lives in a
+//     ScratchArena that is reset — not freed — between samples, so the
+//     steady state performs zero heap allocations.
+//
+// Numerics: within one output element the accumulation order over taps
+// is the same ascending order the reference GEMM uses; the only drift
+// versus the reference path is the BN folding itself (and FMA
+// contraction), bounded in practice well under the documented 1e-5
+// max-abs embedding tolerance. Each sample is computed independently and
+// serially, so results are bit-identical for any thread count and for
+// single- vs batched extraction.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace mandipass::nn {
+
+class Sequential;
+
+/// Bump allocator for per-forward intermediates. alloc() hands out
+/// uninitialised float storage from a list of fixed blocks; reset()
+/// rewinds every block without releasing memory, so after a warm-up pass
+/// with a given allocation pattern no further heap traffic occurs.
+/// Pointers stay valid from their alloc() until the next reset() (blocks
+/// are never reallocated in place). Not thread-safe — use one arena per
+/// thread (see thread_scratch_arena()).
+class ScratchArena {
+ public:
+  /// Uninitialised storage for `count` floats (the caller must write
+  /// every element it reads back). count == 0 returns a valid pointer.
+  float* alloc(std::size_t count);
+
+  /// Rewinds every block; capacity is retained.
+  void reset() noexcept;
+
+  /// Total reserved storage across blocks, in bytes.
+  std::size_t capacity_bytes() const noexcept;
+
+  std::size_t block_count() const noexcept { return blocks_.size(); }
+
+ private:
+  struct Block {
+    std::vector<float> data;
+    std::size_t used = 0;
+  };
+
+  std::vector<Block> blocks_;
+  std::size_t active_ = 0;  ///< index of the block alloc() tries first
+};
+
+/// The calling thread's arena, created on first use and reused (reset,
+/// never freed) by every compiled-plan forward on that thread.
+ScratchArena& thread_scratch_arena();
+
+/// GEMM epilogue applied to each output element before the store.
+enum class Epilogue : std::uint8_t { None, Relu, Sigmoid };
+
+/// A (rows x cols) weight matrix pre-packed for the register-blocked
+/// kernel: output rows are grouped in blocks of kOcBlock, and within a
+/// block the storage is taps-major —
+/// packed[(block * cols + k) * kOcBlock + j] = W[block * kOcBlock + j][k]
+/// — so the inner loop over k broadcasts x[k] against kOcBlock
+/// contiguous weights while the accumulators stay in registers.
+///
+/// run() multiplies a *batch* of input vectors (e.g. all im2col patch
+/// rows of a conv stage) in tiles of kXTile vectors: one packed weight
+/// vector load is reused across the tile, which is what lifts the kernel
+/// off the 2-loads-per-FMA bound a plain matrix-vector dot sits on.
+/// Tail blocks are zero-padded; per-element accumulation order over k is
+/// the ascending order of the reference dot product, for every tile
+/// shape, so results are independent of how inputs are batched.
+class PackedGemm {
+ public:
+  static constexpr std::size_t kOcBlock = 16;  ///< one AVX-512 lane / two AVX2 lanes
+  static constexpr std::size_t kXTile = 4;     ///< input vectors per weight stream
+
+  PackedGemm() = default;
+
+  /// Packs from row-major `w` of shape (rows, cols); `bias` has `rows`
+  /// entries or is nullptr for an all-zero bias.
+  void pack_rows(const float* w, const float* bias, std::size_t rows, std::size_t cols);
+
+  /// Packs the transpose: `w` is row-major (cols, rows) and logical
+  /// W[r][c] = w[c * rows + r]. Used for right-multiplication layouts
+  /// such as the Gaussian cancelable transform x' = x * G.
+  void pack_columns(const float* w, const float* bias, std::size_t rows, std::size_t cols);
+
+  /// For every input vector xi in [0, x_count) and output row r:
+  ///   y[r * y_stride + xi] =
+  ///       epilogue(bias[r] + sum_k W[r][k] * x[xi * x_stride + k]).
+  /// Each input vector holds cols() floats. For a conv stage, x = the
+  /// im2col patch matrix (x_count = positions, x_stride = taps) and
+  /// y_stride = positions, which lands the output directly in (C, H, W)
+  /// order.
+  void run(const float* x, std::size_t x_count, std::size_t x_stride, float* y,
+           std::size_t y_stride, Epilogue epilogue) const;
+
+  /// Single-vector convenience: y[r * y_stride] = epilogue(W x + b)[r].
+  void run(const float* x, float* y, std::size_t y_stride, Epilogue epilogue) const {
+    run(x, 1, cols_, y, y_stride, epilogue);
+  }
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+  bool empty() const noexcept { return rows_ == 0; }
+
+  /// Packed storage footprint (weights + bias), for accounting.
+  std::size_t storage_bytes() const noexcept {
+    return (weights_.size() + bias_.size()) * sizeof(float);
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<float> weights_;  ///< block-major, zero-padded tail rows
+  std::vector<float> bias_;     ///< padded to a block multiple
+};
+
+/// One fused Conv+BN+ReLU stage of a compiled branch.
+struct FusedConvStage {
+  std::size_t in_channels = 0;
+  std::size_t out_channels = 0;
+  std::size_t h_in = 0, w_in = 0;
+  std::size_t h_out = 0, w_out = 0;
+  std::size_t taps = 0;       ///< in_channels * kernel_h * kernel_w
+  std::size_t positions = 0;  ///< h_out * w_out
+  /// Flat source offset per (output position, tap); -1 = padding tap.
+  std::vector<std::ptrdiff_t> patch_index;
+  PackedGemm gemm;  ///< folded weights, rows = out_channels, cols = taps
+};
+
+/// A compiled [Conv2d + BatchNorm2d + ReLU] x N (+ Flatten) branch for a
+/// fixed input plane geometry. Compile once (after training), run many.
+class InferencePlan {
+ public:
+  InferencePlan() = default;
+
+  /// Compiles `branch` — which must be Conv2d/BatchNorm2d/ReLU triples
+  /// optionally followed by a single Flatten — for input planes of shape
+  /// (in_channels-of-first-conv, h_in, w_in). Reads running statistics,
+  /// so the source must be in its final (trained) state.
+  static InferencePlan compile(Sequential& branch, std::size_t h_in, std::size_t w_in);
+
+  /// Runs the branch on one sample: `plane` holds input_count() floats in
+  /// (C, H, W) order; the flattened features (feature_count() floats, the
+  /// same (C, H, W) order nn::Flatten produces) are written to `out`.
+  /// All intermediates come from `arena`; the caller owns reset().
+  void run(const float* plane, float* out, ScratchArena& arena) const;
+
+  std::size_t input_count() const noexcept;
+  std::size_t feature_count() const noexcept;
+  std::size_t stage_count() const noexcept { return stages_.size(); }
+  const FusedConvStage& stage(std::size_t i) const { return stages_[i]; }
+
+ private:
+  std::vector<FusedConvStage> stages_;
+};
+
+}  // namespace mandipass::nn

@@ -11,13 +11,19 @@ void Layer::save_state(std::ostream& /*os*/) const {}
 void Layer::load_state(std::istream& /*is*/) {}
 
 // --- ReLU ---
-Tensor ReLU::forward(const Tensor& input, bool /*train*/) {
-  mask_ = Tensor(input.shape());
+Tensor ReLU::forward(const Tensor& input, bool train) {
   Tensor out(input.shape());
-  for (std::size_t i = 0; i < input.size(); ++i) {
-    const bool pos = input[i] > 0.0f;
-    mask_[i] = pos ? 1.0f : 0.0f;
-    out[i] = pos ? input[i] : 0.0f;
+  if (train) {
+    mask_ = Tensor(input.shape());
+    for (std::size_t i = 0; i < input.size(); ++i) {
+      const bool pos = input[i] > 0.0f;
+      mask_[i] = pos ? 1.0f : 0.0f;
+      out[i] = pos ? input[i] : 0.0f;
+    }
+  } else {
+    for (std::size_t i = 0; i < input.size(); ++i) {
+      out[i] = input[i] > 0.0f ? input[i] : 0.0f;
+    }
   }
   return out;
 }
@@ -33,12 +39,15 @@ Tensor ReLU::backward(const Tensor& grad_output) {
 }
 
 // --- Sigmoid ---
-Tensor Sigmoid::forward(const Tensor& input, bool /*train*/) {
-  output_ = Tensor(input.shape());
+Tensor Sigmoid::forward(const Tensor& input, bool train) {
+  Tensor out(input.shape());
   for (std::size_t i = 0; i < input.size(); ++i) {
-    output_[i] = 1.0f / (1.0f + std::exp(-input[i]));
+    out[i] = 1.0f / (1.0f + std::exp(-input[i]));
   }
-  return output_;
+  if (train) {
+    output_ = out;  // backward needs sigma(x); inference skips the copy
+  }
+  return out;
 }
 
 Tensor Sigmoid::backward(const Tensor& grad_output) {

@@ -11,11 +11,13 @@ Linear::Linear(std::size_t in_features, std::size_t out_features, Rng& rng)
   weight_.value.init_xavier(rng, in_features, out_features);
 }
 
-Tensor Linear::forward(const Tensor& input, bool /*train*/) {
+Tensor Linear::forward(const Tensor& input, bool train) {
   if (input.rank() != 2 || input.dim(1) != in_) {
     throw ShapeError("Linear::forward expects (N, in_features)");
   }
-  input_ = input;
+  if (train) {
+    input_ = input;  // backward-only cache; inference skips the deep copy
+  }
   const std::size_t n = input.dim(0);
   Tensor out({n, out_});
   const float* w = weight_.value.data();

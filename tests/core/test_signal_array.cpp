@@ -93,7 +93,7 @@ TEST(PackBranches, ValuesMatchSource) {
 
 TEST(PackBranches, InvalidArgsThrow) {
   std::vector<GradientArray> batch{build_gradient_array(make_array(60))};
-  EXPECT_THROW(pack_branches({}, 6), PreconditionError);
+  EXPECT_THROW(pack_branches(std::vector<GradientArray>{}, 6), PreconditionError);
   EXPECT_THROW(pack_branches(batch, 0), PreconditionError);
   EXPECT_THROW(pack_branches(batch, 7), PreconditionError);
 }

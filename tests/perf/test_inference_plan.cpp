@@ -1,0 +1,251 @@
+// Fused-vs-reference equivalence suite for the compiled inference plan
+// (DESIGN.md §13). The contract under test:
+//
+//   * extract/extract_batch (compiled: BN folded into conv, ReLU/Sigmoid
+//     fused as GEMM epilogues, packed register-blocked kernel) match the
+//     layer-by-layer reference embed() to ≤ 1e-5 max-abs per embedding
+//     element, for batch sizes 1/7/128, thread counts 1/2/8, with and
+//     without an attached head, on a *trained* model (nontrivial BN
+//     running statistics, so the folding math is genuinely exercised);
+//   * the compiled output is bit-identical across thread counts and
+//     between the single-sample and batched entry points;
+//   * accept/reject decisions through the cancelable-transform + Verifier
+//     pipeline are identical between the two paths;
+//   * the plan is invalidated (recompiled) after training and load().
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <sstream>
+#include <vector>
+
+#include "auth/gaussian_matrix.h"
+#include "auth/verifier.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "core/extractor.h"
+#include "core/trainer.h"
+
+namespace mandipass::core {
+namespace {
+
+constexpr float kEmbedTol = 1e-5f;  // the documented fused-vs-reference bound
+
+GradientArray random_gradient_array(Rng& rng, std::size_t half) {
+  GradientArray g;
+  for (std::size_t a = 0; a < imu::kAxisCount; ++a) {
+    g.positive[a].resize(half);
+    g.negative[a].resize(half);
+    for (std::size_t i = 0; i < half; ++i) {
+      g.positive[a][i] = rng.uniform(0.0, 0.5);
+      g.negative[a][i] = rng.uniform(-0.5, 0.0);
+    }
+  }
+  return g;
+}
+
+std::vector<GradientArray> random_batch(std::size_t count, std::size_t half,
+                                        std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<GradientArray> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back(random_gradient_array(rng, half));
+  }
+  return out;
+}
+
+/// The layer-by-layer reference: pack + eval-mode embed(), exactly the
+/// pre-plan extract_batch pipeline.
+std::vector<std::vector<float>> reference_extract_batch(
+    BiometricExtractor& ex, const std::vector<GradientArray>& arrays) {
+  std::vector<std::vector<float>> out;
+  out.reserve(arrays.size());
+  constexpr std::size_t kChunk = 128;
+  for (std::size_t start = 0; start < arrays.size(); start += kChunk) {
+    const std::size_t bs = std::min(kChunk, arrays.size() - start);
+    const BranchTensors input = pack_branches(
+        std::span<const GradientArray>(arrays).subspan(start, bs), ex.config().axes);
+    const nn::Tensor e = ex.embed(input, /*train=*/false);
+    for (std::size_t b = 0; b < bs; ++b) {
+      std::vector<float> row(e.dim(1));
+      for (std::size_t j = 0; j < row.size(); ++j) {
+        row[j] = e.at2(b, j);
+      }
+      out.push_back(std::move(row));
+    }
+  }
+  return out;
+}
+
+float max_abs_delta(const std::vector<std::vector<float>>& a,
+                    const std::vector<std::vector<float>>& b) {
+  EXPECT_EQ(a.size(), b.size());
+  float worst = 0.0f;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].size(), b[i].size());
+    for (std::size_t j = 0; j < a[i].size(); ++j) {
+      worst = std::max(worst, std::abs(a[i][j] - b[i][j]));
+    }
+  }
+  return worst;
+}
+
+bool bitwise_equal(const std::vector<std::vector<float>>& a,
+                   const std::vector<std::vector<float>>& b) {
+  if (a.size() != b.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].size() != b[i].size() ||
+        std::memcmp(a[i].data(), b[i].data(), a[i].size() * sizeof(float)) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+ExtractorConfig small_config() {
+  ExtractorConfig cfg;
+  cfg.half_length = 30;
+  cfg.embedding_dim = 32;
+  cfg.channels = {4, 6, 8};
+  return cfg;
+}
+
+/// Trains briefly so BN running statistics, gamma/beta and the conv
+/// weights all move off their init values — a fresh model would fold
+/// near-identity BN and prove very little.
+void train_briefly(BiometricExtractor& ex, std::uint64_t seed) {
+  LabeledGradientSet data;
+  Rng rng(seed);
+  for (std::uint32_t person = 0; person < 4; ++person) {
+    for (std::size_t s = 0; s < 12; ++s) {
+      data.arrays.push_back(random_gradient_array(rng, ex.config().half_length));
+      data.labels.push_back(person);
+    }
+  }
+  TrainConfig tc;
+  tc.epochs = 2;
+  tc.batch_size = 16;
+  ExtractorTrainer trainer(ex, tc);
+  trainer.train(data);
+}
+
+class InferencePlanEquivalence : public ::testing::Test {
+ protected:
+  void TearDown() override { common::ThreadPool::set_global_threads(1); }
+};
+
+TEST_F(InferencePlanEquivalence, MatchesReferenceAcrossBatchSizesAndThreads) {
+  BiometricExtractor ex(small_config());
+  train_briefly(ex, 21);
+  for (const std::size_t batch_size : {std::size_t{1}, std::size_t{7}, std::size_t{128}}) {
+    const auto batch = random_batch(batch_size, ex.config().half_length, 100 + batch_size);
+    common::ThreadPool::set_global_threads(1);
+    const auto reference = reference_extract_batch(ex, batch);
+    const auto compiled_serial = ex.extract_batch(batch);
+    EXPECT_LE(max_abs_delta(reference, compiled_serial), kEmbedTol)
+        << "batch " << batch_size << " (serial)";
+    for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+      common::ThreadPool::set_global_threads(threads);
+      EXPECT_TRUE(bitwise_equal(compiled_serial, ex.extract_batch(batch)))
+          << "batch " << batch_size << ", " << threads << " threads";
+    }
+  }
+}
+
+TEST_F(InferencePlanEquivalence, SingleSampleMatchesBatchedBitExactly) {
+  BiometricExtractor ex(small_config());
+  train_briefly(ex, 22);
+  const auto batch = random_batch(7, ex.config().half_length, 77);
+  common::ThreadPool::set_global_threads(8);
+  const auto batched = ex.extract_batch(batch);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const auto single = ex.extract(batch[i]);
+    ASSERT_EQ(single.size(), batched[i].size());
+    for (std::size_t j = 0; j < single.size(); ++j) {
+      EXPECT_EQ(single[j], batched[i][j]) << "sample " << i << " dim " << j;
+    }
+  }
+}
+
+TEST_F(InferencePlanEquivalence, HeadlessModelMatchesReference) {
+  // The plan covers branches + trunk only; a never-trained, headless
+  // model (identity-ish BN) must still fold correctly.
+  BiometricExtractor ex(small_config());
+  ASSERT_FALSE(ex.has_head());
+  const auto batch = random_batch(7, ex.config().half_length, 31);
+  const auto reference = reference_extract_batch(ex, batch);
+  EXPECT_LE(max_abs_delta(reference, ex.extract_batch(batch)), kEmbedTol);
+}
+
+TEST_F(InferencePlanEquivalence, AttachingAHeadDoesNotPerturbEmbeddings) {
+  // The head projects *after* the MandiblePrint; attaching one must not
+  // change what extract produces or disturb the compiled plan.
+  BiometricExtractor ex(small_config());
+  const auto batch = random_batch(5, ex.config().half_length, 41);
+  const auto before = ex.extract_batch(batch);
+  ex.attach_head(4);
+  EXPECT_TRUE(bitwise_equal(before, ex.extract_batch(batch)));
+}
+
+TEST_F(InferencePlanEquivalence, DecisionsMatchReferencePath) {
+  BiometricExtractor ex(small_config());
+  train_briefly(ex, 24);
+  const auto genuine = random_batch(8, ex.config().half_length, 51);
+  const auto probes = random_batch(8, ex.config().half_length, 52);
+
+  const auto ref_templates = reference_extract_batch(ex, genuine);
+  const auto ref_probes = reference_extract_batch(ex, probes);
+  const auto fused_templates = ex.extract_batch(genuine);
+  const auto fused_probes = ex.extract_batch(probes);
+
+  const auth::GaussianMatrix g(0xA11CE, ex.config().embedding_dim);
+  // Sweep thresholds across the whole distance range: the fused path must
+  // reproduce the reference decision at every operating point (bar a
+  // knife-edge tie, which the ≤1e-5 embedding bound makes measure-zero
+  // for these random probes).
+  for (const double threshold : {0.05, 0.15, 0.30, 0.50, 0.70}) {
+    const auth::Verifier v(threshold);
+    for (std::size_t i = 0; i < ref_templates.size(); ++i) {
+      for (std::size_t j = 0; j < ref_probes.size(); ++j) {
+        const auto ref_t = g.transform(ref_templates[i]);
+        const auto ref_p = g.transform(ref_probes[j]);
+        const auto fus_t = g.transform(fused_templates[i]);
+        const auto fus_p = g.transform(fused_probes[j]);
+        const auto ref_d = v.verify(ref_p, ref_t);
+        const auto fus_d = v.verify(fus_p, fus_t);
+        EXPECT_EQ(ref_d.accepted, fus_d.accepted)
+            << "threshold " << threshold << " pair (" << i << "," << j << "), distances "
+            << ref_d.distance << " vs " << fus_d.distance;
+        EXPECT_NEAR(ref_d.distance, fus_d.distance, 1e-4);
+      }
+    }
+  }
+}
+
+TEST_F(InferencePlanEquivalence, PlanIsInvalidatedByTraining) {
+  BiometricExtractor ex(small_config());
+  const auto batch = random_batch(3, ex.config().half_length, 61);
+  const auto before = ex.extract_batch(batch);  // compiles the initial plan
+  train_briefly(ex, 25);
+  const auto after = ex.extract_batch(batch);
+  EXPECT_FALSE(bitwise_equal(before, after)) << "plan survived training";
+  EXPECT_LE(max_abs_delta(reference_extract_batch(ex, batch), after), kEmbedTol);
+}
+
+TEST_F(InferencePlanEquivalence, PlanIsInvalidatedByLoad) {
+  BiometricExtractor trained(small_config());
+  train_briefly(trained, 26);
+  BiometricExtractor loaded(small_config());
+  const auto batch = random_batch(3, trained.config().half_length, 71);
+  (void)loaded.extract_batch(batch);  // compile a plan for the *old* weights
+  std::stringstream ss;
+  trained.save(ss);
+  loaded.load(ss);
+  EXPECT_TRUE(bitwise_equal(trained.extract_batch(batch), loaded.extract_batch(batch)));
+}
+
+}  // namespace
+}  // namespace mandipass::core

@@ -1,0 +1,114 @@
+// ScratchArena semantics (DESIGN.md §13): bump allocation with pointer
+// stability until reset, reset-not-free reuse, and — the property the
+// compiled extractor's steady state depends on — zero capacity growth
+// once the allocation pattern has been seen.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "core/extractor.h"
+#include "nn/inference_plan.h"
+
+namespace mandipass::nn {
+namespace {
+
+TEST(ScratchArena, AllocationsAreDisjointAndWritable) {
+  ScratchArena arena;
+  float* a = arena.alloc(100);
+  float* b = arena.alloc(50);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_GE(b, a + 100) << "allocations overlap";
+  for (std::size_t i = 0; i < 100; ++i) {
+    a[i] = static_cast<float>(i);
+  }
+  for (std::size_t i = 0; i < 50; ++i) {
+    b[i] = -1.0f;
+  }
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(a[i], static_cast<float>(i));  // b writes never bled into a
+  }
+}
+
+TEST(ScratchArena, ResetReusesTheSameStorage) {
+  ScratchArena arena;
+  float* first = arena.alloc(256);
+  arena.reset();
+  EXPECT_EQ(arena.alloc(256), first) << "reset must rewind, not reallocate";
+}
+
+TEST(ScratchArena, NoGrowthAfterWarmup) {
+  ScratchArena arena;
+  const auto pattern = [&arena] {
+    arena.reset();
+    (void)arena.alloc(180);
+    (void)arena.alloc(4320);
+    (void)arena.alloc(1440);
+    (void)arena.alloc(6912);
+    (void)arena.alloc(768);
+  };
+  pattern();
+  const std::size_t warm_capacity = arena.capacity_bytes();
+  const std::size_t warm_blocks = arena.block_count();
+  EXPECT_GT(warm_capacity, 0u);
+  for (int i = 0; i < 200; ++i) {
+    pattern();
+  }
+  EXPECT_EQ(arena.capacity_bytes(), warm_capacity);
+  EXPECT_EQ(arena.block_count(), warm_blocks);
+}
+
+TEST(ScratchArena, OversizedRequestGetsItsOwnBlock) {
+  ScratchArena arena;
+  const std::size_t big = (std::size_t{1} << 20) + 7;  // > the minimum block
+  float* p = arena.alloc(big);
+  ASSERT_NE(p, nullptr);
+  p[0] = 1.0f;
+  p[big - 1] = 2.0f;
+  EXPECT_GE(arena.capacity_bytes(), big * sizeof(float));
+}
+
+TEST(ScratchArena, ZeroCountIsValid) {
+  ScratchArena arena;
+  EXPECT_NE(arena.alloc(0), nullptr);
+}
+
+// The end-to-end property: after one extract_batch has warmed every
+// worker arena, further batches of the same shape allocate nothing new.
+TEST(ScratchArena, CompiledExtractorSteadyStateDoesNotGrowArenas) {
+  core::ExtractorConfig cfg;
+  cfg.half_length = 30;
+  cfg.embedding_dim = 32;
+  cfg.channels = {4, 6, 8};
+  core::BiometricExtractor ex(cfg);
+
+  mandipass::Rng rng(5);
+  std::vector<core::GradientArray> batch;
+  for (std::size_t s = 0; s < 32; ++s) {
+    core::GradientArray g;
+    for (std::size_t a = 0; a < imu::kAxisCount; ++a) {
+      g.positive[a].resize(cfg.half_length);
+      g.negative[a].resize(cfg.half_length);
+      for (std::size_t i = 0; i < cfg.half_length; ++i) {
+        g.positive[a][i] = rng.uniform();
+        g.negative[a][i] = -rng.uniform();
+      }
+    }
+    batch.push_back(std::move(g));
+  }
+
+  common::ThreadPool::set_global_threads(1);
+  (void)ex.extract_batch(batch);  // warm-up: arena blocks get carved
+  const std::size_t warm = thread_scratch_arena().capacity_bytes();
+  EXPECT_GT(warm, 0u);
+  for (int round = 0; round < 5; ++round) {
+    (void)ex.extract_batch(batch);
+    EXPECT_EQ(thread_scratch_arena().capacity_bytes(), warm) << "round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace mandipass::nn
