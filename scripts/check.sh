@@ -9,7 +9,9 @@
 #   3. asan preset:    ASan+UBSan instrumented build + ctest
 #   4. tsan preset:    TSan instrumented build + ctest
 #   5. clang-tidy over src/ (skipped if clang-tidy is not installed)
-#   6. mandilint repo-invariant linter
+#   6. Clang thread-safety capability analysis (tsafety preset; skipped
+#      if clang++ is not installed)
+#   7. mandilint repo-invariant linter
 #
 # Usage:
 #   scripts/check.sh           # everything
@@ -68,6 +70,9 @@ fi
 
 step "clang-tidy"
 scripts/run_tidy.sh
+
+step "thread-safety analysis"
+scripts/tsafety.sh
 
 step "mandilint"
 scripts/lint.sh

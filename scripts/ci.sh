@@ -75,12 +75,13 @@ run_job "no-obs"        job_no_obs
 run_job "fault"         job_fault
 run_job "sanitize"      job_sanitize
 run_job "clang-tidy"    scripts/run_tidy.sh
+run_job "tsafety"       scripts/tsafety.sh
 run_job "mandilint"     scripts/lint.sh
 
 echo
 echo "==== ci summary ===="
 FAIL=0
-for name in build-werror bench-smoke no-obs fault sanitize clang-tidy mandilint; do
+for name in build-werror bench-smoke no-obs fault sanitize clang-tidy tsafety mandilint; do
   echo "  $name: ${STATUS[$name]}"
   [ "${STATUS[$name]}" = ok ] || FAIL=1
 done

@@ -2,7 +2,15 @@
 # Runs the repo-invariant linter (tools/lint/mandilint.py) over the default
 # directory set. See `python3 tools/lint/mandilint.py --list-rules` for the
 # rule catalogue and the inline suppression syntax.
+#
+# When the default build tree has exported a compile database, it is
+# handed to mandilint so the AST-backed rules (arena-escape) resolve each
+# translation unit's include paths and defines from the real build.
 set -euo pipefail
 
 REPO="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
-exec python3 "$REPO/tools/lint/mandilint.py" --repo "$REPO" "$@"
+EXTRA=()
+if [ -f "$REPO/build/compile_commands.json" ]; then
+  EXTRA=(--compile-commands "$REPO/build/compile_commands.json")
+fi
+exec python3 "$REPO/tools/lint/mandilint.py" --repo "$REPO" "${EXTRA[@]}" "$@"

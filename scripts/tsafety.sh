@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Builds the library under Clang's thread-safety capability analysis
+# (-Wthread-safety -Wthread-safety-beta -Werror=thread-safety) using the
+# `tsafety` CMake preset. The MANDIPASS_* annotations in
+# src/common/thread_annotations.h are only meaningful to Clang, so this
+# check requires a clang++ that understands the capability attribute.
+#
+# Usage: scripts/tsafety.sh
+#
+# Exits 0 when the analysis is clean or clang++ is unavailable (the
+# toolchain image may only ship gcc; the check is then reported as
+# SKIPPED so scripts/check.sh and ci.sh still pass), 1 on findings.
+set -euo pipefail
+
+REPO="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "$REPO"
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+CLANGXX="${CLANGXX:-clang++}"
+if ! command -v "$CLANGXX" >/dev/null 2>&1; then
+  echo "tsafety: SKIPPED ($CLANGXX not installed in this toolchain image)"
+  exit 0
+fi
+
+# Probe that this clang actually implements the capability analysis
+# (ancient versions predate -Wthread-safety-beta).
+if ! printf 'int main(){}' | "$CLANGXX" -x c++ -Wthread-safety -Wthread-safety-beta \
+    -fsyntax-only - >/dev/null 2>&1; then
+  echo "tsafety: SKIPPED ($CLANGXX does not support -Wthread-safety-beta)"
+  exit 0
+fi
+
+echo "tsafety: building library with $CLANGXX -Werror=thread-safety"
+cmake --preset tsafety -DCMAKE_CXX_COMPILER="$CLANGXX" >/dev/null
+cmake --build --preset tsafety -j "$JOBS"
+echo "tsafety: clean"

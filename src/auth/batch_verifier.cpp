@@ -5,54 +5,66 @@
 // enforced by the owned Verifier.
 
 #include <chrono>
-#include <mutex>
 
 #include "auth/gaussian_matrix.h"
 #include "common/error.h"
 #include "common/finite.h"
+#include "common/mutex.h"
 #include "common/obs.h"
 
 namespace mandipass::auth {
 
+using common::kDeferLock;
+using common::ReaderLock;
+using common::WriterLock;
+
 BatchVerifier::BatchVerifier(double threshold) : verifier_(threshold) {}
 
 void BatchVerifier::enroll(const std::string& user, StoredTemplate tmpl) {
-  std::unique_lock<std::shared_mutex> lock(mutex_, std::defer_lock);
+  WriterLock lock(mutex_, kDeferLock);
   {
     MANDIPASS_OBS_TRACE(trace_wait, "auth.batch.exclusive_lock_wait_us");
-    lock.lock();
+    // Deferred acquire on the scoped guard so the trace times exactly the
+    // lock wait; the guard's destructor still releases (common/mutex.h).
+    lock.lock();  // mandilint: allow(raw-lock-discipline) -- timed deferred RAII acquire
   }
   MANDIPASS_OBS_COUNT("auth.batch.enroll_total");
   store_.enroll(user, std::move(tmpl));
 }
 
 bool BatchVerifier::revoke(const std::string& user) {
-  std::unique_lock<std::shared_mutex> lock(mutex_, std::defer_lock);
+  WriterLock lock(mutex_, kDeferLock);
   {
     MANDIPASS_OBS_TRACE(trace_wait, "auth.batch.exclusive_lock_wait_us");
-    lock.lock();
+    lock.lock();  // mandilint: allow(raw-lock-discipline) -- timed deferred RAII acquire
   }
   MANDIPASS_OBS_COUNT("auth.batch.revoke_total");
   return store_.revoke(user);
 }
 
-std::optional<StoredTemplate> BatchVerifier::snapshot(const std::string& user) const {
-  std::shared_lock<std::shared_mutex> lock(mutex_);
+std::optional<StoredTemplate> BatchVerifier::lookup_locked(const std::string& user) const {
   return store_.lookup(user);
 }
 
+double BatchVerifier::threshold_locked() const { return verifier_.threshold(); }
+
+std::optional<StoredTemplate> BatchVerifier::snapshot(const std::string& user) const {
+  ReaderLock lock(mutex_);
+  return lookup_locked(user);
+}
+
 std::size_t BatchVerifier::size() const {
-  std::shared_lock<std::shared_mutex> lock(mutex_);
+  ReaderLock lock(mutex_);
   return store_.size();
 }
 
 double BatchVerifier::threshold() const {
-  std::shared_lock<std::shared_mutex> lock(mutex_);
-  return verifier_.threshold();
+  ReaderLock lock(mutex_);
+  return threshold_locked();
 }
 
 void BatchVerifier::set_threshold(double t) {
-  std::unique_lock<std::shared_mutex> lock(mutex_);
+  WriterLock lock(mutex_);
   verifier_.set_threshold(t);
 }
 
@@ -100,13 +112,13 @@ BatchDecision BatchVerifier::verify_one(const std::string& user,
   std::optional<StoredTemplate> stored;
   double threshold = 0.0;
   {
-    std::shared_lock<std::shared_mutex> lock(mutex_, std::defer_lock);
+    ReaderLock lock(mutex_, kDeferLock);
     {
       MANDIPASS_OBS_TRACE(trace_wait, "auth.batch.shared_lock_wait_us");
-      lock.lock();
+      lock.lock();  // mandilint: allow(raw-lock-discipline) -- timed deferred RAII acquire
     }
-    stored = store_.lookup(user);
-    threshold = verifier_.threshold();
+    stored = lookup_locked(user);
+    threshold = threshold_locked();
   }
   if (!stored.has_value()) {
     MANDIPASS_OBS_COUNT("auth.batch.verify_unknown");
@@ -145,7 +157,7 @@ BatchDecision BatchVerifier::verify_one(const std::string& user,
 std::shared_ptr<const GaussianMatrix> BatchVerifier::matrix_for(std::uint64_t seed,
                                                                std::size_t dim) const {
   {
-    std::shared_lock<std::shared_mutex> lock(cache_mutex_);
+    ReaderLock lock(cache_mutex_);
     const auto it = matrix_cache_.find(seed);
     if (it != matrix_cache_.end() && it->second->dim() == dim) {
       MANDIPASS_OBS_COUNT("auth.batch.matrix_cache_hits");
@@ -156,7 +168,7 @@ std::shared_ptr<const GaussianMatrix> BatchVerifier::matrix_for(std::uint64_t se
   // Build outside any lock (dim^2 RNG draws), then publish. A losing
   // racer's matrix is identical by construction, so either copy is fine.
   auto fresh = std::make_shared<const GaussianMatrix>(seed, dim);
-  std::unique_lock<std::shared_mutex> lock(cache_mutex_);
+  WriterLock lock(cache_mutex_);
   auto [it, inserted] = matrix_cache_.try_emplace(seed, fresh);
   if (!inserted && it->second->dim() != dim) {
     it->second = fresh;
@@ -208,12 +220,12 @@ BatchResult BatchVerifier::verify_batch(std::span<const VerifyRequest> requests,
 }
 
 void BatchVerifier::save(std::ostream& os) const {
-  std::unique_lock<std::shared_mutex> lock(mutex_);
+  WriterLock lock(mutex_);
   store_.save(os);
 }
 
 void BatchVerifier::load(std::istream& is) {
-  std::unique_lock<std::shared_mutex> lock(mutex_);
+  WriterLock lock(mutex_);
   store_.load(is);
 }
 

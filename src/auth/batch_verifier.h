@@ -2,7 +2,7 @@
 //
 // A production deployment serves many verification requests at once while
 // enrolments and revocations trickle in. BatchVerifier owns a
-// TemplateStore behind a std::shared_mutex:
+// TemplateStore behind an annotated common::SharedMutex:
 //
 //   * verify paths take a shared lock only long enough to snapshot the
 //     user's StoredTemplate (a copy), then run the heavy math — Gaussian
@@ -20,7 +20,6 @@
 #include <cstdint>
 #include <memory>
 #include <span>
-#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -28,7 +27,9 @@
 #include "auth/gaussian_matrix.h"
 #include "auth/template_store.h"
 #include "auth/verifier.h"
+#include "common/mutex.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 
 namespace mandipass::auth {
@@ -82,52 +83,69 @@ struct BatchResult {
   BatchStats stats;
 };
 
+/// The locking contract below is machine-checked: every member is
+/// MANDIPASS_GUARDED_BY its mutex, the internal snapshot helpers state
+/// MANDIPASS_REQUIRES_SHARED, and the public entry points state
+/// MANDIPASS_EXCLUDES (they take the lock themselves, so holding it on
+/// entry would deadlock). Under the tsafety preset (Clang,
+/// -Werror=thread-safety) a mis-locked access is a compile error; on GCC
+/// the annotations are documentation (DESIGN.md §14).
 class BatchVerifier {
  public:
   explicit BatchVerifier(double threshold = kPaperThreshold);
 
   /// Seals a template (exclusive lock). Overwrites any previous one.
-  void enroll(const std::string& user, StoredTemplate tmpl);
+  void enroll(const std::string& user, StoredTemplate tmpl) MANDIPASS_EXCLUDES(mutex_);
 
   /// Removes a user's template (exclusive lock); false if absent.
-  bool revoke(const std::string& user);
+  bool revoke(const std::string& user) MANDIPASS_EXCLUDES(mutex_);
 
   /// Consistent copy of the user's sealed template (shared lock).
-  std::optional<StoredTemplate> snapshot(const std::string& user) const;
+  std::optional<StoredTemplate> snapshot(const std::string& user) const
+      MANDIPASS_EXCLUDES(mutex_);
 
   /// Enrolled-user count (shared lock).
-  std::size_t size() const;
+  std::size_t size() const MANDIPASS_EXCLUDES(mutex_);
 
   /// Verifies one request against the current template generation.
-  BatchDecision verify_one(const std::string& user, std::span<const float> raw_probe) const;
+  BatchDecision verify_one(const std::string& user, std::span<const float> raw_probe) const
+      MANDIPASS_EXCLUDES(mutex_, cache_mutex_);
 
   /// Verifies a batch, fanning requests out over `pool` (the global pool
   /// when null). Returns per-request decisions plus aggregate stats.
   BatchResult verify_batch(std::span<const VerifyRequest> requests,
-                           common::ThreadPool* pool = nullptr) const;
+                           common::ThreadPool* pool = nullptr) const
+      MANDIPASS_EXCLUDES(mutex_, cache_mutex_);
 
-  double threshold() const;
-  void set_threshold(double t);
+  double threshold() const MANDIPASS_EXCLUDES(mutex_);
+  void set_threshold(double t) MANDIPASS_EXCLUDES(mutex_);
 
   /// Bulk snapshot of the whole store (exclusive lock held by save for a
   /// consistent image); mirrors TemplateStore persistence.
-  void save(std::ostream& os) const;
-  void load(std::istream& is);
+  void save(std::ostream& os) const MANDIPASS_EXCLUDES(mutex_);
+  void load(std::istream& is) MANDIPASS_EXCLUDES(mutex_);
 
  private:
   /// Cached Gaussian matrix for (seed, dim). The matrix is a pure
   /// function of its seed, so whichever thread materialises it first
   /// produces the same values; rebuilding it per request would dominate
   /// the verify path (dim^2 Box-Muller draws vs one dim^2 mat-vec).
-  std::shared_ptr<const GaussianMatrix> matrix_for(std::uint64_t seed, std::size_t dim) const;
+  std::shared_ptr<const GaussianMatrix> matrix_for(std::uint64_t seed, std::size_t dim) const
+      MANDIPASS_EXCLUDES(cache_mutex_);
 
-  mutable std::shared_mutex mutex_;
-  Verifier verifier_;    ///< guarded by mutex_ (threshold can be re-tuned)
-  TemplateStore store_;  ///< guarded by mutex_
+  /// Shared-lock snapshot helpers: the caller must already hold mutex_
+  /// at least shared; they perform the guarded reads and nothing else.
+  std::optional<StoredTemplate> lookup_locked(const std::string& user) const
+      MANDIPASS_REQUIRES_SHARED(mutex_);
+  double threshold_locked() const MANDIPASS_REQUIRES_SHARED(mutex_);
 
-  mutable std::shared_mutex cache_mutex_;
+  mutable common::SharedMutex mutex_;
+  Verifier verifier_ MANDIPASS_GUARDED_BY(mutex_);    ///< threshold can be re-tuned
+  TemplateStore store_ MANDIPASS_GUARDED_BY(mutex_);  ///< template generations
+
+  mutable common::SharedMutex cache_mutex_;
   mutable std::unordered_map<std::uint64_t, std::shared_ptr<const GaussianMatrix>>
-      matrix_cache_;  ///< guarded by cache_mutex_
+      matrix_cache_ MANDIPASS_GUARDED_BY(cache_mutex_);
 };
 
 }  // namespace mandipass::auth

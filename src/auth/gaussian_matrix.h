@@ -8,6 +8,13 @@
 //                  template replayed after the user re-keys is rejected;
 //   * G is not recoverable from x' alone (underdetermined system), and
 //     re-keying is just drawing a fresh seed.
+//
+// Concurrency: a GaussianMatrix is immutable after construction (the
+// packed kernel is built in the ctor; transform() is const and touches
+// no mutable state), so const instances are freely shared across threads
+// — BatchVerifier's seed-keyed cache hands out shared_ptr<const
+// GaussianMatrix> and only the map itself is lock-guarded
+// (MANDIPASS_GUARDED_BY(cache_mutex_)).
 #pragma once
 
 #include <cstdint>

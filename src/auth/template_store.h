@@ -22,6 +22,11 @@
 // fails its checksum. The invariant the fault tests enforce: interrupt a
 // save at *any* byte and load_file still returns the previous or the new
 // generation in full — never a corrupt or partial store.
+//
+// Concurrency: TemplateStore itself is unsynchronized; concurrent access
+// is the owner's job. BatchVerifier holds its store as
+// MANDIPASS_GUARDED_BY(mutex_), so under the tsafety preset every access
+// path is compile-time checked to hold that lock (DESIGN.md §14).
 #pragma once
 
 #include <cstdint>

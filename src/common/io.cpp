@@ -2,11 +2,12 @@
 
 #include <istream>
 #include <limits>
-#include <mutex>
+#include <optional>
 #include <ostream>
 #include <string>
 
 #include "common/error.h"
+#include "common/mutex.h"
 #include "common/obs.h"
 
 namespace mandipass::common {
@@ -17,11 +18,11 @@ namespace {
 // mutex keeps the bookkeeping coherent if a parallel suite arms it
 // around a concurrent save).
 struct FaultState {
-  std::mutex mutex;
-  bool armed = false;
-  IoFaultConfig config;
-  std::size_t written = 0;  ///< bytes successfully written since arming
-  std::uint64_t fired = 0;
+  Mutex mutex;
+  bool armed MANDIPASS_GUARDED_BY(mutex) = false;
+  IoFaultConfig config MANDIPASS_GUARDED_BY(mutex);
+  std::size_t written MANDIPASS_GUARDED_BY(mutex) = 0;  ///< bytes written since arming
+  std::uint64_t fired MANDIPASS_GUARDED_BY(mutex) = 0;
 };
 
 FaultState& fault_state() {
@@ -42,19 +43,26 @@ void write_raw(std::ostream& os, const char* src, std::size_t size, const char* 
   }
 }
 
-/// Consults the armed fault. Returns true when the write was fully
-/// handled (fault fired and threw); returns false when the caller should
-/// perform a normal write.
-bool maybe_inject_write_fault(std::ostream& os, const char* src, std::size_t size,
-                              const char* what) {
+/// The bookkeeping half of a fired fault, captured under the state lock.
+struct FiredFault {
+  IoFaultConfig::Kind kind;
+  std::size_t prefix;  ///< bytes the faulting op still writes
+};
+
+/// Consults and updates the armed-fault bookkeeping under the state
+/// lock. Returns the fault to act on, or nullopt when the caller should
+/// perform a normal write. Splitting bookkeeping (locked) from the
+/// stream writes + throw (in the caller, unlocked) keeps the lock scope
+/// a pure RAII block — no manual unlock before the throwing writes.
+std::optional<FiredFault> consume_write_fault(std::size_t size) {
   FaultState& s = fault_state();
-  std::unique_lock<std::mutex> lock(s.mutex);
+  MutexLock lock(s.mutex);
   if (!s.armed) {
-    return false;
+    return std::nullopt;
   }
   if (s.written + size <= s.config.fail_at_byte) {
     s.written += size;
-    return false;  // still under budget: caller writes normally
+    return std::nullopt;  // still under budget: caller writes normally
   }
   // The fault fires on this op.
   s.fired += 1;
@@ -64,11 +72,22 @@ bool maybe_inject_write_fault(std::ostream& os, const char* src, std::size_t siz
   }
   const std::size_t prefix =
       s.config.fail_at_byte > s.written ? s.config.fail_at_byte - s.written : 0;
-  const IoFaultConfig::Kind kind = s.config.kind;
   s.written += prefix;
-  lock.unlock();  // stream writes below must not hold the state lock
+  return FiredFault{s.config.kind, prefix};
+}
 
-  switch (kind) {
+/// Acts on a fired fault: performs the partial stream writes and throws
+/// the injected failure. Returns true when the write was fully handled
+/// (fault fired and threw); false when the caller should write normally.
+bool maybe_inject_write_fault(std::ostream& os, const char* src, std::size_t size,
+                              const char* what) {
+  const std::optional<FiredFault> fault = consume_write_fault(size);
+  if (!fault.has_value()) {
+    return false;
+  }
+  const std::size_t prefix = fault->prefix;
+
+  switch (fault->kind) {
     case IoFaultConfig::Kind::ShortWrite:
       write_raw(os, src, prefix, what);
       throw IoFailure(ErrorCode::IoError,
@@ -98,7 +117,7 @@ bool maybe_inject_write_fault(std::ostream& os, const char* src, std::size_t siz
 void arm_io_fault(const IoFaultConfig& config) {
   MANDIPASS_EXPECTS(config.failures > 0);
   FaultState& s = fault_state();
-  const std::lock_guard<std::mutex> lock(s.mutex);
+  const MutexLock lock(s.mutex);
   s.armed = true;
   s.config = config;
   s.written = 0;
@@ -106,19 +125,19 @@ void arm_io_fault(const IoFaultConfig& config) {
 
 void disarm_io_fault() {
   FaultState& s = fault_state();
-  const std::lock_guard<std::mutex> lock(s.mutex);
+  const MutexLock lock(s.mutex);
   s.armed = false;
 }
 
 bool io_fault_armed() {
   FaultState& s = fault_state();
-  const std::lock_guard<std::mutex> lock(s.mutex);
+  const MutexLock lock(s.mutex);
   return s.armed;
 }
 
 std::uint64_t io_faults_fired() {
   FaultState& s = fault_state();
-  const std::lock_guard<std::mutex> lock(s.mutex);
+  const MutexLock lock(s.mutex);
   return s.fired;
 }
 

@@ -1,0 +1,161 @@
+// Annotated mutex wrappers + RAII guards (DESIGN.md §14).
+//
+// Clang's thread-safety analysis can only reason about lock APIs that
+// carry capability attributes, and libstdc++'s std::mutex /
+// std::shared_mutex do not. These thin wrappers add the attributes (and
+// nothing else — zero state beyond the wrapped primitive, every method a
+// one-line forward), so `MANDIPASS_GUARDED_BY(mutex_)` on a data member
+// becomes a compile-time proof under the `tsafety` preset instead of a
+// comment.
+//
+// Locking discipline (enforced by mandilint's raw-lock-discipline rule):
+// application code never calls lock()/unlock() on a mutex directly — it
+// constructs one of the scoped guards below. The guards also satisfy
+// BasicLockable, which is what lets a std::condition_variable_any wait on
+// them (the pool's worker wakeup path); those internal lock()/unlock()
+// calls happen inside the standard library, with the guard re-armed when
+// wait() returns.
+//
+// The deferred forms (kDeferLock) exist for exactly one pattern: timing
+// the lock acquisition itself with an obs::TraceScope whose lifetime must
+// end when the lock is obtained, not when it is released
+// (BatchVerifier's *_lock_wait_us histograms). Such sites call
+// guard.lock() once, under a per-site mandilint waiver naming this
+// paragraph.
+#pragma once
+
+#include <mutex>
+#include <shared_mutex>
+
+#include "common/thread_annotations.h"
+
+namespace mandipass::common {
+
+/// Tag selecting the deferred (not-yet-acquired) guard constructors.
+struct DeferLockT {
+  explicit DeferLockT() = default;
+};
+inline constexpr DeferLockT kDeferLock{};
+
+/// std::mutex with capability annotations. Use via MutexLock.
+class MANDIPASS_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() MANDIPASS_ACQUIRE() { m_.lock(); }
+  void unlock() MANDIPASS_RELEASE() { m_.unlock(); }
+  bool try_lock() MANDIPASS_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+ private:
+  std::mutex m_;
+};
+
+/// std::shared_mutex with capability annotations. Use via WriterLock /
+/// ReaderLock.
+class MANDIPASS_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() MANDIPASS_ACQUIRE() { m_.lock(); }
+  void unlock() MANDIPASS_RELEASE() { m_.unlock(); }
+  void lock_shared() MANDIPASS_ACQUIRE_SHARED() { m_.lock_shared(); }
+  void unlock_shared() MANDIPASS_RELEASE_SHARED() { m_.unlock_shared(); }
+  bool try_lock() MANDIPASS_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+ private:
+  std::shared_mutex m_;
+};
+
+/// Scoped exclusive hold of a Mutex (std::lock_guard + BasicLockable for
+/// condition_variable_any::wait).
+class MANDIPASS_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& m) MANDIPASS_ACQUIRE(m) : m_(m), held_(true) { m_.lock(); }
+  MutexLock(Mutex& m, DeferLockT) MANDIPASS_EXCLUDES(m) : m_(m), held_(false) {}
+  ~MutexLock() MANDIPASS_RELEASE() {
+    if (held_) {
+      m_.unlock();
+    }
+  }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// BasicLockable surface — called by condition_variable_any::wait and by
+  /// deferred-guard sites (the latter under a mandilint waiver).
+  void lock() MANDIPASS_ACQUIRE() {
+    m_.lock();
+    held_ = true;
+  }
+  void unlock() MANDIPASS_RELEASE() {
+    held_ = false;
+    m_.unlock();
+  }
+
+  bool owns_lock() const noexcept { return held_; }
+
+ private:
+  Mutex& m_;
+  bool held_;
+};
+
+/// Scoped exclusive hold of a SharedMutex (writer side).
+class MANDIPASS_SCOPED_CAPABILITY WriterLock {
+ public:
+  explicit WriterLock(SharedMutex& m) MANDIPASS_ACQUIRE(m) : m_(m), held_(true) { m_.lock(); }
+  WriterLock(SharedMutex& m, DeferLockT) MANDIPASS_EXCLUDES(m) : m_(m), held_(false) {}
+  ~WriterLock() MANDIPASS_RELEASE() {
+    if (held_) {
+      m_.unlock();
+    }
+  }
+  WriterLock(const WriterLock&) = delete;
+  WriterLock& operator=(const WriterLock&) = delete;
+
+  /// Deferred acquire (timed-wait sites; carries a mandilint waiver there).
+  void lock() MANDIPASS_ACQUIRE() {
+    m_.lock();
+    held_ = true;
+  }
+
+  bool owns_lock() const noexcept { return held_; }
+
+ private:
+  SharedMutex& m_;
+  bool held_;
+};
+
+/// Scoped shared hold of a SharedMutex (reader side). The destructor uses
+/// the generic release annotation, matching however the hold was taken —
+/// the Abseil ReaderMutexLock convention.
+class MANDIPASS_SCOPED_CAPABILITY ReaderLock {
+ public:
+  explicit ReaderLock(SharedMutex& m) MANDIPASS_ACQUIRE_SHARED(m) : m_(m), held_(true) {
+    m_.lock_shared();
+  }
+  ReaderLock(SharedMutex& m, DeferLockT) MANDIPASS_EXCLUDES(m) : m_(m), held_(false) {}
+  ~ReaderLock() MANDIPASS_RELEASE() {
+    if (held_) {
+      m_.unlock_shared();
+    }
+  }
+  ReaderLock(const ReaderLock&) = delete;
+  ReaderLock& operator=(const ReaderLock&) = delete;
+
+  /// Deferred acquire (timed-wait sites; carries a mandilint waiver there).
+  void lock() MANDIPASS_ACQUIRE_SHARED() {
+    m_.lock_shared();
+    held_ = true;
+  }
+
+  bool owns_lock() const noexcept { return held_; }
+
+ private:
+  SharedMutex& m_;
+  bool held_;
+};
+
+}  // namespace mandipass::common

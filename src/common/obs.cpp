@@ -74,7 +74,7 @@ Registry& Registry::instance() {
 
 Counter& Registry::counter(std::string_view name) {
   MANDIPASS_EXPECTS(!name.empty());
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     it = counters_.emplace(std::string(name), std::make_unique<Counter>()).first;
@@ -84,7 +84,7 @@ Counter& Registry::counter(std::string_view name) {
 
 Gauge& Registry::gauge(std::string_view name) {
   MANDIPASS_EXPECTS(!name.empty());
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
@@ -94,7 +94,7 @@ Gauge& Registry::gauge(std::string_view name) {
 
 Histogram& Registry::histogram(std::string_view name) {
   MANDIPASS_EXPECTS(!name.empty());
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     it = histograms_.emplace(std::string(name), std::make_unique<Histogram>()).first;
@@ -103,7 +103,7 @@ Histogram& Registry::histogram(std::string_view name) {
 }
 
 MetricsSnapshot Registry::snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   MetricsSnapshot snap;
   snap.counters.reserve(counters_.size());
   for (const auto& [name, c] : counters_) {
@@ -121,7 +121,7 @@ MetricsSnapshot Registry::snapshot() const {
 }
 
 void Registry::reset() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (auto& [name, c] : counters_) {
     c->reset();
   }

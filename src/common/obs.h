@@ -51,7 +51,8 @@
 #include <limits>
 #include <map>
 #include <memory>
-#include <mutex>
+
+#include "common/mutex.h"
 #endif
 
 namespace mandipass::common::obs {
@@ -228,28 +229,33 @@ class TraceScope {
 
 /// Process-wide metric registry. Lookup/registration takes a mutex; the
 /// returned references are stable for the process lifetime (metrics are
-/// never deallocated — reset() zeroes values in place).
+/// never deallocated — reset() zeroes values in place). The registration
+/// maps are guarded by mutex_ (a compile-time proof under the tsafety
+/// preset, DESIGN.md §14); the metric *values* behind the returned
+/// references are relaxed atomics and deliberately unguarded.
 class Registry {
  public:
   static Registry& instance();
 
-  Counter& counter(std::string_view name);
-  Gauge& gauge(std::string_view name);
-  Histogram& histogram(std::string_view name);
+  Counter& counter(std::string_view name) MANDIPASS_EXCLUDES(mutex_);
+  Gauge& gauge(std::string_view name) MANDIPASS_EXCLUDES(mutex_);
+  Histogram& histogram(std::string_view name) MANDIPASS_EXCLUDES(mutex_);
 
   /// Sorted-by-name copy of every registered metric.
-  MetricsSnapshot snapshot() const;
+  MetricsSnapshot snapshot() const MANDIPASS_EXCLUDES(mutex_);
 
   /// Zeroes every metric in place; outstanding references stay valid.
-  void reset();
+  void reset() MANDIPASS_EXCLUDES(mutex_);
 
  private:
   Registry() = default;
 
-  mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  mutable Mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      MANDIPASS_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_ MANDIPASS_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      MANDIPASS_GUARDED_BY(mutex_);
 };
 
 #else  // MANDIPASS_NO_OBS — zero-cost stubs with the identical surface.

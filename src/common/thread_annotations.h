@@ -1,0 +1,99 @@
+// Clang thread-safety capability annotations (DESIGN.md §14).
+//
+// These macros wrap the attributes consumed by Clang's static
+// thread-safety analysis (-Wthread-safety / -Wthread-safety-beta): a
+// *capability* is a resource — almost always a mutex — that must be held
+// to touch the data it protects, and the analysis proves at compile time
+// that every access happens with the right capability held. On GCC and
+// MSVC every macro expands to nothing, so annotated code builds
+// identically everywhere; only the `tsafety` CMake preset (Clang with
+// -Werror=thread-safety, see scripts/tsafety.sh) turns the proofs on.
+//
+// Vocabulary (names follow the Clang documentation / Abseil convention):
+//
+//   MANDIPASS_CAPABILITY(name)      class is a capability (common::Mutex)
+//   MANDIPASS_SCOPED_CAPABILITY     RAII class acquiring in its ctor and
+//                                   releasing in its dtor (common::MutexLock)
+//   MANDIPASS_GUARDED_BY(mu)       data member readable/writable only with
+//                                   mu held
+//   MANDIPASS_PT_GUARDED_BY(mu)    pointee (not the pointer) guarded by mu
+//   MANDIPASS_REQUIRES(mu)         caller must hold mu exclusively
+//   MANDIPASS_REQUIRES_SHARED(mu)  caller must hold mu at least shared
+//   MANDIPASS_ACQUIRE(mu...)       function acquires mu exclusively
+//   MANDIPASS_ACQUIRE_SHARED(mu...)function acquires mu shared
+//   MANDIPASS_RELEASE(mu...)       function releases mu (generic: matches
+//                                   whichever mode was acquired)
+//   MANDIPASS_RELEASE_SHARED(mu...)function releases a shared hold of mu
+//   MANDIPASS_TRY_ACQUIRE(b, mu)   returns `b` when mu was acquired
+//   MANDIPASS_EXCLUDES(mu...)      caller must NOT hold mu (deadlock guard
+//                                   on public entry points that lock)
+//   MANDIPASS_ASSERT_CAPABILITY(mu)        runtime-checked "mu is held";
+//   MANDIPASS_ASSERT_SHARED_CAPABILITY(mu) tells the analysis so too
+//   MANDIPASS_RETURN_CAPABILITY(mu)        function returns a ref to mu
+//   MANDIPASS_NO_THREAD_SAFETY_ANALYSIS    per-function opt-out; every use
+//                                          must carry a reason comment
+//                                          (DESIGN.md §14 — no blanket
+//                                          suppressions)
+//
+// The analysis only understands annotated lock APIs, and libstdc++'s
+// std::mutex / std::shared_mutex carry no annotations — so shared state
+// in this codebase is guarded by the annotated wrappers in
+// common/mutex.h, never by a bare std:: mutex (enforced by mandilint's
+// raw-lock-discipline rule).
+#pragma once
+
+// clang-format off
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define MANDIPASS_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef MANDIPASS_THREAD_ANNOTATION
+#define MANDIPASS_THREAD_ANNOTATION(x)  // expands to nothing: GCC/MSVC
+#endif
+// clang-format on
+
+#define MANDIPASS_CAPABILITY(x) MANDIPASS_THREAD_ANNOTATION(capability(x))
+
+#define MANDIPASS_SCOPED_CAPABILITY MANDIPASS_THREAD_ANNOTATION(scoped_lockable)
+
+#define MANDIPASS_GUARDED_BY(x) MANDIPASS_THREAD_ANNOTATION(guarded_by(x))
+
+#define MANDIPASS_PT_GUARDED_BY(x) MANDIPASS_THREAD_ANNOTATION(pt_guarded_by(x))
+
+#define MANDIPASS_REQUIRES(...) \
+  MANDIPASS_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+#define MANDIPASS_REQUIRES_SHARED(...) \
+  MANDIPASS_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+#define MANDIPASS_ACQUIRE(...) \
+  MANDIPASS_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+#define MANDIPASS_ACQUIRE_SHARED(...) \
+  MANDIPASS_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+#define MANDIPASS_RELEASE(...) \
+  MANDIPASS_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+#define MANDIPASS_RELEASE_SHARED(...) \
+  MANDIPASS_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+#define MANDIPASS_TRY_ACQUIRE(...) \
+  MANDIPASS_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+#define MANDIPASS_TRY_ACQUIRE_SHARED(...) \
+  MANDIPASS_THREAD_ANNOTATION(try_acquire_shared_capability(__VA_ARGS__))
+
+#define MANDIPASS_EXCLUDES(...) MANDIPASS_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+#define MANDIPASS_ASSERT_CAPABILITY(x) \
+  MANDIPASS_THREAD_ANNOTATION(assert_capability(x))
+
+#define MANDIPASS_ASSERT_SHARED_CAPABILITY(x) \
+  MANDIPASS_THREAD_ANNOTATION(assert_shared_capability(x))
+
+#define MANDIPASS_RETURN_CAPABILITY(x) MANDIPASS_THREAD_ANNOTATION(lock_returned(x))
+
+#define MANDIPASS_NO_THREAD_SAFETY_ANALYSIS \
+  MANDIPASS_THREAD_ANNOTATION(no_thread_safety_analysis)

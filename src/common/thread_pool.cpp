@@ -2,11 +2,11 @@
 
 #include <condition_variable>
 #include <exception>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/error.h"
+#include "common/mutex.h"
 
 namespace mandipass::common {
 
@@ -18,26 +18,32 @@ thread_local bool t_inside_pool = false;
 }  // namespace
 
 struct ThreadPool::Impl {
-  std::mutex mutex;
-  std::condition_variable wake;
-  std::vector<std::function<void()>> queue;  // LIFO; order is irrelevant
-  std::vector<std::thread> workers;
-  bool stopping = false;
-  std::size_t lanes = 1;
+  Mutex mutex;
+  // condition_variable_any waits on the annotated MutexLock guard
+  // directly (BasicLockable), so the queue handshake stays inside the
+  // capability system instead of needing a raw std::unique_lock.
+  std::condition_variable_any wake;
+  std::vector<std::function<void()>> queue MANDIPASS_GUARDED_BY(mutex);  // LIFO; order is irrelevant
+  std::vector<std::thread> workers;  ///< written by ctor, joined by dtor only
+  bool stopping MANDIPASS_GUARDED_BY(mutex) = false;
+  std::size_t lanes = 1;  ///< immutable after construction
 
   void worker_loop() {
     t_inside_pool = true;
-    std::unique_lock<std::mutex> lock(mutex);
     for (;;) {
-      wake.wait(lock, [&] { return stopping || !queue.empty(); });
-      if (stopping && queue.empty()) {
-        return;
+      std::function<void()> task;
+      {
+        MutexLock lock(mutex);
+        while (!stopping && queue.empty()) {
+          wake.wait(lock);
+        }
+        if (queue.empty()) {
+          return;  // stopping, and the backlog is drained
+        }
+        task = std::move(queue.back());
+        queue.pop_back();
       }
-      auto task = std::move(queue.back());
-      queue.pop_back();
-      lock.unlock();
-      task();
-      lock.lock();
+      task();  // run outside the lock so other workers can dequeue
     }
   }
 };
@@ -58,7 +64,7 @@ ThreadPool::ThreadPool(std::size_t threads) : impl_(std::make_unique<Impl>()) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(impl_->mutex);
+    MutexLock lock(impl_->mutex);
     impl_->stopping = true;
   }
   impl_->wake.notify_all();
@@ -91,12 +97,15 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end, std::size_t gr
   const std::size_t extra = range % chunks;  // first `extra` chunks get +1
 
   struct Region {
-    std::mutex mutex;
-    std::condition_variable done;
-    std::size_t remaining;
-    std::exception_ptr error;
+    Mutex mutex;
+    std::condition_variable_any done;
+    std::size_t remaining MANDIPASS_GUARDED_BY(mutex);
+    std::exception_ptr error MANDIPASS_GUARDED_BY(mutex);
   } region;
-  region.remaining = chunks;
+  {
+    MutexLock lock(region.mutex);
+    region.remaining = chunks;
+  }
 
   auto run_chunk = [&](std::size_t chunk) {
     const std::size_t lo =
@@ -105,19 +114,19 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end, std::size_t gr
     try {
       body(lo, hi);
     } catch (...) {
-      std::lock_guard<std::mutex> lock(region.mutex);
+      MutexLock lock(region.mutex);
       if (!region.error) {
         region.error = std::current_exception();
       }
     }
-    std::lock_guard<std::mutex> lock(region.mutex);
+    MutexLock lock(region.mutex);
     if (--region.remaining == 0) {
       region.done.notify_one();
     }
   };
 
   {
-    std::lock_guard<std::mutex> lock(impl_->mutex);
+    MutexLock lock(impl_->mutex);
     for (std::size_t c = 1; c < chunks; ++c) {
       impl_->queue.push_back([&run_chunk, c] { run_chunk(c); });
     }
@@ -130,20 +139,22 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end, std::size_t gr
   run_chunk(0);
   t_inside_pool = was_inside;
 
-  std::unique_lock<std::mutex> lock(region.mutex);
-  region.done.wait(lock, [&] { return region.remaining == 0; });
+  MutexLock lock(region.mutex);
+  while (region.remaining != 0) {
+    region.done.wait(lock);
+  }
   if (region.error) {
     std::rethrow_exception(region.error);
   }
 }
 
 namespace {
-std::mutex g_global_mutex;
-std::unique_ptr<ThreadPool> g_global_pool;
+Mutex g_global_mutex;
+std::unique_ptr<ThreadPool> g_global_pool MANDIPASS_GUARDED_BY(g_global_mutex);
 }  // namespace
 
 ThreadPool& ThreadPool::global() {
-  std::lock_guard<std::mutex> lock(g_global_mutex);
+  MutexLock lock(g_global_mutex);
   if (!g_global_pool) {
     g_global_pool = std::make_unique<ThreadPool>();
   }
@@ -151,7 +162,7 @@ ThreadPool& ThreadPool::global() {
 }
 
 void ThreadPool::set_global_threads(std::size_t threads) {
-  std::lock_guard<std::mutex> lock(g_global_mutex);
+  MutexLock lock(g_global_mutex);
   g_global_pool = std::make_unique<ThreadPool>(threads);
 }
 

@@ -67,6 +67,7 @@ std::vector<float> CompiledExtractor::extract(const GradientArray& array) const 
   MANDIPASS_EXPECTS(array.half_length() == half_);
   MANDIPASS_OBS_COUNT("core.extractor.samples");
   nn::ScratchArena& arena = nn::thread_scratch_arena();
+  arena.assert_owner();  // thread_local, so trivially ours; claims the capability
   arena.reset();
   float* pos_plane = arena.alloc(plane_count());
   float* neg_plane = arena.alloc(plane_count());
@@ -98,6 +99,7 @@ std::vector<std::vector<float>> CompiledExtractor::extract_batch(
   // bit-identical to extract() and to any other batch/thread split.
   common::parallel_for(0, arrays.size(), kSampleTile, [&](std::size_t lo, std::size_t hi) {
     nn::ScratchArena& arena = nn::thread_scratch_arena();
+    arena.assert_owner();  // this worker's own arena; claims the capability
     for (std::size_t base = lo; base < hi; base += kSampleTile) {
       const std::size_t count = std::min(kSampleTile, hi - base);
       arena.reset();

@@ -57,9 +57,10 @@ class CompiledExtractor {
  private:
   /// One sample from two packed (axes, half) planes into out
   /// (embedding_dim floats). The planes must have been allocated from
-  /// `arena` *before* the call (the plans allocate behind them).
+  /// `arena` *before* the call (the plans allocate behind them), and the
+  /// caller must hold the arena capability (arena.assert_owner()).
   void embed_one(const float* pos_plane, const float* neg_plane, float* out,
-                 nn::ScratchArena& arena) const;
+                 nn::ScratchArena& arena) const MANDIPASS_REQUIRES(arena);
 
   std::size_t axes_ = 0;
   std::size_t half_ = 0;

@@ -30,7 +30,17 @@ std::size_t round_up(std::size_t n, std::size_t to) {
 
 }  // namespace
 
+void ScratchArena::assert_owner() const {
+  const std::thread::id self = std::this_thread::get_id();
+  if (owner_ == std::thread::id{}) {
+    owner_ = self;  // first toucher adopts the arena
+    return;
+  }
+  MANDIPASS_EXPECTS(owner_ == self);
+}
+
 float* ScratchArena::alloc(std::size_t count) {
+  assert_owner();
   const std::size_t n = round_up(std::max<std::size_t>(count, 1), kAlignFloats);
   while (active_ < blocks_.size()) {
     Block& blk = blocks_[active_];
@@ -48,7 +58,8 @@ float* ScratchArena::alloc(std::size_t count) {
   return blk.data.data();
 }
 
-void ScratchArena::reset() noexcept {
+void ScratchArena::reset() {
+  assert_owner();
   for (Block& blk : blocks_) {
     blk.used = 0;
   }

@@ -33,8 +33,10 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <thread>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "nn/tensor.h"
 
 namespace mandipass::nn {
@@ -46,16 +48,34 @@ class Sequential;
 /// rewinds every block without releasing memory, so after a warm-up pass
 /// with a given allocation pattern no further heap traffic occurs.
 /// Pointers stay valid from their alloc() until the next reset() (blocks
-/// are never reallocated in place). Not thread-safe — use one arena per
-/// thread (see thread_scratch_arena()).
-class ScratchArena {
+/// are never reallocated in place).
+///
+/// Not thread-safe by design: an arena is a *thread-confined capability*
+/// — use one arena per thread (see thread_scratch_arena()). The contract
+/// is enforced twice over:
+///   * statically, the class is a MANDIPASS_CAPABILITY and the mutating
+///     entry points MANDIPASS_REQUIRES(this); callers vouch for
+///     confinement with assert_owner(), so a path that passes an arena
+///     across threads without re-asserting fails the tsafety build;
+///   * dynamically, assert_owner() binds the arena to the first calling
+///     thread and MANDIPASS_EXPECTS-fails on any other thread.
+/// mandilint's arena-escape rule additionally rejects storing arena
+/// pointers in members, returning them, or capturing them in detached
+/// lambdas.
+class MANDIPASS_CAPABILITY("arena") ScratchArena {
  public:
+  /// Binds the arena to the calling thread on first use; precondition
+  /// failure if any other thread touches it afterwards. Calling this is
+  /// how a scope takes ownership of the capability for the analysis.
+  void assert_owner() const MANDIPASS_ASSERT_CAPABILITY(this);
+
   /// Uninitialised storage for `count` floats (the caller must write
   /// every element it reads back). count == 0 returns a valid pointer.
-  float* alloc(std::size_t count);
+  float* alloc(std::size_t count) MANDIPASS_REQUIRES(this);
 
-  /// Rewinds every block; capacity is retained.
-  void reset() noexcept;
+  /// Rewinds every block; capacity is retained. Not noexcept: the owner
+  /// check throws on cross-thread misuse.
+  void reset() MANDIPASS_REQUIRES(this);
 
   /// Total reserved storage across blocks, in bytes.
   std::size_t capacity_bytes() const noexcept;
@@ -70,6 +90,10 @@ class ScratchArena {
 
   std::vector<Block> blocks_;
   std::size_t active_ = 0;  ///< index of the block alloc() tries first
+  /// Owning thread, bound by the first assert_owner()/alloc()/reset().
+  /// mutable + default id{}: a freshly constructed arena is unowned and
+  /// adoptable by whichever thread touches it first.
+  mutable std::thread::id owner_;
 };
 
 /// The calling thread's arena, created on first use and reused (reset,
@@ -168,8 +192,10 @@ class InferencePlan {
   /// Runs the branch on one sample: `plane` holds input_count() floats in
   /// (C, H, W) order; the flattened features (feature_count() floats, the
   /// same (C, H, W) order nn::Flatten produces) are written to `out`.
-  /// All intermediates come from `arena`; the caller owns reset().
-  void run(const float* plane, float* out, ScratchArena& arena) const;
+  /// All intermediates come from `arena`; the caller owns reset() and
+  /// must hold the arena capability (assert_owner() in scope).
+  void run(const float* plane, float* out, ScratchArena& arena) const
+      MANDIPASS_REQUIRES(arena);
 
   std::size_t input_count() const noexcept;
   std::size_t feature_count() const noexcept;

@@ -1,0 +1,188 @@
+// Thread-annotation macro expansion + annotated mutex wrapper semantics
+// (DESIGN.md §14).
+//
+// The MANDIPASS_* macros must expand to *nothing* on compilers without
+// the Clang capability attribute (GCC, MSVC) — the library builds the
+// same object code everywhere and only the tsafety preset turns the
+// analysis on — and to a real __attribute__ on Clang. The expansion
+// tests pin both halves of that contract via stringization, so a future
+// edit that, say, leaves a stray token in the GCC branch is caught by
+// the default (GCC) CI build rather than only by a Clang build.
+//
+// The wrapper tests cover the runtime semantics the annotations describe:
+// scoped guards acquire in the ctor and release in the dtor, deferred
+// guards acquire on lock(), readers share and writers exclude, and a
+// MutexLock satisfies BasicLockable for condition_variable_any.
+
+#include <gtest/gtest.h>
+
+#include <condition_variable>
+#include <thread>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace mandipass::common {
+namespace {
+
+#define MANDIPASS_TEST_STR2(x) #x
+#define MANDIPASS_TEST_STR(x) MANDIPASS_TEST_STR2(x)
+
+// Mirror of the header's attribute-availability gate.
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define MANDIPASS_TEST_HAVE_CAPABILITY_ATTR 1
+#endif
+#endif
+
+#ifndef MANDIPASS_TEST_HAVE_CAPABILITY_ATTR
+// Without the attribute every macro must vanish: the stringized
+// expansion is the empty string (sizeof == 1 for the terminating NUL).
+static_assert(sizeof(MANDIPASS_TEST_STR(MANDIPASS_GUARDED_BY(m))) == 1,
+              "MANDIPASS_GUARDED_BY must expand to nothing without Clang");
+static_assert(sizeof(MANDIPASS_TEST_STR(MANDIPASS_REQUIRES(m))) == 1,
+              "MANDIPASS_REQUIRES must expand to nothing without Clang");
+static_assert(sizeof(MANDIPASS_TEST_STR(MANDIPASS_REQUIRES_SHARED(m))) == 1,
+              "MANDIPASS_REQUIRES_SHARED must expand to nothing without Clang");
+static_assert(sizeof(MANDIPASS_TEST_STR(MANDIPASS_EXCLUDES(m))) == 1,
+              "MANDIPASS_EXCLUDES must expand to nothing without Clang");
+static_assert(sizeof(MANDIPASS_TEST_STR(MANDIPASS_ACQUIRE(m))) == 1,
+              "MANDIPASS_ACQUIRE must expand to nothing without Clang");
+static_assert(sizeof(MANDIPASS_TEST_STR(MANDIPASS_RELEASE(m))) == 1,
+              "MANDIPASS_RELEASE must expand to nothing without Clang");
+static_assert(sizeof(MANDIPASS_TEST_STR(MANDIPASS_CAPABILITY("x"))) == 1,
+              "MANDIPASS_CAPABILITY must expand to nothing without Clang");
+static_assert(sizeof(MANDIPASS_TEST_STR(MANDIPASS_SCOPED_CAPABILITY)) == 1,
+              "MANDIPASS_SCOPED_CAPABILITY must expand to nothing without Clang");
+static_assert(sizeof(MANDIPASS_TEST_STR(MANDIPASS_ASSERT_CAPABILITY(m))) == 1,
+              "MANDIPASS_ASSERT_CAPABILITY must expand to nothing without Clang");
+static_assert(sizeof(MANDIPASS_TEST_STR(MANDIPASS_NO_THREAD_SAFETY_ANALYSIS)) == 1,
+              "MANDIPASS_NO_THREAD_SAFETY_ANALYSIS must expand to nothing without Clang");
+#else
+// With the attribute the macros must produce a real __attribute__ token
+// sequence (non-empty expansion).
+static_assert(sizeof(MANDIPASS_TEST_STR(MANDIPASS_GUARDED_BY(m))) > 1,
+              "MANDIPASS_GUARDED_BY must expand to an attribute on Clang");
+static_assert(sizeof(MANDIPASS_TEST_STR(MANDIPASS_SCOPED_CAPABILITY)) > 1,
+              "MANDIPASS_SCOPED_CAPABILITY must expand to an attribute on Clang");
+#endif
+
+/// Probes try_lock from a second thread — on std::mutex, try_lock on a
+/// thread that already holds the lock is undefined, so the probe must
+/// never run on the owning thread.
+bool try_lock_elsewhere(Mutex& m) {
+  bool acquired = false;
+  std::thread t([&] {
+    acquired = m.try_lock();
+    if (acquired) {
+      m.unlock();  // mandilint: allow(raw-lock-discipline) -- probe thread undoing its try_lock
+    }
+  });
+  t.join();
+  return acquired;
+}
+
+bool try_lock_elsewhere(SharedMutex& m) {
+  bool acquired = false;
+  std::thread t([&] {
+    acquired = m.try_lock();
+    if (acquired) {
+      m.unlock();  // mandilint: allow(raw-lock-discipline) -- probe thread undoing its try_lock
+    }
+  });
+  t.join();
+  return acquired;
+}
+
+TEST(MutexLock, HoldsForScopeAndReleasesAtExit) {
+  Mutex m;
+  {
+    MutexLock lock(m);
+    EXPECT_TRUE(lock.owns_lock());
+    EXPECT_FALSE(try_lock_elsewhere(m)) << "guard must hold the mutex";
+  }
+  EXPECT_TRUE(try_lock_elsewhere(m)) << "guard must release at scope exit";
+}
+
+TEST(MutexLock, DeferredConstructionDoesNotAcquire) {
+  Mutex m;
+  {
+    MutexLock lock(m, kDeferLock);
+    EXPECT_FALSE(lock.owns_lock());
+    EXPECT_TRUE(try_lock_elsewhere(m)) << "deferred guard must not acquire";
+    lock.lock();  // mandilint: allow(raw-lock-discipline) -- exercising the deferred-guard API itself
+    EXPECT_TRUE(lock.owns_lock());
+    EXPECT_FALSE(try_lock_elsewhere(m));
+  }
+  EXPECT_TRUE(try_lock_elsewhere(m)) << "dtor must release a deferred-then-acquired guard";
+}
+
+TEST(MutexLock, WorksAsBasicLockableForConditionVariableAny) {
+  Mutex m;
+  std::condition_variable_any cv;
+  bool ready = false;
+  std::thread producer([&] {
+    MutexLock lock(m);
+    ready = true;
+    cv.notify_one();
+  });
+  {
+    MutexLock lock(m);
+    while (!ready) {
+      cv.wait(lock);
+    }
+    EXPECT_TRUE(lock.owns_lock()) << "wait() must reacquire before returning";
+  }
+  producer.join();
+}
+
+TEST(WriterLock, ExcludesOtherWriters) {
+  SharedMutex m;
+  {
+    WriterLock lock(m);
+    EXPECT_TRUE(lock.owns_lock());
+    EXPECT_FALSE(try_lock_elsewhere(m));
+  }
+  EXPECT_TRUE(try_lock_elsewhere(m));
+}
+
+TEST(ReaderLock, SharesWithReadersExcludesWriters) {
+  SharedMutex m;
+  ReaderLock first(m);
+  // A second reader on another thread must succeed while a writer fails.
+  bool reader_ok = false;
+  std::thread reader([&] {
+    ReaderLock second(m);
+    reader_ok = second.owns_lock();
+  });
+  reader.join();
+  EXPECT_TRUE(reader_ok) << "shared holds must coexist";
+  EXPECT_FALSE(try_lock_elsewhere(m)) << "a writer must be excluded while readers hold";
+}
+
+TEST(ReaderLock, DeferredAcquireTakesSharedHold) {
+  SharedMutex m;
+  {
+    ReaderLock lock(m, kDeferLock);
+    EXPECT_FALSE(lock.owns_lock());
+    lock.lock();  // mandilint: allow(raw-lock-discipline) -- exercising the deferred-guard API itself
+    EXPECT_TRUE(lock.owns_lock());
+    EXPECT_FALSE(try_lock_elsewhere(m)) << "shared hold must exclude writers";
+  }
+  EXPECT_TRUE(try_lock_elsewhere(m));
+}
+
+TEST(WriterLock, DeferredAcquireTakesExclusiveHold) {
+  SharedMutex m;
+  {
+    WriterLock lock(m, kDeferLock);
+    EXPECT_FALSE(lock.owns_lock());
+    lock.lock();  // mandilint: allow(raw-lock-discipline) -- exercising the deferred-guard API itself
+    EXPECT_TRUE(lock.owns_lock());
+    EXPECT_FALSE(try_lock_elsewhere(m));
+  }
+  EXPECT_TRUE(try_lock_elsewhere(m));
+}
+
+}  // namespace
+}  // namespace mandipass::common

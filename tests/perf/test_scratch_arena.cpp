@@ -1,12 +1,16 @@
 // ScratchArena semantics (DESIGN.md §13): bump allocation with pointer
 // stability until reset, reset-not-free reuse, and — the property the
 // compiled extractor's steady state depends on — zero capacity growth
-// once the allocation pattern has been seen.
+// once the allocation pattern has been seen. The arena is also a
+// thread-confined capability (DESIGN.md §14): the first toucher owns it
+// and any other thread's access is a precondition failure.
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <thread>
 #include <vector>
 
+#include "common/error.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
 #include "core/extractor.h"
@@ -69,6 +73,39 @@ TEST(ScratchArena, OversizedRequestGetsItsOwnBlock) {
   p[0] = 1.0f;
   p[big - 1] = 2.0f;
   EXPECT_GE(arena.capacity_bytes(), big * sizeof(float));
+}
+
+TEST(ScratchArena, FirstToucherOwnsTheArena) {
+  ScratchArena arena;
+  arena.assert_owner();  // main thread adopts the arena
+  (void)arena.alloc(16);
+
+  bool threw = false;
+  std::thread intruder([&] {
+    try {
+      (void)arena.alloc(16);
+    } catch (const PreconditionError&) {
+      threw = true;
+    }
+  });
+  intruder.join();
+  EXPECT_TRUE(threw) << "cross-thread arena use must be a precondition failure";
+
+  // The owner is unaffected by the rejected access.
+  EXPECT_NE(arena.alloc(16), nullptr);
+}
+
+TEST(ScratchArena, UnownedArenaIsAdoptableByAnyThread) {
+  ScratchArena arena;
+  bool ok = false;
+  std::thread worker([&] {
+    arena.assert_owner();
+    float* p = arena.alloc(8);
+    ok = p != nullptr;
+    arena.reset();
+  });
+  worker.join();
+  EXPECT_TRUE(ok) << "a fresh arena binds to whichever thread touches it first";
 }
 
 TEST(ScratchArena, ZeroCountIsValid) {

@@ -27,11 +27,46 @@ Enforces project rules that clang-tidy and compiler warnings cannot express:
                    must come back as common::Result reject reasons, not
                    exceptions. Legacy throwing wrappers and serialization
                    entry points carry explicit allow()/allow-file() waivers.
+  raw-lock-discipline
+                   Bare `.lock()` / `.unlock()` / `try_lock*()` calls and
+                   pthread mutex primitives are forbidden under src/: every
+                   critical section must be a scoped guard from
+                   src/common/mutex.h (MutexLock / WriterLock / ReaderLock)
+                   so the Clang thread-safety analysis sees the acquire and
+                   the release (DESIGN.md section 14). The deferred-guard
+                   timed acquire (`guard.lock()` after kDeferLock) is the
+                   one sanctioned exception and must carry a per-site
+                   allow() waiver stating why the wait is timed.
+  atomic-order-audit
+                   Any memory_order stronger than relaxed must carry a
+                   justifying comment on the same line or the line above —
+                   acquire/release edges are part of the concurrency proof
+                   and unexplained ones rot. Bare std::atomic outside the
+                   blessed primitives (src/common/obs.*,
+                   src/common/thread_pool.*) is flagged: new shared state
+                   belongs behind an annotated Mutex + MANDIPASS_GUARDED_BY,
+                   not ad-hoc atomics.
+  arena-escape     nn::ScratchArena is a thread-confined bump allocator:
+                   pointers into it die at the next reset() and the arena
+                   itself must never cross threads. Storing an arena (or an
+                   alloc() result) in a member, returning an alloc() result,
+                   or handing an arena to a std::thread is flagged.
+                   Analysis backend is selected automatically: libclang
+                   when importable, `clang -Xclang -ast-dump=json` when a
+                   clang binary is on PATH (both understand
+                   --compile-commands), else a documented regex
+                   approximation (member-store / return / thread-capture
+                   patterns on lines mentioning the arena).
+                   src/nn/inference_plan.* (the arena itself) is exempt.
 
 Suppression:
   A single finding:    <offending line>  // mandilint: allow(<rule>) -- reason
   A whole file:        // mandilint: allow-file(<rule>) -- reason
-Waivers without a rule name are invalid; `-- reason` text is recommended.
+Precedence: a file-level allow-file(<rule>) suppresses findings of *that
+rule only* in that file; a line-level allow(<rule>) suppresses that rule on
+that line only. Waivers never cross rules or files. A waiver naming an
+unknown rule is a usage error (exit 2), so typos cannot silently disable
+nothing.
 
 Exit status: 0 when clean, 1 when any finding is reported, 2 on usage error.
 """
@@ -39,7 +74,9 @@ Exit status: 0 when clean, 1 when any finding is reported, 2 on usage error.
 from __future__ import annotations
 
 import argparse
+import json
 import re
+import shutil
 import subprocess
 import sys
 from pathlib import Path
@@ -51,10 +88,13 @@ RULES = (
     "header-hygiene",
     "no-build-artifacts",
     "no-throw-in-datapath",
+    "raw-lock-discipline",
+    "atomic-order-audit",
+    "arena-escape",
 )
 
-ALLOW_LINE_RE = re.compile(r"//\s*mandilint:\s*allow\(([a-z-]+)\)")
-ALLOW_FILE_RE = re.compile(r"//\s*mandilint:\s*allow-file\(([a-z-]+)\)")
+ALLOW_LINE_RE = re.compile(r"//\s*mandilint:\s*allow\(([A-Za-z0-9_-]+)\)")
+ALLOW_FILE_RE = re.compile(r"//\s*mandilint:\s*allow-file\(([A-Za-z0-9_-]+)\)")
 
 RAW_IO_RE = re.compile(r"\b[A-Za-z_][\w.\->]*\.(read|write)\s*\(")
 RAW_RANDOM_RE = re.compile(
@@ -69,6 +109,38 @@ BUILD_ARTIFACT_RE = re.compile(
     r"|\.(o|obj|a|so|dylib|pyc)$"
 )
 
+# Bare lock-primitive calls. The receiver requirement (an identifier /
+# call / index expression before the dot or arrow) keeps `->lock()` on
+# smart pointers matched while `std::scoped_lock(` declarations are not.
+RAW_LOCK_CALL_RE = re.compile(
+    r"[\w\)\]]\s*(?:\.|->)\s*"
+    r"(unlock_shared|lock_shared|try_lock_shared|try_lock_for|try_lock_until"
+    r"|try_lock|unlock|lock)\s*\("
+)
+PTHREAD_LOCK_RE = re.compile(r"\bpthread_(?:mutex|rwlock|spin)_\w+\s*\(")
+
+ATOMIC_DECL_RE = re.compile(r"\bstd::atomic(?:_flag)?\s*[<\s;(]")
+MEMORY_ORDER_RE = re.compile(r"\bmemory_order(?:::|_)(\w+)")
+# Files allowed to hold raw atomics: the lock-free metric primitives and
+# the thread pool. Everything else uses common::Mutex + GUARDED_BY.
+ATOMIC_BLESSED = (
+    "src/common/obs.h",
+    "src/common/obs.cpp",
+    "src/common/thread_pool.h",
+    "src/common/thread_pool.cpp",
+)
+
+ARENA_EXEMPT = ("src/nn/inference_plan.h", "src/nn/inference_plan.cpp")
+ARENA_MEMBER_DECL_RE = re.compile(r"\bScratchArena\s*[*&]\s*\w+_\s*(?:=|;|\{)")
+ARENA_MEMBER_STORE_RE = re.compile(r"\b\w+_\s*=\s*[^=;]*\.\s*alloc\s*\(")
+ARENA_RETURN_RE = re.compile(r"\breturn\b[^;]*\.\s*alloc\s*\(")
+ARENA_THREAD_RE = re.compile(r"\bstd::(?:thread|jthread)\b")
+ARENA_NAME_RE = re.compile(r"\b(?:\w*arena\w*|thread_scratch_arena)\b", re.IGNORECASE)
+
+
+class UsageError(Exception):
+    """Invalid invocation or malformed waiver; maps to exit status 2."""
+
 
 class Finding:
     def __init__(self, rule: str, path: str, line: int, message: str):
@@ -80,6 +152,80 @@ class Finding:
     def __str__(self) -> str:
         where = f"{self.path}:{self.line}" if self.line else self.path
         return f"{where}: [{self.rule}] {self.message}"
+
+
+class Context:
+    """Per-run configuration shared by the checks."""
+
+    def __init__(
+        self,
+        repo: Path,
+        compile_commands: Path | None = None,
+        arena_backend: str = "auto",
+    ):
+        self.repo = repo
+        self.arena_backend = arena_backend
+        self.compile_db: dict[str, list[str]] = {}
+        self._arena_backend_resolved: str | None = None
+        self._backend_warned = False
+        if compile_commands is not None:
+            self.compile_db = _load_compile_db(compile_commands)
+
+    def resolve_arena_backend(self) -> str:
+        """Picks the best available arena-escape backend exactly once."""
+        if self._arena_backend_resolved is None:
+            if self.arena_backend != "auto":
+                self._arena_backend_resolved = self.arena_backend
+            else:
+                try:
+                    import clang.cindex  # noqa: F401
+
+                    self._arena_backend_resolved = "libclang"
+                except ImportError:
+                    if shutil.which("clang++") or shutil.which("clang"):
+                        self._arena_backend_resolved = "ast-json"
+                    else:
+                        self._arena_backend_resolved = "regex"
+        return self._arena_backend_resolved
+
+    def warn_backend_fallback(self, why: str) -> None:
+        if not self._backend_warned:
+            print(f"mandilint: arena-escape falling back to regex backend ({why})",
+                  file=sys.stderr)
+            self._backend_warned = True
+
+
+def _load_compile_db(path: Path) -> dict[str, list[str]]:
+    try:
+        entries = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as e:
+        raise UsageError(f"cannot read compile database {path}: {e}") from e
+    db: dict[str, list[str]] = {}
+    for entry in entries:
+        file = entry.get("file")
+        if not file:
+            continue
+        directory = entry.get("directory", ".")
+        args = entry.get("arguments")
+        if args is None:
+            args = entry.get("command", "").split()
+        # Drop the compiler itself and output-producing flags; keep
+        # include paths / defines / standard flags for -fsyntax-only use.
+        flags: list[str] = []
+        skip_next = False
+        for a in args[1:]:
+            if skip_next:
+                skip_next = False
+                continue
+            if a in ("-c", file):
+                continue
+            if a == "-o":
+                skip_next = True
+                continue
+            flags.append(a)
+        abspath = str((Path(directory) / file).resolve()) if not Path(file).is_absolute() else file
+        db[abspath] = flags
+    return db
 
 
 def _strip_line_comment(line: str) -> str:
@@ -97,9 +243,37 @@ def line_waived(line: str, rule: str) -> bool:
     return rule in ALLOW_LINE_RE.findall(line)
 
 
-def check_unchecked_io(path: Path, rel: str, lines: list[str], waived: set[str]) -> list[Finding]:
-    if "unchecked-io" in waived:
-        return []
+def validate_waivers(rel: str, lines: list[str]) -> None:
+    """Rejects waivers naming unknown rules — a typo'd allow() would
+    otherwise suppress nothing while looking like it suppresses something."""
+    for i, raw in enumerate(lines, start=1):
+        for regex, form in ((ALLOW_LINE_RE, "allow"), (ALLOW_FILE_RE, "allow-file")):
+            for rule in regex.findall(raw):
+                if rule not in RULES:
+                    raise UsageError(
+                        f"{rel}:{i}: unknown rule '{rule}' in mandilint: {form}(...)"
+                    )
+
+
+def apply_waivers(
+    findings: list[Finding], lines: list[str], waived: set[str]
+) -> list[Finding]:
+    """Central waiver filter. Precedence: a file-level allow-file(<rule>)
+    drops that rule's findings in this file only; a line-level
+    allow(<rule>) drops that rule on its own line only."""
+    out = []
+    for f in findings:
+        if f.rule in waived:
+            continue
+        if 0 < f.line <= len(lines) and line_waived(lines[f.line - 1], f.rule):
+            continue
+        out.append(f)
+    return out
+
+
+def check_unchecked_io(
+    ctx: Context, path: Path, rel: str, lines: list[str]
+) -> list[Finding]:
     if not rel.startswith("src/") or rel.endswith((".md", ".txt")):
         return []
     if rel == "src/common/io.cpp":
@@ -107,8 +281,6 @@ def check_unchecked_io(path: Path, rel: str, lines: list[str], waived: set[str])
         return []
     out = []
     for i, raw in enumerate(lines, start=1):
-        if line_waived(raw, "unchecked-io"):
-            continue
         code = _strip_line_comment(raw)
         if RAW_IO_RE.search(code):
             out.append(
@@ -123,17 +295,15 @@ def check_unchecked_io(path: Path, rel: str, lines: list[str], waived: set[str])
     return out
 
 
-def check_raw_random(path: Path, rel: str, lines: list[str], waived: set[str]) -> list[Finding]:
-    if "raw-random" in waived:
-        return []
+def check_raw_random(
+    ctx: Context, path: Path, rel: str, lines: list[str]
+) -> list[Finding]:
     if not rel.startswith(("src/", "bench/", "examples/")):
         return []
     if rel.startswith("src/common/rng"):
         return []
     out = []
     for i, raw in enumerate(lines, start=1):
-        if line_waived(raw, "raw-random"):
-            continue
         code = _strip_line_comment(raw)
         m = RAW_RANDOM_RE.search(code)
         if m:
@@ -149,13 +319,12 @@ def check_raw_random(path: Path, rel: str, lines: list[str], waived: set[str]) -
     return out
 
 
-def check_expects_guard(path: Path, rel: str, lines: list[str], waived: set[str]) -> list[Finding]:
-    if "expects-guard" in waived:
-        return []
+def check_expects_guard(
+    ctx: Context, path: Path, rel: str, lines: list[str]
+) -> list[Finding]:
     if not (rel.startswith("src/") and rel.endswith(".cpp")):
         return []
-    text = "\n".join(lines)
-    if "MANDIPASS_EXPECTS" in text:
+    if any("MANDIPASS_EXPECTS" in line for line in lines):
         return []
     return [
         Finding(
@@ -169,9 +338,9 @@ def check_expects_guard(path: Path, rel: str, lines: list[str], waived: set[str]
     ]
 
 
-def check_header_hygiene(path: Path, rel: str, lines: list[str], waived: set[str]) -> list[Finding]:
-    if "header-hygiene" in waived:
-        return []
+def check_header_hygiene(
+    ctx: Context, path: Path, rel: str, lines: list[str]
+) -> list[Finding]:
     if not rel.endswith((".h", ".hpp")):
         return []
     out = []
@@ -203,8 +372,6 @@ def check_header_hygiene(path: Path, rel: str, lines: list[str], waived: set[str
             )
         break
     for i, raw in enumerate(lines, start=1):
-        if line_waived(raw, "header-hygiene"):
-            continue
         if USING_NAMESPACE_RE.match(_strip_line_comment(raw)):
             out.append(
                 Finding(
@@ -222,16 +389,12 @@ THROW_RE = re.compile(r"(?<![\w])throw\b")
 
 
 def check_no_throw_in_datapath(
-    path: Path, rel: str, lines: list[str], waived: set[str]
+    ctx: Context, path: Path, rel: str, lines: list[str]
 ) -> list[Finding]:
-    if "no-throw-in-datapath" in waived:
-        return []
     if not rel.startswith(DATAPATH_PREFIXES):
         return []
     out = []
     for i, raw in enumerate(lines, start=1):
-        if line_waived(raw, "no-throw-in-datapath"):
-            continue
         code = _strip_line_comment(raw)
         if THROW_RE.search(code):
             out.append(
@@ -246,6 +409,287 @@ def check_no_throw_in_datapath(
                 )
             )
     return out
+
+
+def check_raw_lock_discipline(
+    ctx: Context, path: Path, rel: str, lines: list[str]
+) -> list[Finding]:
+    if not rel.startswith("src/"):
+        return []
+    if rel in ("src/common/mutex.h",):
+        # The annotated wrapper layer is where the raw calls live, once.
+        return []
+    out = []
+    for i, raw in enumerate(lines, start=1):
+        code = _strip_line_comment(raw)
+        m = RAW_LOCK_CALL_RE.search(code) or PTHREAD_LOCK_RE.search(code)
+        if m:
+            out.append(
+                Finding(
+                    "raw-lock-discipline",
+                    rel,
+                    i,
+                    f"bare '{m.group(0).strip().rstrip('(')}(' — critical sections "
+                    "must use the scoped guards in src/common/mutex.h (MutexLock/"
+                    "WriterLock/ReaderLock) so Clang's thread-safety analysis sees "
+                    "acquire and release; a deferred-guard timed acquire needs a "
+                    "per-site allow(raw-lock-discipline) waiver with its reason",
+                )
+            )
+    return out
+
+
+def _has_order_justification(lines: list[str], i: int) -> bool:
+    """A non-relaxed memory_order is justified by a same-line comment with
+    some substance, or by a comment line directly above."""
+    line = lines[i - 1]
+    idx = line.find("//")
+    if idx >= 0 and len(line[idx + 2 :].strip()) >= 8:
+        return True
+    return i >= 2 and lines[i - 2].strip().startswith("//")
+
+
+def check_atomic_order_audit(
+    ctx: Context, path: Path, rel: str, lines: list[str]
+) -> list[Finding]:
+    if not rel.startswith("src/"):
+        return []
+    out = []
+    blessed = rel in ATOMIC_BLESSED
+    for i, raw in enumerate(lines, start=1):
+        code = _strip_line_comment(raw)
+        for m in MEMORY_ORDER_RE.finditer(code):
+            order = m.group(1)
+            if order != "relaxed" and not _has_order_justification(lines, i):
+                out.append(
+                    Finding(
+                        "atomic-order-audit",
+                        rel,
+                        i,
+                        f"memory_order_{order} without a justifying comment — "
+                        "every edge stronger than relaxed is part of the "
+                        "concurrency proof; say what it synchronizes with "
+                        "(same line or the line above)",
+                    )
+                )
+        if not blessed and ATOMIC_DECL_RE.search(code):
+            out.append(
+                Finding(
+                    "atomic-order-audit",
+                    rel,
+                    i,
+                    "bare std::atomic outside src/common/obs.* / "
+                    "src/common/thread_pool.* — new shared state belongs behind "
+                    "an annotated common::Mutex with MANDIPASS_GUARDED_BY, not "
+                    "ad-hoc atomics (DESIGN.md section 14)",
+                )
+            )
+    return out
+
+
+def _arena_escape_regex(rel: str, lines: list[str]) -> list[Finding]:
+    """Documented regex approximation of the AST analysis: member-stored
+    arenas / alloc results, returned alloc results, and arenas handed to
+    std::thread. Only lines in arena-mentioning files are examined, so
+    unrelated `.alloc(` idioms elsewhere stay out of scope."""
+    out = []
+    for i, raw in enumerate(lines, start=1):
+        code = _strip_line_comment(raw)
+        if ARENA_MEMBER_DECL_RE.search(code):
+            out.append(
+                Finding(
+                    "arena-escape",
+                    rel,
+                    i,
+                    "ScratchArena stored in a member — arenas are thread-confined "
+                    "and reset between samples; take one as a parameter or call "
+                    "thread_scratch_arena() at use",
+                )
+            )
+            continue
+        if ARENA_MEMBER_STORE_RE.search(code) and ARENA_NAME_RE.search(code):
+            out.append(
+                Finding(
+                    "arena-escape",
+                    rel,
+                    i,
+                    "arena alloc() result stored in a member — the pointer dies "
+                    "at the next reset(); copy the data out instead",
+                )
+            )
+            continue
+        if ARENA_RETURN_RE.search(code) and ARENA_NAME_RE.search(code):
+            out.append(
+                Finding(
+                    "arena-escape",
+                    rel,
+                    i,
+                    "returning an arena alloc() result — the pointer dies at the "
+                    "next reset(); write into caller-provided storage instead",
+                )
+            )
+            continue
+        if ARENA_THREAD_RE.search(code) and ARENA_NAME_RE.search(code):
+            out.append(
+                Finding(
+                    "arena-escape",
+                    rel,
+                    i,
+                    "arena handed to a std::thread — arenas are thread-confined; "
+                    "the spawned thread must use its own thread_scratch_arena()",
+                )
+            )
+    return out
+
+
+def _arena_escape_libclang(
+    ctx: Context, path: Path, rel: str
+) -> list[Finding] | None:
+    """AST analysis via python libclang. Returns None when the TU cannot
+    be parsed (caller falls back to regex)."""
+    try:
+        from clang import cindex
+    except ImportError:
+        return None
+    try:
+        index = cindex.Index.create()
+        flags = ctx.compile_db.get(str(path.resolve()), ["-std=c++20", "-I", "src"])
+        tu = index.parse(str(path), args=flags)
+    except cindex.LibclangError:
+        return None
+    if tu is None:
+        return None
+
+    out: list[Finding] = []
+
+    def is_arena_type(type_obj) -> bool:
+        return "ScratchArena" in type_obj.spelling
+
+    def visit(node, in_return: bool, in_thread_ctor: bool) -> None:
+        kind = node.kind
+        if kind == cindex.CursorKind.FIELD_DECL and is_arena_type(node.type):
+            out.append(
+                Finding(
+                    "arena-escape", rel, node.location.line,
+                    "ScratchArena-typed member — arenas are thread-confined; "
+                    "pass one in or call thread_scratch_arena() at use",
+                )
+            )
+        if (
+            kind == cindex.CursorKind.CALL_EXPR
+            and node.spelling == "alloc"
+            and in_return
+        ):
+            out.append(
+                Finding(
+                    "arena-escape", rel, node.location.line,
+                    "returning an arena alloc() result — the pointer dies at "
+                    "the next reset()",
+                )
+            )
+        if (
+            kind == cindex.CursorKind.DECL_REF_EXPR
+            and in_thread_ctor
+            and is_arena_type(node.type)
+        ):
+            out.append(
+                Finding(
+                    "arena-escape", rel, node.location.line,
+                    "arena referenced inside a std::thread construction — "
+                    "arenas are thread-confined",
+                )
+            )
+        next_return = in_return or kind == cindex.CursorKind.RETURN_STMT
+        next_thread = in_thread_ctor or (
+            kind == cindex.CursorKind.CALL_EXPR and "thread" in node.type.spelling
+        )
+        for child in node.get_children():
+            if child.location.file and child.location.file.name == str(path):
+                visit(child, next_return, next_thread)
+
+    for child in tu.cursor.get_children():
+        if child.location.file and child.location.file.name == str(path):
+            visit(child, False, False)
+    return out
+
+
+def _arena_escape_ast_json(
+    ctx: Context, path: Path, rel: str
+) -> list[Finding] | None:
+    """AST analysis via `clang -Xclang -ast-dump=json -fsyntax-only`.
+    Returns None when clang is unavailable or the dump fails (caller
+    falls back to regex)."""
+    clang = shutil.which("clang++") or shutil.which("clang")
+    if clang is None:
+        return None
+    flags = ctx.compile_db.get(str(path.resolve()), ["-std=c++20", "-I", "src"])
+    try:
+        proc = subprocess.run(
+            [clang, "-fsyntax-only", "-Xclang", "-ast-dump=json", *flags, str(path)],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        tree = json.loads(proc.stdout)
+    except (OSError, ValueError, subprocess.TimeoutExpired):
+        return None
+
+    out: list[Finding] = []
+
+    def node_line(node: dict) -> int:
+        loc = node.get("loc") or {}
+        return loc.get("line") or (node.get("range", {}).get("begin", {}).get("line") or 0)
+
+    def walk(node: dict, in_return: bool) -> None:
+        kind = node.get("kind", "")
+        qual = (node.get("type") or {}).get("qualType", "")
+        if kind == "FieldDecl" and "ScratchArena" in qual:
+            out.append(
+                Finding(
+                    "arena-escape", rel, node_line(node),
+                    "ScratchArena-typed member — arenas are thread-confined; "
+                    "pass one in or call thread_scratch_arena() at use",
+                )
+            )
+        if (
+            kind == "MemberExpr"
+            and node.get("name") == "alloc"
+            and in_return
+        ):
+            out.append(
+                Finding(
+                    "arena-escape", rel, node_line(node),
+                    "returning an arena alloc() result — the pointer dies at "
+                    "the next reset()",
+                )
+            )
+        next_return = in_return or kind == "ReturnStmt"
+        for child in node.get("inner", []) or []:
+            walk(child, next_return)
+
+    walk(tree, False)
+    return out
+
+
+def check_arena_escape(
+    ctx: Context, path: Path, rel: str, lines: list[str]
+) -> list[Finding]:
+    if not rel.startswith("src/") or rel in ARENA_EXEMPT:
+        return []
+    if not any("ScratchArena" in l or "thread_scratch_arena" in l for l in lines):
+        return []
+    backend = ctx.resolve_arena_backend()
+    if backend == "libclang":
+        found = _arena_escape_libclang(ctx, path, rel)
+        if found is not None:
+            return found
+        ctx.warn_backend_fallback("libclang parse failed")
+    elif backend == "ast-json":
+        found = _arena_escape_ast_json(ctx, path, rel)
+        if found is not None:
+            return found
+        ctx.warn_backend_fallback("clang ast-dump failed")
+    return _arena_escape_regex(rel, lines)
 
 
 def check_build_artifacts(repo: Path) -> list[Finding]:
@@ -279,12 +723,17 @@ FILE_CHECKS = (
     check_expects_guard,
     check_header_hygiene,
     check_no_throw_in_datapath,
+    check_raw_lock_discipline,
+    check_atomic_order_audit,
+    check_arena_escape,
 )
 
 SOURCE_SUFFIXES = (".h", ".hpp", ".cpp", ".cc")
 
 
-def lint(repo: Path, subdirs: list[str]) -> list[Finding]:
+def lint(repo: Path, subdirs: list[str], ctx: Context | None = None) -> list[Finding]:
+    if ctx is None:
+        ctx = Context(repo)
     findings: list[Finding] = []
     for sub in subdirs:
         root = repo / sub
@@ -302,9 +751,12 @@ def lint(repo: Path, subdirs: list[str]) -> list[Finding]:
                 findings.append(Finding("io-error", rel, 0, str(e)))
                 continue
             lines = text.splitlines()
+            validate_waivers(rel, lines)
             waived = file_waivers(text)
+            raw: list[Finding] = []
             for check in FILE_CHECKS:
-                findings.extend(check(path, rel, lines, waived))
+                raw.extend(check(ctx, path, rel, lines))
+            findings.extend(apply_waivers(raw, lines, waived))
     findings.extend(check_build_artifacts(repo))
     return findings
 
@@ -319,6 +771,20 @@ def main(argv: list[str]) -> int:
     )
     parser.add_argument("--repo", default=None, help="repository root (default: auto-detect)")
     parser.add_argument("--list-rules", action="store_true", help="print rule names and exit")
+    parser.add_argument(
+        "--compile-commands",
+        default=None,
+        metavar="JSON",
+        help="compile_commands.json for the AST-backed rules (arena-escape); "
+        "per-TU include paths and defines are taken from it",
+    )
+    parser.add_argument(
+        "--arena-backend",
+        choices=("auto", "libclang", "ast-json", "regex"),
+        default="auto",
+        help="arena-escape analysis backend (default: auto — libclang, then "
+        "clang ast-dump, then the regex approximation)",
+    )
     args = parser.parse_args(argv)
 
     if args.list_rules:
@@ -330,7 +796,17 @@ def main(argv: list[str]) -> int:
         print(f"mandilint: {repo} does not look like the repo root", file=sys.stderr)
         return 2
 
-    findings = lint(repo, list(args.paths))
+    try:
+        ctx = Context(
+            repo,
+            compile_commands=Path(args.compile_commands) if args.compile_commands else None,
+            arena_backend=args.arena_backend,
+        )
+        findings = lint(repo, list(args.paths), ctx)
+    except UsageError as e:
+        print(f"mandilint: {e}", file=sys.stderr)
+        print(f"mandilint: valid rules: {', '.join(RULES)}", file=sys.stderr)
+        return 2
     for f in findings:
         print(f)
     if findings:
