@@ -53,6 +53,12 @@ build/tools/bench_compare --skip-latency \
 MANDIPASS_BENCH_QUICK=1 build/bench/bench_throughput --json build/BENCH_bench_throughput.json
 build/tools/bench_compare --skip-latency --skip-counters \
   bench/baselines/bench_throughput.quick.json build/BENCH_bench_throughput.json
+# bench_service's op tapes are fixed (per-thread fixed op counts, serial
+# cache prewarm), so its counters ARE machine-invariant and stay gated;
+# only latency histograms are skipped.
+MANDIPASS_BENCH_QUICK=1 build/bench/bench_service --json build/BENCH_bench_service.json
+build/tools/bench_compare --skip-latency \
+  bench/baselines/bench_service.quick.json build/BENCH_bench_service.json
 
 if [ "$FAST" -eq 0 ]; then
   step "ASan+UBSan build + ctest"

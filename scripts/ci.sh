@@ -45,7 +45,12 @@ job_bench_smoke() {
       --json build/BENCH_bench_throughput.json &&
     build/tools/bench_compare --skip-latency --skip-counters \
       bench/baselines/bench_throughput.quick.json \
-      build/BENCH_bench_throughput.json
+      build/BENCH_bench_throughput.json &&
+    MANDIPASS_BENCH_QUICK=1 build/bench/bench_service \
+      --json build/BENCH_bench_service.json &&
+    build/tools/bench_compare --skip-latency \
+      bench/baselines/bench_service.quick.json \
+      build/BENCH_bench_service.json
 }
 
 job_no_obs() {

@@ -4,7 +4,10 @@
 // pool workers instead of precondition failures, and threshold bounds are
 // enforced by the owned Verifier.
 
+#include <algorithm>
 #include <chrono>
+#include <map>
+#include <utility>
 
 #include "auth/gaussian_matrix.h"
 #include "common/error.h"
@@ -18,7 +21,9 @@ using common::kDeferLock;
 using common::ReaderLock;
 using common::WriterLock;
 
-BatchVerifier::BatchVerifier(double threshold) : verifier_(threshold) {}
+BatchVerifier::BatchVerifier(double threshold, std::shared_ptr<MatrixCache> cache)
+    : verifier_(threshold),
+      cache_(cache != nullptr ? std::move(cache) : std::make_shared<MatrixCache>()) {}
 
 void BatchVerifier::enroll(const std::string& user, StoredTemplate tmpl) {
   WriterLock lock(mutex_, kDeferLock);
@@ -140,7 +145,7 @@ BatchDecision BatchVerifier::verify_one(const std::string& user,
   }
   out.known = true;
   out.key_version = stored->key_version;
-  const auto g = matrix_for(stored->matrix_seed, raw_probe.size());
+  const auto g = cache_->get(stored->matrix_seed, raw_probe.size());
   const auto transformed = g->transform(raw_probe);
   const Verifier v(threshold);
   out.decision = v.verify(transformed, stored->data);
@@ -154,26 +159,129 @@ BatchDecision BatchVerifier::verify_one(const std::string& user,
   return out;
 }
 
-std::shared_ptr<const GaussianMatrix> BatchVerifier::matrix_for(std::uint64_t seed,
-                                                               std::size_t dim) const {
+CoalesceStats BatchVerifier::verify_coalesced(std::span<const VerifyRequest> requests,
+                                              std::span<const std::size_t> indices,
+                                              std::span<BatchDecision> decisions) const {
+  MANDIPASS_EXPECTS(decisions.size() == requests.size());
+  CoalesceStats cs;
+  if (indices.empty()) {
+    return cs;
+  }
+  // Phase 1 — totality gates, identical to verify_one: malformed probes
+  // become Invalid decisions before any lock is taken.
+  std::vector<std::size_t> valid;
+  valid.reserve(indices.size());
+  for (const std::size_t i : indices) {
+    MANDIPASS_OBS_COUNT("auth.batch.verify_total");
+    const VerifyRequest& req = requests[i];
+    BatchDecision& out = decisions[i];
+    out = BatchDecision{};
+    if (req.raw_probe.empty()) {
+      MANDIPASS_OBS_COUNT("auth.batch.verify_invalid");
+      out.status = BatchStatus::Invalid;
+      out.reason = common::make_error(common::ErrorCode::InvalidInput, "empty probe").code;
+      continue;
+    }
+    bool finite = true;
+    for (const float v : req.raw_probe) {
+      if (!common::is_finite(v)) {
+        finite = false;
+        break;
+      }
+    }
+    if (!finite) {
+      MANDIPASS_OBS_COUNT("auth.batch.verify_invalid");
+      out.status = BatchStatus::Invalid;
+      out.reason =
+          common::make_error(common::ErrorCode::NonFiniteSample, "non-finite probe value").code;
+      continue;
+    }
+    valid.push_back(i);
+  }
+  // Phase 2 — ONE shared-lock window snapshots every template plus the
+  // threshold, so the whole coalesced batch is decided against a single
+  // consistent store generation. Duplicate user ids in the batch hit the
+  // same snapshot and therefore always agree; nothing here acquires a
+  // second lock, so a duplicate-heavy batch cannot deadlock either.
+  std::vector<std::optional<StoredTemplate>> snaps(valid.size());
+  double threshold = 0.0;
   {
-    ReaderLock lock(cache_mutex_);
-    const auto it = matrix_cache_.find(seed);
-    if (it != matrix_cache_.end() && it->second->dim() == dim) {
-      MANDIPASS_OBS_COUNT("auth.batch.matrix_cache_hits");
-      return it->second;
+    ReaderLock lock(mutex_, kDeferLock);
+    {
+      MANDIPASS_OBS_TRACE(trace_wait, "auth.batch.shared_lock_wait_us");
+      lock.lock();  // mandilint: allow(raw-lock-discipline) -- timed deferred RAII acquire
+    }
+    for (std::size_t k = 0; k < valid.size(); ++k) {
+      snaps[k] = lookup_locked(requests[valid[k]].user);
+    }
+    threshold = threshold_locked();
+  }
+  // Phase 3 — resolve Unknown / dimension mismatches, group the rest by
+  // (matrix_seed, dim). std::map keys keep group order deterministic.
+  std::map<std::pair<std::uint64_t, std::size_t>, std::vector<std::size_t>> groups;
+  for (std::size_t k = 0; k < valid.size(); ++k) {
+    const std::size_t i = valid[k];
+    const VerifyRequest& req = requests[i];
+    BatchDecision& out = decisions[i];
+    if (!snaps[k].has_value()) {
+      MANDIPASS_OBS_COUNT("auth.batch.verify_unknown");
+      out.status = BatchStatus::Unknown;
+      out.reason = common::make_error(common::ErrorCode::UnknownUser,
+                                      "no enrolment for user '" + req.user + "'")
+                       .code;
+      continue;
+    }
+    if (snaps[k]->data.size() != req.raw_probe.size()) {
+      MANDIPASS_OBS_COUNT("auth.batch.verify_invalid");
+      out.status = BatchStatus::Invalid;
+      out.reason =
+          common::make_error(common::ErrorCode::DimensionMismatch,
+                             "probe/template dimension mismatch for user '" + req.user + "'")
+              .code;
+      continue;
+    }
+    groups[{snaps[k]->matrix_seed, req.raw_probe.size()}].push_back(k);
+  }
+  // Phase 4 — one packed-GEMM tile per group: pack the member probes
+  // contiguously and stream the group's matrix once per kXTile probes.
+  // transform_batch keeps verify_one's per-element accumulation order,
+  // so every distance below is bit-identical to the per-request path.
+  const Verifier v(threshold);
+  std::vector<float> xs;
+  std::vector<float> transformed;
+  for (const auto& [key, members] : groups) {
+    const auto& [seed, dim] = key;
+    cs.groups += 1;
+    if (members.size() >= 2) {
+      cs.coalesced += members.size();
+    } else {
+      cs.singletons += 1;
+    }
+    const auto g = cache_->get(seed, dim);
+    xs.resize(members.size() * dim);
+    transformed.resize(members.size() * dim);
+    for (std::size_t m = 0; m < members.size(); ++m) {
+      const auto& probe = requests[valid[members[m]]].raw_probe;
+      std::copy(probe.begin(), probe.end(), xs.begin() + static_cast<std::ptrdiff_t>(m * dim));
+    }
+    g->transform_batch(xs, members.size(), transformed);
+    for (std::size_t m = 0; m < members.size(); ++m) {
+      const std::size_t k = members[m];
+      BatchDecision& out = decisions[valid[k]];
+      out.known = true;
+      out.key_version = snaps[k]->key_version;
+      out.decision = v.verify(std::span<const float>(transformed).subspan(m * dim, dim),
+                              snaps[k]->data);
+      if (out.decision.accepted) {
+        MANDIPASS_OBS_COUNT("auth.batch.verify_accepted");
+        out.status = BatchStatus::Accepted;
+      } else {
+        MANDIPASS_OBS_COUNT("auth.batch.verify_rejected");
+        out.status = BatchStatus::Rejected;
+      }
     }
   }
-  MANDIPASS_OBS_COUNT("auth.batch.matrix_cache_misses");
-  // Build outside any lock (dim^2 RNG draws), then publish. A losing
-  // racer's matrix is identical by construction, so either copy is fine.
-  auto fresh = std::make_shared<const GaussianMatrix>(seed, dim);
-  WriterLock lock(cache_mutex_);
-  auto [it, inserted] = matrix_cache_.try_emplace(seed, fresh);
-  if (!inserted && it->second->dim() != dim) {
-    it->second = fresh;
-  }
-  return it->second;
+  return cs;
 }
 
 BatchResult BatchVerifier::verify_batch(std::span<const VerifyRequest> requests,

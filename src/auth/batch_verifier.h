@@ -21,10 +21,10 @@
 #include <memory>
 #include <span>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "auth/gaussian_matrix.h"
+#include "auth/matrix_cache.h"
 #include "auth/template_store.h"
 #include "auth/verifier.h"
 #include "common/mutex.h"
@@ -83,6 +83,15 @@ struct BatchResult {
   BatchStats stats;
 };
 
+/// Per-call accounting of the coalescing path (verify_coalesced): how
+/// many known requests shared a Gaussian transform with at least one
+/// other request versus riding a group of one.
+struct CoalesceStats {
+  std::size_t groups = 0;      ///< distinct (seed, dim) transform groups
+  std::size_t coalesced = 0;   ///< known requests in groups of size >= 2
+  std::size_t singletons = 0;  ///< known requests alone in their group
+};
+
 /// The locking contract below is machine-checked: every member is
 /// MANDIPASS_GUARDED_BY its mutex, the internal snapshot helpers state
 /// MANDIPASS_REQUIRES_SHARED, and the public entry points state
@@ -92,7 +101,13 @@ struct BatchResult {
 /// the annotations are documentation (DESIGN.md §14).
 class BatchVerifier {
  public:
-  explicit BatchVerifier(double threshold = kPaperThreshold);
+  /// `cache` lets several engines (the shards of a ShardedVerifier)
+  /// share one seed-keyed Gaussian-matrix cache; when null the verifier
+  /// owns a private one. The cache is internally synchronised and the
+  /// pointer itself is immutable after construction, so it needs no
+  /// guard here.
+  explicit BatchVerifier(double threshold = kPaperThreshold,
+                         std::shared_ptr<MatrixCache> cache = nullptr);
 
   /// Seals a template (exclusive lock). Overwrites any previous one.
   void enroll(const std::string& user, StoredTemplate tmpl) MANDIPASS_EXCLUDES(mutex_);
@@ -109,13 +124,30 @@ class BatchVerifier {
 
   /// Verifies one request against the current template generation.
   BatchDecision verify_one(const std::string& user, std::span<const float> raw_probe) const
-      MANDIPASS_EXCLUDES(mutex_, cache_mutex_);
+      MANDIPASS_EXCLUDES(mutex_);
 
   /// Verifies a batch, fanning requests out over `pool` (the global pool
   /// when null). Returns per-request decisions plus aggregate stats.
   BatchResult verify_batch(std::span<const VerifyRequest> requests,
                            common::ThreadPool* pool = nullptr) const
-      MANDIPASS_EXCLUDES(mutex_, cache_mutex_);
+      MANDIPASS_EXCLUDES(mutex_);
+
+  /// Coalesced verification of the subset requests[indices]: one shared
+  /// lock acquisition snapshots every template plus the threshold, the
+  /// known requests are grouped by (matrix_seed, dim), and each group
+  /// runs as one GaussianMatrix::transform_batch tile instead of one
+  /// transform per request. decisions[i] is written for each i in
+  /// `indices` (decisions.size() must equal requests.size()); other
+  /// slots are untouched, so a router can aim several shards at one
+  /// decision vector. Decisions are bit-identical to verify_one on the
+  /// same snapshot — including duplicate user ids, which simply resolve
+  /// to the same snapshotted template — and land at their request's own
+  /// index, so the caller's ordering can never invert. Totality matches
+  /// verify_one: malformed probes and unknown ids become typed decisions.
+  CoalesceStats verify_coalesced(std::span<const VerifyRequest> requests,
+                                 std::span<const std::size_t> indices,
+                                 std::span<BatchDecision> decisions) const
+      MANDIPASS_EXCLUDES(mutex_);
 
   double threshold() const MANDIPASS_EXCLUDES(mutex_);
   void set_threshold(double t) MANDIPASS_EXCLUDES(mutex_);
@@ -126,13 +158,6 @@ class BatchVerifier {
   void load(std::istream& is) MANDIPASS_EXCLUDES(mutex_);
 
  private:
-  /// Cached Gaussian matrix for (seed, dim). The matrix is a pure
-  /// function of its seed, so whichever thread materialises it first
-  /// produces the same values; rebuilding it per request would dominate
-  /// the verify path (dim^2 Box-Muller draws vs one dim^2 mat-vec).
-  std::shared_ptr<const GaussianMatrix> matrix_for(std::uint64_t seed, std::size_t dim) const
-      MANDIPASS_EXCLUDES(cache_mutex_);
-
   /// Shared-lock snapshot helpers: the caller must already hold mutex_
   /// at least shared; they perform the guarded reads and nothing else.
   std::optional<StoredTemplate> lookup_locked(const std::string& user) const
@@ -143,9 +168,9 @@ class BatchVerifier {
   Verifier verifier_ MANDIPASS_GUARDED_BY(mutex_);    ///< threshold can be re-tuned
   TemplateStore store_ MANDIPASS_GUARDED_BY(mutex_);  ///< template generations
 
-  mutable common::SharedMutex cache_mutex_;
-  mutable std::unordered_map<std::uint64_t, std::shared_ptr<const GaussianMatrix>>
-      matrix_cache_ MANDIPASS_GUARDED_BY(cache_mutex_);
+  /// Seed-keyed Gaussian-matrix cache (auth/matrix_cache.h), possibly
+  /// shared across engines. Immutable pointer, internally synchronised.
+  std::shared_ptr<MatrixCache> cache_;
 };
 
 }  // namespace mandipass::auth

@@ -30,4 +30,12 @@ std::vector<float> GaussianMatrix::transform(std::span<const float> x) const {
   return out;
 }
 
+void GaussianMatrix::transform_batch(std::span<const float> xs, std::size_t count,
+                                     std::span<float> out) const {
+  MANDIPASS_EXPECTS(count > 0 && xs.size() == count * dim_ && out.size() == count * dim_);
+  // x-major store: probe i's transformed vector is contiguous at
+  // out[i * dim], ready to hand to cosine_distance as a span.
+  gemm_.run_xmajor(xs.data(), count, dim_, out.data(), dim_, nn::Epilogue::None);
+}
+
 }  // namespace mandipass::auth

@@ -39,6 +39,17 @@ class GaussianMatrix {
   /// blocks of 8 outputs (BatchVerifier's per-probe hot loop).
   std::vector<float> transform(std::span<const float> x) const;
 
+  /// Coalesced transform of `count` probes sharing this matrix: `xs`
+  /// holds count x dim() floats (probe i at xs[i * dim()]), and probe i's
+  /// transformed vector lands contiguously at out[i * dim()]. One call
+  /// streams the packed matrix once per kXTile probes instead of once per
+  /// probe (the sharded router's same-seed fast path). Per-element
+  /// accumulation order matches transform() for every count, so each
+  /// output vector is bit-identical to a lone transform() of its probe.
+  /// Precondition: count > 0 and both spans sized count * dim().
+  void transform_batch(std::span<const float> xs, std::size_t count,
+                       std::span<float> out) const;
+
   std::size_t dim() const { return dim_; }
   std::uint64_t seed() const { return seed_; }
 

@@ -1,0 +1,38 @@
+#include "auth/matrix_cache.h"
+
+#include "common/error.h"
+#include "common/obs.h"
+
+namespace mandipass::auth {
+
+using common::ReaderLock;
+using common::WriterLock;
+
+std::shared_ptr<const GaussianMatrix> MatrixCache::get(std::uint64_t seed, std::size_t dim) {
+  MANDIPASS_EXPECTS(dim > 0);
+  {
+    ReaderLock lock(mutex_);
+    const auto it = cache_.find(seed);
+    if (it != cache_.end() && it->second->dim() == dim) {
+      MANDIPASS_OBS_COUNT("auth.batch.matrix_cache_hits");
+      return it->second;
+    }
+  }
+  MANDIPASS_OBS_COUNT("auth.batch.matrix_cache_misses");
+  // Build outside any lock (dim^2 RNG draws), then publish. A losing
+  // racer's matrix is identical by construction, so either copy is fine.
+  auto fresh = std::make_shared<const GaussianMatrix>(seed, dim);
+  WriterLock lock(mutex_);
+  auto [it, inserted] = cache_.try_emplace(seed, fresh);
+  if (!inserted && it->second->dim() != dim) {
+    it->second = fresh;
+  }
+  return it->second;
+}
+
+std::size_t MatrixCache::size() const {
+  ReaderLock lock(mutex_);
+  return cache_.size();
+}
+
+}  // namespace mandipass::auth

@@ -1,0 +1,47 @@
+// Process-shared cache of Gaussian cancelable-transform matrices.
+//
+// A GaussianMatrix is a pure function of (seed, dim) and costs dim^2
+// Box-Muller draws plus a kernel re-pack to build — far more than the
+// dim^2 mat-vec it then accelerates — so every verification engine wants
+// the same seed-keyed cache. Extracted from BatchVerifier (PR 2) so that
+// the shards of a ShardedVerifier share one cache instead of N: a seed
+// epoch materialises each matrix once per service, not once per shard.
+//
+// Concurrency: lookups take a shared lock; a miss builds the matrix
+// OUTSIDE any lock (the expensive part) and publishes under the
+// exclusive lock. Losing a publish race is harmless — both racers built
+// identical matrices from the same seed, and whichever copy landed is
+// handed out. The map is MANDIPASS_GUARDED_BY(mutex_) and the contract
+// is compiler-checked under the tsafety preset (DESIGN.md §14).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "auth/gaussian_matrix.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace mandipass::auth {
+
+class MatrixCache {
+ public:
+  /// The matrix for (seed, dim), building and caching it on first use.
+  /// The returned shared_ptr keeps the matrix alive independently of the
+  /// cache, so callers may hold it across cache mutations. A seed that
+  /// re-appears with a different dim (re-keyed deployment changing
+  /// embedding width) replaces the stale entry.
+  std::shared_ptr<const GaussianMatrix> get(std::uint64_t seed, std::size_t dim)
+      MANDIPASS_EXCLUDES(mutex_);
+
+  /// Number of distinct seeds currently cached.
+  std::size_t size() const MANDIPASS_EXCLUDES(mutex_);
+
+ private:
+  mutable common::SharedMutex mutex_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<const GaussianMatrix>> cache_
+      MANDIPASS_GUARDED_BY(mutex_);
+};
+
+}  // namespace mandipass::auth

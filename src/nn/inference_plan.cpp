@@ -216,18 +216,32 @@ inline void block_tile(const float* wb, const float* xt, std::size_t x_stride,
 }
 #endif
 
-}  // namespace
-
-void PackedGemm::run(const float* x, std::size_t x_count, std::size_t x_stride, float* y,
-                     std::size_t y_stride, Epilogue epilogue) const {
-  const std::size_t blocks = (rows_ + kOcBlock - 1) / kOcBlock;
+// Shared driver for run() / run_xmajor(): identical tiling and identical
+// per-element arithmetic (block_tile accumulates in ascending k for every
+// tile shape), so the two output layouts hold bit-identical values — only
+// the store addressing below differs. kXMajor=false writes row-major
+// y[r * y_stride + xi] (conv stages); kXMajor=true writes per-input
+// contiguous y[xi * y_stride + r] (coalesced verification batches).
+template <bool kXMajor>
+inline void run_packed(const float* weights, const float* bias, std::size_t rows,
+                       std::size_t cols, const float* x, std::size_t x_count,
+                       std::size_t x_stride, float* y, std::size_t y_stride,
+                       Epilogue epilogue) {
+  constexpr std::size_t kOcBlock = PackedGemm::kOcBlock;
+  constexpr std::size_t kXTile = PackedGemm::kXTile;
+  const std::size_t blocks = (rows + kOcBlock - 1) / kOcBlock;
   float acc[kXTile * kOcBlock];
   const auto store = [&](std::size_t blk, std::size_t xi, std::size_t tile) {
     const std::size_t base = blk * kOcBlock;
-    const std::size_t lim = std::min(kOcBlock, rows_ - base);
+    const std::size_t lim = std::min(kOcBlock, rows - base);
     for (std::size_t j = 0; j < lim; ++j) {
       for (std::size_t p = 0; p < tile; ++p) {
-        y[(base + j) * y_stride + xi + p] = apply_epilogue(acc[p * kOcBlock + j], epilogue);
+        const float v = apply_epilogue(acc[p * kOcBlock + j], epilogue);
+        if constexpr (kXMajor) {
+          y[(xi + p) * y_stride + base + j] = v;
+        } else {
+          y[(base + j) * y_stride + xi + p] = v;
+        }
       }
     }
   };
@@ -235,19 +249,33 @@ void PackedGemm::run(const float* x, std::size_t x_count, std::size_t x_stride, 
   for (; xi + kXTile <= x_count; xi += kXTile) {
     const float* xt = x + xi * x_stride;
     for (std::size_t blk = 0; blk < blocks; ++blk) {
-      block_tile<kXTile>(weights_.data() + blk * cols_ * kOcBlock, xt, x_stride, cols_,
-                         bias_.data() + blk * kOcBlock, acc);
+      block_tile<kXTile>(weights + blk * cols * kOcBlock, xt, x_stride, cols,
+                         bias + blk * kOcBlock, acc);
       store(blk, xi, kXTile);
     }
   }
   for (; xi < x_count; ++xi) {
     const float* xt = x + xi * x_stride;
     for (std::size_t blk = 0; blk < blocks; ++blk) {
-      block_tile<1>(weights_.data() + blk * cols_ * kOcBlock, xt, x_stride, cols_,
-                    bias_.data() + blk * kOcBlock, acc);
+      block_tile<1>(weights + blk * cols * kOcBlock, xt, x_stride, cols,
+                    bias + blk * kOcBlock, acc);
       store(blk, xi, 1);
     }
   }
+}
+
+}  // namespace
+
+void PackedGemm::run(const float* x, std::size_t x_count, std::size_t x_stride, float* y,
+                     std::size_t y_stride, Epilogue epilogue) const {
+  run_packed<false>(weights_.data(), bias_.data(), rows_, cols_, x, x_count, x_stride, y,
+                    y_stride, epilogue);
+}
+
+void PackedGemm::run_xmajor(const float* x, std::size_t x_count, std::size_t x_stride, float* y,
+                            std::size_t y_stride, Epilogue epilogue) const {
+  run_packed<true>(weights_.data(), bias_.data(), rows_, cols_, x, x_count, x_stride, y,
+                   y_stride, epilogue);
 }
 
 InferencePlan InferencePlan::compile(Sequential& branch, std::size_t h_in, std::size_t w_in) {

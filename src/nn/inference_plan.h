@@ -148,6 +148,18 @@ class PackedGemm {
     run(x, 1, cols_, y, y_stride, epilogue);
   }
 
+  /// Like run(), but with the output transposed to x-major layout:
+  ///   y[xi * y_stride + r] =
+  ///       epilogue(bias[r] + sum_k W[r][k] * x[xi * x_stride + k]),
+  /// so each input vector's full result is contiguous. This is the layout
+  /// batched verification wants — one coalesced call over many probes,
+  /// each probe's transformed vector handed onward as a contiguous span.
+  /// The arithmetic is shared with run() (same kernels, same ascending-k
+  /// accumulation); only the store indexing differs, so for every (r, xi)
+  /// the value is bit-identical to run()'s and to a x_count==1 call.
+  void run_xmajor(const float* x, std::size_t x_count, std::size_t x_stride, float* y,
+                  std::size_t y_stride, Epilogue epilogue) const;
+
   std::size_t rows() const noexcept { return rows_; }
   std::size_t cols() const noexcept { return cols_; }
   bool empty() const noexcept { return rows_ == 0; }
