@@ -1,0 +1,220 @@
+// bench_attacks — per-scenario adversarial EER matrix (DESIGN.md §16).
+//
+// Crosses the typed attacker library (src/attack) with the nuisance
+// scenario catalogue and reports, per (attacker x scenario) cell, the
+// verification success rate at the clean-calibrated operating threshold
+// and the EER of the cell's forged distances against the scenario's own
+// genuine probes. A mimicry sweep then measures how the forger's success
+// scales with the number of observed victim sessions (VSR(N)).
+//
+// Paper anchors (Section VII-G): zero-effort lands at the system's
+// EER-level acceptance; replay of the stolen cancelable template is
+// defeated by re-keying the Gaussian matrix (VSR ~ 0).
+//
+// Determinism contract (bench_compare gates the quick-mode counters
+// exactly): fixed seeds everywhere, ScenarioMatrix's serial fixed-order
+// loops, and — in quick mode — an extractor trained INLINE from fixed
+// seeds with no disk cache, so cold and warm runs emit the same counter
+// stream (a cache hit would skip the training-time pipeline counters).
+// Full mode reuses the shared cached "headline" extractor instead; full
+// runs are not baseline-gated.
+#include <algorithm>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "attack/mimicry_attacker.h"
+#include "attack/replay_attacker.h"
+#include "attack/scenario.h"
+#include "attack/scenario_matrix.h"
+#include "attack/zero_effort_attacker.h"
+#include "bench_common.h"
+#include "common/obs.h"
+#include "common/table.h"
+#include "core/dataset_builder.h"
+#include "core/trainer.h"
+
+using namespace mandipass;
+
+namespace {
+
+/// Quick-mode extractor: trained in-process, never cached. Same cohort
+/// seeds and regularisation as the shared headline model, quick scale.
+std::shared_ptr<core::BiometricExtractor> train_inline(const bench::Scale& scale) {
+  auto extractor = std::make_shared<core::BiometricExtractor>(
+      bench::default_extractor_config(64));
+  Rng rng(bench::kSessionSeed);
+  vibration::PopulationGenerator hired_pop(bench::kHiredPopulationSeed);
+  const auto hired = hired_pop.sample_population(scale.hired_people);
+  core::CollectionConfig cc;
+  cc.arrays_per_person = scale.train_arrays;
+  cc.tone_augment_min = 0.92;
+  cc.tone_augment_max = 1.09;
+  const auto data = core::collect_gradient_set(hired, cc, rng);
+  core::ExtractorTrainer trainer(*extractor, bench::default_train_config(scale.epochs));
+  const double acc = trainer.train(data);
+  std::cout << "[bench] inline-trained quick extractor (no cache): final accuracy "
+            << fmt(acc, 3) << "\n";
+  return extractor;
+}
+
+double mean_of(const std::vector<double>& values) {
+  double total = 0.0;
+  for (double v : values) total += v;
+  return values.empty() ? 0.0 : total / static_cast<double>(values.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::init_bench(argc, argv);
+  bench::print_banner("Adversarial scenario matrix: attacker x nuisance-regime EER/VSR",
+                      "zero-effort ~ EER-level acceptance; replay after re-key VSR ~ 0; "
+                      "mimicry VSR grows with observations");
+
+  const bench::Scale scale = bench::active_scale();
+  const auto extractor =
+      scale.quick ? train_inline(scale)
+                  : bench::get_or_train_extractor(
+                        "headline", bench::default_extractor_config(256),
+                        scale.hired_people, scale.train_arrays, scale.epochs);
+
+  attack::MatrixConfig config;
+  config.victims = scale.quick ? 6 : 12;
+  config.enroll_sessions = 4;
+  config.observed_sessions = 6;
+  config.genuine_probes = scale.quick ? 4 : 8;
+  config.attack_probes = scale.quick ? 6 : 12;
+
+  attack::ZeroEffortAttacker zero_effort(11);
+  attack::MimicryAttacker mimicry(12, {.observations = 4, .fit_plant = true});
+  attack::MimicryAttacker impersonation(13, {.observations = 4, .fit_plant = false});
+  attack::ReplayAttacker replay;
+  attack::ReplayAttacker replay_rekeyed({.expect_rekey = true});
+  const std::vector<attack::Attacker*> attackers{&zero_effort, &mimicry, &impersonation,
+                                                 &replay, &replay_rekeyed};
+  const auto scenarios = attack::default_scenarios();
+
+  attack::ScenarioMatrix matrix(config, *extractor);
+  const attack::MatrixResult result = matrix.run(attackers, scenarios);
+
+  std::cout << "\noperating threshold: " << fmt(result.threshold, 4)
+            << " (clean calibration EER " << fmt_percent(result.calibration_eer) << ")\n";
+
+  Table table({"scenario", "genuine VSR", "attacker", "attacker VSR", "cell EER", "rejects"});
+  for (const auto& scenario : scenarios) {
+    const attack::GenuineRow* row = result.genuine_row(scenario.name);
+    for (const auto& cell : result.cells) {
+      if (cell.scenario != scenario.name) continue;
+      table.add_row({scenario.name, row != nullptr ? fmt_percent(row->vsr) : "-",
+                     cell.attacker, fmt_percent(cell.vsr), fmt_percent(cell.eer),
+                     std::to_string(cell.capture_rejected)});
+    }
+  }
+  std::cout << "\nAttack matrix (" << config.victims << " victims, "
+            << config.attack_probes << " probes per victim per cell):\n";
+  table.print(std::cout);
+
+  // --- Verdicts over the matrix ---
+  bool total = result.cells.size() == attackers.size() * scenarios.size() &&
+               result.genuine.size() == scenarios.size();
+  for (const auto& cell : result.cells) {
+    total = total && cell.attempts == config.victims * config.attack_probes &&
+            cell.distances.size() == cell.attempts;
+  }
+  for (const auto& row : result.genuine) {
+    total = total && row.attempts == config.victims * config.genuine_probes;
+  }
+  bench::record_verdict("matrix_total", total,
+                        std::to_string(result.cells.size()) + " cells, every cell at full "
+                        "attempt count — no silent skips");
+
+  const attack::GenuineRow* clean_row = result.genuine_row("clean");
+  const bool genuine_usable = clean_row != nullptr && clean_row->vsr >= 0.5;
+  bench::record_verdict("genuine_clean_usable", genuine_usable,
+                        "clean genuine VSR " +
+                            fmt_percent(clean_row != nullptr ? clean_row->vsr : 0.0));
+
+  double worst_rekeyed_vsr = 0.0;
+  for (const auto& cell : result.cells) {
+    if (cell.rekeyed) worst_rekeyed_vsr = std::max(worst_rekeyed_vsr, cell.vsr);
+  }
+  bench::record_verdict("replay_rekey_vsr_zero", worst_rekeyed_vsr <= 0.02,
+                        "worst replay-after-rekey VSR " + fmt_percent(worst_rekeyed_vsr) +
+                            " across all scenarios");
+
+  const attack::CellResult* prekey = result.cell("replay", "clean");
+  const attack::CellResult* postkey = result.cell("replay_rekeyed", "clean");
+  bool gap_ok = prekey != nullptr && postkey != nullptr && !prekey->distances.empty() &&
+                !postkey->distances.empty();
+  double gap = 0.0;
+  if (gap_ok) {
+    const double worst_pre =
+        *std::max_element(prekey->distances.begin(), prekey->distances.end());
+    const double best_post =
+        *std::min_element(postkey->distances.begin(), postkey->distances.end());
+    gap = best_post - worst_pre;
+    gap_ok = gap > 0.2 && prekey->vsr >= clean_row->vsr - 0.25;
+  }
+  bench::record_verdict("replay_prekey_succeeds", gap_ok,
+                        "pre-rekey replay is genuine-level; decorrelation gap " +
+                            fmt(gap, 3));
+
+  const attack::CellResult* zero_cell = result.cell("zero_effort", "clean");
+  bool zero_ok = zero_cell != nullptr;
+  if (zero_ok) {
+    zero_ok = std::abs(zero_cell->vsr - result.calibration_eer) <= 0.15;
+  }
+  bench::record_verdict(
+      "zero_effort_vsr_matches_eer", zero_ok,
+      "zero-effort VSR " + fmt_percent(zero_cell != nullptr ? zero_cell->vsr : 0.0) +
+          " vs calibration EER " + fmt_percent(result.calibration_eer));
+
+  // --- Mimicry observation sweep: VSR(N) ---
+  std::vector<std::size_t> budgets{1, 2, 4, 8};
+  if (!scale.quick) budgets.push_back(16);
+  const std::vector<attack::ScenarioSpec> clean_only{scenarios.front()};
+  Table sweep({"observations N", "mimicry VSR", "mean distance"});
+  std::vector<double> sweep_means;
+  std::vector<double> sweep_vsrs;
+  for (const std::size_t n : budgets) {
+    attack::MimicryAttacker forger(12, {.observations = n});
+    std::vector<attack::Attacker*> one{&forger};
+    attack::ScenarioMatrix sweep_matrix(config, *extractor);
+    const attack::MatrixResult r = sweep_matrix.run(one, clean_only);
+    const attack::CellResult* cell = r.cell("mimicry", "clean");
+    const double mean = cell != nullptr ? mean_of(cell->distances) : 2.0;
+    const double vsr = cell != nullptr ? cell->vsr : 0.0;
+    sweep_means.push_back(mean);
+    sweep_vsrs.push_back(vsr);
+    sweep.add_row({std::to_string(n), fmt_percent(vsr), fmt(mean, 4)});
+    const std::string base = "attack.sweep.mimicry.obs" + std::to_string(n) + ".";
+    common::obs::counter(base + "accepted").add(cell != nullptr ? cell->accepted : 0);
+    common::obs::counter(base + "attempts").add(cell != nullptr ? cell->attempts : 0);
+  }
+  std::cout << "\nMimicry observation sweep (clean scenario):\n";
+  sweep.print(std::cout);
+
+  // More tape must not hurt the forger: mean forged distance at the
+  // largest budget stays at or below the single-observation mean, and no
+  // step gets worse than one probe's worth of VSR.
+  bool monotone = sweep_means.back() <= sweep_means.front() + 1e-9;
+  const double vsr_step =
+      1.0 / static_cast<double>(config.victims * config.attack_probes);
+  for (std::size_t i = 1; i < sweep_vsrs.size(); ++i) {
+    monotone = monotone && sweep_vsrs[i] + vsr_step + 1e-12 >= sweep_vsrs[i - 1];
+  }
+  bench::record_verdict("mimicry_observation_monotone", monotone,
+                        "mean distance " + fmt(sweep_means.front(), 4) + " (N=" +
+                            std::to_string(budgets.front()) + ") -> " +
+                            fmt(sweep_means.back(), 4) + " (N=" +
+                            std::to_string(budgets.back()) + ")");
+
+  const bool pass = total && genuine_usable && worst_rekeyed_vsr <= 0.02 && gap_ok &&
+                    zero_ok && monotone;
+  std::cout << "\nShape check (total matrix, rekey defeats replay, zero-effort at EER, "
+               "mimicry monotone): "
+            << (pass ? "PASS" : "FAIL") << "\n";
+  return pass ? 0 : 1;
+}

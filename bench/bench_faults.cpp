@@ -173,7 +173,8 @@ int main(int argc, char** argv) {
     severity_zero_identity = severity_zero_identity && recordings_equal(copy, probes.front());
   }
   bench::record_verdict("severity_zero_identity", severity_zero_identity,
-                        "severity 0 is the identity for all 7 fault kinds");
+                        "severity 0 is the identity for all " +
+                            std::to_string(imu::kAllFaultKinds.size()) + " fault kinds");
 
   // The sweep. Serial on purpose: the counter stream must not depend on
   // the thread count.

@@ -59,6 +59,12 @@ build/tools/bench_compare --skip-latency --skip-counters \
 MANDIPASS_BENCH_QUICK=1 build/bench/bench_service --json build/BENCH_bench_service.json
 build/tools/bench_compare --skip-latency \
   bench/baselines/bench_service.quick.json build/BENCH_bench_service.json
+# bench_attacks trains its quick extractor inline (no model cache) and the
+# scenario matrix is serial, so the per-cell attack counters and security
+# verdicts gate exactly.
+MANDIPASS_BENCH_QUICK=1 build/bench/bench_attacks --json build/BENCH_bench_attacks.json
+build/tools/bench_compare --skip-latency \
+  bench/baselines/bench_attacks.quick.json build/BENCH_bench_attacks.json
 
 if [ "$FAST" -eq 0 ]; then
   step "ASan+UBSan build + ctest"

@@ -50,7 +50,12 @@ job_bench_smoke() {
       --json build/BENCH_bench_service.json &&
     build/tools/bench_compare --skip-latency \
       bench/baselines/bench_service.quick.json \
-      build/BENCH_bench_service.json
+      build/BENCH_bench_service.json &&
+    MANDIPASS_BENCH_QUICK=1 build/bench/bench_attacks \
+      --json build/BENCH_bench_attacks.json &&
+    build/tools/bench_compare --skip-latency \
+      bench/baselines/bench_attacks.quick.json \
+      build/BENCH_bench_attacks.json
 }
 
 job_no_obs() {

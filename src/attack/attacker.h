@@ -1,0 +1,83 @@
+// Typed attacker models for the Section VI threat analysis (DESIGN.md §16).
+//
+// An Attacker turns what it knows about a victim (VictimIntel) into a
+// sequence of Forgery probes. Forgeries come in two shapes, matching the
+// two places a real adversary can inject:
+//
+//   * signal-level  — a synthesized/replayed RawRecording presented at the
+//     IMU, which then runs the full Section IV capture pipeline;
+//   * channel-level — an already-transformed (cancelable) vector injected
+//     past the extractor, e.g. a sniffed transformed probe or a template
+//     stolen from the enclave. These are bound to the Gaussian-matrix key
+//     that produced them, which is exactly what seed rotation revokes.
+//
+// Every attacker is deterministic from its construction seed: two
+// instances with equal seeds and configs produce bit-identical forgery
+// sequences for equal intel (the tests/attack suite pins this), so the
+// bench_attacks scenario matrix is machine-invariant and gateable.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "imu/types.h"
+#include "vibration/session.h"
+
+namespace mandipass::attack {
+
+/// One attack probe. Exactly one of the two payloads is meaningful:
+/// a non-empty `transformed` marks a channel-level forgery and
+/// `recording` is ignored.
+struct Forgery {
+  imu::RawRecording recording;       ///< signal-level payload
+  std::vector<float> transformed;    ///< channel-level payload
+  std::uint64_t matrix_seed = 0;     ///< key `transformed` is bound to
+  bool channel_level() const { return !transformed.empty(); }
+};
+
+/// Everything a given threat model may grant the attacker. Attackers use
+/// only the fields their model justifies:
+///
+///   * ZeroEffortAttacker — `session` only (it brings its own biometric);
+///   * MimicryAttacker    — `session`, `observed` (IMU traces it captured
+///     while the victim authenticated), and the acoustically `heard_*`
+///     voicing manner;
+///   * ReplayAttacker     — `captured_transforms` + `capture_matrix_seed`
+///     (material sniffed from the verification channel / enclave).
+struct VictimIntel {
+  /// Probe-side capture conditions (the scenario's nuisance regime);
+  /// signal-level attackers synthesize their forgeries under these.
+  vibration::SessionConfig session;
+  /// Raw victim sessions the attacker observed (shoulder-surfed device,
+  /// compromised transport before the extractor).
+  std::vector<imu::RawRecording> observed;
+  /// Voicing manner audible to a nearby attacker (Section VI's
+  /// impersonation channel): pitch and loudness, nothing internal.
+  double heard_f0_hz = 0.0;
+  double heard_loudness = 0.0;
+  /// Transformed probes captured on the wire, and the key epoch they were
+  /// produced under.
+  std::vector<std::vector<float>> captured_transforms;
+  std::uint64_t capture_matrix_seed = 0;
+};
+
+/// Abstract attacker model.
+class Attacker {
+ public:
+  virtual ~Attacker() = default;
+
+  /// Stable snake_case row label, e.g. "zero_effort".
+  virtual std::string_view name() const = 0;
+
+  /// Produces `count` forgeries against the victim. Deterministic in
+  /// (construction seed, call sequence, intel).
+  virtual std::vector<Forgery> forge(const VictimIntel& intel, std::size_t count) = 0;
+
+  /// True when this attacker's forgeries must be evaluated against a
+  /// template that was re-keyed (Gaussian seed rotated) after the capture
+  /// window closed — the cancelable-biometric revocation scenario.
+  virtual bool wants_rekeyed_target() const { return false; }
+};
+
+}  // namespace mandipass::attack

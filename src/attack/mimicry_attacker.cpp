@@ -1,0 +1,93 @@
+#include "attack/mimicry_attacker.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <utility>
+#include <vector>
+
+#include "common/error.h"
+#include "vibration/session.h"
+
+namespace mandipass::attack {
+namespace {
+
+// Keeps a fitted plant inside the physiological envelope the population
+// generator draws from — a wild fit (aliased pole, noise-dominated
+// observation) would otherwise produce a body no human has, which only
+// lowers the attacker's VSR and muddies the N-convergence curve.
+constexpr double kMinFreqHz = 20.0;
+constexpr double kMaxFreqHz = 220.0;
+constexpr double kMinZeta = 0.01;
+constexpr double kMaxZeta = 0.60;
+
+vibration::PersonProfile rebuild_plant(const vibration::PersonProfile& self,
+                                       const OscillatorEstimate& fit) {
+  vibration::PersonProfile p = self;
+  const double freq = std::clamp(fit.natural_freq_hz, kMinFreqHz, kMaxFreqHz);
+  const double zeta_pos = std::clamp(fit.zeta_positive, kMinZeta, kMaxZeta);
+  const double zeta_neg = std::clamp(fit.zeta_negative, kMinZeta, kMaxZeta);
+  // The attacker keeps its own mass (it cannot weigh the victim's
+  // mandible) and retunes stiffness and damping to hit the fitted
+  // (omega_n, zeta+, zeta-): k1+k2 = omega_n^2 m, c = 2 zeta sqrt(k m).
+  const double omega_n = 2.0 * std::numbers::pi * freq;
+  const double k_total = omega_n * omega_n * p.mass_kg;
+  const double split = self.k1 / (self.k1 + self.k2);
+  p.k1 = k_total * split;
+  p.k2 = k_total * (1.0 - split);
+  const double crit = std::sqrt(k_total * p.mass_kg);
+  p.c1 = 2.0 * zeta_pos * crit;
+  p.c2 = 2.0 * zeta_neg * crit;
+  return p;
+}
+
+}  // namespace
+
+MimicryAttacker::MimicryAttacker(std::uint64_t seed, MimicryConfig config)
+    : config_(config),
+      self_(vibration::PopulationGenerator(seed).sample()),
+      rng_(seed ^ 0xA77ACC0000000002ULL) {}
+
+std::vector<Forgery> MimicryAttacker::forge(const VictimIntel& intel,
+                                            std::size_t count) {
+  MANDIPASS_EXPECTS(count > 0);
+  last_fit_ = OscillatorEstimate{};
+
+  vibration::PersonProfile forged = self_;
+  // Observable voicing manner (mimic() semantics): copy the heard pitch,
+  // rescale both glottal forces to the heard loudness. Duty cycle and
+  // force asymmetry are involuntary and stay the attacker's own.
+  if (intel.heard_f0_hz > 0.0) forged.f0_hz = intel.heard_f0_hz;
+  if (intel.heard_loudness > 0.0) {
+    const double own = 0.5 * (self_.force_pos_n + self_.force_neg_n);
+    const double scale = intel.heard_loudness / own;
+    forged.force_pos_n *= scale;
+    forged.force_neg_n *= scale;
+  }
+
+  if (config_.fit_plant && !intel.observed.empty()) {
+    const std::size_t n = std::min(config_.observations, intel.observed.size());
+    std::vector<OscillatorEstimate> fits;
+    fits.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      fits.push_back(fit_observation(intel.observed[i]));
+    }
+    last_fit_ = pool_estimates(fits);
+    if (last_fit_.valid) forged = rebuild_plant(forged, last_fit_);
+  }
+
+  std::vector<Forgery> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    vibration::PersonProfile attempt = forged;
+    // Fresh imitation error per attempt, as in mimic_imperfect().
+    attempt.f0_hz *= 1.0 + config_.f0_error_sigma * rng_.normal();
+    vibration::SessionRecorder recorder(attempt, rng_);
+    Forgery forgery;
+    forgery.recording = recorder.record(intel.session);
+    out.push_back(std::move(forgery));
+  }
+  return out;
+}
+
+}  // namespace mandipass::attack

@@ -1,0 +1,58 @@
+// Mimicry attacker: the Section VI impersonation model, optionally armed
+// with a plant fit. It copies the acoustically observable voicing manner
+// (heard pitch and loudness, imitated with a realistic per-attempt pitch
+// error — the same model as PopulationGenerator::mimic_imperfect), and
+// when `fit_plant` is set it additionally identifies the victim's 1-DoF
+// oscillator from the first N observed IMU recordings via the AR(2)
+// least-squares fit (oscillator_fit.h) and rebuilds its own mandible
+// plant to the fitted (omega_n, zeta+, zeta-). VSR as a function of N is
+// the headline curve bench_attacks reports.
+#pragma once
+
+#include <cstdint>
+
+#include "attack/attacker.h"
+#include "attack/oscillator_fit.h"
+#include "common/rng.h"
+#include "vibration/population.h"
+#include "vibration/profile.h"
+
+namespace mandipass::attack {
+
+struct MimicryConfig {
+  /// How many observed victim recordings the attacker fits over; capped
+  /// by what the intel actually contains.
+  std::size_t observations = 4;
+  /// Per-attempt pitch-imitation error (humans cannot match a heard
+  /// pitch exactly); mirrors PopulationGenerator::mimic_imperfect.
+  double f0_error_sigma = 0.04;
+  /// false = pure voice impersonation (the paper's Section VI attacker);
+  /// true = additionally rebuild the plant from the oscillator fit.
+  bool fit_plant = true;
+};
+
+class MimicryAttacker final : public Attacker {
+ public:
+  MimicryAttacker(std::uint64_t seed, MimicryConfig config = {});
+
+  std::string_view name() const override {
+    return config_.fit_plant ? "mimicry" : "impersonation";
+  }
+  std::vector<Forgery> forge(const VictimIntel& intel, std::size_t count) override;
+
+  /// The pooled plant estimate behind the most recent forge() call
+  /// (invalid when fit_plant is off or no observation fit); exposed for
+  /// the convergence tests.
+  const OscillatorEstimate& last_fit() const { return last_fit_; }
+
+  /// The attacker's own body, sampled once at construction.
+  const vibration::PersonProfile& self() const { return self_; }
+
+ private:
+  MimicryConfig config_;
+  vibration::PersonProfile self_;
+  Rng rng_;
+  OscillatorEstimate last_fit_;
+};
+
+}  // namespace mandipass::attack

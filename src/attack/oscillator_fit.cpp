@@ -1,0 +1,198 @@
+#include "attack/oscillator_fit.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "common/error.h"
+
+namespace mandipass::attack {
+namespace {
+
+// Accumulated normal equations for x[n] ~ a1 x[n-1] + a2 x[n-2].
+struct Ar2Sums {
+  double s11 = 0.0;
+  double s12 = 0.0;
+  double s22 = 0.0;
+  double b1 = 0.0;
+  double b2 = 0.0;
+  std::size_t count = 0;
+
+  void add(double xn, double x1, double x2) {
+    s11 += x1 * x1;
+    s12 += x1 * x2;
+    s22 += x2 * x2;
+    b1 += xn * x1;
+    b2 += xn * x2;
+    ++count;
+  }
+};
+
+struct Pole {
+  double omega_n = 0.0;  // rad/s
+  double zeta = 0.0;
+  bool ok = false;
+};
+
+// Inverts the fitted AR(2) coefficients back to continuous-time
+// (omega_n, zeta). Rejects fits whose poles are not a decaying complex
+// pair — those are noise, drift, or an overdamped segment, and feeding
+// them into a forged profile would only hurt the attacker.
+Pole solve_pole(const Ar2Sums& s, double fs) {
+  // 2 unknowns; below ~8 equations the estimate is numerically fragile.
+  if (s.count < 8) return {};
+  const double det = s.s11 * s.s22 - s.s12 * s.s12;
+  if (!(std::abs(det) > 1e-30)) return {};
+  const double a1 = (s.b1 * s.s22 - s.b2 * s.s12) / det;
+  const double a2 = (s.b2 * s.s11 - s.b1 * s.s12) / det;
+  if (!std::isfinite(a1) || !std::isfinite(a2)) return {};
+  if (a2 >= 0.0) return {};  // complex pair requires a2 = -r^2 < 0
+  const double r = std::sqrt(-a2);
+  if (!(r > 1e-9) || !(r < 1.0)) return {};  // must decay
+  const double cos_theta = a1 / (2.0 * r);
+  if (!(cos_theta > -1.0) || !(cos_theta < 1.0)) return {};
+  const double theta = std::acos(cos_theta);
+  if (!(theta > 1e-6)) return {};
+  const double omega_d = theta * fs;
+  const double decay = -fs * std::log(r);
+  const double omega_n = std::sqrt(omega_d * omega_d + decay * decay);
+  if (!(omega_n > 0.0)) return {};
+  return {omega_n, decay / omega_n, true};
+}
+
+}  // namespace
+
+OscillatorEstimate fit_trace(std::span<const double> trace, double fs) {
+  MANDIPASS_EXPECTS(fs > 0.0);
+  OscillatorEstimate est;
+  if (trace.size() < 16) return est;
+
+  Ar2Sums all;
+  Ar2Sums rising;   // entering velocity >= 0 -> damper c1 active
+  Ar2Sums falling;  // entering velocity <  0 -> damper c2 active
+  for (std::size_t n = 2; n < trace.size(); ++n) {
+    const double xn = trace[n];
+    const double x1 = trace[n - 1];
+    const double x2 = trace[n - 2];
+    if (!std::isfinite(xn) || !std::isfinite(x1) || !std::isfinite(x2)) continue;
+    all.add(xn, x1, x2);
+    // Velocity proxy entering step n (semi-implicit Euler exposes
+    // v[n-1] = (x[n-1] - x[n-2]) * fs); its sign picks the damper.
+    if (x1 - x2 >= 0.0) {
+      rising.add(xn, x1, x2);
+    } else {
+      falling.add(xn, x1, x2);
+    }
+  }
+
+  const Pole combined = solve_pole(all, fs);
+  if (!combined.ok) return est;
+  est.natural_freq_hz = combined.omega_n / (2.0 * std::numbers::pi);
+  est.weight = static_cast<double>(all.count);
+  // The sign-split fits isolate the two damping phases; when a phase has
+  // too few equations (heavily asymmetric duty) fall back to the combined
+  // zeta rather than dropping the whole observation.
+  const Pole pos = solve_pole(rising, fs);
+  const Pole neg = solve_pole(falling, fs);
+  est.zeta_positive = pos.ok ? pos.zeta : combined.zeta;
+  est.zeta_negative = neg.ok ? neg.zeta : combined.zeta;
+  est.valid = true;
+  return est;
+}
+
+OscillatorEstimate fit_observation(const imu::RawRecording& recording) {
+  MANDIPASS_EXPECTS(recording.sample_rate_hz > 0.0);
+  const std::size_t n = recording.sample_count();
+  if (n < 32) return {};
+
+  // The jaw vibration couples most strongly into one accelerometer axis
+  // (profile-dependent direction cosines); the attacker does not know
+  // which. Raw variance is a trap — gravity and low-frequency drift
+  // dominate it — so the axis is picked by first-difference energy,
+  // which emphasises the vibration band.
+  std::size_t best_axis = 0;
+  double best_energy = -1.0;
+  for (std::size_t a = 0; a < 3; ++a) {
+    const auto& axis = recording.axes[a];
+    double energy = 0.0;
+    for (std::size_t i = 1; i < n; ++i) {
+      if (!std::isfinite(axis[i]) || !std::isfinite(axis[i - 1])) continue;
+      const double d = axis[i] - axis[i - 1];
+      energy += d * d;
+    }
+    if (energy > best_energy) {
+      best_energy = energy;
+      best_axis = a;
+    }
+  }
+
+  // Locate the voiced burst with a moving-energy envelope over the
+  // differenced signal. The search starts one window in: the sensor
+  // front-end's startup transient at sample 0 would otherwise win the
+  // argmax and the fit would window pure silence.
+  const auto& axis = recording.axes[best_axis];
+  std::vector<double> diff(n, 0.0);
+  for (std::size_t i = 1; i < n; ++i) {
+    if (std::isfinite(axis[i]) && std::isfinite(axis[i - 1])) {
+      diff[i] = axis[i] - axis[i - 1];
+    }
+  }
+  constexpr std::size_t kEnvelopeWindow = 32;
+  std::size_t peak = kEnvelopeWindow;
+  double peak_energy = -1.0;
+  for (std::size_t i = kEnvelopeWindow; i + kEnvelopeWindow <= n; ++i) {
+    double energy = 0.0;
+    for (std::size_t j = i; j < i + kEnvelopeWindow; ++j) energy += diff[j] * diff[j];
+    if (energy > peak_energy) {
+      peak_energy = energy;
+      peak = i;
+    }
+  }
+
+  const std::size_t span_len = std::max<std::size_t>(64, n / 3);
+  const std::size_t begin = peak;
+  const std::size_t end = std::min(n, begin + span_len);
+  if (end <= begin + 16) return {};
+
+  // Mean-removal is window-local: the segment's own DC (gravity
+  // projection plus bias), not the whole recording's.
+  double mean = 0.0;
+  std::size_t finite = 0;
+  for (std::size_t i = begin; i < end; ++i) {
+    if (std::isfinite(axis[i])) {
+      mean += axis[i];
+      ++finite;
+    }
+  }
+  if (finite == 0) return {};
+  mean /= static_cast<double>(finite);
+
+  std::vector<double> segment;
+  segment.reserve(end - begin);
+  for (std::size_t i = begin; i < end; ++i) {
+    segment.push_back(std::isfinite(axis[i]) ? axis[i] - mean : 0.0);
+  }
+  return fit_trace(segment, recording.sample_rate_hz);
+}
+
+OscillatorEstimate pool_estimates(std::span<const OscillatorEstimate> estimates) {
+  OscillatorEstimate pooled;
+  double total = 0.0;
+  for (const auto& e : estimates) {
+    if (!e.valid || !(e.weight > 0.0)) continue;
+    pooled.natural_freq_hz += e.natural_freq_hz * e.weight;
+    pooled.zeta_positive += e.zeta_positive * e.weight;
+    pooled.zeta_negative += e.zeta_negative * e.weight;
+    total += e.weight;
+  }
+  if (!(total > 0.0)) return {};
+  pooled.natural_freq_hz /= total;
+  pooled.zeta_positive /= total;
+  pooled.zeta_negative /= total;
+  pooled.weight = total;
+  pooled.valid = true;
+  return pooled;
+}
+
+}  // namespace mandipass::attack

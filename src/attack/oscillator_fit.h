@@ -1,0 +1,50 @@
+// Least-squares identification of a victim's 1-DoF mandible oscillator
+// from observed vibration traces — the MimicryAttacker's fitting engine.
+//
+// The free response of the Section II plant between damper switches is a
+// damped sinusoid, which sampled at fs obeys an exact AR(2) recurrence
+//
+//   x[n] = a1 x[n-1] + a2 x[n-2],   a1 = 2 r cos(theta), a2 = -r^2,
+//
+// with pole radius r = e^{-zeta omega_n / fs} and angle
+// theta = omega_d / fs. Solving the 2x2 normal equations for (a1, a2)
+// and inverting the pole therefore recovers (omega_n, zeta). The
+// two-phase asymmetry (c1 != c2) is separated by conditioning each AR
+// step on the sign of its entering velocity proxy x[n-1] - x[n-2]: the
+// oscillator uses c1 while moving in the positive direction and c2 in
+// the negative, so the sign-split fits estimate zeta_positive and
+// zeta_negative independently while the combined fit pins omega_n.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "imu/types.h"
+
+namespace mandipass::attack {
+
+/// What the attacker believes about a victim's plant. `weight` counts the
+/// AR equations behind the estimate so pooling can average proportionally.
+struct OscillatorEstimate {
+  double natural_freq_hz = 0.0;
+  double zeta_positive = 0.0;
+  double zeta_negative = 0.0;
+  double weight = 0.0;
+  bool valid = false;
+};
+
+/// Fits the AR(2) model to a scalar motion trace sampled at `fs` Hz.
+/// Returns `valid == false` when the trace is too short or the fitted
+/// pole is not an underdamped oscillation (real poles / blow-up).
+OscillatorEstimate fit_trace(std::span<const double> trace, double fs);
+
+/// Fits from one observed raw recording: picks the highest-variance
+/// accelerometer axis, windows around its energy peak, removes the mean,
+/// and runs fit_trace at the recording's sample rate.
+OscillatorEstimate fit_observation(const imu::RawRecording& recording);
+
+/// Weight-averaged pool of per-observation estimates; invalid entries are
+/// skipped. Returns invalid when no entry is usable.
+OscillatorEstimate pool_estimates(std::span<const OscillatorEstimate> estimates);
+
+}  // namespace mandipass::attack

@@ -1,0 +1,31 @@
+#include "attack/replay_attacker.h"
+
+#include <utility>
+
+#include "common/error.h"
+
+namespace mandipass::attack {
+
+ReplayAttacker::ReplayAttacker(ReplayConfig config) : config_(config) {}
+
+std::vector<Forgery> ReplayAttacker::forge(const VictimIntel& intel,
+                                           std::size_t count) {
+  MANDIPASS_EXPECTS(count > 0);
+  MANDIPASS_EXPECTS(!intel.captured_transforms.empty() || !intel.observed.empty());
+  std::vector<Forgery> out;
+  out.reserve(count);
+  // A replayer has nothing to randomize: it cycles its tape verbatim.
+  for (std::size_t i = 0; i < count; ++i) {
+    Forgery forgery;
+    if (!intel.captured_transforms.empty()) {
+      forgery.transformed = intel.captured_transforms[i % intel.captured_transforms.size()];
+      forgery.matrix_seed = intel.capture_matrix_seed;
+    } else {
+      forgery.recording = intel.observed[i % intel.observed.size()];
+    }
+    out.push_back(std::move(forgery));
+  }
+  return out;
+}
+
+}  // namespace mandipass::attack

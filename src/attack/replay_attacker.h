@@ -1,0 +1,40 @@
+// Replay attacker: resubmits verification material captured from the
+// victim. The interesting payload is channel-level — transformed probes
+// sniffed past the extractor (or a stolen StoredTemplate) — because that
+// is exactly what the cancelable Gaussian transform is supposed to
+// revoke: before a re-key the captured vectors match the sealed template
+// trivially (VSR ~ 1), after a seed rotation they are garbage under the
+// new key (VSR ~ 0). When no channel capture is available the attacker
+// degrades to replaying observed raw recordings at the signal level —
+// which a re-key does NOT defeat, since the underlying biometric is
+// genuine; the scenario matrix reports both truths.
+#pragma once
+
+#include <cstdint>
+
+#include "attack/attacker.h"
+
+namespace mandipass::attack {
+
+struct ReplayConfig {
+  /// When true the runner evaluates this attacker against a template
+  /// re-sealed under a rotated Gaussian seed (breach response); the
+  /// captured transforms stay bound to the old key.
+  bool expect_rekey = false;
+};
+
+class ReplayAttacker final : public Attacker {
+ public:
+  explicit ReplayAttacker(ReplayConfig config = {});
+
+  std::string_view name() const override {
+    return config_.expect_rekey ? "replay_rekeyed" : "replay";
+  }
+  std::vector<Forgery> forge(const VictimIntel& intel, std::size_t count) override;
+  bool wants_rekeyed_target() const override { return config_.expect_rekey; }
+
+ private:
+  ReplayConfig config_;
+};
+
+}  // namespace mandipass::attack

@@ -1,0 +1,66 @@
+#include "attack/scenario.h"
+
+#include "common/error.h"
+#include "imu/orientation.h"
+
+namespace mandipass::attack {
+
+std::vector<ScenarioSpec> default_scenarios() {
+  std::vector<ScenarioSpec> out;
+
+  {
+    ScenarioSpec s;
+    s.name = "clean";
+    out.push_back(std::move(s));
+  }
+  {
+    // Enrolled on one earbud, probed on another unit: per-axis gain/bias
+    // miscalibration plus a different physical seat in the ear. The
+    // min-max normalization in preprocessing absorbs a pure per-axis
+    // affine error, so the mounting delta is what actually stresses the
+    // matcher — keeping both is the honest "swapped my earbuds" regime.
+    ScenarioSpec s;
+    s.name = "cross_device";
+    s.session.mounting = imu::Rotation::from_euler_deg(9.0, -4.0, 6.0);
+    s.faults.push_back({imu::FaultKind::CrossDeviceGain, 0.5, 32767.0, 0});
+    out.push_back(std::move(s));
+  }
+  {
+    // Gait motion artifact (AccLock's nuisance): low-frequency body
+    // motion under the vibration plus transport-level frame jitter.
+    ScenarioSpec s;
+    s.name = "walking";
+    s.session.activity = vibration::Activity::Walk;
+    s.faults.push_back({imu::FaultKind::TimestampJitter, 0.15, 32767.0, 0});
+    out.push_back(std::move(s));
+  }
+  {
+    // The paper's hardest usability nuisance: eating while walking.
+    ScenarioSpec s;
+    s.name = "chewing_walking";
+    s.session.activity = vibration::Activity::Walk;
+    s.session.food = vibration::Food::Lollipop;
+    out.push_back(std::move(s));
+  }
+  {
+    // Loud transients clip the analog front-end. Severity is kept below
+    // the preprocessor's hard SensorSaturated reject for most probes so
+    // the cell measures degraded matching, not only capture rejection.
+    ScenarioSpec s;
+    s.name = "saturation";
+    s.faults.push_back({imu::FaultKind::Saturation, 0.35, 32767.0, 0});
+    out.push_back(std::move(s));
+  }
+  {
+    // A month between enrollment and probe (Section VII-F drift).
+    ScenarioSpec s;
+    s.name = "session_drift";
+    s.session.days_since_enrollment = 30.0;
+    out.push_back(std::move(s));
+  }
+
+  MANDIPASS_EXPECTS(out.size() >= 4);  // the matrix contract: >= 4 columns
+  return out;
+}
+
+}  // namespace mandipass::attack

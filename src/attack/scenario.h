@@ -1,0 +1,44 @@
+// Nuisance scenarios for the attack matrix: each ScenarioSpec describes
+// one capture regime — how *both* the genuine probes and the attacker's
+// forgeries are degraded — as a vibration-level session overlay plus a
+// stack of imu::FaultInjector specs applied to every probe recording.
+//
+// Scenarios answer a different question than attackers: an attacker row
+// varies WHO is knocking, a scenario column varies the WORLD the knock
+// happens in. Crossing them (ScenarioMatrix) shows whether a nuisance
+// regime that merely inconveniences genuine users happens to open the
+// door for an attacker class.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "imu/fault_injector.h"
+#include "vibration/session.h"
+
+namespace mandipass::attack {
+
+struct ScenarioSpec {
+  /// Stable snake_case column label, e.g. "chewing_walking".
+  std::string name;
+  /// Session-level capture conditions (activity, food, mounting, drift).
+  vibration::SessionConfig session;
+  /// Sensor/transport faults layered on every probe recording, in order.
+  /// The runner salts each probe so fault draws differ probe-to-probe
+  /// while staying deterministic.
+  std::vector<imu::FaultSpec> faults;
+};
+
+/// The standard six columns of the bench_attacks matrix:
+///   clean            — lab conditions, the paper's Table I setting;
+///   cross_device     — enrolled on one earbud, probed on another
+///                      (per-axis gain/bias miscalibration + a different
+///                      mounting seat);
+///   walking          — gait motion artifact (AccLock's regime);
+///   chewing_walking  — eating while walking, the paper's hardest
+///                      usability nuisance;
+///   saturation       — loud transients clip the front-end;
+///   session_drift    — 30 days between enrollment and probe.
+std::vector<ScenarioSpec> default_scenarios();
+
+}  // namespace mandipass::attack

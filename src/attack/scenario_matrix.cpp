@@ -1,0 +1,282 @@
+#include "attack/scenario_matrix.h"
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "auth/cosine.h"
+#include "auth/metrics.h"
+#include "common/error.h"
+#include "common/obs.h"
+#include "common/rng.h"
+#include "core/signal_array.h"
+#include "imu/fault_injector.h"
+#include "vibration/population.h"
+#include "vibration/session.h"
+
+namespace mandipass::attack {
+namespace {
+
+/// Full capture pipeline to a raw MandiblePrint; empty vector = the
+/// preprocessor rejected the capture (typed reject, counted by obs).
+std::vector<float> pipeline_print(const core::Preprocessor& prep,
+                                  core::BiometricExtractor& extractor,
+                                  const imu::RawRecording& recording) {
+  auto processed = prep.try_process(recording);
+  if (!processed) return {};
+  return extractor.extract(core::build_gradient_array(processed.value()));
+}
+
+/// Applies a scenario's fault stack with a per-probe salt stride wide
+/// enough that no two probes (or two steps of one probe — apply_all adds
+/// the step index) can collide on a draw stream.
+imu::RawRecording apply_scenario_faults(const imu::FaultInjector& injector,
+                                        const ScenarioSpec& scenario,
+                                        const imu::RawRecording& recording,
+                                        std::uint32_t probe_index) {
+  if (scenario.faults.empty()) return recording;
+  std::vector<imu::FaultSpec> salted = scenario.faults;
+  for (auto& spec : salted) spec.salt += probe_index * 64U;
+  return injector.apply_all(recording, salted);
+}
+
+/// Everything enrollment establishes for one victim.
+struct VictimState {
+  VictimState(vibration::PersonProfile p, vibration::SessionRecorder r)
+      : profile(std::move(p)), recorder(std::move(r)) {}
+
+  vibration::PersonProfile profile;
+  vibration::SessionRecorder recorder;
+  std::vector<float> template_print;               ///< mean raw print
+  std::vector<imu::RawRecording> observed;         ///< attacker's tape
+  std::vector<std::vector<float>> observed_prints; ///< clean probe prints
+  std::unique_ptr<auth::GaussianMatrix> key;
+  std::unique_ptr<auth::GaussianMatrix> rekey;
+  std::vector<float> sealed;          ///< template under key
+  std::vector<float> sealed_rekeyed;  ///< template under rotated key
+  std::vector<std::vector<float>> captured;  ///< wire capture under key
+};
+
+void bump_cell_counters(const CellResult& cell) {
+  const std::string base = "attack.cell." + cell.attacker + "." + cell.scenario + ".";
+  common::obs::counter(base + "attempts").add(cell.attempts);
+  common::obs::counter(base + "accepted").add(cell.accepted);
+  common::obs::counter(base + "capture_rejected").add(cell.capture_rejected);
+}
+
+}  // namespace
+
+ProbeOutcome score_forgery(const Forgery& forgery, const core::Preprocessor& prep,
+                           core::BiometricExtractor& extractor,
+                           std::span<const float> sealed_template,
+                           const auth::GaussianMatrix& key) {
+  MANDIPASS_EXPECTS(sealed_template.size() == key.dim());
+  if (forgery.channel_level()) {
+    // Channel-level payloads bypass capture entirely: the vector meets
+    // the sealed template in transformed space. A key mismatch (replay
+    // across a re-key) is not an error — it is the attack failing, and
+    // it shows up as distance.
+    return {auth::cosine_distance(forgery.transformed, sealed_template), false};
+  }
+  const std::vector<float> print = pipeline_print(prep, extractor, forgery.recording);
+  if (print.empty()) return {kRejectDistance, true};
+  return {auth::cosine_distance(key.transform(print), sealed_template), false};
+}
+
+const CellResult* MatrixResult::cell(std::string_view attacker,
+                                     std::string_view scenario) const {
+  for (const auto& c : cells) {
+    if (c.attacker == attacker && c.scenario == scenario) return &c;
+  }
+  return nullptr;
+}
+
+const GenuineRow* MatrixResult::genuine_row(std::string_view scenario) const {
+  for (const auto& g : genuine) {
+    if (g.scenario == scenario) return &g;
+  }
+  return nullptr;
+}
+
+ScenarioMatrix::ScenarioMatrix(MatrixConfig config, core::BiometricExtractor& extractor)
+    : config_(config), extractor_(extractor) {
+  MANDIPASS_EXPECTS(config_.victims >= 2);  // impostor calibration needs a cross pair
+  MANDIPASS_EXPECTS(config_.enroll_sessions > 0);
+  MANDIPASS_EXPECTS(config_.observed_sessions > 0);
+  MANDIPASS_EXPECTS(config_.genuine_probes > 0);
+  MANDIPASS_EXPECTS(config_.attack_probes > 0);
+}
+
+MatrixResult ScenarioMatrix::run(std::span<Attacker* const> attackers,
+                                 std::span<const ScenarioSpec> scenarios) {
+  MANDIPASS_EXPECTS(!attackers.empty());
+  MANDIPASS_EXPECTS(!scenarios.empty());
+
+  const std::size_t dim = extractor_.config().embedding_dim;
+  const core::Preprocessor prep(config_.prep);
+  const imu::FaultInjector injector(config_.injector_seed);
+  const vibration::SessionConfig clean_session{};  // enrollment conditions
+
+  // --- Enrollment + observation (clean lab conditions) ---
+  vibration::PopulationGenerator population(config_.victim_seed);
+  Rng session_rng(config_.session_seed);
+  std::vector<VictimState> victims;
+  victims.reserve(config_.victims);
+  for (std::size_t v = 0; v < config_.victims; ++v) {
+    vibration::PersonProfile profile = population.sample();
+    vibration::SessionRecorder recorder(profile, session_rng);
+    VictimState state(std::move(profile), std::move(recorder));
+
+    std::vector<double> mean(dim, 0.0);
+    std::size_t enrolled = 0;
+    for (const auto& rec :
+         state.recorder.record_many(clean_session, config_.enroll_sessions)) {
+      const std::vector<float> print = pipeline_print(prep, extractor_, rec);
+      if (print.empty()) continue;  // a clean-capture hiccup; the mean survives
+      for (std::size_t i = 0; i < dim; ++i) mean[i] += static_cast<double>(print[i]);
+      ++enrolled;
+    }
+    MANDIPASS_EXPECTS(enrolled > 0);  // clean enrollment must capture
+    state.template_print.resize(dim);
+    for (std::size_t i = 0; i < dim; ++i) {
+      state.template_print[i] = static_cast<float>(mean[i] / static_cast<double>(enrolled));
+    }
+
+    state.observed = state.recorder.record_many(clean_session, config_.observed_sessions);
+    for (const auto& rec : state.observed) {
+      std::vector<float> print = pipeline_print(prep, extractor_, rec);
+      if (!print.empty()) state.observed_prints.push_back(std::move(print));
+    }
+    MANDIPASS_EXPECTS(!state.observed_prints.empty());
+
+    state.key = std::make_unique<auth::GaussianMatrix>(config_.key_seed + v, dim);
+    state.rekey = std::make_unique<auth::GaussianMatrix>(config_.rekey_seed + v, dim);
+    state.sealed = state.key->transform(state.template_print);
+    state.sealed_rekeyed = state.rekey->transform(state.template_print);
+    for (const auto& print : state.observed_prints) {
+      state.captured.push_back(state.key->transform(print));
+    }
+    victims.push_back(std::move(state));
+  }
+
+  // --- Threshold calibration at the clean EER (transformed space) ---
+  MatrixResult result;
+  {
+    std::vector<double> cal_genuine;
+    std::vector<double> cal_impostor;
+    for (const auto& victim : victims) {
+      for (const auto& probe : victim.captured) {
+        cal_genuine.push_back(auth::cosine_distance(probe, victim.sealed));
+      }
+    }
+    for (std::size_t v = 0; v < victims.size(); ++v) {
+      for (std::size_t u = 0; u < victims.size(); ++u) {
+        if (u == v) continue;
+        const std::size_t take = std::min<std::size_t>(2, victims[u].observed_prints.size());
+        for (std::size_t k = 0; k < take; ++k) {
+          cal_impostor.push_back(auth::cosine_distance(
+              victims[v].key->transform(victims[u].observed_prints[k]), victims[v].sealed));
+        }
+      }
+    }
+    const auth::EerResult eer = auth::compute_eer(cal_genuine, cal_impostor);
+    result.threshold = eer.threshold;
+    result.calibration_eer = eer.eer;
+  }
+
+  // --- The matrix ---
+  std::uint32_t probe_index = 0;  // global fault-salt counter
+  for (const ScenarioSpec& scenario : scenarios) {
+    // Genuine-user row: fresh sessions under the scenario regime. Raw
+    // prints are kept so re-keyed cells can re-score the same probes
+    // under the rotated key without re-synthesizing sessions.
+    struct GenuineProbe {
+      std::size_t victim = 0;
+      std::vector<float> print;  // empty = capture-rejected
+    };
+    std::vector<GenuineProbe> probes;
+    GenuineRow row;
+    row.scenario = scenario.name;
+    for (std::size_t v = 0; v < victims.size(); ++v) {
+      for (const auto& rec :
+           victims[v].recorder.record_many(scenario.session, config_.genuine_probes)) {
+        const imu::RawRecording faulted =
+            apply_scenario_faults(injector, scenario, rec, probe_index++);
+        GenuineProbe probe{v, pipeline_print(prep, extractor_, faulted)};
+        const bool rejected = probe.print.empty();
+        const double d = rejected
+                             ? kRejectDistance
+                             : auth::cosine_distance(
+                                   victims[v].key->transform(probe.print), victims[v].sealed);
+        row.distances.push_back(d);
+        ++row.attempts;
+        if (rejected) ++row.capture_rejected;
+        if (d <= result.threshold) ++row.accepted;
+        probes.push_back(std::move(probe));
+      }
+    }
+    row.vsr = static_cast<double>(row.accepted) / static_cast<double>(row.attempts);
+
+    // Genuine distances after a key rotation (the re-enrolled system a
+    // rekeyed attacker faces); computed once per scenario, on demand.
+    std::vector<double> genuine_rekeyed;
+    const auto rekeyed_genuine = [&]() -> const std::vector<double>& {
+      if (genuine_rekeyed.empty()) {
+        for (const auto& probe : probes) {
+          genuine_rekeyed.push_back(
+              probe.print.empty()
+                  ? kRejectDistance
+                  : auth::cosine_distance(victims[probe.victim].rekey->transform(probe.print),
+                                          victims[probe.victim].sealed_rekeyed));
+        }
+      }
+      return genuine_rekeyed;
+    };
+
+    for (Attacker* attacker : attackers) {
+      CellResult cell;
+      cell.attacker = std::string(attacker->name());
+      cell.scenario = scenario.name;
+      cell.rekeyed = attacker->wants_rekeyed_target();
+      for (std::size_t v = 0; v < victims.size(); ++v) {
+        VictimIntel intel;
+        intel.session = scenario.session;
+        intel.observed = victims[v].observed;
+        intel.heard_f0_hz = victims[v].profile.f0_hz;
+        intel.heard_loudness =
+            0.5 * (victims[v].profile.force_pos_n + victims[v].profile.force_neg_n);
+        intel.captured_transforms = victims[v].captured;
+        intel.capture_matrix_seed = victims[v].key->seed();
+
+        const auth::GaussianMatrix& key = cell.rekeyed ? *victims[v].rekey : *victims[v].key;
+        const std::vector<float>& sealed =
+            cell.rekeyed ? victims[v].sealed_rekeyed : victims[v].sealed;
+
+        for (Forgery& forgery : attacker->forge(intel, config_.attack_probes)) {
+          if (!forgery.channel_level()) {
+            // Signal-level forgeries ride the same degraded capture
+            // channel as genuine probes in this scenario.
+            forgery.recording =
+                apply_scenario_faults(injector, scenario, forgery.recording, probe_index++);
+          }
+          const ProbeOutcome outcome = score_forgery(forgery, prep, extractor_, sealed, key);
+          cell.distances.push_back(outcome.distance);
+          ++cell.attempts;
+          if (outcome.capture_rejected) ++cell.capture_rejected;
+          if (outcome.distance <= result.threshold) ++cell.accepted;
+        }
+      }
+      cell.vsr = static_cast<double>(cell.accepted) / static_cast<double>(cell.attempts);
+      const std::vector<double>& gen =
+          cell.rekeyed ? rekeyed_genuine() : row.distances;
+      cell.eer = auth::compute_eer(gen, cell.distances).eer;
+      bump_cell_counters(cell);
+      result.cells.push_back(std::move(cell));
+    }
+    result.genuine.push_back(std::move(row));
+  }
+  return result;
+}
+
+}  // namespace mandipass::attack

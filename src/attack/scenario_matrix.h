@@ -1,0 +1,134 @@
+// ScenarioMatrix: crosses every Attacker with every ScenarioSpec and
+// reports a per-cell VSR / EER matrix (the bench_attacks payload and the
+// EXPERIMENTS.md security table).
+//
+// Protocol per run:
+//   1. sample `victims` people; enroll each under clean lab conditions
+//      (mean MandiblePrint over `enroll_sessions`, sealed with a
+//      per-victim GaussianMatrix key);
+//   2. record `observed_sessions` further clean sessions per victim —
+//      these triple as the attacker's observation tape, the wire capture
+//      (their transformed prints), and the calibration genuine probes;
+//   3. calibrate one operating threshold at the clean EER (clean genuine
+//      vs cross-victim impostor distances, all in transformed space);
+//   4. for each scenario: synthesize fresh genuine probes under the
+//      scenario's session + faults, then let every attacker forge
+//      `attack_probes` per victim under the same conditions and score
+//      each forgery against the sealed template.
+//
+// Accounting discipline: a capture-rejected probe (preprocessor reject)
+// scores the maximum cosine distance (2.0) instead of being dropped —
+// every cell stays total (attempts = victims * probes always), EER stays
+// well-defined, and a regime that rejects everyone shows up honestly as
+// FRR, not as a silently empty cell.
+//
+// Determinism: all loops are serial with fixed iteration order, every
+// random draw flows from the config seeds, and fault draws are salted by
+// a per-probe counter — so the whole matrix, counters included, is
+// machine- and thread-count-invariant and bench_compare can gate it
+// exactly.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "attack/attacker.h"
+#include "attack/scenario.h"
+#include "auth/gaussian_matrix.h"
+#include "core/extractor.h"
+#include "core/preprocessor.h"
+
+namespace mandipass::attack {
+
+struct MatrixConfig {
+  std::size_t victims = 4;
+  std::size_t enroll_sessions = 4;
+  std::size_t observed_sessions = 6;
+  std::size_t genuine_probes = 6;   ///< per victim, per scenario
+  std::size_t attack_probes = 8;    ///< per victim, per cell
+
+  std::uint64_t victim_seed = 0xA77AC001;
+  std::uint64_t session_seed = 0xA77AC002;
+  std::uint64_t key_seed = 0xA77AC003;     ///< victim v keys with key_seed + v
+  std::uint64_t rekey_seed = 0xB77AC003;   ///< rotated seeds for re-key cells
+  std::uint64_t injector_seed = 0xA77AC004;
+
+  core::PreprocessorConfig prep;
+};
+
+/// Distance scored for a capture-rejected probe: the cosine-distance
+/// maximum, i.e. "as far from accepted as a probe can be".
+inline constexpr double kRejectDistance = 2.0;
+
+/// Outcome of scoring one forgery (or genuine probe) against a target.
+struct ProbeOutcome {
+  double distance = kRejectDistance;
+  bool capture_rejected = false;
+};
+
+/// Scores one forgery against a sealed template under `key`:
+/// channel-level payloads are compared directly in transformed space;
+/// signal-level payloads run the full capture pipeline (preprocess ->
+/// extract -> transform). Shared by ScenarioMatrix and bench_security.
+ProbeOutcome score_forgery(const Forgery& forgery, const core::Preprocessor& prep,
+                           core::BiometricExtractor& extractor,
+                           std::span<const float> sealed_template,
+                           const auth::GaussianMatrix& key);
+
+/// Genuine-user row of one scenario column.
+struct GenuineRow {
+  std::string scenario;
+  std::size_t attempts = 0;
+  std::size_t accepted = 0;
+  std::size_t capture_rejected = 0;
+  double vsr = 0.0;  ///< accepted / attempts at the operating threshold
+  std::vector<double> distances;
+};
+
+/// One (attacker x scenario) cell.
+struct CellResult {
+  std::string attacker;
+  std::string scenario;
+  bool rekeyed = false;  ///< scored against a rotated-seed template
+  std::size_t attempts = 0;
+  std::size_t accepted = 0;
+  std::size_t capture_rejected = 0;
+  double vsr = 0.0;  ///< accepted / attempts at the operating threshold
+  double eer = 0.0;  ///< EER of (scenario genuine, this cell's distances)
+  std::vector<double> distances;
+};
+
+struct MatrixResult {
+  double threshold = 0.0;        ///< clean-calibrated operating threshold
+  double calibration_eer = 0.0;  ///< clean genuine-vs-impostor EER
+  std::vector<GenuineRow> genuine;
+  std::vector<CellResult> cells;
+
+  /// Lookup helpers; nullptr when the cell/row does not exist.
+  const CellResult* cell(std::string_view attacker, std::string_view scenario) const;
+  const GenuineRow* genuine_row(std::string_view scenario) const;
+};
+
+class ScenarioMatrix {
+ public:
+  /// The extractor is shared, non-owning, and must outlive run(); its
+  /// embedding_dim fixes the Gaussian key dimension.
+  ScenarioMatrix(MatrixConfig config, core::BiometricExtractor& extractor);
+
+  /// Runs every attacker against every scenario. Populates one CellResult
+  /// per (attacker, scenario) pair and one GenuineRow per scenario — no
+  /// silent skips (the totality test pins cells.size()).
+  MatrixResult run(std::span<Attacker* const> attackers,
+                   std::span<const ScenarioSpec> scenarios);
+
+  const MatrixConfig& config() const { return config_; }
+
+ private:
+  MatrixConfig config_;
+  core::BiometricExtractor& extractor_;
+};
+
+}  // namespace mandipass::attack

@@ -1,0 +1,32 @@
+#include "attack/zero_effort_attacker.h"
+
+#include <utility>
+
+#include "common/error.h"
+#include "vibration/session.h"
+
+namespace mandipass::attack {
+
+ZeroEffortAttacker::ZeroEffortAttacker(std::uint64_t seed,
+                                       vibration::PopulationConfig config)
+    : population_(seed, config),
+      // Distinct stream from the profile draws so adding a forgery never
+      // perturbs the identities of later impostors.
+      session_rng_(seed ^ 0xA77ACC0000000001ULL) {}
+
+std::vector<Forgery> ZeroEffortAttacker::forge(const VictimIntel& intel,
+                                               std::size_t count) {
+  MANDIPASS_EXPECTS(count > 0);
+  std::vector<Forgery> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const vibration::PersonProfile impostor = population_.sample();
+    vibration::SessionRecorder recorder(impostor, session_rng_);
+    Forgery forgery;
+    forgery.recording = recorder.record(intel.session);
+    out.push_back(std::move(forgery));
+  }
+  return out;
+}
+
+}  // namespace mandipass::attack

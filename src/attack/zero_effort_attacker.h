@@ -1,0 +1,30 @@
+// Zero-effort attacker: the population-impostor baseline. It knows
+// nothing about the victim — it simply authenticates as itself, drawn
+// fresh from the population for every forgery, under the scenario's
+// capture conditions. Its VSR at the operating threshold is the
+// empirical FAR, so by construction it must land on the calibration EER
+// when evaluated at the EER threshold (a property test pins this).
+#pragma once
+
+#include <cstdint>
+
+#include "attack/attacker.h"
+#include "common/rng.h"
+#include "vibration/population.h"
+
+namespace mandipass::attack {
+
+class ZeroEffortAttacker final : public Attacker {
+ public:
+  explicit ZeroEffortAttacker(std::uint64_t seed,
+                              vibration::PopulationConfig config = {});
+
+  std::string_view name() const override { return "zero_effort"; }
+  std::vector<Forgery> forge(const VictimIntel& intel, std::size_t count) override;
+
+ private:
+  vibration::PopulationGenerator population_;
+  Rng session_rng_;
+};
+
+}  // namespace mandipass::attack

@@ -13,11 +13,14 @@ namespace mandipass::imu {
 
 namespace {
 
-/// Per-(seed, kind) draw stream so each fault class is independent of the
-/// others and of call order. splitmix-style mixing of the kind index
-/// keeps nearby seeds decorrelated.
-Rng derive_rng(std::uint64_t seed, FaultKind kind) {
-  std::uint64_t z = seed + (static_cast<std::uint64_t>(kind) + 1) * 0x9E3779B97F4A7C15ULL;
+/// Per-(seed, kind, salt) draw stream so each fault class is independent
+/// of the others and of call order, and repeated same-kind injections can
+/// be decorrelated via the salt. splitmix-style mixing keeps nearby seeds
+/// decorrelated; salt 0 reproduces the historical (seed, kind) stream
+/// exactly, so pre-salt fixtures and baselines stay valid.
+Rng derive_rng(std::uint64_t seed, FaultKind kind, std::uint32_t salt) {
+  std::uint64_t z = seed + (static_cast<std::uint64_t>(kind) + 1) * 0x9E3779B97F4A7C15ULL +
+                    static_cast<std::uint64_t>(salt) * 0xD6E8FEB86659FD93ULL;
   z = (z ^ (z >> 30U)) * 0xBF58476D1CE4E5B9ULL;
   z = (z ^ (z >> 27U)) * 0x94D049BB133111EBULL;
   return Rng(z ^ (z >> 31U));
@@ -129,6 +132,25 @@ void bias_drift(RawRecording& rec, double severity, Rng& rng) {
   }
 }
 
+void cross_device_gain(RawRecording& rec, double severity, double full_scale, Rng& rng) {
+  const std::size_t n = rec.sample_count();
+  if (n == 0 || severity <= 0.0) {
+    return;
+  }
+  // Unit-to-unit miscalibration: each axis gets its own multiplicative
+  // gain error (up to ±30% at severity 1 — generous for MEMS, but this is
+  // the uncalibrated-swap worst case) and a constant bias offset (up to
+  // ±400 LSB). Constant over the recording: a different *device*, not a
+  // drift. Results stay clipped to full scale like any real front-end.
+  for (auto& axis : rec.axes) {
+    const double gain = 1.0 + severity * rng.uniform(-0.3, 0.3);
+    const double bias = severity * rng.uniform(-400.0, 400.0);
+    for (double& v : axis) {
+      v = std::clamp(gain * v + bias, -full_scale, full_scale);
+    }
+  }
+}
+
 void jitter_order(RawRecording& rec, double severity, Rng& rng) {
   const std::size_t n = rec.sample_count();
   if (n < 2 || severity <= 0.0) {
@@ -165,6 +187,8 @@ std::string_view fault_kind_name(FaultKind kind) {
       return "bias_drift";
     case FaultKind::TimestampJitter:
       return "timestamp_jitter";
+    case FaultKind::CrossDeviceGain:
+      return "cross_device_gain";
   }
   return "unknown_fault";
 }
@@ -173,7 +197,7 @@ RawRecording FaultInjector::apply(const RawRecording& recording, const FaultSpec
   MANDIPASS_EXPECTS(spec.full_scale_lsb > 0.0);
   const double severity = clamp_severity(spec.severity);
   MANDIPASS_OBS_COUNT("fault.inject.applied");
-  Rng rng = derive_rng(seed_, spec.kind);
+  Rng rng = derive_rng(seed_, spec.kind, spec.salt);
   switch (spec.kind) {
     case FaultKind::SampleDrop:
       return drop_samples(recording, severity, rng);
@@ -204,6 +228,11 @@ RawRecording FaultInjector::apply(const RawRecording& recording, const FaultSpec
       jitter_order(out, severity, rng);
       return out;
     }
+    case FaultKind::CrossDeviceGain: {
+      RawRecording out = recording;
+      cross_device_gain(out, severity, spec.full_scale_lsb, rng);
+      return out;
+    }
   }
   return recording;  // unreachable for valid kinds
 }
@@ -211,8 +240,13 @@ RawRecording FaultInjector::apply(const RawRecording& recording, const FaultSpec
 RawRecording FaultInjector::apply_all(const RawRecording& recording,
                                       std::span<const FaultSpec> specs) const {
   RawRecording out = recording;
-  for (const FaultSpec& spec : specs) {
-    out = apply(out, spec);
+  for (std::size_t k = 0; k < specs.size(); ++k) {
+    // Position-salted so two same-kind specs in one compound draw
+    // independent streams; a single-spec compound (k = 0) still matches
+    // a bare apply() bit-for-bit.
+    FaultSpec step = specs[k];
+    step.salt += static_cast<std::uint32_t>(k);
+    out = apply(out, step);
   }
   return out;
 }

@@ -2,8 +2,10 @@
 //
 // Real earphone IMU streams arrive degraded: Bluetooth HCI backpressure
 // drops and duplicates frames, a failing MEMS die sticks an axis, loud
-// chewing clips the accelerometer, driver bugs surface NaN bursts, and
-// cheap oscillators drift and jitter. FaultInjector reproduces each of
+// chewing clips the accelerometer, driver bugs surface NaN bursts, cheap
+// oscillators drift and jitter, and no two units share a factory
+// calibration (per-axis gain/bias offsets when the user swaps earbuds).
+// FaultInjector reproduces each of
 // these on any RawRecording, deterministically from a seed: the same
 // (seed, spec, recording) always yields the identical faulty stream, so
 // fault-path tests and the bench_faults characterization sweep are exactly
@@ -39,12 +41,13 @@ enum class FaultKind : std::uint8_t {
   NonFiniteBurst,   ///< NaN/Inf burst on one axis
   BiasDrift,        ///< slow per-axis linear bias ramp
   TimestampJitter,  ///< arrival-order perturbation (adjacent swaps)
+  CrossDeviceGain,  ///< per-axis gain/bias miscalibration (another unit)
 };
 
-inline constexpr std::array<FaultKind, 7> kAllFaultKinds{
-    FaultKind::SampleDrop,     FaultKind::SampleDuplicate, FaultKind::StuckAxis,
-    FaultKind::Saturation,     FaultKind::NonFiniteBurst,  FaultKind::BiasDrift,
-    FaultKind::TimestampJitter,
+inline constexpr std::array<FaultKind, 8> kAllFaultKinds{
+    FaultKind::SampleDrop,      FaultKind::SampleDuplicate, FaultKind::StuckAxis,
+    FaultKind::Saturation,      FaultKind::NonFiniteBurst,  FaultKind::BiasDrift,
+    FaultKind::TimestampJitter, FaultKind::CrossDeviceGain,
 };
 
 /// Stable snake_case name, e.g. "sample_drop".
@@ -52,12 +55,15 @@ std::string_view fault_kind_name(FaultKind kind);
 
 /// One fault to inject. `severity` in [0, 1] scales the fault's knob
 /// (drop probability, stuck-span fraction, burst length, drift magnitude,
-/// swap probability, clip drive); severity 0 is the identity for every
-/// kind.
+/// swap probability, clip drive, gain/bias spread); severity 0 is the
+/// identity for every kind. `salt` decorrelates repeated injections of
+/// the same kind under one injector (e.g. per-probe nuisance draws in the
+/// attack scenario matrix); salt 0 reproduces the historical stream.
 struct FaultSpec {
   FaultKind kind = FaultKind::SampleDrop;
   double severity = 0.1;
   double full_scale_lsb = 32767.0;  ///< clip level for Saturation
+  std::uint32_t salt = 0;           ///< extra draw-stream discriminator
 };
 
 class FaultInjector {
@@ -65,11 +71,14 @@ class FaultInjector {
   explicit FaultInjector(std::uint64_t seed) : seed_(seed) {}
 
   /// Returns a faulty copy of `recording`. Deterministic: the draw stream
-  /// is derived from (seed, spec.kind) per call, so repeated calls with
-  /// equal arguments are bit-identical.
+  /// is derived from (seed, spec.kind, spec.salt) per call, so repeated
+  /// calls with equal arguments are bit-identical.
   RawRecording apply(const RawRecording& recording, const FaultSpec& spec) const;
 
-  /// Applies several faults in order (compound degradation).
+  /// Applies several faults in order (compound degradation). Step k runs
+  /// with an effective salt of `spec.salt + k`, so two same-kind specs in
+  /// one compound do not replay the identical draw stream (a single-spec
+  /// compound still matches a bare apply() exactly).
   RawRecording apply_all(const RawRecording& recording, std::span<const FaultSpec> specs) const;
 
   std::uint64_t seed() const { return seed_; }

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "common/rng.h"
 #include "vibration/population.h"
@@ -184,8 +185,118 @@ TEST_F(FaultInjectorTest, ApplyAllComposesInOrder) {
   const FaultInjector injector(11);
   const FaultSpec specs[] = {{FaultKind::SampleDrop, 0.3}, {FaultKind::BiasDrift, 0.8}};
   const auto composed = injector.apply_all(rec, specs);
-  const auto manual = injector.apply(injector.apply(rec, specs[0]), specs[1]);
+  // apply_all salts step k with spec.salt + k, so the manual equivalent
+  // of the second step carries salt 1.
+  FaultSpec second = specs[1];
+  second.salt = 1;
+  const auto manual = injector.apply(injector.apply(rec, specs[0]), second);
   EXPECT_TRUE(recordings_equal(composed, manual));
+}
+
+TEST_F(FaultInjectorTest, SingleSpecCompoundMatchesBareApply) {
+  const auto rec = record_one();
+  const FaultInjector injector(11);
+  const FaultSpec spec{FaultKind::StuckAxis, 0.4};
+  const FaultSpec specs[] = {spec};
+  EXPECT_TRUE(recordings_equal(injector.apply_all(rec, specs), injector.apply(rec, spec)));
+}
+
+TEST_F(FaultInjectorTest, RepeatedSameKindSpecsDrawDistinctStreams) {
+  const auto rec = record_one();
+  const FaultInjector injector(11);
+  // Before per-position salting, both StuckAxis steps replayed the same
+  // (seed, kind) stream: same axis, same span, so the compound was
+  // indistinguishable from a single injection. The salted steps must
+  // pick independently.
+  const FaultSpec spec{FaultKind::StuckAxis, 0.3};
+  const FaultSpec twice[] = {spec, spec};
+  const auto composed = injector.apply_all(rec, twice);
+  const auto replayed = injector.apply(injector.apply(rec, spec), spec);
+  EXPECT_FALSE(recordings_equal(composed, replayed));
+}
+
+TEST_F(FaultInjectorTest, SaltDecorrelatesEqualSpecs) {
+  const auto rec = record_one();
+  const FaultInjector injector(21);
+  FaultSpec a{FaultKind::NonFiniteBurst, 0.5};
+  FaultSpec b = a;
+  b.salt = 1;
+  EXPECT_FALSE(recordings_equal(injector.apply(rec, a), injector.apply(rec, b)));
+  // Equal salts reproduce exactly.
+  EXPECT_TRUE(recordings_equal(injector.apply(rec, b), injector.apply(rec, b)));
+}
+
+TEST_F(FaultInjectorTest, CrossDeviceGainIsPerAxisAffine) {
+  const auto rec = record_one();
+  const FaultInjector injector(31);
+  // Huge full scale: no clipping, so the transform must be exactly
+  // v -> gain * v + bias per axis.
+  const auto faulty = injector.apply(rec, {FaultKind::CrossDeviceGain, 1.0, 1e12});
+  ASSERT_EQ(faulty.sample_count(), rec.sample_count());
+  std::vector<double> gains;
+  for (std::size_t a = 0; a < kAxisCount; ++a) {
+    // Solve gain/bias from two samples with distinct values, then check
+    // every sample against the affine model.
+    const auto& in = rec.axes[a];
+    const auto& out = faulty.axes[a];
+    std::size_t j = 1;
+    while (j < in.size() && in[j] == in[0]) ++j;
+    ASSERT_LT(j, in.size()) << "axis " << a << " constant; test needs motion";
+    const double gain = (out[j] - out[0]) / (in[j] - in[0]);
+    const double bias = out[0] - gain * in[0];
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      ASSERT_NEAR(out[i], gain * in[i] + bias, 1e-6) << "axis " << a;
+    }
+    // Severity-1 bounds: gain in [0.7, 1.3], bias in [-400, 400].
+    EXPECT_GE(gain, 0.7);
+    EXPECT_LE(gain, 1.3);
+    EXPECT_GE(bias, -400.0);
+    EXPECT_LE(bias, 400.0);
+    gains.push_back(gain);
+  }
+  // Axes must be miscalibrated independently, not by one shared factor.
+  std::sort(gains.begin(), gains.end());
+  EXPECT_GT(gains.back() - gains.front(), 1e-3);
+}
+
+TEST_F(FaultInjectorTest, CrossDeviceGainSeedStableAndClipped) {
+  const auto rec = record_one();
+  const FaultInjector a(77);
+  const FaultInjector b(77);
+  const FaultInjector c(78);
+  const FaultSpec spec{FaultKind::CrossDeviceGain, 0.8};
+  EXPECT_TRUE(recordings_equal(a.apply(rec, spec), b.apply(rec, spec)));
+  EXPECT_FALSE(recordings_equal(a.apply(rec, spec), c.apply(rec, spec)));
+  // Output respects the configured full scale even when gain/bias push
+  // samples past it.
+  const double full_scale = 500.0;
+  const auto clipped = a.apply(rec, {FaultKind::CrossDeviceGain, 1.0, full_scale});
+  for (const auto& axis : clipped.axes) {
+    for (double v : axis) {
+      ASSERT_LE(std::abs(v), full_scale);
+    }
+  }
+}
+
+TEST_F(FaultInjectorTest, SaturationSeverityScalesPinnedFraction) {
+  const auto rec = record_one();
+  const FaultInjector injector(5);
+  const double full_scale = 1000.0;
+  const auto count_pinned = [&](double severity) {
+    const auto clipped = injector.apply(rec, {FaultKind::Saturation, severity, full_scale});
+    std::size_t pinned = 0;
+    for (const auto& axis : clipped.axes) {
+      for (double v : axis) pinned += std::abs(v) == full_scale ? 1 : 0;
+    }
+    return pinned;
+  };
+  // More drive, more clipping — and the injection is draw-free, so two
+  // injectors agree regardless of seed.
+  EXPECT_LE(count_pinned(0.3), count_pinned(1.0));
+  const FaultInjector other(999);
+  EXPECT_TRUE(recordings_equal(
+      injector.apply(rec, {FaultKind::Saturation, 0.6, full_scale}),
+      other.apply(rec, {FaultKind::Saturation, 0.6, full_scale})));
 }
 
 }  // namespace

@@ -1,0 +1,175 @@
+// Attack-subsystem properties (DESIGN.md §16):
+//   1. more observation helps the mimic — forged-probe distance does not
+//      get worse as the observation budget N grows;
+//   2. at the EER threshold, the zero-effort attacker's success rate IS
+//      the FAR, and both sit at the calibrated EER — the attacker is
+//      accounted with exactly the same arithmetic as auth::far_at;
+//   3. the whole scenario matrix is thread-count invariant bit-for-bit.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "attack/mimicry_attacker.h"
+#include "attack/replay_attacker.h"
+#include "attack/scenario.h"
+#include "attack/scenario_matrix.h"
+#include "attack/zero_effort_attacker.h"
+#include "auth/gaussian_matrix.h"
+#include "auth/metrics.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "core/extractor.h"
+#include "core/preprocessor.h"
+#include "core/signal_array.h"
+#include "vibration/population.h"
+#include "vibration/session.h"
+
+namespace mandipass::attack {
+namespace {
+
+core::BiometricExtractor small_extractor() {
+  core::ExtractorConfig cfg;
+  cfg.embedding_dim = 32;
+  cfg.channels = {4, 6, 8};
+  return core::BiometricExtractor(cfg);
+}
+
+MatrixConfig small_config() {
+  MatrixConfig cfg;
+  cfg.victims = 3;
+  cfg.enroll_sessions = 2;
+  cfg.observed_sessions = 4;
+  cfg.genuine_probes = 3;
+  cfg.attack_probes = 4;
+  return cfg;
+}
+
+/// Mean forged-probe distance to one fixed victim's sealed template for a
+/// mimic granted `observations` tape entries. Everything is seeded, so
+/// this is a pure function of N.
+double mimicry_mean_distance(std::size_t observations) {
+  auto extractor = small_extractor();
+  const core::Preprocessor prep;
+
+  vibration::PopulationGenerator pop(2024);
+  vibration::PersonProfile victim = pop.sample();
+  Rng rng(5150);
+  vibration::SessionRecorder recorder(victim, rng);
+  const vibration::SessionConfig session{};
+
+  std::vector<double> mean(32, 0.0);
+  std::size_t enrolled = 0;
+  for (const auto& rec : recorder.record_many(session, 4)) {
+    const auto processed = prep.try_process(rec);
+    if (!processed.ok()) continue;
+    const auto print = extractor.extract(core::build_gradient_array(processed.value()));
+    for (std::size_t i = 0; i < mean.size(); ++i) mean[i] += static_cast<double>(print[i]);
+    ++enrolled;
+  }
+  EXPECT_GT(enrolled, 0u);
+  std::vector<float> template_print(mean.size());
+  for (std::size_t i = 0; i < mean.size(); ++i) {
+    template_print[i] = static_cast<float>(mean[i] / static_cast<double>(enrolled));
+  }
+  const auth::GaussianMatrix key(909, template_print.size());
+  const std::vector<float> sealed = key.transform(template_print);
+
+  VictimIntel intel;
+  intel.session = session;
+  intel.observed = recorder.record_many(session, 8);
+  intel.heard_f0_hz = victim.f0_hz;
+  intel.heard_loudness = 0.5 * (victim.force_pos_n + victim.force_neg_n);
+
+  MimicryAttacker attacker(7, {.observations = observations});
+  double total = 0.0;
+  std::size_t scored = 0;
+  for (const Forgery& f : attacker.forge(intel, 16)) {
+    const ProbeOutcome outcome = score_forgery(f, prep, extractor, sealed, key);
+    if (outcome.capture_rejected) continue;  // count only what reached matching
+    total += outcome.distance;
+    ++scored;
+  }
+  EXPECT_GT(scored, 8u);  // a mimic's own sessions are valid captures
+  return total / static_cast<double>(scored);
+}
+
+TEST(AttackProperties, MimicryObservationBudgetMonotone) {
+  // VSR(N) non-decreasing <=> forged distance non-increasing in N. The
+  // mean over 16 seeded forgeries must not get worse as the tape grows,
+  // up to a small per-step slack for fit jitter; the endpoints must
+  // improve outright.
+  const std::vector<std::size_t> budgets{1, 2, 4, 8};
+  std::vector<double> means;
+  for (std::size_t n : budgets) means.push_back(mimicry_mean_distance(n));
+  for (std::size_t i = 1; i < means.size(); ++i) {
+    EXPECT_LE(means[i], means[i - 1] + 0.05)
+        << "N=" << budgets[i] << " worse than N=" << budgets[i - 1];
+  }
+  EXPECT_LE(means.back(), means.front() + 1e-12);
+}
+
+TEST(AttackProperties, ZeroEffortVsrIsFarAndSitsAtEer) {
+  auto extractor = small_extractor();
+  ScenarioMatrix matrix(small_config(), extractor);
+  ZeroEffortAttacker zero(11);
+  std::vector<Attacker*> attackers{&zero};
+  const auto scenarios = default_scenarios();
+  const MatrixResult result = matrix.run(attackers, scenarios);
+
+  const GenuineRow* row = result.genuine_row("clean");
+  const CellResult* cell = result.cell("zero_effort", "clean");
+  ASSERT_NE(row, nullptr);
+  ASSERT_NE(cell, nullptr);
+
+  // The cell's EER is exactly compute_eer over (genuine row, cell).
+  const auth::EerResult eer = auth::compute_eer(row->distances, cell->distances);
+  EXPECT_EQ(cell->eer, eer.eer);
+
+  // At the EER threshold, the attacker's acceptance rate is far_at by
+  // construction, and both equal the EER up to the resolution of the
+  // finite distance sets (1/n per set).
+  const double far = auth::far_at(cell->distances, eer.threshold);
+  std::size_t accepted = 0;
+  for (double d : cell->distances) {
+    if (d <= eer.threshold) ++accepted;
+  }
+  EXPECT_EQ(far, static_cast<double>(accepted) / static_cast<double>(cell->distances.size()));
+  const double resolution = 1.0 / static_cast<double>(cell->distances.size()) +
+                            1.0 / static_cast<double>(row->distances.size());
+  EXPECT_NEAR(far, eer.eer, resolution);
+  EXPECT_NEAR(auth::frr_at(row->distances, eer.threshold), eer.eer, resolution);
+}
+
+TEST(AttackProperties, MatrixIsThreadCountInvariant) {
+  const auto scenarios = default_scenarios();
+  auto run_with_threads = [&](std::size_t threads) {
+    common::ThreadPool::set_global_threads(threads);
+    auto extractor = small_extractor();
+    ScenarioMatrix matrix(small_config(), extractor);
+    ZeroEffortAttacker zero(11);
+    MimicryAttacker mimicry(12, {.observations = 2});
+    ReplayAttacker replay;
+    std::vector<Attacker*> attackers{&zero, &mimicry, &replay};
+    return matrix.run(attackers, scenarios);
+  };
+  const MatrixResult one = run_with_threads(1);
+  const MatrixResult four = run_with_threads(4);
+  common::ThreadPool::set_global_threads(0);  // restore default sizing
+
+  EXPECT_EQ(one.threshold, four.threshold);
+  EXPECT_EQ(one.calibration_eer, four.calibration_eer);
+  ASSERT_EQ(one.cells.size(), four.cells.size());
+  for (std::size_t i = 0; i < one.cells.size(); ++i) {
+    EXPECT_EQ(one.cells[i].distances, four.cells[i].distances);  // bit-exact
+    EXPECT_EQ(one.cells[i].accepted, four.cells[i].accepted);
+  }
+  ASSERT_EQ(one.genuine.size(), four.genuine.size());
+  for (std::size_t i = 0; i < one.genuine.size(); ++i) {
+    EXPECT_EQ(one.genuine[i].distances, four.genuine[i].distances);
+  }
+}
+
+}  // namespace
+}  // namespace mandipass::attack
