@@ -65,6 +65,13 @@ build/tools/bench_compare --skip-latency \
 MANDIPASS_BENCH_QUICK=1 build/bench/bench_attacks --json build/BENCH_bench_attacks.json
 build/tools/bench_compare --skip-latency \
   bench/baselines/bench_attacks.quick.json build/BENCH_bench_attacks.json
+# bench_chaos drives the resilient engine through scripted fault storms on
+# fixed request tapes with a virtual clock, so shed/expired/degraded
+# counters and the resilience exit verdicts gate exactly; wall-clock
+# latency gauges are not compared.
+MANDIPASS_BENCH_QUICK=1 build/bench/bench_chaos --json build/BENCH_bench_chaos.json
+build/tools/bench_compare --skip-latency \
+  bench/baselines/bench_chaos.quick.json build/BENCH_bench_chaos.json
 
 if [ "$FAST" -eq 0 ]; then
   step "ASan+UBSan build + ctest"

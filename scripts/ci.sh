@@ -55,7 +55,12 @@ job_bench_smoke() {
       --json build/BENCH_bench_attacks.json &&
     build/tools/bench_compare --skip-latency \
       bench/baselines/bench_attacks.quick.json \
-      build/BENCH_bench_attacks.json
+      build/BENCH_bench_attacks.json &&
+    MANDIPASS_BENCH_QUICK=1 build/bench/bench_chaos \
+      --json build/BENCH_bench_chaos.json &&
+    build/tools/bench_compare --skip-latency \
+      bench/baselines/bench_chaos.quick.json \
+      build/BENCH_bench_chaos.json
 }
 
 job_no_obs() {
@@ -79,11 +84,24 @@ job_sanitize() {
     ctest --preset tsan -j "$JOBS"
 }
 
+# Chaos storm under ASan+UBSan: the asan preset builds without benches,
+# so re-enable just bench_chaos and gate on its resilience exit verdicts
+# (no crash, bounded shed, bounded p99, full recovery). No baseline
+# compare here — the default-preset bench-smoke job already gates the
+# counters exactly; this job exists to prove the overload/degraded/
+# recovery paths are memory-clean while faults are firing.
+job_chaos_asan() {
+  cmake --preset asan -DMANDIPASS_BUILD_BENCH=ON >/dev/null &&
+    cmake --build --preset asan -j "$JOBS" --target bench_chaos &&
+    build-asan/bench/bench_chaos --quick
+}
+
 run_job "build-werror"  job_build_werror
 run_job "bench-smoke"   job_bench_smoke
 run_job "no-obs"        job_no_obs
 run_job "fault"         job_fault
 run_job "sanitize"      job_sanitize
+run_job "chaos-asan"    job_chaos_asan
 run_job "clang-tidy"    scripts/run_tidy.sh
 run_job "tsafety"       scripts/tsafety.sh
 run_job "mandilint"     scripts/lint.sh
@@ -91,7 +109,7 @@ run_job "mandilint"     scripts/lint.sh
 echo
 echo "==== ci summary ===="
 FAIL=0
-for name in build-werror bench-smoke no-obs fault sanitize clang-tidy tsafety mandilint; do
+for name in build-werror bench-smoke no-obs fault sanitize chaos-asan clang-tidy tsafety mandilint; do
   echo "  $name: ${STATUS[$name]}"
   [ "${STATUS[$name]}" = ok ] || FAIL=1
 done

@@ -83,6 +83,10 @@ const char* batch_status_name(BatchStatus status) {
       return "unknown";
     case BatchStatus::Invalid:
       return "invalid";
+    case BatchStatus::Expired:
+      return "expired";
+    case BatchStatus::Shed:
+      return "shed";
   }
   return "?";
 }
@@ -159,12 +163,39 @@ BatchDecision BatchVerifier::verify_one(const std::string& user,
   return out;
 }
 
+namespace {
+
+/// Writes the typed deadline-expired decision for one request slot.
+/// Expired requests report known=false regardless of enrolment: the
+/// service never looked at the store, and saying so is more honest than
+/// a half-answered lookup.
+void mark_expired(BatchDecision& out) {
+  MANDIPASS_OBS_COUNT("auth.batch.verify_expired");
+  out = BatchDecision{};
+  out.status = BatchStatus::Expired;
+  out.reason = common::make_error(common::ErrorCode::DeadlineExceeded,
+                                  "request budget exhausted before verification")
+                   .code;
+}
+
+}  // namespace
+
 CoalesceStats BatchVerifier::verify_coalesced(std::span<const VerifyRequest> requests,
                                               std::span<const std::size_t> indices,
-                                              std::span<BatchDecision> decisions) const {
+                                              std::span<BatchDecision> decisions,
+                                              const common::Deadline& deadline) const {
   MANDIPASS_EXPECTS(decisions.size() == requests.size());
   CoalesceStats cs;
   if (indices.empty()) {
+    return cs;
+  }
+  // Deadline gate on entry: a batch whose budget is already gone gets
+  // typed Expired decisions before any lock or GEMM is touched.
+  if (deadline.expired()) {
+    for (const std::size_t i : indices) {
+      MANDIPASS_OBS_COUNT("auth.batch.verify_total");
+      mark_expired(decisions[i]);
+    }
     return cs;
   }
   // Phase 1 — totality gates, identical to verify_one: malformed probes
@@ -249,24 +280,61 @@ CoalesceStats BatchVerifier::verify_coalesced(std::span<const VerifyRequest> req
   const Verifier v(threshold);
   std::vector<float> xs;
   std::vector<float> transformed;
+  std::vector<std::size_t> live;
+  bool budget_gone = false;
   for (const auto& [key, members] : groups) {
     const auto& [seed, dim] = key;
+    // Re-check the budget before each group's transform: once it dies
+    // mid-batch, the remaining groups' members expire instead of burning
+    // GEMM cycles on answers nobody will read.
+    if (!budget_gone && deadline.expired()) {
+      budget_gone = true;
+    }
+    if (budget_gone) {
+      for (const std::size_t k : members) {
+        mark_expired(decisions[valid[k]]);
+      }
+      continue;
+    }
+    const auto g = cache_->get(seed, dim);
+    // Per-member dimension guard: totality here must not depend on the
+    // grouping key happening to carry the probe dimension. A member whose
+    // probe cannot ride this group's tile gets its own typed Invalid
+    // decision instead of the whole group dying on transform_batch's
+    // precondition.
+    live.clear();
+    for (const std::size_t k : members) {
+      const std::size_t i = valid[k];
+      if (requests[i].raw_probe.size() == g->dim()) {
+        live.push_back(k);
+        continue;
+      }
+      MANDIPASS_OBS_COUNT("auth.batch.verify_invalid");
+      BatchDecision& out = decisions[i];
+      out.status = BatchStatus::Invalid;
+      out.reason = common::make_error(
+                       common::ErrorCode::DimensionMismatch,
+                       "probe/matrix dimension mismatch for user '" + requests[i].user + "'")
+                       .code;
+    }
+    if (live.empty()) {
+      continue;
+    }
     cs.groups += 1;
-    if (members.size() >= 2) {
-      cs.coalesced += members.size();
+    if (live.size() >= 2) {
+      cs.coalesced += live.size();
     } else {
       cs.singletons += 1;
     }
-    const auto g = cache_->get(seed, dim);
-    xs.resize(members.size() * dim);
-    transformed.resize(members.size() * dim);
-    for (std::size_t m = 0; m < members.size(); ++m) {
-      const auto& probe = requests[valid[members[m]]].raw_probe;
+    xs.resize(live.size() * dim);
+    transformed.resize(live.size() * dim);
+    for (std::size_t m = 0; m < live.size(); ++m) {
+      const auto& probe = requests[valid[live[m]]].raw_probe;
       std::copy(probe.begin(), probe.end(), xs.begin() + static_cast<std::ptrdiff_t>(m * dim));
     }
-    g->transform_batch(xs, members.size(), transformed);
-    for (std::size_t m = 0; m < members.size(); ++m) {
-      const std::size_t k = members[m];
+    g->transform_batch(xs, live.size(), transformed);
+    for (std::size_t m = 0; m < live.size(); ++m) {
+      const std::size_t k = live[m];
       BatchDecision& out = decisions[valid[k]];
       out.known = true;
       out.key_version = snaps[k]->key_version;
@@ -315,6 +383,9 @@ BatchResult BatchVerifier::verify_batch(std::span<const VerifyRequest> requests,
     s.accepted += (d.known && d.decision.accepted) ? 1 : 0;
     s.unknown += d.status == BatchStatus::Unknown ? 1 : 0;
     s.invalid += d.status == BatchStatus::Invalid ? 1 : 0;
+    s.expired += d.status == BatchStatus::Expired ? 1 : 0;
+    s.shed += d.status == BatchStatus::Shed ? 1 : 0;
+    s.degraded += d.degraded ? 1 : 0;
     sum_ms += request_ms[i];
     s.max_request_ms = std::max(s.max_request_ms, request_ms[i]);
   }
@@ -335,6 +406,12 @@ void BatchVerifier::save(std::ostream& os) const {
 void BatchVerifier::load(std::istream& is) {
   WriterLock lock(mutex_);
   store_.load(is);
+}
+
+common::Result<void> BatchVerifier::save_file(const std::string& path, int max_retries,
+                                              const resilience::BackoffPolicy& backoff) const {
+  WriterLock lock(mutex_);
+  return store_.save_file(path, max_retries, backoff);
 }
 
 }  // namespace mandipass::auth

@@ -25,8 +25,10 @@
 
 #include "auth/gaussian_matrix.h"
 #include "auth/matrix_cache.h"
+#include "auth/resilience/backoff.h"
 #include "auth/template_store.h"
 #include "auth/verifier.h"
+#include "common/deadline.h"
 #include "common/mutex.h"
 #include "common/result.h"
 #include "common/thread_annotations.h"
@@ -50,6 +52,8 @@ enum class BatchStatus : std::uint8_t {
   Rejected,  ///< enrolled user, distance beyond threshold
   Unknown,   ///< no enrolment for this user id
   Invalid,   ///< request malformed (empty / non-finite / wrong-dim probe)
+  Expired,   ///< deadline passed before verification ran (DeadlineExceeded)
+  Shed,      ///< load-shed before verification ran (Overloaded)
 };
 
 const char* batch_status_name(BatchStatus status);
@@ -60,9 +64,16 @@ struct BatchDecision {
   Decision decision;             ///< valid only when known
   std::uint32_t key_version = 0; ///< template generation the decision used
   BatchStatus status = BatchStatus::Unknown;
-  /// Structured reject reason; meaningful for Unknown (UnknownUser) and
-  /// Invalid (InvalidInput / NonFiniteSample / DimensionMismatch).
+  /// Structured reject reason; meaningful for Unknown (UnknownUser),
+  /// Invalid (InvalidInput / NonFiniteSample / DimensionMismatch),
+  /// Expired (DeadlineExceeded) and Shed (Overloaded).
   common::ErrorCode reason = common::ErrorCode::UnknownUser;
+  /// True when the decision was served in degraded mode (circuit open:
+  /// cached-matrix-only verification, DESIGN.md §17). The accept/reject
+  /// outcome is still exact — same matrix, same distance — but callers
+  /// that require a fully healthy service can route on this bit instead
+  /// of getting a silently indistinguishable answer.
+  bool degraded = false;
 };
 
 /// Aggregate latency / throughput statistics of one verify_batch call.
@@ -72,6 +83,9 @@ struct BatchStats {
   std::size_t accepted = 0;
   std::size_t unknown = 0;         ///< ids with no enrolment
   std::size_t invalid = 0;         ///< malformed requests (typed reject)
+  std::size_t expired = 0;         ///< deadline-expired before service
+  std::size_t shed = 0;            ///< load-shed at admission
+  std::size_t degraded = 0;        ///< served in degraded (circuit-open) mode
   double wall_ms = 0.0;            ///< batch wall-clock time
   double mean_request_ms = 0.0;    ///< mean per-request service time
   double max_request_ms = 0.0;     ///< worst per-request service time
@@ -144,9 +158,17 @@ class BatchVerifier {
   /// to the same snapshotted template — and land at their request's own
   /// index, so the caller's ordering can never invert. Totality matches
   /// verify_one: malformed probes and unknown ids become typed decisions.
+  ///
+  /// `deadline` bounds the call: if it is already expired on entry every
+  /// indexed request short-circuits to an Expired decision before any
+  /// lock or GEMM, and it is re-checked before each group's transform so
+  /// a budget that dies mid-batch stops burning cycles on answers nobody
+  /// will read. The default deadline is unlimited and costs one null
+  /// check (bench_overhead's <2% gate covers this path).
   CoalesceStats verify_coalesced(std::span<const VerifyRequest> requests,
                                  std::span<const std::size_t> indices,
-                                 std::span<BatchDecision> decisions) const
+                                 std::span<BatchDecision> decisions,
+                                 const common::Deadline& deadline = {}) const
       MANDIPASS_EXCLUDES(mutex_);
 
   double threshold() const MANDIPASS_EXCLUDES(mutex_);
@@ -156,6 +178,18 @@ class BatchVerifier {
   /// consistent image); mirrors TemplateStore persistence.
   void save(std::ostream& os) const MANDIPASS_EXCLUDES(mutex_);
   void load(std::istream& is) MANDIPASS_EXCLUDES(mutex_);
+
+  /// Crash-safe persistence of the whole store to `path` (TemplateStore
+  /// atomic save + .bak rotation) with transient-I/O retry under the
+  /// deterministic backoff policy. The exclusive lock is held for the
+  /// duration, matching save()'s consistent-image contract; retries
+  /// sleep through resilience::retry_sleep_us, which tests and the chaos
+  /// bench replace with a capturing hook, so the hold time under
+  /// injected faults is virtual. This is the probe the resilience
+  /// layer's circuit breaker drives (DESIGN.md §17).
+  common::Result<void> save_file(const std::string& path, int max_retries = 3,
+                                 const resilience::BackoffPolicy& backoff = {}) const
+      MANDIPASS_EXCLUDES(mutex_);
 
  private:
   /// Shared-lock snapshot helpers: the caller must already hold mutex_

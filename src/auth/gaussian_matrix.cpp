@@ -3,6 +3,7 @@
 #include <cmath>
 #include <span>
 
+#include "common/crc32.h"
 #include "common/error.h"
 #include "common/rng.h"
 
@@ -36,6 +37,11 @@ void GaussianMatrix::transform_batch(std::span<const float> xs, std::size_t coun
   // x-major store: probe i's transformed vector is contiguous at
   // out[i * dim], ready to hand to cosine_distance as a span.
   gemm_.run_xmajor(xs.data(), count, dim_, out.data(), dim_, nn::Epilogue::None);
+}
+
+std::uint32_t GaussianMatrix::checksum() const {
+  const std::vector<float>& w = gemm_.packed_weights();
+  return common::crc32(w.data(), w.size() * sizeof(float));
 }
 
 }  // namespace mandipass::auth

@@ -53,6 +53,11 @@ class GaussianMatrix {
   std::size_t dim() const { return dim_; }
   std::uint64_t seed() const { return seed_; }
 
+  /// CRC32 of the packed kernel bytes — the buffer transform() actually
+  /// reads. MatrixCache records this at insert and re-verifies on lookup
+  /// to detect in-memory poisoning of a shared cached matrix.
+  std::uint32_t checksum() const;
+
   /// Storage footprint of a transformed template in bytes (Section VII-E
   /// reports ~1.8 KB for a float 512-vector minus bookkeeping).
   static std::size_t template_bytes(std::size_t dim) { return dim * sizeof(float); }

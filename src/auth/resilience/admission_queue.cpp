@@ -1,0 +1,34 @@
+#include "auth/resilience/admission_queue.h"
+
+#include "common/error.h"
+
+namespace mandipass::auth::resilience {
+
+using common::MutexLock;
+
+AdmissionQueue::AdmissionQueue(std::size_t capacity) : capacity_(capacity) {
+  MANDIPASS_EXPECTS(capacity >= 1);
+}
+
+bool AdmissionQueue::try_push(std::size_t index) {
+  MutexLock lock(mutex_);
+  if (queue_.size() >= capacity_) {
+    return false;
+  }
+  queue_.push_back(index);
+  return true;
+}
+
+std::vector<std::size_t> AdmissionQueue::drain() {
+  MutexLock lock(mutex_);
+  std::vector<std::size_t> out(queue_.begin(), queue_.end());
+  queue_.clear();
+  return out;
+}
+
+std::size_t AdmissionQueue::size() const {
+  MutexLock lock(mutex_);
+  return queue_.size();
+}
+
+}  // namespace mandipass::auth::resilience

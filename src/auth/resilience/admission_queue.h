@@ -1,0 +1,49 @@
+// Bounded per-shard admission queue (DESIGN.md §17).
+//
+// Backpressure needs an explicit bound: without one, an overload storm
+// queues work without limit and every request's latency grows until the
+// process dies — the slow-collapse mode this PR exists to remove. The
+// queue holds *request indices* (the requests themselves stay in the
+// caller's span; nothing is copied) and rejects the newest arrival when
+// full. Reject-newest is the right shedding policy for interactive
+// authentication: requests already admitted are closest to their
+// deadline and have the most sunk cost, so the marginal arrival is the
+// cheapest to turn away — and it makes shed counts a pure function of
+// arrival order, which is what lets bench_chaos gate them exactly.
+//
+// Concurrency: Mutex-guarded; the resilience layer's admission phase is
+// serial by design (determinism), but drains happen on pool workers.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace mandipass::auth::resilience {
+
+class AdmissionQueue {
+ public:
+  explicit AdmissionQueue(std::size_t capacity);
+
+  /// Admits `index`, or returns false when the queue is at capacity
+  /// (reject-newest load shedding — the caller emits the typed
+  /// Overloaded decision).
+  bool try_push(std::size_t index) MANDIPASS_EXCLUDES(mutex_);
+
+  /// Removes and returns all queued indices in admission (FIFO) order.
+  std::vector<std::size_t> drain() MANDIPASS_EXCLUDES(mutex_);
+
+  std::size_t size() const MANDIPASS_EXCLUDES(mutex_);
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable common::Mutex mutex_;
+  // bounded-by: capacity_, enforced in try_push (mandilint no-unbounded-queue)
+  std::deque<std::size_t> queue_ MANDIPASS_GUARDED_BY(mutex_);
+};
+
+}  // namespace mandipass::auth::resilience

@@ -1,0 +1,48 @@
+#include "auth/resilience/backoff.h"
+
+#include <chrono>
+#include <thread>
+
+#include "common/error.h"
+
+namespace mandipass::auth::resilience {
+
+std::int64_t BackoffPolicy::delay_us(int attempt) const {
+  MANDIPASS_EXPECTS(attempt >= 0 && base_us > 0 && max_us >= base_us && multiplier >= 1.0);
+  // Iterated integer multiply instead of pow(): bit-exact on every
+  // platform, and the clamp bounds the loop long before overflow.
+  std::int64_t delay = base_us;
+  for (int i = 0; i < attempt; ++i) {
+    if (delay >= max_us) {
+      return max_us;
+    }
+    delay = static_cast<std::int64_t>(static_cast<double>(delay) * multiplier);
+  }
+  return delay < max_us ? delay : max_us;
+}
+
+namespace {
+
+void real_sleep(std::int64_t delay_us) {
+  std::this_thread::sleep_for(std::chrono::microseconds(delay_us));
+}
+
+// Test hook, mutated only from single-threaded setup code (same contract
+// as common::arm_io_fault) — not guarded.
+SleepFn g_sleep_fn = &real_sleep;
+
+}  // namespace
+
+SleepFn set_retry_sleep_fn(SleepFn fn) {
+  const SleepFn previous = g_sleep_fn;
+  g_sleep_fn = fn != nullptr ? fn : &real_sleep;
+  return previous;
+}
+
+void retry_sleep_us(std::int64_t delay_us) {
+  if (delay_us > 0) {
+    g_sleep_fn(delay_us);
+  }
+}
+
+}  // namespace mandipass::auth::resilience

@@ -1,0 +1,47 @@
+// Deterministic retry backoff (DESIGN.md §17).
+//
+// Retries against a faulting dependency need spacing, but this codebase's
+// testing discipline (PR 4's fault injection, PR 7's storm exactness)
+// requires every resilience behaviour to be reproducible bit-for-bit:
+// the chaos bench gates retry *counters* exactly against a committed
+// baseline. So the policy is pure arithmetic — exponential growth with a
+// clamp, no jitter — and the delay sequence for a given config is a
+// constant of the program. (A multi-client production deployment would
+// add jitter to avoid retry synchronisation; a single service process
+// retrying its own local store does not have that collision problem, and
+// determinism is worth more here. The tradeoff is recorded in DESIGN.md
+// §17's determinism rules.)
+//
+// The actual sleeping goes through a process-global replaceable hook so
+// tests and the chaos harness capture the exact delay sequence (and run
+// at full speed) instead of blocking a writer lock for real
+// milliseconds. Like common::arm_io_fault, the hook is test
+// infrastructure: install/reset it from single-threaded setup code only.
+#pragma once
+
+#include <cstdint>
+
+namespace mandipass::auth::resilience {
+
+/// Exponential backoff schedule: delay_us(a) = base_us * multiplier^a,
+/// clamped to max_us. All fields must be positive; multiplier >= 1.
+struct BackoffPolicy {
+  std::int64_t base_us = 1000;
+  double multiplier = 2.0;
+  std::int64_t max_us = 64000;
+
+  /// Delay before retry `attempt` (0-based: the wait after the first
+  /// failure is delay_us(0) == base_us). Deterministic — no jitter.
+  std::int64_t delay_us(int attempt) const;
+};
+
+/// Sleep hook used by retry loops. nullptr restores the real
+/// std::this_thread::sleep_for sleeper. Returns the previous hook so
+/// tests can restore it (RAII-style) on teardown.
+using SleepFn = void (*)(std::int64_t delay_us);
+SleepFn set_retry_sleep_fn(SleepFn fn);
+
+/// Sleeps `delay_us` microseconds through the installed hook.
+void retry_sleep_us(std::int64_t delay_us);
+
+}  // namespace mandipass::auth::resilience

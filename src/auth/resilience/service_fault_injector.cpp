@@ -1,0 +1,50 @@
+#include "auth/resilience/service_fault_injector.h"
+
+#include "common/error.h"
+#include "common/obs.h"
+
+namespace mandipass::auth::resilience {
+
+using common::MutexLock;
+
+void ServiceFaultInjector::arm_slow_shard(std::size_t shard, std::int64_t stall_us,
+                                          int batches) {
+  MANDIPASS_EXPECTS(stall_us >= 0 && batches >= 0);
+  MutexLock lock(mutex_);
+  stall_shard_ = shard;
+  stall_us_ = stall_us;
+  stall_batches_ = batches;
+}
+
+std::int64_t ServiceFaultInjector::consume_stall(std::size_t shard) {
+  MutexLock lock(mutex_);
+  if (stall_batches_ <= 0 || shard != stall_shard_ || stall_us_ <= 0) {
+    return 0;
+  }
+  --stall_batches_;
+  MANDIPASS_OBS_COUNT("auth.resil.fault.stalls");
+  return stall_us_;
+}
+
+void ServiceFaultInjector::arm_store_fault_burst(const common::IoFaultConfig& config) {
+  MANDIPASS_OBS_COUNT("auth.resil.fault.store_bursts");
+  common::arm_io_fault(config);
+}
+
+void ServiceFaultInjector::clear_store_faults() { common::disarm_io_fault(); }
+
+bool ServiceFaultInjector::poison_matrix(MatrixCache& cache, std::uint64_t seed) {
+  if (!cache.corrupt_integrity_for_test(seed)) {
+    return false;
+  }
+  MANDIPASS_OBS_COUNT("auth.resil.fault.poisoned");
+  return true;
+}
+
+void ServiceFaultInjector::clear_stalls() {
+  MutexLock lock(mutex_);
+  stall_batches_ = 0;
+  stall_us_ = 0;
+}
+
+}  // namespace mandipass::auth::resilience

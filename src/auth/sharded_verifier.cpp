@@ -57,13 +57,33 @@ BatchDecision ShardedVerifier::verify_one(const std::string& user,
 }
 
 BatchResult ShardedVerifier::verify_batch(std::span<const VerifyRequest> requests,
-                                          common::ThreadPool* pool) const {
+                                          common::ThreadPool* pool,
+                                          const common::Deadline& deadline) const {
   MANDIPASS_OBS_TRACE(trace_batch, "auth.shard.batch_us");
   using clock = std::chrono::steady_clock;
   common::ThreadPool& tp = pool != nullptr ? *pool : common::ThreadPool::global();
 
   BatchResult result;
   result.decisions.resize(requests.size());
+
+  // Deadline gate before routing: a batch whose budget is already gone is
+  // answered with typed Expired decisions on the caller thread — no
+  // fan-out, no locks, no GEMM. Mid-batch expiry is handled inside each
+  // shard's verify_coalesced.
+  if (deadline.expired()) {
+    std::vector<std::size_t> all(requests.size());
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      all[i] = i;
+    }
+    if (!shards_.empty() && !all.empty()) {
+      shards_.front()->verify_coalesced(requests, all, result.decisions, deadline);
+    }
+    MANDIPASS_OBS_COUNT_N("auth.shard.verify_total", requests.size());
+    BatchStats& st = result.stats;
+    st.requests = requests.size();
+    st.expired = requests.size();
+    return result;
+  }
 
   // Route: per-shard index lists, in request order. Each index appears in
   // exactly one list, so the shard fan-out below writes disjoint slots of
@@ -88,7 +108,7 @@ BatchResult ShardedVerifier::verify_batch(std::span<const VerifyRequest> request
         continue;
       }
       const auto t0 = clock::now();
-      shard_cs[s] = shards_[s]->verify_coalesced(requests, routed[s], result.decisions);
+      shard_cs[s] = shards_[s]->verify_coalesced(requests, routed[s], result.decisions, deadline);
       shard_ms[s] = std::chrono::duration<double, std::milli>(clock::now() - t0).count();
     }
   });
@@ -123,6 +143,9 @@ BatchResult ShardedVerifier::verify_batch(std::span<const VerifyRequest> request
     st.accepted += (d.known && d.decision.accepted) ? 1 : 0;
     st.unknown += d.status == BatchStatus::Unknown ? 1 : 0;
     st.invalid += d.status == BatchStatus::Invalid ? 1 : 0;
+    st.expired += d.status == BatchStatus::Expired ? 1 : 0;
+    st.shed += d.status == BatchStatus::Shed ? 1 : 0;
+    st.degraded += d.degraded ? 1 : 0;
   }
   if (st.requests > 0) {
     // Coalesced requests have no individual service time; report the

@@ -90,8 +90,15 @@ class ShardedVerifier {
   /// within each shard into single packed-GEMM tiles. decisions[i]
   /// always answers requests[i]; duplicate user ids are safe (they land
   /// on one shard and are decided against one snapshot).
+  ///
+  /// `deadline` bounds the batch: when already expired on entry every
+  /// request short-circuits to a typed Expired decision without routing
+  /// or fan-out, and each shard re-checks it before its GEMM groups
+  /// (BatchVerifier::verify_coalesced). The default is unlimited and
+  /// adds one null check to the fast path.
   BatchResult verify_batch(std::span<const VerifyRequest> requests,
-                           common::ThreadPool* pool = nullptr) const;
+                           common::ThreadPool* pool = nullptr,
+                           const common::Deadline& deadline = {}) const;
 
   /// Operating threshold (uniform across shards; read from shard 0).
   double threshold() const;
@@ -101,8 +108,17 @@ class ShardedVerifier {
   /// on others — callers that need a clean cut quiesce traffic first.
   void set_threshold(double t);
 
-  /// The shared matrix cache (exposed for cache-warm accounting).
+  /// The shared matrix cache (exposed for cache-warm accounting; the
+  /// non-const form feeds the resilience layer's degraded-mode peek and
+  /// the chaos harness's poison hook).
   const MatrixCache& matrix_cache() const { return *cache_; }
+  MatrixCache& matrix_cache() { return *cache_; }
+
+  /// Direct shard access for the resilience layer (per-shard admission
+  /// queues, circuit breakers and persistence probes wrap individual
+  /// shards). Precondition: s < shard_count().
+  BatchVerifier& shard(std::size_t s) { return *shards_[s]; }
+  const BatchVerifier& shard(std::size_t s) const { return *shards_[s]; }
 
  private:
   /// Shared before the shards so it outlives them on destruction order.

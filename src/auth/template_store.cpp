@@ -211,7 +211,8 @@ void TemplateStore::save_file_once(const std::string& path) const {
   write_file_atomic(path, image);
 }
 
-common::Result<void> TemplateStore::save_file(const std::string& path, int max_retries) const {
+common::Result<void> TemplateStore::save_file(const std::string& path, int max_retries,
+                                              const resilience::BackoffPolicy& backoff) const {
   MANDIPASS_EXPECTS(max_retries >= 0);
   for (int attempt = 0;; ++attempt) {
     try {
@@ -226,7 +227,9 @@ common::Result<void> TemplateStore::save_file(const std::string& path, int max_r
         return common::make_error(f.code(), std::string("save failed: ") + f.what());
       }
       MANDIPASS_OBS_COUNT("auth.store.save_retry");
-      std::this_thread::sleep_for(std::chrono::milliseconds(attempt + 1));  // linear backoff
+      // Deterministic exponential backoff; the sleep goes through the
+      // resilience hook so tests capture the exact delay sequence.
+      resilience::retry_sleep_us(backoff.delay_us(attempt));
     } catch (const mandipass::Error& e) {
       std::remove((path + ".tmp").c_str());
       std::remove((path + ".bak.tmp").c_str());

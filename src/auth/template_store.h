@@ -36,6 +36,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "auth/resilience/backoff.h"
 #include "common/result.h"
 
 namespace mandipass::auth {
@@ -96,10 +97,13 @@ class TemplateStore {
   ///      (a corrupt primary never clobbers a good backup);
   ///   3. write `path.tmp`, flush, then atomically rename over `path`.
   /// Transient write failures (IoFailure carrying IoError) are retried up
-  /// to `max_retries` times with linear backoff; ENOSPC-class failures
-  /// (NoSpace) are reported immediately. On any error the previous
-  /// on-disk generation is still loadable.
-  common::Result<void> save_file(const std::string& path, int max_retries = 3) const;
+  /// to `max_retries` times under the deterministic exponential backoff
+  /// policy (resilience::BackoffPolicy; delays flow through the
+  /// retry_sleep_us hook so tests capture the exact schedule);
+  /// ENOSPC-class failures (NoSpace) are reported immediately. On any
+  /// error the previous on-disk generation is still loadable.
+  common::Result<void> save_file(const std::string& path, int max_retries = 3,
+                                 const resilience::BackoffPolicy& backoff = {}) const;
 
   /// Crash-safe load from `path`: tries the primary, then `path.bak` when
   /// the primary is missing or fails its checksum. A successful backup

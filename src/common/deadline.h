@@ -1,0 +1,136 @@
+// Request deadlines over an injectable clock (DESIGN.md §17).
+//
+// Interactive authentication is latency-bound: a verification that lands
+// after the caller's budget is a failed unlock, so running it to
+// completion only steals cycles from requests that can still make it.
+// Deadline carries "latest useful completion time" through the service
+// layers; each layer checks it *before* committing to expensive work
+// (admission, snapshot, GEMM) and short-circuits to the typed
+// ErrorCode::DeadlineExceeded reject instead of serving a late answer.
+//
+// Time flows through a ClockSource so tests and the chaos bench can use a
+// VirtualClock: deterministic state machines (circuit breakers, backoff,
+// expiry) are then pure functions of the scripted clock, independent of
+// machine speed and thread count. Production callers use the process-wide
+// SteadyClockSource.
+//
+// A default-constructed Deadline is unlimited and costs one null check on
+// the fast path — no clock read — which is what keeps the no-deadline
+// serving path inside the existing bench_overhead gate.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <limits>
+
+#include "common/error.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace mandipass::common {
+
+/// Source of microsecond timestamps. Implementations must be monotone
+/// non-decreasing; absolute epoch is unspecified (only differences and
+/// comparisons against deadlines derived from the same source are
+/// meaningful).
+class ClockSource {
+ public:
+  virtual ~ClockSource() = default;
+  virtual std::int64_t now_us() const = 0;
+};
+
+/// Wall-progress clock backed by std::chrono::steady_clock.
+class SteadyClockSource final : public ClockSource {
+ public:
+  std::int64_t now_us() const override {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  /// Process-wide instance used when no clock is injected.
+  static const SteadyClockSource& instance() {
+    static const SteadyClockSource clock;
+    return clock;
+  }
+};
+
+/// Manually-advanced clock for tests and the chaos harness. Guarded by a
+/// Mutex rather than an atomic so reads and advances are sequentially
+/// consistent with the breaker/backoff state machines they drive (and so
+/// the atomic-order-audit lint keeps its "no atomics outside obs/pool"
+/// invariant).
+class VirtualClock final : public ClockSource {
+ public:
+  explicit VirtualClock(std::int64_t start_us = 0) : now_us_(start_us) {}
+
+  std::int64_t now_us() const override MANDIPASS_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    return now_us_;
+  }
+
+  /// Moves time forward. Never backwards: monotonicity is part of the
+  /// ClockSource contract.
+  void advance_us(std::int64_t delta_us) MANDIPASS_EXCLUDES(mutex_) {
+    MANDIPASS_EXPECTS(delta_us >= 0);
+    MutexLock lock(mutex_);
+    now_us_ += delta_us;
+  }
+
+ private:
+  mutable Mutex mutex_;
+  std::int64_t now_us_ MANDIPASS_GUARDED_BY(mutex_);
+};
+
+/// Latest useful completion time, or unlimited. Copyable value type; the
+/// referenced clock must outlive every Deadline derived from it.
+class Deadline {
+ public:
+  /// Unlimited: expired() is false forever and reads no clock.
+  Deadline() = default;
+
+  /// Expires `budget_us` from now on `clock` (steady clock when null).
+  /// A non-positive budget yields an already-expired deadline.
+  static Deadline after_us(std::int64_t budget_us, const ClockSource* clock = nullptr) {
+    const ClockSource* src = clock != nullptr ? clock : &SteadyClockSource::instance();
+    return Deadline(src, src->now_us() + budget_us);
+  }
+
+  /// Expires at the absolute instant `deadline_us` on `clock`'s timeline.
+  static Deadline at_us(std::int64_t deadline_us, const ClockSource* clock = nullptr) {
+    const ClockSource* src = clock != nullptr ? clock : &SteadyClockSource::instance();
+    return Deadline(src, deadline_us);
+  }
+
+  bool unlimited() const { return clock_ == nullptr; }
+
+  bool expired() const { return clock_ != nullptr && clock_->now_us() >= deadline_us_; }
+
+  /// Would this deadline be expired after `skew_us` more microseconds
+  /// elapse? This is how deterministic slow-shard stalls are modelled:
+  /// the stall is applied as *skew against the deadline* instead of
+  /// advancing a shared clock, so expiry counts are independent of which
+  /// worker thread observes the stall first.
+  bool expired_after(std::int64_t skew_us) const {
+    return clock_ != nullptr && clock_->now_us() + skew_us >= deadline_us_;
+  }
+
+  /// Microseconds of budget left; 0 when expired, int64 max when
+  /// unlimited.
+  std::int64_t remaining_us() const {
+    if (clock_ == nullptr) {
+      return std::numeric_limits<std::int64_t>::max();
+    }
+    const std::int64_t left = deadline_us_ - clock_->now_us();
+    return left > 0 ? left : 0;
+  }
+
+ private:
+  Deadline(const ClockSource* clock, std::int64_t deadline_us)
+      : clock_(clock), deadline_us_(deadline_us) {}
+
+  const ClockSource* clock_ = nullptr;
+  std::int64_t deadline_us_ = 0;
+};
+
+}  // namespace mandipass::common

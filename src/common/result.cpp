@@ -21,7 +21,7 @@ constexpr std::size_t code_index(ErrorCode code) {
 
 // Indexed by ErrorCode; the counter strings are literals so make_error
 // never allocates for the registry lookup.
-constexpr std::array<CodeNames, 10> kCodeNames{{
+constexpr std::array<CodeNames, 12> kCodeNames{{
     {"invalid_input", "fault.reject.invalid_input"},
     {"segment_too_short", "fault.reject.segment_too_short"},
     {"onset_not_found", "fault.reject.onset_not_found"},
@@ -32,6 +32,8 @@ constexpr std::array<CodeNames, 10> kCodeNames{{
     {"io_error", "fault.reject.io_error"},
     {"no_space", "fault.reject.no_space"},
     {"corrupt_data", "fault.reject.corrupt_data"},
+    {"deadline_exceeded", "fault.reject.deadline_exceeded"},
+    {"overloaded", "fault.reject.overloaded"},
 }};
 
 }  // namespace
@@ -68,6 +70,11 @@ void raise(const Error& error) {
     case ErrorCode::UnknownUser:
     case ErrorCode::DimensionMismatch:
       throw SignalError(error.message);
+    case ErrorCode::DeadlineExceeded:
+    case ErrorCode::Overloaded:
+      // Service-level rejects (DESIGN.md §17): neither a signal-quality
+      // nor a persistence failure, so they raise the base error type.
+      throw mandipass::Error(error.message);
   }
   throw mandipass::Error(error.message);  // unreachable for valid codes
 }

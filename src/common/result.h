@@ -48,6 +48,8 @@ enum class ErrorCode : std::uint8_t {
   IoError,            ///< transient I/O failure (EIO-class; retryable)
   NoSpace,            ///< persistent I/O failure (ENOSPC-class)
   CorruptData,        ///< checksum/format failure on persisted state
+  DeadlineExceeded,   ///< request budget expired before the work ran
+  Overloaded,         ///< load shed: admission queue full or circuit open
 };
 
 /// Stable snake_case name, e.g. "onset_not_found".

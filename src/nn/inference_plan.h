@@ -169,6 +169,11 @@ class PackedGemm {
     return (weights_.size() + bias_.size()) * sizeof(float);
   }
 
+  /// Read-only view of the packed weight buffer (block-major, padded).
+  /// This is the authoritative kernel input, so integrity checks (e.g.
+  /// MatrixCache's CRC poison detection) checksum exactly these bytes.
+  const std::vector<float>& packed_weights() const noexcept { return weights_; }
+
  private:
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;

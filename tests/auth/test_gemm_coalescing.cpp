@@ -215,5 +215,109 @@ TEST(GemmCoalescing, DuplicateUsersShareOneSnapshotInOneGroup) {
   }
 }
 
+// Regression (PR 9 satellite): a coalesced group must stay total when
+// some members carry invalid embedding dimensions — each bad request
+// gets its own typed decision and the valid members of the same seed are
+// still served bit-identically, instead of one bad probe aborting the
+// whole (seed, dim) group on a transform precondition. Mixes two
+// embedding widths on ONE shared seed so the grouping logic has to keep
+// them apart per-request.
+TEST(GemmCoalescing, MixedValidInvalidDimensionsPropagatePerRequest) {
+  constexpr std::uint64_t kSeed = 500;
+  BatchVerifier engine;
+  const auto enroll = [&](const std::string& user, std::size_t dim, float fill,
+                          std::uint32_t version) {
+    std::vector<float> print(dim, fill);
+    const GaussianMatrix g(kSeed, dim);
+    StoredTemplate tmpl;
+    tmpl.data = g.transform(print);
+    tmpl.matrix_seed = kSeed;
+    tmpl.key_version = version;
+    engine.enroll(user, std::move(tmpl));
+    return print;
+  };
+  const auto alice_print = enroll("alice", 32, 0.4f, 1);
+  const auto bob_print = enroll("bob", 32, -0.2f, 2);
+  const auto carol_print = enroll("carol", 16, 0.7f, 3);
+
+  std::vector<VerifyRequest> requests;
+  requests.push_back({"alice", alice_print});                    // 0: valid, dim 32
+  requests.push_back({"bob", std::vector<float>(16, 0.1f)});     // 1: wrong dim for bob
+  requests.push_back({"carol", carol_print});                    // 2: valid, dim 16
+  requests.push_back({"alice", {}});                             // 3: empty
+  std::vector<float> nan_probe = bob_print;
+  nan_probe[5] = std::numeric_limits<float>::quiet_NaN();
+  requests.push_back({"bob", std::move(nan_probe)});             // 4: non-finite
+  requests.push_back({"bob", bob_print});                        // 5: valid, dim 32
+
+  std::vector<std::size_t> indices(requests.size());
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    indices[i] = i;
+  }
+  std::vector<BatchDecision> decisions(requests.size());
+  CoalesceStats cs;
+  EXPECT_NO_THROW(cs = engine.verify_coalesced(requests, indices, decisions));
+  // Two live tiles: (500, 32) with alice+bob, (500, 16) with carol.
+  EXPECT_EQ(cs.groups, 2u);
+  EXPECT_EQ(cs.coalesced, 2u);
+  EXPECT_EQ(cs.singletons, 1u);
+
+  EXPECT_EQ(decisions[0].status, BatchStatus::Accepted);
+  EXPECT_EQ(decisions[1].status, BatchStatus::Invalid);
+  EXPECT_EQ(decisions[1].reason, common::ErrorCode::DimensionMismatch);
+  EXPECT_EQ(decisions[2].status, BatchStatus::Accepted);
+  EXPECT_EQ(decisions[3].status, BatchStatus::Invalid);
+  EXPECT_EQ(decisions[3].reason, common::ErrorCode::InvalidInput);
+  EXPECT_EQ(decisions[4].status, BatchStatus::Invalid);
+  EXPECT_EQ(decisions[4].reason, common::ErrorCode::NonFiniteSample);
+  EXPECT_EQ(decisions[5].status, BatchStatus::Accepted);
+
+  // The valid members are bit-identical to the per-request path — the
+  // invalid neighbours changed nothing about their tiles.
+  for (const std::size_t i : {std::size_t{0}, std::size_t{2}, std::size_t{5}}) {
+    const BatchDecision want = engine.verify_one(requests[i].user, requests[i].raw_probe);
+    EXPECT_EQ(decisions[i].key_version, want.key_version) << i;
+    EXPECT_EQ(decisions[i].decision.accepted, want.decision.accepted) << i;
+    EXPECT_EQ(decisions[i].decision.distance, want.decision.distance) << i;
+    EXPECT_FALSE(decisions[i].degraded) << i;
+  }
+}
+
+// Deadline short-circuit: an already-expired budget turns every indexed
+// request into a typed Expired decision without touching locks or GEMM.
+TEST(GemmCoalescing, ExpiredDeadlineShortCircuitsBeforeGemm) {
+  constexpr std::size_t kDim = 16;
+  BatchVerifier engine;
+  std::vector<float> print(kDim, 0.5f);
+  const GaussianMatrix g(7, kDim);
+  StoredTemplate tmpl;
+  tmpl.data = g.transform(print);
+  tmpl.matrix_seed = 7;
+  tmpl.key_version = 1;
+  engine.enroll("alice", std::move(tmpl));
+
+  common::VirtualClock clock;
+  const auto deadline = common::Deadline::after_us(100, &clock);
+  clock.advance_us(101);
+
+  std::vector<VerifyRequest> requests;
+  requests.push_back({"alice", print});
+  requests.push_back({"ghost", print});
+  const std::vector<std::size_t> indices = {0, 1};
+  std::vector<BatchDecision> decisions(requests.size());
+  const CoalesceStats cs = engine.verify_coalesced(requests, indices, decisions, deadline);
+  EXPECT_EQ(cs.groups, 0u);
+  for (const BatchDecision& d : decisions) {
+    EXPECT_EQ(d.status, BatchStatus::Expired);
+    EXPECT_EQ(d.reason, common::ErrorCode::DeadlineExceeded);
+    EXPECT_FALSE(d.known);
+  }
+  // An unlimited (default) deadline serves normally.
+  const CoalesceStats healthy = engine.verify_coalesced(requests, indices, decisions);
+  EXPECT_EQ(healthy.groups, 1u);
+  EXPECT_EQ(decisions[0].status, BatchStatus::Accepted);
+  EXPECT_EQ(decisions[1].status, BatchStatus::Unknown);
+}
+
 }  // namespace
 }  // namespace mandipass::auth

@@ -1,0 +1,83 @@
+// Deadline / ClockSource semantics (DESIGN.md §17): unlimited default,
+// budget expiry against virtual and steady clocks, and the
+// expired_after skew form that models deterministic slow-shard stalls.
+#include "common/deadline.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace mandipass::common {
+namespace {
+
+TEST(Deadline, DefaultIsUnlimited) {
+  const Deadline d;
+  EXPECT_TRUE(d.unlimited());
+  EXPECT_FALSE(d.expired());
+  EXPECT_FALSE(d.expired_after(std::numeric_limits<std::int64_t>::max() / 2));
+  EXPECT_EQ(d.remaining_us(), std::numeric_limits<std::int64_t>::max());
+}
+
+TEST(Deadline, ExpiresExactlyWhenVirtualClockReachesBudget) {
+  VirtualClock clock(1000);
+  const auto d = Deadline::after_us(500, &clock);
+  EXPECT_FALSE(d.unlimited());
+  EXPECT_FALSE(d.expired());
+  EXPECT_EQ(d.remaining_us(), 500);
+  clock.advance_us(499);
+  EXPECT_FALSE(d.expired());
+  EXPECT_EQ(d.remaining_us(), 1);
+  clock.advance_us(1);
+  EXPECT_TRUE(d.expired());
+  EXPECT_EQ(d.remaining_us(), 0);
+  clock.advance_us(10000);
+  EXPECT_TRUE(d.expired());  // expiry is permanent on a monotone clock
+}
+
+TEST(Deadline, NonPositiveBudgetIsBornExpired) {
+  VirtualClock clock(42);
+  EXPECT_TRUE(Deadline::after_us(0, &clock).expired());
+  EXPECT_TRUE(Deadline::after_us(-5, &clock).expired());
+}
+
+TEST(Deadline, AtUsPinsAnAbsoluteInstant) {
+  VirtualClock clock(100);
+  const auto d = Deadline::at_us(150, &clock);
+  EXPECT_FALSE(d.expired());
+  clock.advance_us(50);
+  EXPECT_TRUE(d.expired());
+}
+
+TEST(Deadline, ExpiredAfterModelsStallSkewWithoutAdvancingTheClock) {
+  VirtualClock clock;
+  const auto d = Deadline::after_us(5000, &clock);
+  // A 4999us stall still fits the budget; a 5000us stall does not. The
+  // clock itself never moves — this is how a slow shard's charge expires
+  // its requests deterministically under any worker-thread interleaving.
+  EXPECT_FALSE(d.expired_after(4999));
+  EXPECT_TRUE(d.expired_after(5000));
+  EXPECT_FALSE(d.expired());  // the probe did not consume any real time
+}
+
+TEST(Deadline, VirtualClockAdvancesMonotonically) {
+  VirtualClock clock(7);
+  EXPECT_EQ(clock.now_us(), 7);
+  clock.advance_us(0);
+  EXPECT_EQ(clock.now_us(), 7);
+  clock.advance_us(13);
+  EXPECT_EQ(clock.now_us(), 20);
+}
+
+TEST(Deadline, SteadyClockSourceIsMonotoneAndDefaultForAfterUs) {
+  const auto& steady = SteadyClockSource::instance();
+  const std::int64_t a = steady.now_us();
+  const std::int64_t b = steady.now_us();
+  EXPECT_LE(a, b);
+  // Null clock → steady clock: a generous budget is not expired at birth
+  // and a negative one is.
+  EXPECT_FALSE(Deadline::after_us(60'000'000).expired());
+  EXPECT_TRUE(Deadline::after_us(-1).expired());
+}
+
+}  // namespace
+}  // namespace mandipass::common

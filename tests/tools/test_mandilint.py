@@ -6,7 +6,9 @@ files written from inline strings — fixtures are never committed as
 scannable files, so the real repo lint stays clean) and runs the linter
 programmatically. Covers the three concurrency rules added for the
 thread-safety work (raw-lock-discipline, atomic-order-audit,
-arena-escape — each with multiple violating fixtures), waiver precedence
+arena-escape — each with multiple violating fixtures), the resilience
+rule no-unbounded-queue (queue-typed members in src/auth/ must carry a
+bounded-by comment), waiver precedence
 (file-level allow-file suppresses the named rule only; line-level allow
 suppresses its own line only), and the CLI contract (exit 0/1/2,
 unknown-rule waivers rejected, --list-rules lists the full catalogue).
@@ -248,6 +250,83 @@ class ArenaEscape(MandilintCase):
             {
                 "src/nn/inference_plan.cpp": GUARD
                 + "float* ScratchArena::alloc(std::size_t n) { return blocks_.alloc(n); }\n",
+            },
+        )
+        self.assertEqual(found, [])
+
+
+class NoUnboundedQueue(MandilintCase):
+    def test_uncommented_deque_member_in_auth_is_flagged(self) -> None:
+        found = self.findings_for(
+            "no-unbounded-queue",
+            {
+                "src/auth/q.h": "#pragma once\nclass Q {\n  std::deque<Item> pending_;\n};\n",
+            },
+        )
+        self.assertEqual([f.line for f in found], [3])
+
+    def test_queue_and_priority_queue_members_are_flagged(self) -> None:
+        found = self.findings_for(
+            "no-unbounded-queue",
+            {
+                "src/auth/q.h": "#pragma once\nclass Q {\n"
+                "  std::queue<Item> inbox_;\n"
+                "  std::priority_queue<Item, std::vector<Item>, Cmp> heap_{};\n"
+                "};\n",
+            },
+        )
+        self.assertEqual([f.line for f in found], [3, 4])
+
+    def test_same_line_bounded_by_comment_is_clean(self) -> None:
+        found = self.findings_for(
+            "no-unbounded-queue",
+            {
+                "src/auth/q.h": "#pragma once\nclass Q {\n"
+                "  std::deque<Item> pending_;  // bounded-by: capacity_, enforced in try_push\n"
+                "};\n",
+            },
+        )
+        self.assertEqual(found, [])
+
+    def test_preceding_line_bounded_by_comment_is_clean(self) -> None:
+        found = self.findings_for(
+            "no-unbounded-queue",
+            {
+                "src/auth/q.h": "#pragma once\nclass Q {\n"
+                "  // bounded-by: capacity_, enforced in try_push\n"
+                "  std::deque<Item> pending_;\n"
+                "};\n",
+            },
+        )
+        self.assertEqual(found, [])
+
+    def test_line_waiver_suppresses(self) -> None:
+        found = self.findings_for(
+            "no-unbounded-queue",
+            {
+                "src/auth/q.h": "#pragma once\nclass Q {\n"
+                "  std::deque<Item> pending_;"
+                "  // mandilint: allow(no-unbounded-queue) -- drained every tick\n"
+                "};\n",
+            },
+        )
+        self.assertEqual(found, [])
+
+    def test_queue_member_outside_auth_is_out_of_scope(self) -> None:
+        found = self.findings_for(
+            "no-unbounded-queue",
+            {
+                "src/common/q.h": "#pragma once\nclass Q {\n  std::deque<Item> pending_;\n};\n",
+            },
+        )
+        self.assertEqual(found, [])
+
+    def test_local_queue_variable_is_not_a_member(self) -> None:
+        found = self.findings_for(
+            "no-unbounded-queue",
+            {
+                "src/auth/q.cpp": GUARD
+                + "void f() {\n  std::deque<Item> scratch;\n  use(scratch);\n}\n",
             },
         )
         self.assertEqual(found, [])

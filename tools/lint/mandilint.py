@@ -46,6 +46,15 @@ Enforces project rules that clang-tidy and compiler warnings cannot express:
                    src/common/thread_pool.*) is flagged: new shared state
                    belongs behind an annotated Mutex + MANDIPASS_GUARDED_BY,
                    not ad-hoc atomics.
+  no-unbounded-queue
+                   A std::deque / std::queue / std::priority_queue member
+                   under src/auth/ is a backpressure hazard: an unbounded
+                   queue in the serving layer turns overload into memory
+                   exhaustion instead of typed load-shedding (DESIGN.md
+                   section 17). Every such member must carry a
+                   `// bounded-by: <what enforces the cap>` comment on its
+                   own line or the line above, or an explicit allow()
+                   waiver.
   arena-escape     nn::ScratchArena is a thread-confined bump allocator:
                    pointers into it die at the next reset() and the arena
                    itself must never cross threads. Storing an arena (or an
@@ -90,6 +99,7 @@ RULES = (
     "no-throw-in-datapath",
     "raw-lock-discipline",
     "atomic-order-audit",
+    "no-unbounded-queue",
     "arena-escape",
 )
 
@@ -129,6 +139,14 @@ ATOMIC_BLESSED = (
     "src/common/thread_pool.h",
     "src/common/thread_pool.cpp",
 )
+
+# Queue-typed *members* (trailing-underscore naming per the style guide);
+# locals used as scratch (e.g. a BFS frontier) are not admission queues
+# and stay out of scope.
+QUEUE_MEMBER_RE = re.compile(
+    r"\bstd::(?:deque|queue|priority_queue)\s*<[^;]*>\s+\w+_\s*(?:;|\{|=)"
+)
+BOUNDED_BY_RE = re.compile(r"//.*\bbounded-by:")
 
 ARENA_EXEMPT = ("src/nn/inference_plan.h", "src/nn/inference_plan.cpp")
 ARENA_MEMBER_DECL_RE = re.compile(r"\bScratchArena\s*[*&]\s*\w+_\s*(?:=|;|\{)")
@@ -487,6 +505,35 @@ def check_atomic_order_audit(
     return out
 
 
+def check_no_unbounded_queue(
+    ctx: Context, path: Path, rel: str, lines: list[str]
+) -> list[Finding]:
+    if not rel.startswith("src/auth/"):
+        return []
+    out = []
+    for i, raw in enumerate(lines, start=1):
+        code = _strip_line_comment(raw)
+        if not QUEUE_MEMBER_RE.search(code):
+            continue
+        justified = BOUNDED_BY_RE.search(raw) or (
+            i >= 2 and BOUNDED_BY_RE.search(lines[i - 2])
+        )
+        if not justified:
+            out.append(
+                Finding(
+                    "no-unbounded-queue",
+                    rel,
+                    i,
+                    "queue-typed member in the serving layer without a "
+                    "`// bounded-by: <what enforces the cap>` comment (same "
+                    "line or the line above) — an unbounded queue turns "
+                    "overload into memory exhaustion instead of typed "
+                    "load-shedding (DESIGN.md section 17)",
+                )
+            )
+    return out
+
+
 def _arena_escape_regex(rel: str, lines: list[str]) -> list[Finding]:
     """Documented regex approximation of the AST analysis: member-stored
     arenas / alloc results, returned alloc results, and arenas handed to
@@ -725,6 +772,7 @@ FILE_CHECKS = (
     check_no_throw_in_datapath,
     check_raw_lock_discipline,
     check_atomic_order_audit,
+    check_no_unbounded_queue,
     check_arena_escape,
 )
 
