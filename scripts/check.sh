@@ -72,6 +72,12 @@ build/tools/bench_compare --skip-latency \
 MANDIPASS_BENCH_QUICK=1 build/bench/bench_chaos --json build/BENCH_bench_chaos.json
 build/tools/bench_compare --skip-latency \
   bench/baselines/bench_chaos.quick.json build/BENCH_bench_chaos.json
+# bench_quantized trains its quick extractor inline and runs fixed probe
+# counts, so its counters and the int8-plan verdicts (tier bit-identity,
+# drift/EER bounds, >= 2x scalar speedup) gate exactly.
+MANDIPASS_BENCH_QUICK=1 build/bench/bench_quantized --json build/BENCH_bench_quantized.json
+build/tools/bench_compare --skip-latency \
+  bench/baselines/bench_quantized.quick.json build/BENCH_bench_quantized.json
 
 if [ "$FAST" -eq 0 ]; then
   step "ASan+UBSan build + ctest"

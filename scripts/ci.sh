@@ -60,7 +60,21 @@ job_bench_smoke() {
       --json build/BENCH_bench_chaos.json &&
     build/tools/bench_compare --skip-latency \
       bench/baselines/bench_chaos.quick.json \
-      build/BENCH_bench_chaos.json
+      build/BENCH_bench_chaos.json &&
+    MANDIPASS_BENCH_QUICK=1 build/bench/bench_quantized \
+      --json build/BENCH_bench_quantized.json &&
+    build/tools/bench_compare --skip-latency \
+      bench/baselines/bench_quantized.quick.json \
+      build/BENCH_bench_quantized.json
+}
+
+# Mirrors the no-simd CI job: the generic int32 fallback tier must pass
+# the full suite (incl. the perf cross-tier/bit-identity tests) alone.
+job_no_simd() {
+  cmake -B build-generic -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DMANDIPASS_WARNINGS_AS_ERRORS=ON -DMANDIPASS_FORCE_GENERIC_KERNELS=ON >/dev/null &&
+    cmake --build build-generic -j "$JOBS" &&
+    (cd build-generic && ctest --output-on-failure -j "$JOBS")
 }
 
 job_no_obs() {
@@ -99,6 +113,7 @@ job_chaos_asan() {
 run_job "build-werror"  job_build_werror
 run_job "bench-smoke"   job_bench_smoke
 run_job "no-obs"        job_no_obs
+run_job "no-simd"       job_no_simd
 run_job "fault"         job_fault
 run_job "sanitize"      job_sanitize
 run_job "chaos-asan"    job_chaos_asan
@@ -109,7 +124,7 @@ run_job "mandilint"     scripts/lint.sh
 echo
 echo "==== ci summary ===="
 FAIL=0
-for name in build-werror bench-smoke no-obs fault sanitize chaos-asan clang-tidy tsafety mandilint; do
+for name in build-werror bench-smoke no-obs no-simd fault sanitize chaos-asan clang-tidy tsafety mandilint; do
   echo "  $name: ${STATUS[$name]}"
   [ "${STATUS[$name]}" = ok ] || FAIL=1
 done

@@ -1,8 +1,11 @@
 #include "core/quantized_extractor.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/error.h"
+#include "common/obs.h"
+#include "common/thread_pool.h"
 #include "nn/batchnorm.h"
 #include "nn/conv2d.h"
 #include "nn/linear.h"
@@ -17,6 +20,19 @@ constexpr std::size_t kKernel = 3;
 constexpr std::size_t kStrideH = 1;
 constexpr std::size_t kStrideW = 2;
 constexpr std::size_t kPad = 1;
+
+/// Packs the first `axes` axes of one direction into a dense (axes, half)
+/// float plane (same layout as the float compiled path).
+void pack_plane(const std::array<std::vector<double>, imu::kAxisCount>& axis_data,
+                std::size_t axes, std::size_t half, float* plane) {
+  for (std::size_t a = 0; a < axes; ++a) {
+    const double* src = axis_data[a].data();
+    float* dst = plane + a * half;
+    for (std::size_t w = 0; w < half; ++w) {
+      dst[w] = static_cast<float>(src[w]);
+    }
+  }
+}
 
 }  // namespace
 
@@ -61,8 +77,7 @@ QuantizedExtractor::Branch QuantizedExtractor::fold_and_quantize_branch(
   return out;
 }
 
-QuantizedExtractor::QuantizedExtractor(BiometricExtractor& source)
-    : config_(source.config()) {
+void QuantizedExtractor::snapshot(BiometricExtractor& source) {
   positive_ = fold_and_quantize_branch(source.branch_positive());
   negative_ = fold_and_quantize_branch(source.branch_negative());
   auto* fc = dynamic_cast<nn::Linear*>(&source.trunk().layer(0));
@@ -73,6 +88,130 @@ QuantizedExtractor::QuantizedExtractor(BiometricExtractor& source)
   fc_weights_ = nn::quantize_rows(fc->params()[0]->value);
   const nn::Tensor& b = fc->params()[1]->value;
   fc_bias_.assign(b.data(), b.data() + b.size());
+}
+
+QuantizedExtractor::QuantizedExtractor(BiometricExtractor& source)
+    : config_(source.config()) {
+  snapshot(source);
+}
+
+void QuantizedExtractor::requantize(BiometricExtractor& source) {
+  MANDIPASS_EXPECTS(source.config().axes == config_.axes &&
+                    source.config().half_length == config_.half_length &&
+                    source.config().embedding_dim == config_.embedding_dim);
+  snapshot(source);
+  common::MutexLock lock(plan_mutex_);
+  plans_.reset();  // next extract() recompiles from the new snapshot
+}
+
+nn::QuantizedInferencePlan QuantizedExtractor::compile_branch(const Branch& branch) const {
+  std::vector<nn::QuantizedConvSpec> specs;
+  specs.reserve(branch.convs.size());
+  for (const ConvLayer& layer : branch.convs) {
+    nn::Conv2dConfig cfg;
+    cfg.in_channels = layer.in_channels;
+    cfg.out_channels = layer.out_channels;
+    cfg.kernel_h = kKernel;
+    cfg.kernel_w = kKernel;
+    cfg.stride_h = kStrideH;
+    cfg.stride_w = kStrideW;
+    cfg.pad_h = kPad;
+    cfg.pad_w = kPad;
+    specs.push_back({cfg, &layer.weights, layer.bias.data()});
+  }
+  return nn::QuantizedInferencePlan::compile(specs, config_.axes, config_.half_length);
+}
+
+std::shared_ptr<const QuantizedExtractor::Plans> QuantizedExtractor::plans() const {
+  common::MutexLock lock(plan_mutex_);
+  if (plans_ == nullptr) {
+    MANDIPASS_OBS_TRACE(trace_compile, "nn.qplan.compile_us");
+    auto built = std::make_shared<Plans>();
+    built->positive = compile_branch(positive_);
+    built->negative = compile_branch(negative_);
+    built->trunk.pack_rows(fc_weights_, fc_bias_.data());
+    MANDIPASS_EXPECTS(built->positive.feature_count() + built->negative.feature_count() ==
+                      fc_weights_.cols);
+    MANDIPASS_EXPECTS(built->trunk.rows() == config_.embedding_dim);
+    plans_ = std::move(built);
+  }
+  return plans_;
+}
+
+void QuantizedExtractor::embed_one(const Plans& plans, const float* pos_plane,
+                                   const float* neg_plane, float* out,
+                                   nn::ScratchArena& arena) const {
+  const std::size_t flat = plans.positive.feature_count();
+  float* concat = arena.alloc(2 * flat);
+  plans.positive.run(pos_plane, concat, arena);
+  plans.negative.run(neg_plane, concat + flat, arena);
+  plans.trunk.run(concat, 1, 2 * flat, out, 1, nn::Epilogue::Sigmoid, arena);
+}
+
+std::vector<float> QuantizedExtractor::extract(const GradientArray& array) const {
+  MANDIPASS_EXPECTS(array.half_length() == config_.half_length);
+  const std::shared_ptr<const Plans> p = plans();
+  MANDIPASS_OBS_COUNT("nn.qplan.fused_forwards");
+  nn::ScratchArena& arena = nn::thread_scratch_arena();
+  arena.assert_owner();  // thread_local, so trivially ours; claims the capability
+  arena.reset();
+  const std::size_t plane = config_.axes * config_.half_length;
+  float* pos_plane = arena.alloc(plane);
+  float* neg_plane = arena.alloc(plane);
+  pack_plane(array.positive, config_.axes, config_.half_length, pos_plane);
+  pack_plane(array.negative, config_.axes, config_.half_length, neg_plane);
+  std::vector<float> out(config_.embedding_dim);
+  embed_one(*p, pos_plane, neg_plane, out.data(), arena);
+  return out;
+}
+
+std::vector<std::vector<float>> QuantizedExtractor::extract_batch(
+    std::span<const GradientArray> arrays) const {
+  // Validate up front, on the caller: precondition failures must not fire
+  // on pool workers mid-batch.
+  for (const GradientArray& a : arrays) {
+    MANDIPASS_EXPECTS(a.half_length() == config_.half_length);
+  }
+  const std::shared_ptr<const Plans> plan = plans();
+  MANDIPASS_OBS_COUNT_N("nn.qplan.fused_forwards", arrays.size());
+  std::vector<std::vector<float>> out(arrays.size());
+  const std::size_t dim = config_.embedding_dim;
+  const std::size_t flat = plan->positive.feature_count();
+  const std::size_t plane = config_.axes * config_.half_length;
+  // Same tiling as CompiledExtractor::extract_batch: branch features of
+  // a tile are gathered into one concat matrix, then a single trunk GEMM
+  // streams the packed int8 weights once per tile. Activation
+  // quantization is per input vector, so every element is computed
+  // exactly as in extract() regardless of the batch/thread split.
+  common::parallel_for(0, arrays.size(), kSampleTile, [&](std::size_t lo, std::size_t hi) {
+    nn::ScratchArena& arena = nn::thread_scratch_arena();
+    arena.assert_owner();  // this worker's own arena; claims the capability
+    for (std::size_t base = lo; base < hi; base += kSampleTile) {
+      const std::size_t count = std::min(kSampleTile, hi - base);
+      arena.reset();
+      float* concat = arena.alloc(count * 2 * flat);
+      for (std::size_t p = 0; p < count; ++p) {
+        float* pos_plane = arena.alloc(plane);
+        float* neg_plane = arena.alloc(plane);
+        pack_plane(arrays[base + p].positive, config_.axes, config_.half_length, pos_plane);
+        pack_plane(arrays[base + p].negative, config_.axes, config_.half_length, neg_plane);
+        float* c = concat + p * 2 * flat;
+        plan->positive.run(pos_plane, c, arena);
+        plan->negative.run(neg_plane, c + flat, arena);
+      }
+      float* tile_out = arena.alloc(dim * count);
+      plan->trunk.run(concat, count, 2 * flat, tile_out, count, nn::Epilogue::Sigmoid,
+                      arena);
+      for (std::size_t p = 0; p < count; ++p) {
+        out[base + p].resize(dim);
+        for (std::size_t r = 0; r < dim; ++r) {
+          out[base + p][r] = tile_out[r * count + p];
+        }
+      }
+    }
+  });
+  MANDIPASS_OBS_GAUGE_SET("nn.qplan.bytes_arena", nn::thread_scratch_arena().capacity_bytes());
+  return out;
 }
 
 std::vector<float> QuantizedExtractor::run_branch(const Branch& branch,
@@ -125,7 +264,7 @@ std::vector<float> QuantizedExtractor::run_branch(const Branch& branch,
   return in;  // already flattened in (c, h, w) order, matching nn::Flatten
 }
 
-std::vector<float> QuantizedExtractor::extract(const GradientArray& array) const {
+std::vector<float> QuantizedExtractor::extract_scalar(const GradientArray& array) const {
   MANDIPASS_EXPECTS(array.half_length() == config_.half_length);
   const std::size_t h = config_.axes;
   const std::size_t w = config_.half_length;

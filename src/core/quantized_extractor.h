@@ -6,11 +6,26 @@
 // Section VII-E model storage ~4x while the produced MandiblePrints stay
 // within float rounding of the original (the quantization bench
 // measures the exact embedding drift and its EER impact).
+//
+// Serving goes through a compiled int8 plan (DESIGN.md §18): the
+// quantized weights are pre-packed for the integer dot-product kernels
+// (nn::PackedQuantizedGemm — VNNI / AVX2 / NEON / generic tiers),
+// activations are quantized per input vector on the fly, and ReLU /
+// Sigmoid run as dequantizing epilogues with every intermediate in a
+// per-thread ScratchArena. The plan is compiled lazily on first
+// extract() and cached; requantize() re-snapshots a (re)trained source
+// and invalidates it. extract_scalar() keeps the original float-
+// activation scalar walk as the reference the plan is validated
+// against.
 #pragma once
 
+#include <memory>
+#include <span>
 #include <vector>
 
+#include "common/mutex.h"
 #include "core/extractor.h"
+#include "nn/inference_plan.h"
 #include "nn/quantize.h"
 
 namespace mandipass::core {
@@ -22,12 +37,36 @@ class QuantizedExtractor {
   /// accuracy comparisons is `source` in evaluation mode.
   explicit QuantizedExtractor(BiometricExtractor& source);
 
-  /// Embeds one gradient array — same contract as
-  /// BiometricExtractor::extract.
+  /// Embeds one gradient array through the compiled int8 plan — same
+  /// contract as BiometricExtractor::extract. Bit-identical to
+  /// extract_batch of the same sample and across kernel tiers.
   std::vector<float> extract(const GradientArray& array) const;
+
+  /// Embeds every array; row i is the MandiblePrint of arrays[i].
+  /// Mirrors CompiledExtractor::extract_batch: samples fan out in tiles
+  /// of kSampleTile over the global thread pool, one ScratchArena per
+  /// worker, one trunk GEMM per tile. Per-vector activation quantization
+  /// makes each element independent of the batch split, so results are
+  /// bit-identical to extract() for any thread count.
+  std::vector<std::vector<float>> extract_batch(std::span<const GradientArray> arrays) const;
+
+  /// The pre-plan reference path: float activations, scalar
+  /// nn::quantized_matvec per im2col patch. Kept as the baseline the
+  /// plan's speedup and drift are measured against (bench_quantized).
+  std::vector<float> extract_scalar(const GradientArray& array) const;
+
+  /// Re-snapshots `source` at its current weights (fold + quantize) and
+  /// invalidates the compiled plans. A quantized model is a deployment
+  /// snapshot, not a live view — callers refresh explicitly after
+  /// further training, mirroring the float path's recompile-on-train.
+  void requantize(BiometricExtractor& source);
 
   /// Total int8 model footprint in bytes (weights + scales + biases).
   std::size_t storage_bytes() const;
+
+  /// Samples per trunk-GEMM tile in extract_batch (bounds arena usage;
+  /// has no effect on results).
+  static constexpr std::size_t kSampleTile = 8;
 
   const ExtractorConfig& config() const { return config_; }
 
@@ -42,10 +81,26 @@ class QuantizedExtractor {
   struct Branch {
     std::vector<ConvLayer> convs;
   };
+  /// The compiled int8 serving artifacts, built lazily from the
+  /// quantized snapshot and shared by concurrent extract() calls.
+  struct Plans {
+    nn::QuantizedInferencePlan positive;
+    nn::QuantizedInferencePlan negative;
+    nn::PackedQuantizedGemm trunk;
+  };
 
   static Branch fold_and_quantize_branch(nn::Sequential& branch);
+  /// Folds + quantizes both branches and the trunk of `source`.
+  void snapshot(BiometricExtractor& source);
+  /// The compiled plans, built on first use (thread-safe).
+  std::shared_ptr<const Plans> plans() const;
+  nn::QuantizedInferencePlan compile_branch(const Branch& branch) const;
+  /// One sample from two packed (axes, half) planes into out
+  /// (embedding_dim floats); planes must already live in `arena`.
+  void embed_one(const Plans& plans, const float* pos_plane, const float* neg_plane,
+                 float* out, nn::ScratchArena& arena) const MANDIPASS_REQUIRES(arena);
   /// Runs one branch on a (channels=1, H=axes, W=half) plane; returns the
-  /// flattened feature vector.
+  /// flattened feature vector. Scalar reference path.
   std::vector<float> run_branch(const Branch& branch, const std::vector<float>& plane,
                                 std::size_t h, std::size_t w) const;
 
@@ -54,6 +109,8 @@ class QuantizedExtractor {
   Branch negative_;
   nn::QuantizedMatrix fc_weights_;
   std::vector<float> fc_bias_;
+  mutable common::Mutex plan_mutex_;
+  mutable std::shared_ptr<const Plans> plans_ MANDIPASS_GUARDED_BY(plan_mutex_);
 };
 
 }  // namespace mandipass::core

@@ -278,6 +278,39 @@ void PackedGemm::run_xmajor(const float* x, std::size_t x_count, std::size_t x_s
                    y_stride, epilogue);
 }
 
+FoldedConv fold_conv_bn(Conv2d& conv, BatchNorm2d& bn) {
+  // Fold BN into the conv: y = gamma * (conv(x) - mean) / sqrt(var+eps)
+  // + beta  ==  conv'(x) with w' = w * s, b' = (b - mean) * s + beta,
+  // s = gamma / sqrt(var + eps). Folded in double, matching the
+  // reference eval path's double inv_std (batchnorm.cpp).
+  const Conv2dConfig& cc = conv.config();
+  FoldedConv folded;
+  folded.out_channels = cc.out_channels;
+  folded.taps = cc.in_channels * cc.kernel_h * cc.kernel_w;
+  const std::vector<Param*> cp = conv.params();
+  const std::vector<Param*> bp = bn.params();
+  const Tensor& wt = cp[0]->value;
+  const Tensor& bt = cp[1]->value;
+  const Tensor& gamma = bp[0]->value;
+  const Tensor& beta = bp[1]->value;
+  const Tensor& mean = bn.running_mean();
+  const Tensor& var = bn.running_var();
+  folded.weights.resize(folded.out_channels * folded.taps);
+  folded.bias.resize(folded.out_channels);
+  for (std::size_t oc = 0; oc < folded.out_channels; ++oc) {
+    const double scale = static_cast<double>(gamma[oc]) /
+                         std::sqrt(static_cast<double>(var[oc]) + bn.eps());
+    for (std::size_t k = 0; k < folded.taps; ++k) {
+      folded.weights[oc * folded.taps + k] =
+          static_cast<float>(static_cast<double>(wt[oc * folded.taps + k]) * scale);
+    }
+    folded.bias[oc] = static_cast<float>(
+        (static_cast<double>(bt[oc]) - static_cast<double>(mean[oc])) * scale +
+        static_cast<double>(beta[oc]));
+  }
+  return folded;
+}
+
 InferencePlan InferencePlan::compile(Sequential& branch, std::size_t h_in, std::size_t w_in) {
   InferencePlan plan;
   const std::size_t count = branch.layer_count();
@@ -303,32 +336,9 @@ InferencePlan InferencePlan::compile(Sequential& branch, std::size_t h_in, std::
     stage.positions = stage.h_out * stage.w_out;
     stage.patch_index = Conv2d::make_patch_index(cc, h, w);
 
-    // Fold BN into the conv: y = gamma * (conv(x) - mean) / sqrt(var+eps)
-    // + beta  ==  conv'(x) with w' = w * s, b' = (b - mean) * s + beta,
-    // s = gamma / sqrt(var + eps). Folded in double, matching the
-    // reference eval path's double inv_std (batchnorm.cpp).
-    const std::vector<Param*> cp = conv->params();
-    const std::vector<Param*> bp = bn->params();
-    const Tensor& wt = cp[0]->value;
-    const Tensor& bt = cp[1]->value;
-    const Tensor& gamma = bp[0]->value;
-    const Tensor& beta = bp[1]->value;
-    const Tensor& mean = bn->running_mean();
-    const Tensor& var = bn->running_var();
-    std::vector<float> folded_w(cc.out_channels * stage.taps);
-    std::vector<float> folded_b(cc.out_channels);
-    for (std::size_t oc = 0; oc < cc.out_channels; ++oc) {
-      const double scale = static_cast<double>(gamma[oc]) /
-                           std::sqrt(static_cast<double>(var[oc]) + bn->eps());
-      for (std::size_t k = 0; k < stage.taps; ++k) {
-        folded_w[oc * stage.taps + k] =
-            static_cast<float>(static_cast<double>(wt[oc * stage.taps + k]) * scale);
-      }
-      folded_b[oc] = static_cast<float>(
-          (static_cast<double>(bt[oc]) - static_cast<double>(mean[oc])) * scale +
-          static_cast<double>(beta[oc]));
-    }
-    stage.gemm.pack_rows(folded_w.data(), folded_b.data(), cc.out_channels, stage.taps);
+    const FoldedConv folded = fold_conv_bn(*conv, *bn);
+    stage.gemm.pack_rows(folded.weights.data(), folded.bias.data(), cc.out_channels,
+                         stage.taps);
     h = stage.h_out;
     w = stage.w_out;
     plan.stages_.push_back(std::move(stage));

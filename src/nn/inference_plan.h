@@ -29,19 +29,37 @@
 // max-abs embedding tolerance. Each sample is computed independently and
 // serially, so results are bit-identical for any thread count and for
 // single- vs batched extraction.
+// The quantized variant (DESIGN.md §18) compiles the same frozen branch
+// into an int8 plan: the BN fold happens identically (shared
+// fold_conv_bn), then each folded weight matrix is quantized per-row to
+// int8 and pre-packed in 16-channel blocks of 4-tap groups for the
+// integer dot-product kernels (qgemm_*.cpp: AVX-512 VNNI vpdpbusd, AVX2
+// vpmaddubsw+vpmaddwd, NEON vdotq_s32, and a generic contract-defining
+// fallback). Activations are quantized per input vector to 7-bit
+// unsigned [0, 127] — per *vector*, not per tile, so results are
+// independent of batching; 7-bit, so the AVX2 i16 pair-sums cannot
+// saturate and every tier's int32 accumulators are exact and
+// bit-identical. Dequantization and the fused ReLU/Sigmoid epilogue run
+// in float in one shared driver (quantized_plan.cpp, -fno-fast-math),
+// so full outputs — not just accumulators — match across tiers bit for
+// bit.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <thread>
 #include <vector>
 
 #include "common/thread_annotations.h"
+#include "nn/conv2d.h"
+#include "nn/quantize.h"
 #include "nn/tensor.h"
 
 namespace mandipass::nn {
 
 class Sequential;
+class BatchNorm2d;
 
 /// Bump allocator for per-forward intermediates. alloc() hands out
 /// uninitialised float storage from a list of fixed blocks; reset()
@@ -181,6 +199,21 @@ class PackedGemm {
   std::vector<float> bias_;     ///< padded to a block multiple
 };
 
+/// A Conv2d with its following BatchNorm2d folded in: row-major
+/// (out_channels, taps) weights and per-channel bias, ready to pack.
+struct FoldedConv {
+  std::size_t out_channels = 0;
+  std::size_t taps = 0;               ///< in_channels * kernel_h * kernel_w
+  std::vector<float> weights;         ///< (out_channels, taps) row-major
+  std::vector<float> bias;            ///< out_channels
+};
+
+/// Folds `bn`'s affine (off its running statistics) into `conv`'s
+/// weights and bias, in double: w' = w * s, b' = (b - mean) * s + beta
+/// with s = gamma / sqrt(var + eps). Shared by the float and int8 plan
+/// compilers so both paths fold identically.
+FoldedConv fold_conv_bn(Conv2d& conv, BatchNorm2d& bn);
+
 /// One fused Conv+BN+ReLU stage of a compiled branch.
 struct FusedConvStage {
   std::size_t in_channels = 0;
@@ -221,6 +254,148 @@ class InferencePlan {
 
  private:
   std::vector<FusedConvStage> stages_;
+};
+
+/// Names of every int8 kernel tier compiled into this binary, in
+/// dispatch-preference order; the active tier is first and "generic"
+/// (always present) is last. The equivalence suite iterates this list
+/// and demands bit-identical outputs from every entry.
+std::vector<const char*> quantized_kernel_tiers();
+
+/// The tier PackedQuantizedGemm::run dispatches to.
+const char* active_quantized_kernel();
+
+/// An int8 per-row-scaled weight matrix pre-packed for the integer
+/// dot-product kernels: output rows in blocks of kOcBlock, columns in
+/// groups of kTapGroup taps —
+///   packed[blk][(kg * kOcBlock + j) * kTapGroup + t]
+///       = Wq[blk * kOcBlock + j][kg * kTapGroup + t]
+/// — so one VNNI vpdpbusd (or NEON vdot lane / AVX2 maddubs pair)
+/// consumes a whole 4-tap group for 16 channels per step. Tail rows and
+/// the tail tap group are zero-padded (0-weight x any activation byte
+/// contributes 0, so padding is exact).
+///
+/// run() quantizes each input vector on the fly to 7-bit unsigned
+/// [0, 127] with a per-vector zero point, accumulates exactly in int32,
+/// and dequantizes with the precomputed per-row tap sums:
+///   y[r] = float(acc - zp * rowsum[r]) * (ascale * scale[r]) + bias[r]
+/// A zero-scale weight row or a constant input vector short-circuits to
+/// y[r] = bias[r] exactly. All intermediates come from the caller's
+/// ScratchArena; the steady state performs zero heap allocations.
+class PackedQuantizedGemm {
+ public:
+  static constexpr std::size_t kOcBlock = 16;  ///< matches PackedGemm
+  static constexpr std::size_t kXTile = 4;     ///< input vectors per weight stream
+  static constexpr std::size_t kTapGroup = 4;  ///< taps per integer dot step
+
+  PackedQuantizedGemm() = default;
+
+  /// Packs `q` (from quantize_rows) with `bias` of q.rows entries, or
+  /// nullptr for an all-zero bias.
+  void pack_rows(const QuantizedMatrix& q, const float* bias);
+
+  /// For every input vector xi in [0, x_count) and output row r:
+  ///   y[r * y_stride + xi] = epilogue(dequant(Wq x_q)[r] + bias[r]).
+  /// Same layout contract as PackedGemm::run. Values are bit-identical
+  /// for every kernel tier, thread count, and batch grouping.
+  void run(const float* x, std::size_t x_count, std::size_t x_stride, float* y,
+           std::size_t y_stride, Epilogue epilogue, ScratchArena& arena) const
+      MANDIPASS_REQUIRES(arena);
+
+  /// run() over vectors already quantized to the packed byte layout
+  /// (x_stride = kgroups * kTapGroup bytes, group-padding bytes
+  /// written) that share ONE affine (ascale, zero_point). This is the
+  /// plan's stage path: a conv stage quantizes its input plane once and
+  /// gathers im2col patches as bytes, so padding taps gather the
+  /// zero-point byte, which dequantizes to exactly 0. Needs no arena —
+  /// the accumulators live on the stack.
+  void run_prequantized(const std::uint8_t* qx, std::size_t x_count, float ascale,
+                        float zero_point, float* y, std::size_t y_stride,
+                        Epilogue epilogue) const;
+
+  /// run() forced onto a specific tier from quantized_kernel_tiers(),
+  /// for the cross-tier equivalence suite. Returns false (output
+  /// untouched) if `tier` names a tier not compiled into this binary.
+  bool run_tier(const char* tier, const float* x, std::size_t x_count,
+                std::size_t x_stride, float* y, std::size_t y_stride, Epilogue epilogue,
+                ScratchArena& arena) const MANDIPASS_REQUIRES(arena);
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+  bool empty() const noexcept { return rows_ == 0; }
+
+  /// Packed footprint: int8 weights + per-row scales/sums/bias.
+  std::size_t storage_bytes() const noexcept {
+    return weights_.size() * sizeof(std::int8_t) +
+           scales_.size() * sizeof(float) + row_sums_.size() * sizeof(std::int32_t) +
+           bias_.size() * sizeof(float);
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::size_t kgroups_ = 0;  ///< ceil(cols / kTapGroup), the packed k extent
+  std::vector<std::int8_t> weights_;    ///< block-major, zero-padded
+  std::vector<float> scales_;           ///< per row, padded to a block multiple
+  std::vector<std::int32_t> row_sums_;  ///< per row: sum_k Wq[r][k], padded
+  std::vector<float> bias_;             ///< per row, padded
+};
+
+/// One conv layer of a quantized branch, described by its already
+/// BN-folded, already quantized weights. `weights` has rows ==
+/// config.out_channels and cols == in_channels * kernel_h * kernel_w;
+/// `bias` has out_channels entries. Pointers must outlive compile().
+struct QuantizedConvSpec {
+  Conv2dConfig config;
+  const QuantizedMatrix* weights = nullptr;
+  const float* bias = nullptr;
+};
+
+/// The int8 counterpart of InferencePlan: same fused single-pass
+/// geometry (im2col gather into the arena, one GEMM per stage with the
+/// ReLU fused as a dequantizing epilogue), but each stage multiplies
+/// through a PackedQuantizedGemm.
+class QuantizedInferencePlan {
+ public:
+  QuantizedInferencePlan() = default;
+
+  /// Folds + quantizes a trained [Conv2d, BatchNorm2d, ReLU] x N
+  /// (+ Flatten) branch, like InferencePlan::compile but emitting int8
+  /// stages.
+  static QuantizedInferencePlan compile(Sequential& branch, std::size_t h_in,
+                                        std::size_t w_in);
+
+  /// Compiles from pre-quantized weights (the QuantizedExtractor path,
+  /// whose layers are already folded + quantized at construction).
+  static QuantizedInferencePlan compile(std::span<const QuantizedConvSpec> specs,
+                                        std::size_t h_in, std::size_t w_in);
+
+  /// Runs the branch on one sample; contract identical to
+  /// InferencePlan::run.
+  void run(const float* plane, float* out, ScratchArena& arena) const
+      MANDIPASS_REQUIRES(arena);
+
+  struct Stage {
+    std::size_t in_channels = 0;
+    std::size_t out_channels = 0;
+    std::size_t h_in = 0, w_in = 0;
+    std::size_t h_out = 0, w_out = 0;
+    std::size_t taps = 0;
+    std::size_t positions = 0;
+    std::vector<std::ptrdiff_t> patch_index;
+    PackedQuantizedGemm gemm;
+  };
+
+  std::size_t input_count() const noexcept;
+  std::size_t feature_count() const noexcept;
+  std::size_t stage_count() const noexcept { return stages_.size(); }
+  const Stage& stage(std::size_t i) const { return stages_[i]; }
+
+  /// Total packed int8 storage across stages.
+  std::size_t storage_bytes() const noexcept;
+
+ private:
+  std::vector<Stage> stages_;
 };
 
 }  // namespace mandipass::nn

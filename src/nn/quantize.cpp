@@ -45,6 +45,13 @@ Tensor dequantize(const QuantizedMatrix& q) {
 void quantized_matvec(const QuantizedMatrix& q, const float* x, const float* bias, float* y) {
   MANDIPASS_EXPECTS(x != nullptr && bias != nullptr && y != nullptr);
   for (std::size_t r = 0; r < q.rows; ++r) {
+    // A zero-scale row is all-zero (quantize_rows maps an all-zero float
+    // row to scale 0): skip the dot product entirely and pass the bias
+    // through exactly — no 0.0f * acc rounding, no wasted column walk.
+    if (q.scales[r] == 0.0f) {
+      y[r] = bias[r];
+      continue;
+    }
     const std::int8_t* row = q.values.data() + r * q.cols;
     float acc = 0.0f;
     for (std::size_t c = 0; c < q.cols; ++c) {

@@ -50,6 +50,20 @@ TEST(Quantize, NonMatrixThrows) {
   EXPECT_THROW(quantize_rows(w), PreconditionError);
 }
 
+TEST(Quantize, MatvecZeroScaleRowShortCircuitsToBias) {
+  // A zero weight row quantizes to scale 0; the matvec must hand the
+  // bias through exactly, never multiply by the (meaningless) scale.
+  Tensor w({2, 3});
+  w.at2(1, 0) = 4.0f;
+  const auto q = quantize_rows(w);
+  ASSERT_EQ(q.scales[0], 0.0f);
+  const float x[3] = {1e30f, -1e30f, 1e30f};
+  const float bias[2] = {-2.5f, 0.75f};
+  float y[2] = {0.0f, 0.0f};
+  quantized_matvec(q, x, bias, y);
+  EXPECT_EQ(y[0], -2.5f);  // exact, despite the huge activations
+}
+
 TEST(Quantize, ErrorMetricZeroForExactValues) {
   Tensor w({1, 2});
   w.at2(0, 0) = 127.0f;

@@ -437,5 +437,90 @@ class CliContract(MandilintCase):
             self.assertIn(rule, out, f"--list-rules must document {rule}")
 
 
+class KernelFnoFastMath(MandilintCase):
+    PIN = (
+        "add_library(nn kernel.cpp)\n"
+        "set_source_files_properties(kernel.cpp PROPERTIES\n"
+        '  COMPILE_OPTIONS "-fno-fast-math")\n'
+    )
+
+    def test_marker_tu_without_cmake_pin_is_flagged(self) -> None:
+        found = self.findings_for(
+            "kernel-fno-fast-math",
+            {"src/nn/kernel.cpp": "// mandilint: kernel-tu\n" + GUARD},
+        )
+        self.assertEqual(len(found), 1)
+        self.assertEqual(found[0].line, 1)
+        self.assertIn("-fno-fast-math", found[0].message)
+
+    def test_intrinsics_include_without_pin_is_flagged(self) -> None:
+        for header in ("immintrin.h", "arm_neon.h"):
+            found = self.findings_for(
+                "kernel-fno-fast-math",
+                {"src/nn/kernel.cpp": f"#include <{header}>\n" + GUARD},
+            )
+            self.assertEqual(len(found), 1, header)
+
+    def test_pinned_kernel_tu_is_clean(self) -> None:
+        found = self.findings_for(
+            "kernel-fno-fast-math",
+            {
+                "src/nn/kernel.cpp": "// mandilint: kernel-tu\n" + GUARD,
+                "src/nn/CMakeLists.txt": self.PIN,
+            },
+        )
+        self.assertEqual(found, [])
+
+    def test_pin_for_a_different_file_does_not_count(self) -> None:
+        found = self.findings_for(
+            "kernel-fno-fast-math",
+            {
+                "src/nn/other.cpp": "// mandilint: kernel-tu\n" + GUARD,
+                "src/nn/CMakeLists.txt": self.PIN,
+            },
+        )
+        self.assertEqual(len(found), 1)
+
+    def test_pin_without_fno_fast_math_does_not_count(self) -> None:
+        found = self.findings_for(
+            "kernel-fno-fast-math",
+            {
+                "src/nn/kernel.cpp": "// mandilint: kernel-tu\n" + GUARD,
+                "src/nn/CMakeLists.txt": (
+                    "set_source_files_properties(kernel.cpp PROPERTIES\n"
+                    '  COMPILE_OPTIONS "-funroll-loops")\n'
+                ),
+            },
+        )
+        self.assertEqual(len(found), 1)
+
+    def test_non_kernel_tu_is_out_of_scope(self) -> None:
+        found = self.findings_for(
+            "kernel-fno-fast-math",
+            {"src/nn/plain.cpp": GUARD + "int f() { return 1; }\n"},
+        )
+        self.assertEqual(found, [])
+
+    def test_outside_src_is_out_of_scope(self) -> None:
+        found = self.findings_for(
+            "kernel-fno-fast-math",
+            {"bench/kernel.cpp": "#include <immintrin.h>\nint main() {}\n"},
+            subdirs=("bench",),
+        )
+        self.assertEqual(found, [])
+
+    def test_file_waiver_suppresses(self) -> None:
+        found = self.findings_for(
+            "kernel-fno-fast-math",
+            {
+                "src/nn/kernel.cpp": (
+                    "// mandilint: allow-file(kernel-fno-fast-math) -- perf probe TU\n"
+                    "// mandilint: kernel-tu\n" + GUARD
+                ),
+            },
+        )
+        self.assertEqual(found, [])
+
+
 if __name__ == "__main__":
     unittest.main(verbosity=2)
